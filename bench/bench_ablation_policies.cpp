@@ -1,0 +1,91 @@
+// Policy ablations the paper discusses in prose:
+//  * Section 6.2 (end): encrypting only *half* the I-frame packets gives
+//    distortion "similar to the case where all the P-frame packets are
+//    encrypted and thus does not provide adequate obfuscation".
+//  * The I+a%P sweep for SLOW motion (the paper only needs it for fast
+//    motion; here we show why: I-only is already terminal for slow).
+//  * Cipher choice does not change distortion, only delay/energy — the
+//    confidentiality comes from *which* packets are hidden, not how
+//    strongly.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace tv;
+
+int main(int argc, char** argv) {
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  bench::print_banner("Policy ablations",
+                      "partial-I, slow-motion I+a%P, cipher independence",
+                      options);
+  bench::WorkloadCache cache{options};
+  const auto device = core::samsung_galaxy_s2();
+
+  std::printf("\n(a) fraction-of-I encryption, slow motion, GOP 30\n");
+  std::printf("%-14s %-16s %-14s %-12s\n", "policy", "eaves PSNR dB",
+              "eaves MOS", "delay ms");
+  {
+    const auto& w = cache.get(video::MotionLevel::kLow, 30);
+    std::vector<policy::EncryptionPolicy> ladder = {
+        {policy::Mode::kFractionI, crypto::Algorithm::kAes256, 0.25},
+        {policy::Mode::kFractionI, crypto::Algorithm::kAes256, 0.50},
+        {policy::Mode::kFractionI, crypto::Algorithm::kAes256, 0.75},
+        {policy::Mode::kIFrames, crypto::Algorithm::kAes256, 0.0},
+        {policy::Mode::kPFrames, crypto::Algorithm::kAes256, 0.0},
+    };
+    for (const auto& pol : ladder) {
+      const auto r = core::run_experiment(
+          bench::make_spec(w, pol, device, options, true), w);
+      std::printf("%-14s %-16s %-14s %-12.1f\n", pol.label().c_str(),
+                  bench::fmt_ci(r.eavesdropper_psnr_db, 2).c_str(),
+                  bench::fmt_ci(r.eavesdropper_mos, 2).c_str(),
+                  r.delay_ms.mean());
+    }
+  }
+
+  std::printf("\n(b) I+a%%P on slow motion (already terminal at a=0)\n");
+  std::printf("%-14s %-16s %-14s\n", "policy", "eaves PSNR dB", "eaves MOS");
+  {
+    const auto& w = cache.get(video::MotionLevel::kLow, 30);
+    for (double f : {0.0, 0.2, 0.5}) {
+      policy::EncryptionPolicy pol =
+          f == 0.0 ? policy::EncryptionPolicy{policy::Mode::kIFrames,
+                                              crypto::Algorithm::kAes256, 0.0}
+                   : policy::EncryptionPolicy{policy::Mode::kIPlusFractionP,
+                                              crypto::Algorithm::kAes256, f};
+      const auto r = core::run_experiment(
+          bench::make_spec(w, pol, device, options, true), w);
+      std::printf("%-14s %-16s %-14s\n", pol.label().c_str(),
+                  bench::fmt_ci(r.eavesdropper_psnr_db, 2).c_str(),
+                  bench::fmt_ci(r.eavesdropper_mos, 2).c_str());
+    }
+  }
+
+  std::printf("\n(c) cipher independence of distortion (fast, I-frames)\n");
+  std::printf("%-10s %-16s %-12s %-10s\n", "cipher", "eaves PSNR dB",
+              "delay ms", "power W");
+  {
+    const auto& w = cache.get(video::MotionLevel::kHigh, 30);
+    for (auto alg : {crypto::Algorithm::kAes128, crypto::Algorithm::kAes256,
+                     crypto::Algorithm::kTripleDes}) {
+      policy::EncryptionPolicy pol{policy::Mode::kIFrames, alg, 0.0};
+      const auto r = core::run_experiment(
+          bench::make_spec(w, pol, device, options, true), w);
+      std::printf("%-10s %-16s %-12.1f %-10.2f\n",
+                  std::string(crypto::to_string(alg)).c_str(),
+                  bench::fmt_ci(r.eavesdropper_psnr_db, 2).c_str(),
+                  r.delay_ms.mean(), r.power_w.mean());
+    }
+  }
+
+  bench::print_expectation(
+      "(a) partial-I encryption degrades gracefully and somewhere below "
+      "full-I it stops being adequate — the paper found 50% already at "
+      "P-only levels; with this codec's slice structure the inadequate "
+      "point sits near 25% (an evenly-strided half kills most slices).  "
+      "(b) for slow motion, adding P fractions on top of I buys almost "
+      "nothing; (c) PSNR is flat across ciphers while delay/power vary, "
+      "because confidentiality comes from packet selection, not key "
+      "length.");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Microbenchmarks (google-benchmark) for the computational substrates:
+// cipher throughput in OFB mode, 8x8 DCT, frame encoding, and the
+// 2-MMPP/G/1 solver.  These are the costs underlying the delay-model
+// constants in the device profiles.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "crypto/ofb.hpp"
+#include "crypto/suite.hpp"
+#include "queueing/mmpp_g1.hpp"
+#include "util/rng.hpp"
+#include "video/codec.hpp"
+#include "video/dct.hpp"
+#include "video/scene.hpp"
+
+using namespace tv;
+
+namespace {
+
+void bench_ofb(benchmark::State& state, crypto::Algorithm alg) {
+  const auto cipher = crypto::make_cipher_from_seed(alg, 1);
+  std::vector<std::uint8_t> iv(cipher->block_size(), 0xA5);
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng{7};
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+  for (auto _ : state) {
+    crypto::ofb_transform_inplace(*cipher, iv, payload);
+    benchmark::DoNotOptimize(payload.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+
+void BM_Aes128Ofb(benchmark::State& s) { bench_ofb(s, crypto::Algorithm::kAes128); }
+void BM_Aes256Ofb(benchmark::State& s) { bench_ofb(s, crypto::Algorithm::kAes256); }
+void BM_TripleDesOfb(benchmark::State& s) {
+  bench_ofb(s, crypto::Algorithm::kTripleDes);
+}
+
+void BM_ForwardDct(benchmark::State& state) {
+  video::Block8x8 block{};
+  util::Rng rng{3};
+  for (auto& v : block) v = rng.uniform(0.0, 255.0);
+  for (auto _ : state) {
+    auto out = video::forward_dct(block);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_EncodeCifFrame(benchmark::State& state) {
+  const video::SceneGenerator scene{
+      video::SceneParameters::preset(video::MotionLevel::kMedium), 5};
+  const auto clip = scene.render_clip(8);
+  const video::Encoder encoder{video::CodecConfig{}};
+  for (auto _ : state) {
+    auto stream = encoder.encode(clip);
+    benchmark::DoNotOptimize(stream.frames.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+
+void BM_MmppG1Solve(benchmark::State& state) {
+  queueing::Mmpp2 mmpp{.r12 = 250.0, .r21 = 1.0, .lambda1 = 4500.0,
+                       .lambda2 = 35.0};
+  queueing::ServiceTimeModel svc{
+      {{0.3, 2.4e-3, 1e-4}, {0.7, 1.2e-3, 1e-4}},
+      queueing::BackoffModel{0.78, 420.0}};
+  for (auto _ : state) {
+    const queueing::MmppG1Solver solver{mmpp, svc};
+    auto sol = solver.solve();
+    benchmark::DoNotOptimize(sol.mean_wait);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Aes128Ofb)->Arg(1460);
+BENCHMARK(BM_Aes256Ofb)->Arg(1460);
+BENCHMARK(BM_TripleDesOfb)->Arg(1460);
+BENCHMARK(BM_ForwardDct);
+BENCHMARK(BM_EncodeCifFrame)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MmppG1Solve)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

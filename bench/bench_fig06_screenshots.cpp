@@ -1,0 +1,70 @@
+// Fig. 6: "screenshots" of the video at the eavesdropper's site for slow
+// and fast motion under each encryption level (GOP=30).  With no display
+// we emit ASCII luma thumbnails of a mid-clip frame side by side with the
+// original, plus the frame's PSNR.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "video/quality.hpp"
+
+using namespace tv;
+
+namespace {
+
+void show_pair(const video::Frame& original, const video::Frame& seen,
+               const char* label) {
+  const auto left = video::ascii_thumbnail(original, 38, 14);
+  const auto right = video::ascii_thumbnail(seen, 38, 14);
+  std::printf("\n[%s]  frame PSNR at eavesdropper: %.1f dB\n", label,
+              video::luma_psnr(original, seen));
+  std::printf("%-40s %s\n", "original:", "eavesdropper sees:");
+  for (std::size_t i = 0; i < left.size(); ++i) {
+    std::printf("%-40s %s\n", left[i].c_str(), right[i].c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::BenchOptions::parse(argc, argv);
+  options.quality_reps = 1;  // one transfer per policy is a screenshot.
+  bench::print_banner("Figure 6", "eavesdropper view (ASCII screenshots)",
+                      options);
+  bench::WorkloadCache cache{options};
+  const auto device = core::samsung_galaxy_s2();
+
+  for (bool fast : {false, true}) {
+    const auto& workload = cache.get(bench::motion_for(fast), 30);
+    const int mid = options.frames / 2;
+    std::printf("\n================ %s motion ================\n",
+                fast ? "FAST" : "SLOW");
+    for (const auto& pol :
+         policy::headline_policies(crypto::Algorithm::kAes256)) {
+      // Rebuild the eavesdropper's decode for this policy.
+      std::vector<net::VideoPacket> packets = workload.packets;
+      const auto selected = pol.select(packets);
+      const auto cipher =
+          crypto::make_cipher_from_seed(pol.algorithm, options.seed);
+      std::vector<std::uint8_t> iv(cipher->block_size(), 0x42);
+      net::encrypt_selected(packets, selected, *cipher, iv);
+      auto spec = bench::make_spec(workload, pol, device, options, false);
+      const auto transfer =
+          core::simulate_transfer(spec.pipeline, packets, options.seed);
+      const auto frames = net::reassemble(
+          packets, transfer.eavesdropper_captured,
+          static_cast<int>(workload.stream.frames.size()), nullptr, iv);
+      const video::Decoder decoder{workload.codec};
+      const auto seen = decoder.decode_stream(workload.stream.width,
+                                              workload.stream.height, frames);
+      show_pair(workload.clip[static_cast<std::size_t>(mid)],
+                seen[static_cast<std::size_t>(mid)],
+                policy::to_string(pol.mode));
+    }
+  }
+
+  bench::print_expectation(
+      "with 'none' the eavesdropper sees the content; I-frame encryption "
+      "leaves slow motion unrecognizable while fast motion retains coarse "
+      "structure (intra-refreshed blocks); 'all' shows nothing.");
+  return 0;
+}

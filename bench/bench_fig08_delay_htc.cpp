@@ -1,0 +1,18 @@
+// Fig. 8 (a-d): mean per-packet transfer delay, analysis vs. experiment,
+// on the HTC Amaze 4G, for AES256/3DES and GOP 30/50 (RTP/UDP).
+#include "bench/common.hpp"
+
+using namespace tv;
+
+int main(int argc, char** argv) {
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  bench::print_banner("Figure 8", "transfer latency, HTC Amaze 4G", options);
+  bench::WorkloadCache cache{options};
+  bench::run_delay_figure(cache, core::htc_amaze_4g(), options,
+                          core::Transport::kRtpUdp);
+  bench::print_expectation(
+      "same ordering as Fig. 7 (none ~= I << P ~= all); the HTC's faster "
+      "crypto keeps the absolute penalties somewhat smaller than the "
+      "Samsung's under 3DES.");
+  return 0;
+}

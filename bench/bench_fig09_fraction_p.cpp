@@ -1,0 +1,71 @@
+// Fig. 9a: upload latency when encrypting all I-frame packets plus a
+// fraction of the P-frame packets (fast motion, GOP=30), for every cipher
+// and both devices; Fig. 9b's screenshots are replaced by eavesdropper
+// PSNR at I-only vs. I+20%P.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+
+using namespace tv;
+
+int main(int argc, char** argv) {
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  bench::print_banner("Figure 9",
+                      "I + fraction-of-P encryption (fast, GOP=30)", options);
+  bench::WorkloadCache cache{options};
+  const auto& workload = cache.get(video::MotionLevel::kHigh, 30);
+
+  const std::vector<double> fractions = {0.10, 0.15, 0.20, 0.25, 0.30, 0.50};
+  const core::DeviceProfile devices[] = {core::htc_amaze_4g(),
+                                         core::samsung_galaxy_s2()};
+  const crypto::Algorithm algs[] = {crypto::Algorithm::kAes128,
+                                    crypto::Algorithm::kAes256,
+                                    crypto::Algorithm::kTripleDes};
+
+  std::printf("\n(Fig. 9a) mean delay (ms) vs. %% of P-frame packets "
+              "encrypted (on top of all I packets)\n");
+  std::printf("%-24s", "series");
+  for (double f : fractions) std::printf(" %8.0f%%", f * 100.0);
+  std::printf("\n");
+  for (const auto& device : devices) {
+    for (auto alg : algs) {
+      std::printf("%-24s",
+                  (device.name.substr(0, 7) + "-" +
+                   std::string(crypto::to_string(alg)))
+                      .c_str());
+      for (double f : fractions) {
+        policy::EncryptionPolicy pol{policy::Mode::kIPlusFractionP, alg, f};
+        auto spec = bench::make_spec(workload, pol, device, options, false);
+        const auto r = core::run_experiment(spec, workload);
+        std::printf(" %9.1f", r.delay_ms.mean());
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\n(Fig. 9b substitute) eavesdropper PSNR/MOS, Samsung, "
+              "AES256:\n");
+  for (double f : {0.0, 0.20}) {
+    policy::EncryptionPolicy pol =
+        f == 0.0
+            ? policy::EncryptionPolicy{policy::Mode::kIFrames,
+                                       crypto::Algorithm::kAes256, 0.0}
+            : policy::EncryptionPolicy{policy::Mode::kIPlusFractionP,
+                                       crypto::Algorithm::kAes256, f};
+    auto spec = bench::make_spec(workload, pol, core::samsung_galaxy_s2(),
+                                 options, true);
+    const auto r = core::run_experiment(spec, workload);
+    std::printf("  %-16s PSNR %s dB   MOS %s\n", r.label.c_str(),
+                bench::fmt_ci(r.eavesdropper_psnr_db, 2).c_str(),
+                bench::fmt_ci(r.eavesdropper_mos, 2).c_str());
+  }
+
+  bench::print_expectation(
+      "latency grows gently and roughly linearly with the encrypted "
+      "P-fraction (paper: ~6.5 ms extra at 20%); 3DES sits far above the "
+      "AES curves, and the Samsung above the HTC.  I+20%P pushes the "
+      "eavesdropper's MOS to ~1.2 where I-only left fast content partially "
+      "recognizable.");
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Fig. 12 (a-d): per-packet delay over HTTP/TCP on the Samsung Galaxy S-II
+// (Section 6.4: marker bit moves into an option header; retransmissions
+// recover losses).
+#include "bench/common.hpp"
+
+using namespace tv;
+
+int main(int argc, char** argv) {
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  bench::print_banner("Figure 12", "HTTP/TCP latency, Samsung Galaxy S-II",
+                      options);
+  bench::WorkloadCache cache{options};
+  bench::run_delay_figure(cache, core::samsung_galaxy_s2(), options,
+                          core::Transport::kHttpTcp);
+  bench::print_expectation(
+      "the RTP/UDP ordering (none ~= I << P ~= all) persists, with every "
+      "bar higher than Fig. 7 due to retransmissions and ACK processing.");
+  return 0;
+}

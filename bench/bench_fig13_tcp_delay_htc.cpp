@@ -1,0 +1,17 @@
+// Fig. 13 (a-d): per-packet delay over HTTP/TCP on the HTC Amaze 4G.
+#include "bench/common.hpp"
+
+using namespace tv;
+
+int main(int argc, char** argv) {
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  bench::print_banner("Figure 13", "HTTP/TCP latency, HTC Amaze 4G",
+                      options);
+  bench::WorkloadCache cache{options};
+  bench::run_delay_figure(cache, core::htc_amaze_4g(), options,
+                          core::Transport::kHttpTcp);
+  bench::print_expectation(
+      "same ordering as Fig. 12; latencies above the RTP/UDP runs of "
+      "Fig. 8.");
+  return 0;
+}

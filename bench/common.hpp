@@ -1,0 +1,210 @@
+// Shared harness for the per-figure reproduction benches.
+//
+// Every bench binary prints (a) the Table-1 style configuration banner,
+// (b) the paper's rows/series with measured means, 95% confidence
+// intervals, and the analytic prediction next to each measurement, and
+// (c) a short "expected shape" note quoting what the paper reports.
+// Absolute values are simulator-scale; the shapes are the reproduction
+// target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "core/experiment.hpp"
+
+namespace tv::bench {
+
+/// Command-line knobs shared by all figure benches.
+struct BenchOptions {
+  int frames = 300;     ///< clip length (paper: 300 frames at 30 fps).
+  int quality_reps = 5; ///< repetitions when decoding is involved.
+  int delay_reps = 20;  ///< repetitions for timing-only experiments.
+  std::uint64_t seed = 2013;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions o;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--frames=", 9) == 0) {
+        o.frames = std::atoi(arg + 9);
+      } else if (std::strncmp(arg, "--reps=", 7) == 0) {
+        o.quality_reps = std::atoi(arg + 7);
+        o.delay_reps = std::atoi(arg + 7);
+      } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+        o.seed = std::strtoull(arg + 7, nullptr, 10);
+      } else if (std::strcmp(arg, "--quick") == 0) {
+        o.frames = 120;
+        o.quality_reps = 2;
+        o.delay_reps = 5;
+      } else if (std::strcmp(arg, "--help") == 0) {
+        std::printf(
+            "options: --frames=N --reps=N --seed=S --quick\n");
+        std::exit(0);
+      }
+    }
+    return o;
+  }
+};
+
+/// Build-once cache for workloads shared across experiment configurations.
+class WorkloadCache {
+ public:
+  explicit WorkloadCache(const BenchOptions& options) : options_(options) {}
+
+  const core::Workload& get(video::MotionLevel motion, int gop_size) {
+    const auto key = std::make_pair(static_cast<int>(motion), gop_size);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      std::printf("# building %s-motion workload (GOP %d, %d frames)...\n",
+                  video::to_string(motion), gop_size, options_.frames);
+      std::fflush(stdout);
+      it = cache_
+               .emplace(key, core::build_workload(motion, gop_size,
+                                                  options_.frames,
+                                                  options_.seed))
+               .first;
+    }
+    return it->second;
+  }
+
+ private:
+  BenchOptions options_;
+  std::map<std::pair<int, int>, core::Workload> cache_;
+};
+
+inline void print_banner(const char* figure, const char* description,
+                         const BenchOptions& options) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("setup: CIF 352x288, %d frames @30fps, %d/%d reps, seed %llu\n",
+              options.frames, options.quality_reps, options.delay_reps,
+              static_cast<unsigned long long>(options.seed));
+  std::printf("==========================================================\n");
+}
+
+inline void print_expectation(const char* note) {
+  std::printf("\npaper shape: %s\n", note);
+}
+
+/// "12.3 ±0.4" with fixed widths.
+inline std::string fmt_ci(const util::RunningStats& s, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f ±%.*f", precision, s.mean(), precision,
+                s.ci95_halfwidth());
+  return buf;
+}
+
+/// The slow/fast labels the paper uses (low/high motion presets).
+inline video::MotionLevel motion_for(bool fast) {
+  return fast ? video::MotionLevel::kHigh : video::MotionLevel::kLow;
+}
+
+inline core::ExperimentSpec make_spec(const core::Workload& workload,
+                                      policy::EncryptionPolicy pol,
+                                      const core::DeviceProfile& device,
+                                      const BenchOptions& options,
+                                      bool quality,
+                                      core::Transport transport =
+                                          core::Transport::kRtpUdp) {
+  core::ExperimentSpec spec;
+  spec.policy = pol;
+  spec.pipeline.device = device;
+  spec.pipeline.transport = transport;
+  spec.repetitions = quality ? options.quality_reps : options.delay_reps;
+  spec.seed = options.seed;
+  spec.evaluate_quality = quality;
+  spec.sensitivity_fraction = core::default_sensitivity(workload.motion);
+  return spec;
+}
+
+/// Shared body of the delay figures (Figs. 7, 8, 12, 13): mean per-packet
+/// delay, analysis vs. experiment, for AES256 and 3DES, GOP 30/50,
+/// slow/fast motion, across the four headline policies.
+inline void run_delay_figure(WorkloadCache& cache,
+                             const core::DeviceProfile& device,
+                             const BenchOptions& options,
+                             core::Transport transport) {
+  // Like the paper, the HTTP/TCP latency figures (12, 13) show experiment
+  // bars only — the 2-MMPP/G/1 analysis models the RTP/UDP service path.
+  const bool show_analysis = transport == core::Transport::kRtpUdp;
+  for (auto alg : {crypto::Algorithm::kAes256, crypto::Algorithm::kTripleDes}) {
+    for (int gop : {30, 50}) {
+      std::printf("\n(%s, GOP=%d, %s, %s)\n",
+                  std::string(crypto::to_string(alg)).c_str(), gop,
+                  device.name.c_str(), core::to_string(transport));
+      if (show_analysis) {
+        std::printf("%-8s | %-13s %-16s | %-13s %-16s\n", "level",
+                    "slow analysis", "slow experiment", "fast analysis",
+                    "fast experiment");
+      } else {
+        std::printf("%-8s | %-16s %-16s\n", "level", "slow experiment",
+                    "fast experiment");
+      }
+      for (const auto& pol : policy::headline_policies(alg)) {
+        std::string cells[2][2];
+        for (bool fast : {false, true}) {
+          const auto& workload = cache.get(motion_for(fast), gop);
+          auto spec = make_spec(workload, pol, device, options,
+                                /*quality=*/false, transport);
+          const auto r = core::run_experiment(spec, workload);
+          char pred[32];
+          if (std::isfinite(r.predicted_delay.mean_delay_ms)) {
+            std::snprintf(pred, sizeof pred, "%.1f ms",
+                          r.predicted_delay.mean_delay_ms);
+          } else {
+            std::snprintf(pred, sizeof pred, "unstable");
+          }
+          cells[fast ? 1 : 0][0] = pred;
+          cells[fast ? 1 : 0][1] = fmt_ci(r.delay_ms, 1) + " ms";
+        }
+        if (show_analysis) {
+          std::printf("%-8s | %-13s %-16s | %-13s %-16s\n",
+                      policy::to_string(pol.mode), cells[0][0].c_str(),
+                      cells[0][1].c_str(), cells[1][0].c_str(),
+                      cells[1][1].c_str());
+        } else {
+          std::printf("%-8s | %-16s %-16s\n", policy::to_string(pol.mode),
+                      cells[0][1].c_str(), cells[1][1].c_str());
+        }
+      }
+    }
+  }
+}
+
+/// Shared body of the power figures (Figs. 10, 11): mean device power per
+/// policy, for AES256 and 3DES, slow/fast motion, GOP 30/50.
+inline void run_power_figure(WorkloadCache& cache,
+                             const core::DeviceProfile& device,
+                             const BenchOptions& options) {
+  for (bool fast : {false, true}) {
+    for (auto alg :
+         {crypto::Algorithm::kAes256, crypto::Algorithm::kTripleDes}) {
+      std::printf("\n(%s-motion, %s, %s)\n", fast ? "Fast" : "Slow",
+                  std::string(crypto::to_string(alg)).c_str(),
+                  device.name.c_str());
+      std::printf("%-8s | %-16s %-16s\n", "level", "GOP=30 (W)",
+                  "GOP=50 (W)");
+      for (const auto& pol : policy::headline_policies(alg)) {
+        std::string cells[2];
+        int idx = 0;
+        for (int gop : {30, 50}) {
+          const auto& workload = cache.get(motion_for(fast), gop);
+          auto spec = make_spec(workload, pol, device, options,
+                                /*quality=*/false);
+          const auto r = core::run_experiment(spec, workload);
+          cells[idx++] = fmt_ci(r.power_w, 2);
+        }
+        std::printf("%-8s | %-16s %-16s\n", policy::to_string(pol.mode),
+                    cells[0].c_str(), cells[1].c_str());
+      }
+    }
+  }
+}
+
+}  // namespace tv::bench

@@ -1,0 +1,53 @@
+// Battery planner: how much recording time does each protection level buy?
+//
+// Uses the experiment pipeline to measure mean device power per policy and
+// cipher on both handsets, converts to Monsoon-style uAh readings (eq. 29)
+// and to hours of streaming on a standard 1650 mAh battery.
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "energy/monsoon.hpp"
+
+using namespace tv;
+
+int main() {
+  const double battery_mah = 1650.0;  // Galaxy S-II stock battery.
+  const auto workload =
+      core::build_workload(video::MotionLevel::kLow, 30, 120, 3);
+
+  for (const auto& device :
+       {core::samsung_galaxy_s2(), core::htc_amaze_4g()}) {
+    std::printf("\n=== %s (slow-motion upload, GOP 30) ===\n",
+                device.name.c_str());
+    std::printf("%-18s %-10s %-12s %-12s\n", "policy", "power W",
+                "uAh per 10s", "hours/battery");
+    for (auto alg : {crypto::Algorithm::kAes256,
+                     crypto::Algorithm::kTripleDes}) {
+      const std::vector<policy::EncryptionPolicy> ladder = {
+          {policy::Mode::kNone, alg, 0.0},
+          {policy::Mode::kIFrames, alg, 0.0},
+          {policy::Mode::kPFrames, alg, 0.0},
+          {policy::Mode::kAll, alg, 0.0},
+      };
+      for (const auto& pol : ladder) {
+        core::ExperimentSpec spec;
+        spec.policy = pol;
+        spec.pipeline.device = device;
+        spec.repetitions = 5;
+        spec.evaluate_quality = false;
+        const auto r = core::run_experiment(spec, workload);
+        const double watts = r.power_w.mean();
+        const double uah = energy::microamp_hours_from_watts(watts, 10.0);
+        const double hours =
+            battery_mah * 1e-3 * energy::kMonsoonVoltage / watts;
+        std::printf("%-18s %-10.2f %-12.0f %-12.1f\n", pol.label().c_str(),
+                    watts, uah, hours);
+      }
+    }
+  }
+  std::printf(
+      "\nTakeaway: I-frame-only AES keeps you close to unencrypted battery "
+      "life; full 3DES encryption costs the most streaming time.\n");
+  return 0;
+}

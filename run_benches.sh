@@ -1,0 +1,11 @@
+#!/bin/bash
+# Run every reproduction bench and print the paper-style tables.
+cd "$(dirname "$0")"
+for b in build/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "############################################################"
+  echo "## $b"
+  echo "############################################################"
+  "$b" "$@"
+  echo
+done

@@ -1,0 +1,72 @@
+// Model calibration from an observed transfer prefix (Section 6.1,
+// "Applying the mathematical framework").
+//
+// "We use an initial sequence of events to tune the parameters of our
+//  mathematical model": the insertion times and frame types of the queued
+//  segments give the 2-MMPP parameters (R, Lambda); measured encryption and
+//  transmission times give the means/variances of eqs. (15)-(16); backoff
+//  observations give p_s and lambda_b.  The client has all of this locally.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "queueing/mmpp.hpp"
+#include "queueing/service_time.hpp"
+
+namespace tv::core {
+
+/// Traffic-side calibration: arrival process and stream shape.
+struct TrafficCalibration {
+  queueing::Mmpp2 mmpp;            ///< R and Lambda of eq. (1).
+  double p_i = 0.0;                ///< fraction of packets from I-frames.
+  double mean_i_payload = 0.0;     ///< bytes.
+  double mean_p_payload = 0.0;
+  double mean_i_packets_per_frame = 1.0;  ///< n for eq. (20), I-frames.
+  double mean_p_packets_per_frame = 1.0;
+  std::size_t total_payload_bytes = 0;
+  std::size_t i_payload_bytes = 0;
+  std::size_t packet_count = 0;
+  double clip_duration_s = 0.0;    ///< frames / fps.
+};
+
+/// Estimate the traffic calibration from packet metadata and the arrival
+/// timestamps recorded by the pipeline.  `sample_packets` limits the prefix
+/// used for the MMPP fit (0 = use everything).
+[[nodiscard]] TrafficCalibration calibrate_traffic(
+    const std::vector<net::VideoPacket>& packets,
+    const std::vector<PacketTiming>& timings, double fps,
+    std::size_t sample_packets = 0);
+
+/// Service-side calibration measured from a transfer prefix: per-class
+/// encryption/transmission means and jitter plus backoff parameters.
+struct ServiceCalibration {
+  double enc_i_mean = 0.0;
+  double enc_i_stddev = 0.0;
+  double enc_p_mean = 0.0;
+  double enc_p_stddev = 0.0;
+  double tx_i_mean = 0.0;
+  double tx_i_stddev = 0.0;
+  double tx_p_mean = 0.0;
+  double tx_p_stddev = 0.0;
+  double mac_success_prob = 1.0;
+  double backoff_rate = 1.0;
+};
+
+/// Measure service statistics from observed timings.  Classes with no
+/// encrypted samples in the prefix fall back to the device profile's
+/// deterministic cost for a typical payload of that class, so the model can
+/// still predict policies that encrypt classes the sampled policy did not.
+[[nodiscard]] ServiceCalibration calibrate_service(
+    const std::vector<net::VideoPacket>& packets,
+    const std::vector<PacketTiming>& timings, const PipelineConfig& config,
+    const TrafficCalibration& traffic);
+
+/// Assemble the analytic queue inputs for a policy with I/P encryption
+/// fractions (q_i, q_p) from the calibrations (Section 4.2.2).
+[[nodiscard]] queueing::ServiceParameters service_parameters(
+    const TrafficCalibration& traffic, const ServiceCalibration& service,
+    double q_i, double q_p);
+
+}  // namespace tv::core

@@ -1,0 +1,68 @@
+#include "core/device_profile.hpp"
+
+#include <stdexcept>
+
+namespace tv::core {
+
+const CryptoSpeed& DeviceProfile::speed(crypto::Algorithm a) const {
+  switch (a) {
+    case crypto::Algorithm::kAes128: return aes128;
+    case crypto::Algorithm::kAes256: return aes256;
+    case crypto::Algorithm::kTripleDes: return triple_des;
+  }
+  throw std::invalid_argument{"DeviceProfile::speed: bad algorithm"};
+}
+
+double DeviceProfile::crypto_j_per_mb(crypto::Algorithm a) const {
+  switch (a) {
+    case crypto::Algorithm::kAes128: return aes128_j_per_mb;
+    case crypto::Algorithm::kAes256: return aes256_j_per_mb;
+    case crypto::Algorithm::kTripleDes: return triple_des_j_per_mb;
+  }
+  throw std::invalid_argument{"DeviceProfile::crypto_j_per_mb: bad algorithm"};
+}
+
+double DeviceProfile::encryption_seconds(crypto::Algorithm a,
+                                         std::size_t payload_bytes) const {
+  const CryptoSpeed& s = speed(a);
+  return s.per_packet_overhead_s +
+         static_cast<double>(payload_bytes) / (s.throughput_mb_s * 1e6);
+}
+
+energy::PowerCoefficients DeviceProfile::power_coefficients(
+    crypto::Algorithm a) const {
+  return energy::PowerCoefficients{base_power_w, crypto_j_per_mb(a),
+                                   radio_tx_power_w, crypto_max_power_w};
+}
+
+DeviceProfile samsung_galaxy_s2() {
+  DeviceProfile d;
+  d.name = "Samsung Galaxy S-II";
+  d.aes128 = {7.0, 220e-6, 45e-6};
+  d.aes256 = {5.2, 220e-6, 55e-6};
+  d.triple_des = {1.1, 260e-6, 120e-6};
+  d.base_power_w = 1.00;
+  d.aes128_j_per_mb = 16.0;
+  d.aes256_j_per_mb = 20.0;
+  d.triple_des_j_per_mb = 30.0;
+  d.crypto_max_power_w = 1.45;
+  d.radio_tx_power_w = 0.65;
+  return d;
+}
+
+DeviceProfile htc_amaze_4g() {
+  DeviceProfile d;
+  d.name = "HTC Amaze 4G";
+  d.aes128 = {8.5, 180e-6, 40e-6};
+  d.aes256 = {6.4, 180e-6, 50e-6};
+  d.triple_des = {1.4, 210e-6, 100e-6};
+  d.base_power_w = 1.45;
+  d.aes128_j_per_mb = 8.0;
+  d.aes256_j_per_mb = 10.4;
+  d.triple_des_j_per_mb = 15.0;
+  d.crypto_max_power_w = 0.58;
+  d.radio_tx_power_w = 0.70;
+  return d;
+}
+
+}  // namespace tv::core

@@ -1,0 +1,63 @@
+// Device profiles: the stand-ins for the paper's two handsets (Table 1).
+//
+// The paper runs every experiment on a Samsung Galaxy S-II (1.2 GHz
+// Cortex-A9) and an HTC Amaze 4G (1.5 GHz Snapdragon S3), both on Android
+// 4.0.  We cannot run on those CPUs, so each profile carries calibrated
+// software-crypto throughputs (MB/s per algorithm plus a fixed per-packet
+// overhead for the JNI/GPAC call path) and power coefficients.  The
+// constants were tuned so the *relative* delay and power movements match
+// the paper's reported deltas (see DESIGN.md Section 2 and EXPERIMENTS.md);
+// absolute scales are testbed-specific by nature.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "crypto/suite.hpp"
+#include "energy/energy_model.hpp"
+
+namespace tv::core {
+
+struct CryptoSpeed {
+  double throughput_mb_s = 10.0;    ///< sustained payload throughput.
+  double per_packet_overhead_s = 0.0;  ///< key/IV setup + call overhead.
+  double jitter_stddev_s = 0.0;     ///< Gaussian jitter of eq. (15).
+};
+
+struct DeviceProfile {
+  std::string name;
+  CryptoSpeed aes128;
+  CryptoSpeed aes256;
+  CryptoSpeed triple_des;
+  /// Baseline (unencrypted streaming) device power, W.
+  double base_power_w = 1.0;
+  /// CPU energy per encrypted megabyte, J/MB, per algorithm.
+  double aes128_j_per_mb = 0.0;
+  double aes256_j_per_mb = 0.0;
+  double triple_des_j_per_mb = 0.0;
+  /// Extra radio power while a packet is on the air, W.
+  double radio_tx_power_w = 0.7;
+  /// Ceiling on crypto power once the cipher saturates a core, W.
+  double crypto_max_power_w = 1.5;
+
+  [[nodiscard]] const CryptoSpeed& speed(crypto::Algorithm a) const;
+  [[nodiscard]] double crypto_j_per_mb(crypto::Algorithm a) const;
+
+  /// Mean time to encrypt `payload_bytes` with algorithm `a`.
+  [[nodiscard]] double encryption_seconds(crypto::Algorithm a,
+                                          std::size_t payload_bytes) const;
+
+  /// Power coefficients for the energy model under algorithm `a`.
+  [[nodiscard]] energy::PowerCoefficients power_coefficients(
+      crypto::Algorithm a) const;
+};
+
+/// Samsung Galaxy S-II (1.2 GHz dual Cortex-A9, Mali-400): the slower
+/// crypto of the two but the steeper power response in the paper.
+[[nodiscard]] DeviceProfile samsung_galaxy_s2();
+
+/// HTC Amaze 4G (1.5 GHz dual Snapdragon S3): faster crypto, flatter power
+/// response.
+[[nodiscard]] DeviceProfile htc_amaze_4g();
+
+}  // namespace tv::core

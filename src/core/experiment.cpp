@@ -1,0 +1,198 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "crypto/suite.hpp"
+#include "video/quality.hpp"
+
+namespace tv::core {
+
+namespace {
+
+/// Deterministic per-flow IV sized for the cipher.
+std::vector<std::uint8_t> flow_iv_for(const crypto::BlockCipher& cipher,
+                                      std::uint64_t seed) {
+  std::vector<std::uint8_t> iv(cipher.block_size());
+  std::uint64_t state = seed ^ 0x1234567890abcdefULL;
+  for (auto& b : iv) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    b = static_cast<std::uint8_t>(state >> 56);
+  }
+  return iv;
+}
+
+}  // namespace
+
+double default_sensitivity(video::MotionLevel motion) {
+  switch (motion) {
+    case video::MotionLevel::kLow: return 0.35;
+    case video::MotionLevel::kMedium: return 0.50;
+    case video::MotionLevel::kHigh: return 0.65;
+  }
+  return 0.6;
+}
+
+Workload build_workload(video::MotionLevel motion, int gop_size, int frames,
+                        std::uint64_t seed, double fps) {
+  if (frames < gop_size) {
+    throw std::invalid_argument{"build_workload: need at least one GOP"};
+  }
+  Workload w;
+  w.motion = motion;
+  w.fps = fps;
+  w.codec.gop_size = gop_size;
+  // Crude one-pass rate control, standing in for x264's: faster content
+  // gets a coarser inter quantizer so the bitrate grows sublinearly with
+  // motion (paper clips were encoded at comparable rates).
+  switch (motion) {
+    case video::MotionLevel::kLow: w.codec.p_qstep = 14.0; break;
+    case video::MotionLevel::kMedium: w.codec.p_qstep = 18.0; break;
+    case video::MotionLevel::kHigh: w.codec.p_qstep = 24.0; break;
+  }
+
+  const video::SceneGenerator scene{video::SceneParameters::preset(motion),
+                                    seed};
+  w.clip = scene.render_clip(frames);
+
+  const video::Encoder encoder{w.codec};
+  w.stream = encoder.encode(w.clip);
+  w.packets = net::packetize(w.stream, net::kDefaultMtu, fps);
+
+  // Coding distortion floor: decode the intact stream and compare.
+  {
+    const video::Decoder decoder{w.codec};
+    std::vector<video::ReceivedFrameData> intact;
+    intact.reserve(w.stream.frames.size());
+    for (const auto& f : w.stream.frames) {
+      intact.push_back(video::ReceivedFrameData::intact(f.data));
+    }
+    const video::FrameSequence lossless =
+        decoder.decode_stream(w.stream.width, w.stream.height, intact);
+    double mse = 0.0;
+    for (std::size_t i = 0; i < w.clip.size(); ++i) {
+      mse += video::luma_mse(w.clip[i], lossless[i]);
+    }
+    w.base_mse = mse / static_cast<double>(w.clip.size());
+  }
+
+  // Case-3 reference: content against the decoder's blank mid-gray output.
+  {
+    video::Frame gray(w.stream.width, w.stream.height);
+    gray.fill(128, 128, 128);
+    double mse = 0.0;
+    for (const auto& f : w.clip) mse += video::luma_mse(f, gray);
+    w.null_mse = mse / static_cast<double>(w.clip.size());
+  }
+
+  // Fit the distance-distortion curve (Fig. 2 procedure) on this content,
+  // out to a GOP's worth of frames so the saturation value reflects the
+  // staleness a lost I-frame actually produces.
+  const int max_distance =
+      std::min<int>(gop_size, static_cast<int>(w.clip.size()) - 1);
+  w.inter = distortion::DistanceDistortion::fit(
+      distortion::measure_substitution_distortion(w.clip, max_distance), 5);
+  return w;
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                const Workload& workload) {
+  if (spec.repetitions < 1) {
+    throw std::invalid_argument{"run_experiment: repetitions < 1"};
+  }
+  ExperimentResult result;
+  result.label = spec.policy.label();
+
+  // Apply the policy's packet selection and encrypt for real.
+  std::vector<net::VideoPacket> packets = workload.packets;
+  const std::vector<bool> selected = spec.policy.select(packets);
+  const auto cipher =
+      crypto::make_cipher_from_seed(spec.policy.algorithm, spec.seed);
+  const auto flow_iv = flow_iv_for(*cipher, spec.seed);
+  net::encrypt_selected(packets, selected, *cipher, flow_iv);
+  result.encryption = net::encryption_stats(packets);
+
+  PipelineConfig pipeline = spec.pipeline;
+  pipeline.algorithm = spec.policy.algorithm;
+
+  const int frame_count = static_cast<int>(workload.stream.frames.size());
+  const video::Decoder decoder{workload.codec};
+
+  std::optional<TransferResult> first_transfer;
+  for (int rep = 0; rep < spec.repetitions; ++rep) {
+    const TransferResult transfer = simulate_transfer(
+        pipeline, packets, spec.seed * 7919 + static_cast<std::uint64_t>(rep));
+    if (!first_transfer) first_transfer = transfer;
+
+    result.delay_ms.add(transfer.mean_delay_ms());
+    result.duration_s.add(transfer.duration_s);
+
+    const energy::EnergyBreakdown energy = energy::transfer_energy(
+        spec.pipeline.device.power_coefficients(spec.policy.algorithm),
+        transfer.duration_s, transfer.encrypted_payload_bytes,
+        transfer.airtime_s);
+    result.power_w.add(energy::mean_power_w(energy, transfer.duration_s));
+
+    if (!spec.evaluate_quality) continue;
+
+    // Legitimate receiver: decrypts what it gets.
+    const auto rx_frames =
+        net::reassemble(packets, transfer.receiver_delivered, frame_count,
+                        cipher.get(), flow_iv);
+    const video::FrameSequence rx = decoder.decode_stream(
+        workload.stream.width, workload.stream.height, rx_frames);
+    result.receiver_psnr_db.add(video::sequence_psnr(workload.clip, rx));
+    result.receiver_mos.add(video::sequence_mos(workload.clip, rx));
+
+    // Eavesdropper: overhears, cannot decrypt.
+    const auto ev_frames =
+        net::reassemble(packets, transfer.eavesdropper_captured, frame_count,
+                        nullptr, flow_iv);
+    const video::FrameSequence ev = decoder.decode_stream(
+        workload.stream.width, workload.stream.height, ev_frames);
+    result.eavesdropper_psnr_db.add(video::sequence_psnr(workload.clip, ev));
+    result.eavesdropper_mos.add(video::sequence_mos(workload.clip, ev));
+  }
+
+  // Calibrate the analytic model on the first transfer (Section 6.1) and
+  // attach its predictions.
+  const TrafficCalibration traffic = calibrate_traffic(
+      packets, first_transfer->timings, workload.fps, /*sample_packets=*/0);
+  const ServiceCalibration service =
+      calibrate_service(packets, first_transfer->timings, pipeline, traffic);
+
+  const double q_i = spec.policy.i_packet_fraction();
+  const double q_p = spec.policy.p_packet_fraction();
+  result.predicted_delay = predict_delay(traffic, service, q_i, q_p);
+  result.predicted_power = predict_power(
+      pipeline.device, spec.policy.algorithm, traffic, service, q_i, q_p);
+
+  DistortionInputs di;
+  di.gop_size = workload.codec.gop_size;
+  di.n_gops = frame_count / workload.codec.gop_size;
+  di.sensitivity_fraction = spec.sensitivity_fraction;
+  di.base_mse = workload.base_mse;
+  di.null_mse = workload.null_mse;
+  di.inter = workload.inter;
+
+  const bool tcp = pipeline.transport == Transport::kHttpTcp;
+  // Per-packet delivery rates at each node.  Under the reliable transport
+  // the receiver eventually gets (essentially) everything and the
+  // eavesdropper benefits from overhearing the retransmissions.
+  const double p_s_rx =
+      tcp ? 1.0 : 1.0 - pipeline.receiver_loss_prob;
+  double p_s_ev = 1.0 - pipeline.eavesdropper_loss_prob;
+  if (tcp) {
+    const double mean_attempts =
+        1.0 / (1.0 - pipeline.receiver_loss_prob);
+    p_s_ev = 1.0 - std::pow(pipeline.eavesdropper_loss_prob, mean_attempts);
+  }
+  result.predicted_receiver =
+      predict_distortion(di, traffic, p_s_rx, 0.0, 0.0);
+  result.predicted_eavesdropper =
+      predict_distortion(di, traffic, p_s_ev, q_i, q_p);
+  return result;
+}
+
+}  // namespace tv::core

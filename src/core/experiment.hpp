@@ -1,0 +1,85 @@
+// End-to-end experiment runner: Section 6's methodology in one call.
+//
+// A Workload (clip + encoded stream + packetization) is built once per
+// (motion level, GOP size) configuration; each experiment applies a policy,
+// simulates `repetitions` transfers (the paper uses 20), reconstructs the
+// video at the legitimate receiver and at the eavesdropper, and reports
+// means with 95% confidence intervals next to the analytic predictions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/device_profile.hpp"
+#include "core/pipeline.hpp"
+#include "core/predictor.hpp"
+#include "policy/policy.hpp"
+#include "util/stats.hpp"
+#include "video/codec.hpp"
+#include "video/scene.hpp"
+
+namespace tv::core {
+
+/// A reusable, deterministic video workload.
+struct Workload {
+  video::MotionLevel motion = video::MotionLevel::kLow;
+  video::CodecConfig codec;
+  double fps = 30.0;
+  video::FrameSequence clip;            ///< original YUV frames.
+  video::EncodedStream stream;          ///< compressed IPP...P stream.
+  std::vector<net::VideoPacket> packets;  ///< plaintext packetization.
+  double base_mse = 0.0;  ///< coding distortion of a lossless decode.
+  double null_mse = 0.0;  ///< content MSE vs. a blank (gray) decode.
+  distortion::DistanceDistortion inter;  ///< fitted D(d) for this content.
+};
+
+/// Generate, encode, packetize and characterize a clip.  Deterministic in
+/// `seed`.  `frames` should be a multiple of the GOP size (Table 1 clips
+/// are 300 frames at 30 fps).
+[[nodiscard]] Workload build_workload(video::MotionLevel motion,
+                                      int gop_size, int frames,
+                                      std::uint64_t seed, double fps = 30.0);
+
+/// What a single experiment should measure.
+struct ExperimentSpec {
+  policy::EncryptionPolicy policy;
+  PipelineConfig pipeline;
+  int repetitions = 20;
+  std::uint64_t seed = 1;
+  bool evaluate_quality = true;  ///< decode at receiver + eavesdropper.
+  /// Decoder sensitivity fraction used by the analytic distortion model;
+  /// pick by motion level (fast content tolerates almost no loss).
+  double sensitivity_fraction = 0.6;
+};
+
+struct ExperimentResult {
+  std::string label;
+  net::EncryptionStats encryption;
+
+  // Measured (across repetitions).
+  util::RunningStats delay_ms;            ///< mean per-packet delay per rep.
+  util::RunningStats receiver_psnr_db;
+  util::RunningStats eavesdropper_psnr_db;
+  util::RunningStats receiver_mos;
+  util::RunningStats eavesdropper_mos;
+  util::RunningStats power_w;
+  util::RunningStats duration_s;
+
+  // Analytic predictions from the calibrated model.
+  DelayPrediction predicted_delay;
+  DistortionPrediction predicted_receiver;
+  DistortionPrediction predicted_eavesdropper;
+  PowerPrediction predicted_power;
+};
+
+/// Run one experiment configuration against a prebuilt workload.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                              const Workload& workload);
+
+/// Default sensitivity fraction per motion level (calibrated so the model's
+/// frame success tracks the slice-decoder's observed robustness).
+[[nodiscard]] double default_sensitivity(video::MotionLevel motion);
+
+}  // namespace tv::core

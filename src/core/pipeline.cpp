@@ -1,0 +1,142 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace tv::core {
+
+const char* to_string(Transport t) {
+  switch (t) {
+    case Transport::kRtpUdp: return "RTP/UDP";
+    case Transport::kHttpTcp: return "HTTP/TCP";
+  }
+  return "?";
+}
+
+double TransferResult::mean_delay_s() const {
+  if (timings.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& t : timings) acc += t.delay();
+  return acc / static_cast<double>(timings.size());
+}
+
+TransferResult simulate_transfer(const PipelineConfig& config,
+                                 const std::vector<net::VideoPacket>& packets,
+                                 std::uint64_t seed) {
+  if (packets.empty()) {
+    throw std::invalid_argument{"simulate_transfer: no packets"};
+  }
+  if (config.mac_success_prob <= 0.0 || config.mac_success_prob > 1.0 ||
+      config.backoff_rate <= 0.0 || config.fps <= 0.0) {
+    throw std::invalid_argument{"simulate_transfer: bad config"};
+  }
+  util::Rng rng{seed};
+
+  TransferResult result;
+  result.timings.resize(packets.size());
+  result.receiver_delivered.assign(packets.size(), false);
+  result.eavesdropper_captured.assign(packets.size(), false);
+
+  // --- Producer: arrival times. -------------------------------------------
+  // Packets of frame f become available at f/fps; successive segments of
+  // the same frame are separated by their read latency (overhead + bytes).
+  {
+    double frame_cursor = 0.0;
+    int current_frame = -1;
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      const auto& p = packets[i];
+      if (p.frame_index != current_frame) {
+        current_frame = p.frame_index;
+        // The producer is sequential: it cannot start a frame before it has
+        // finished reading the previous one; each release also carries OS
+        // scheduling jitter.
+        const double jitter =
+            config.frame_jitter_mean_s > 0.0
+                ? rng.exponential(1.0 / config.frame_jitter_mean_s)
+                : 0.0;
+        frame_cursor = std::max(
+            frame_cursor,
+            static_cast<double>(p.frame_index) / config.fps + jitter);
+      }
+      const double read_time =
+          rng.exponential(1.0 / config.read_overhead_s) +
+          config.read_per_byte_s * static_cast<double>(p.payload.size());
+      frame_cursor += read_time;
+      result.timings[i].arrival = frame_cursor;
+    }
+  }
+
+  // --- Server: FIFO encrypt + backoff + transmit. --------------------------
+  const bool reliable = config.transport == Transport::kHttpTcp;
+  double server_free = 0.0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const auto& p = packets[i];
+    PacketTiming& t = result.timings[i];
+    t.service_start = std::max(t.arrival, server_free);
+
+    // T_e: encryption time with Gaussian jitter (eq. 15).
+    if (p.encrypted) {
+      const double mean =
+          config.device.encryption_seconds(config.algorithm, p.payload.size());
+      const double jitter =
+          config.device.speed(config.algorithm).jitter_stddev_s;
+      t.encryption_s = std::max(0.0, rng.gaussian(mean, jitter));
+      result.encrypted_payload_bytes += p.payload.size();
+    }
+
+    const double tx_mean =
+        wifi::transmission_time_s(config.phy, p.wire_bytes());
+
+    bool receiver_got = false;
+    bool eaves_got = false;
+    int attempts = 0;
+    double backoff_total = 0.0;
+    double tx_total = 0.0;
+    double recovery_total = 0.0;
+    for (;;) {
+      ++attempts;
+      // T_b: geometric number of collisions, exponential waits (eq. 6/7).
+      const std::uint64_t collisions =
+          rng.geometric_failures(config.mac_success_prob);
+      for (std::uint64_t c = 0; c < collisions; ++c) {
+        backoff_total += rng.exponential(config.backoff_rate);
+      }
+      // T_t with jitter (eq. 16).
+      tx_total += std::max(0.0, rng.gaussian(tx_mean,
+                                             config.tx_jitter_stddev_s));
+      // Channel outcome at each listener (independent positions).
+      const bool rx_ok = !rng.bernoulli(config.receiver_loss_prob);
+      eaves_got =
+          eaves_got || !rng.bernoulli(config.eavesdropper_loss_prob);
+      if (rx_ok) {
+        receiver_got = true;
+        break;
+      }
+      if (!reliable || attempts >= config.tcp_max_attempts) break;
+      // Loss recovery: the sender notices via dupacks/timeout and retries.
+      recovery_total += config.tcp_retx_penalty_s;
+    }
+
+    t.backoff_s = backoff_total;
+    t.transmit_s = tx_total;
+    t.attempts = attempts;
+    const double transport_overhead =
+        reliable ? config.tcp_per_packet_overhead_s : 0.0;
+    t.completion = t.service_start + t.encryption_s + backoff_total +
+                   tx_total + recovery_total + transport_overhead;
+    server_free = t.completion;
+    result.airtime_s += tx_total;
+    result.receiver_delivered[i] = receiver_got;
+    result.eavesdropper_captured[i] = eaves_got;
+  }
+
+  const double first = result.timings.front().arrival;
+  double last = 0.0;
+  for (const auto& t : result.timings) last = std::max(last, t.completion);
+  result.duration_s = last - first;
+  return result;
+}
+
+}  // namespace tv::core

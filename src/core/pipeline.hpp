@@ -1,0 +1,96 @@
+// The sender/receiver/eavesdropper pipeline of Fig. 3, as a discrete-event
+// simulation.
+//
+// Producer thread: reads video segments from "disk" into the send queue;
+// packets of frame f arrive at f/fps plus per-read latencies, so I-frames
+// produce the bursty phase-1 arrivals of the 2-MMPP and P-frames the
+// sparse phase-2 arrivals.
+// Consumer/server: FIFO; per packet the service is encryption time (if the
+// policy selected it), MAC backoff (geometric collisions, exponential
+// waits — eq. 6), and transmission time — exactly the T = T_e + T_b + T_t
+// of eq. (3).
+// Channel: after the MAC wins the medium, independent channel errors decide
+// whether the receiver and the eavesdropper each capture the packet.
+// Transport: RTP/UDP (fire and forget) or the reliable ARQ stand-in for
+// HTTP/TCP (Section 6.4) where lost packets are retransmitted and delays
+// include the recovery time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/device_profile.hpp"
+#include "net/packetizer.hpp"
+#include "policy/policy.hpp"
+#include "wifi/channel.hpp"
+
+namespace tv::core {
+
+enum class Transport { kRtpUdp, kHttpTcp };
+
+[[nodiscard]] const char* to_string(Transport t);
+
+/// Everything the sender-side DES needs besides the packets themselves.
+struct PipelineConfig {
+  DeviceProfile device;
+  crypto::Algorithm algorithm = crypto::Algorithm::kAes256;
+  Transport transport = Transport::kRtpUdp;
+  double fps = 30.0;
+  /// Producer read model: per-segment overhead + per-byte time.  The
+  /// overhead is exponentially distributed (syscalls, JNI, disk cache),
+  /// and each frame's release carries an exponential scheduling jitter —
+  /// which is also what makes the 2-MMPP a good fit for the arrivals.
+  double read_overhead_s = 180e-6;
+  double read_per_byte_s = 22e-9;
+  double frame_jitter_mean_s = 22e-3;
+  /// MAC model (Section 4.2.2): per-attempt success and backoff wait rate.
+  double mac_success_prob = 0.78;
+  double backoff_rate = 420.0;  ///< lambda_b (1/s).
+  /// PHY for transmission times (effective rate on a contended cafe WLAN).
+  wifi::PhyParameters phy{.data_rate_mbps = 4.0};
+  double tx_jitter_stddev_s = 20e-6;
+  /// Independent channel-error loss probabilities per on-air packet.
+  double receiver_loss_prob = 0.003;
+  double eavesdropper_loss_prob = 0.01;
+  /// TCP mode: extra recovery latency charged per retransmission, plus a
+  /// per-packet overhead for ACK processing and congestion-window pacing.
+  double tcp_retx_penalty_s = 18e-3;
+  double tcp_per_packet_overhead_s = 1.6e-3;
+  int tcp_max_attempts = 8;
+};
+
+/// Per-packet timeline through the sender (timestamps in seconds).
+struct PacketTiming {
+  double arrival = 0.0;        ///< enqueued by the producer.
+  double service_start = 0.0;  ///< head of queue.
+  double encryption_s = 0.0;   ///< T_e (0 when not encrypted).
+  double backoff_s = 0.0;      ///< T_b (summed over attempts in TCP mode).
+  double transmit_s = 0.0;     ///< T_t (summed over attempts in TCP mode).
+  double completion = 0.0;     ///< left the sender.
+  int attempts = 1;            ///< transmissions (TCP mode may retransmit).
+
+  [[nodiscard]] double delay() const { return completion - arrival; }
+  [[nodiscard]] double service() const { return completion - service_start; }
+};
+
+/// Result of simulating one transfer.
+struct TransferResult {
+  std::vector<PacketTiming> timings;          ///< one per packet.
+  std::vector<bool> receiver_delivered;
+  std::vector<bool> eavesdropper_captured;
+  double duration_s = 0.0;       ///< first arrival to last completion.
+  double airtime_s = 0.0;        ///< radio-on time (all attempts).
+  std::size_t encrypted_payload_bytes = 0;
+
+  [[nodiscard]] double mean_delay_s() const;
+  [[nodiscard]] double mean_delay_ms() const { return mean_delay_s() * 1e3; }
+};
+
+/// Simulate the transfer of an already policy-encrypted packet sequence.
+/// `encrypted[i]` mirrors packets[i].encrypted (passed separately so the
+/// caller can reuse one packetization across policies).
+[[nodiscard]] TransferResult simulate_transfer(
+    const PipelineConfig& config, const std::vector<net::VideoPacket>& packets,
+    std::uint64_t seed);
+
+}  // namespace tv::core

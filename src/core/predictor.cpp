@@ -1,0 +1,110 @@
+#include "core/predictor.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "distortion/frame_success.hpp"
+#include "queueing/mmpp_g1.hpp"
+#include "video/frame.hpp"
+#include "video/quality.hpp"
+
+namespace tv::core {
+
+DelayPrediction predict_delay(const TrafficCalibration& traffic,
+                              const ServiceCalibration& service, double q_i,
+                              double q_p) {
+  const queueing::ServiceParameters sp =
+      service_parameters(traffic, service, q_i, q_p);
+  const queueing::ServiceTimeModel model =
+      queueing::ServiceTimeModel::from_parameters(sp);
+  const double rho = traffic.mmpp.mean_rate() * model.mean();
+  if (rho >= 0.999) {
+    // The policy saturates the sender; report the overload instead of a
+    // stationary delay (the experiment will show delays growing with the
+    // backlog).
+    DelayPrediction out;
+    out.utilization = rho;
+    out.mean_wait_ms = std::numeric_limits<double>::infinity();
+    out.mean_delay_ms = std::numeric_limits<double>::infinity();
+    out.delay_stddev_ms = std::numeric_limits<double>::infinity();
+    return out;
+  }
+  const queueing::MmppG1Solver solver{traffic.mmpp, model};
+  const queueing::MmppG1Solution sol = solver.solve();
+
+  DelayPrediction out;
+  out.utilization = sol.utilization;
+  out.mean_wait_ms = sol.mean_wait * 1e3;
+  out.mean_delay_ms = sol.mean_sojourn * 1e3;
+  out.delay_stddev_ms = sol.wait_stddev() * 1e3;
+  return out;
+}
+
+DistortionPrediction predict_distortion(const DistortionInputs& inputs,
+                                        const TrafficCalibration& traffic,
+                                        double packet_success_rate,
+                                        double erased_q_i,
+                                        double erased_q_p) {
+  const double p_d_i = distortion::eavesdropper_decryption_rate(
+      erased_q_i, packet_success_rate);
+  const double p_d_p = distortion::eavesdropper_decryption_rate(
+      erased_q_p, packet_success_rate);
+
+  const int n_i = std::max(
+      1, static_cast<int>(std::lround(traffic.mean_i_packets_per_frame)));
+  const int n_p = std::max(
+      1, static_cast<int>(std::lround(traffic.mean_p_packets_per_frame)));
+  const int s_i = distortion::sensitivity_from_fraction(
+      n_i, inputs.sensitivity_fraction);
+  const int s_p = distortion::sensitivity_from_fraction(
+      n_p, inputs.sensitivity_fraction);
+
+  DistortionPrediction out;
+  out.p_i_frame_success =
+      distortion::frame_success_probability(n_i, s_i, p_d_i);
+  out.p_p_frame_success =
+      distortion::frame_success_probability(n_p, s_p, p_d_p);
+
+  distortion::FlowModelParameters fp;
+  fp.gop_size = inputs.gop_size;
+  fp.p_i_success = out.p_i_frame_success;
+  fp.p_p_success = out.p_p_frame_success;
+  fp.d_min = inputs.inter(1.0);
+  fp.d_max = inputs.inter(static_cast<double>(inputs.gop_size - 1));
+  fp.base_mse = inputs.base_mse;
+  fp.null_reference_mse = inputs.null_mse;
+  const distortion::FlowDistortionModel model{fp, inputs.inter};
+  out.mse = model.flow_average_distortion(inputs.n_gops);
+  out.psnr_db = video::psnr_from_mse(out.mse);
+  out.mos = static_cast<double>(video::mos_from_psnr(out.psnr_db));
+  return out;
+}
+
+PowerPrediction predict_power(const DeviceProfile& device,
+                              crypto::Algorithm algorithm,
+                              const TrafficCalibration& traffic,
+                              const ServiceCalibration& service, double q_i,
+                              double q_p) {
+  PowerPrediction out;
+  const double packets = static_cast<double>(traffic.packet_count);
+  out.airtime_s = packets * (traffic.p_i * service.tx_i_mean +
+                             (1.0 - traffic.p_i) * service.tx_p_mean);
+  const double i_bytes = static_cast<double>(traffic.i_payload_bytes);
+  const double p_bytes =
+      static_cast<double>(traffic.total_payload_bytes) - i_bytes;
+  out.encrypted_bytes = q_i * i_bytes + q_p * p_bytes;
+  // The stream is paced at the frame rate, so the transfer lasts at least
+  // the clip duration; encryption work extends it when it dominates.
+  const double enc_time =
+      packets * (traffic.p_i * q_i * service.enc_i_mean +
+                 (1.0 - traffic.p_i) * q_p * service.enc_p_mean);
+  out.duration_s = std::max(traffic.clip_duration_s,
+                            out.airtime_s + enc_time);
+  const energy::EnergyBreakdown breakdown = energy::transfer_energy(
+      device.power_coefficients(algorithm), out.duration_s,
+      static_cast<std::size_t>(out.encrypted_bytes), out.airtime_s);
+  out.mean_power_w = energy::mean_power_w(breakdown, out.duration_s);
+  return out;
+}
+
+}  // namespace tv::core

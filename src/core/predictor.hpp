@@ -1,0 +1,70 @@
+// Analytic predictors: the "Analysis" bars of Figs. 4, 7 and 8.
+//
+// Given the calibrated traffic/service parameters and a policy's
+// encryption fractions, predict
+//   * the mean per-packet delay from the exact 2-MMPP/G/1 solution
+//     (Section 4.2),
+//   * the distortion/PSNR at the legitimate receiver and at the
+//     eavesdropper from the GOP flow model (Section 4.3), and
+//   * the mean device power from the component energy model (Section 6.3).
+#pragma once
+
+#include "core/calibration.hpp"
+#include "core/pipeline.hpp"
+#include "distortion/gop_model.hpp"
+#include "distortion/inter_gop.hpp"
+
+namespace tv::core {
+
+struct DelayPrediction {
+  double utilization = 0.0;
+  double mean_wait_ms = 0.0;   ///< queueing only.
+  double mean_delay_ms = 0.0;  ///< queueing + service (what Figs. 7-8 plot).
+  double delay_stddev_ms = 0.0;
+};
+
+/// Solve the 2-MMPP/G/1 queue for a policy with fractions (q_i, q_p).
+[[nodiscard]] DelayPrediction predict_delay(
+    const TrafficCalibration& traffic, const ServiceCalibration& service,
+    double q_i, double q_p);
+
+/// Content/channel inputs of the distortion model.
+struct DistortionInputs {
+  int gop_size = 30;
+  int n_gops = 10;
+  double sensitivity_fraction = 0.6;  ///< decoder sensitivity s/(n-1).
+  double base_mse = 0.0;              ///< coding distortion floor.
+  double null_mse = 0.0;              ///< Case-3 no-reference distortion.
+  distortion::DistanceDistortion inter;  ///< fitted D(d) (Fig. 2).
+};
+
+struct DistortionPrediction {
+  double mse = 0.0;
+  double psnr_db = 0.0;
+  double mos = 1.0;
+  double p_i_frame_success = 0.0;
+  double p_p_frame_success = 0.0;
+};
+
+/// Distortion at a node whose per-packet delivery rate is
+/// `packet_success_rate` and that cannot use encrypted packets unless it
+/// holds the key: pass the policy fractions seen *as erasures* (0, 0 for
+/// the legitimate receiver).
+[[nodiscard]] DistortionPrediction predict_distortion(
+    const DistortionInputs& inputs, const TrafficCalibration& traffic,
+    double packet_success_rate, double erased_q_i, double erased_q_p);
+
+struct PowerPrediction {
+  double duration_s = 0.0;
+  double airtime_s = 0.0;
+  double encrypted_bytes = 0.0;
+  double mean_power_w = 0.0;
+};
+
+/// Mean power over the transfer for a policy with fractions (q_i, q_p).
+[[nodiscard]] PowerPrediction predict_power(
+    const DeviceProfile& device, crypto::Algorithm algorithm,
+    const TrafficCalibration& traffic, const ServiceCalibration& service,
+    double q_i, double q_p);
+
+}  // namespace tv::core

@@ -1,0 +1,43 @@
+// FIPS-197 AES implementation (128- and 256-bit keys).
+//
+// A straightforward table-free byte-oriented implementation: S-box lookups
+// plus xtime() for MixColumns.  Not constant-time and not meant to be; the
+// repository uses it to reproduce the computational *cost structure* of the
+// paper's encryption policies and to produce real ciphertext for the
+// eavesdropper-distortion experiments.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/block_cipher.hpp"
+
+namespace tv::crypto {
+
+/// AES with a 128-, 192- or 256-bit key (the paper uses 128 and 256).
+class Aes final : public BlockCipher {
+ public:
+  /// key must be 16, 24 or 32 bytes.  Throws std::invalid_argument otherwise.
+  explicit Aes(std::span<const std::uint8_t> key);
+
+  [[nodiscard]] std::size_t block_size() const override { return 16; }
+  [[nodiscard]] std::size_t key_size() const override { return key_bytes_; }
+  [[nodiscard]] std::string_view name() const override {
+    return key_bytes_ == 16 ? "AES128" : (key_bytes_ == 24 ? "AES192" : "AES256");
+  }
+
+  void encrypt_block(std::span<const std::uint8_t> in,
+                     std::span<std::uint8_t> out) const override;
+  void decrypt_block(std::span<const std::uint8_t> in,
+                     std::span<std::uint8_t> out) const override;
+
+ private:
+  std::size_t key_bytes_ = 0;
+  int rounds_ = 0;
+  // Expanded round keys, 4 * (rounds_ + 1) 32-bit words stored as bytes.
+  std::vector<std::uint8_t> round_keys_;
+};
+
+}  // namespace tv::crypto

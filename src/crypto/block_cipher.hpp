@@ -1,0 +1,40 @@
+// Abstract block cipher interface.
+//
+// The paper's encryption policies run AES128, AES256 or 3DES in Output
+// Feedback (OFB) mode over each video segment (Section 5).  OFB only ever
+// uses the forward (encrypt) transform, but the ciphers implement both
+// directions so they can be validated against the full standard test
+// vectors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace tv::crypto {
+
+/// A block cipher with a fixed block size, operating on exactly one block.
+class BlockCipher {
+ public:
+  virtual ~BlockCipher() = default;
+
+  /// Block size in bytes (16 for AES, 8 for DES/3DES).
+  [[nodiscard]] virtual std::size_t block_size() const = 0;
+
+  /// Key size in bytes accepted by the concrete cipher.
+  [[nodiscard]] virtual std::size_t key_size() const = 0;
+
+  /// Human-readable algorithm name ("AES128", "3DES", ...).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Encrypt exactly one block: in.size() == out.size() == block_size().
+  virtual void encrypt_block(std::span<const std::uint8_t> in,
+                             std::span<std::uint8_t> out) const = 0;
+
+  /// Decrypt exactly one block.
+  virtual void decrypt_block(std::span<const std::uint8_t> in,
+                             std::span<std::uint8_t> out) const = 0;
+};
+
+}  // namespace tv::crypto

@@ -1,0 +1,96 @@
+#include "crypto/modes.hpp"
+
+#include <stdexcept>
+
+namespace tv::crypto {
+
+std::vector<std::uint8_t> cbc_encrypt(const BlockCipher& cipher,
+                                      std::span<const std::uint8_t> iv,
+                                      std::span<const std::uint8_t> plaintext) {
+  const std::size_t block = cipher.block_size();
+  if (iv.size() != block) {
+    throw std::invalid_argument{"cbc_encrypt: iv size != block size"};
+  }
+  const std::size_t pad = block - (plaintext.size() % block);
+  std::vector<std::uint8_t> out(plaintext.size() + pad);
+  std::copy(plaintext.begin(), plaintext.end(), out.begin());
+  for (std::size_t i = plaintext.size(); i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(pad);
+  }
+  std::vector<std::uint8_t> chain(iv.begin(), iv.end());
+  for (std::size_t off = 0; off < out.size(); off += block) {
+    for (std::size_t i = 0; i < block; ++i) out[off + i] ^= chain[i];
+    const std::span<std::uint8_t> this_block{&out[off], block};
+    cipher.encrypt_block(this_block, this_block);
+    std::copy(this_block.begin(), this_block.end(), chain.begin());
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> cbc_decrypt(
+    const BlockCipher& cipher, std::span<const std::uint8_t> iv,
+    std::span<const std::uint8_t> ciphertext) {
+  const std::size_t block = cipher.block_size();
+  if (iv.size() != block) {
+    throw std::invalid_argument{"cbc_decrypt: iv size != block size"};
+  }
+  if (ciphertext.empty() || ciphertext.size() % block != 0) {
+    throw std::invalid_argument{"cbc_decrypt: bad ciphertext length"};
+  }
+  std::vector<std::uint8_t> out(ciphertext.size());
+  std::vector<std::uint8_t> chain(iv.begin(), iv.end());
+  std::vector<std::uint8_t> next_chain(block);
+  for (std::size_t off = 0; off < ciphertext.size(); off += block) {
+    std::copy(ciphertext.begin() + static_cast<std::ptrdiff_t>(off),
+              ciphertext.begin() + static_cast<std::ptrdiff_t>(off + block),
+              next_chain.begin());
+    cipher.decrypt_block(ciphertext.subspan(off, block),
+                         std::span<std::uint8_t>(&out[off], block));
+    for (std::size_t i = 0; i < block; ++i) out[off + i] ^= chain[i];
+    chain = next_chain;
+  }
+  const std::uint8_t pad = out.back();
+  if (pad == 0 || pad > block || pad > out.size()) {
+    throw std::invalid_argument{"cbc_decrypt: bad padding"};
+  }
+  for (std::size_t i = out.size() - pad; i < out.size(); ++i) {
+    if (out[i] != pad) {
+      throw std::invalid_argument{"cbc_decrypt: bad padding"};
+    }
+  }
+  out.resize(out.size() - pad);
+  return out;
+}
+
+std::vector<std::uint8_t> ctr_transform(const BlockCipher& cipher,
+                                        std::span<const std::uint8_t> nonce,
+                                        std::span<const std::uint8_t> data,
+                                        std::uint64_t initial_counter) {
+  const std::size_t block = cipher.block_size();
+  if (nonce.size() != block) {
+    throw std::invalid_argument{"ctr_transform: nonce size != block size"};
+  }
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  std::vector<std::uint8_t> counter_block(nonce.begin(), nonce.end());
+  std::vector<std::uint8_t> keystream(block);
+  std::uint64_t counter = initial_counter;
+  for (std::size_t off = 0; off < out.size(); off += block) {
+    // Fold the 64-bit counter into the trailing bytes (big-endian add).
+    auto cb = counter_block;
+    std::uint64_t c = counter;
+    for (std::size_t i = 0; i < 8 && i < block; ++i) {
+      const std::size_t pos = block - 1 - i;
+      const std::uint16_t sum = static_cast<std::uint16_t>(
+          cb[pos] + (c & 0xff));
+      cb[pos] = static_cast<std::uint8_t>(sum & 0xff);
+      c = (c >> 8) + (sum >> 8);  // carry propagates with the shift.
+    }
+    cipher.encrypt_block(cb, keystream);
+    const std::size_t n = std::min(block, out.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] ^= keystream[i];
+    ++counter;
+  }
+  return out;
+}
+
+}  // namespace tv::crypto

@@ -1,0 +1,38 @@
+// Additional block-cipher modes: CBC with PKCS#7 padding and CTR.
+//
+// The paper's implementation uses OFB (Section 5), but the commercial
+// systems it surveys do not: Apple HLS ships AES-128-CBC segments and
+// MPEG-DASH/CENC uses AES-CTR.  Having all three lets the benches and
+// examples compare the paper's choice against the deployed alternatives
+// (identical confidentiality for full-segment encryption; different error
+// propagation and padding overhead).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/block_cipher.hpp"
+
+namespace tv::crypto {
+
+/// CBC encryption with PKCS#7 padding: output size is the input rounded up
+/// to the next full block (always at least one padding byte).
+[[nodiscard]] std::vector<std::uint8_t> cbc_encrypt(
+    const BlockCipher& cipher, std::span<const std::uint8_t> iv,
+    std::span<const std::uint8_t> plaintext);
+
+/// CBC decryption; throws std::invalid_argument on a malformed length or
+/// bad PKCS#7 padding.
+[[nodiscard]] std::vector<std::uint8_t> cbc_decrypt(
+    const BlockCipher& cipher, std::span<const std::uint8_t> iv,
+    std::span<const std::uint8_t> ciphertext);
+
+/// CTR keystream transform (like OFB, encrypt == decrypt, no padding).
+/// The counter occupies the trailing bytes of the block, big-endian,
+/// starting from `initial_counter`.
+[[nodiscard]] std::vector<std::uint8_t> ctr_transform(
+    const BlockCipher& cipher, std::span<const std::uint8_t> nonce,
+    std::span<const std::uint8_t> data, std::uint64_t initial_counter = 0);
+
+}  // namespace tv::crypto

@@ -1,0 +1,60 @@
+#include "crypto/ofb.hpp"
+
+#include <stdexcept>
+
+namespace tv::crypto {
+
+OfbStream::OfbStream(const BlockCipher& cipher,
+                     std::span<const std::uint8_t> iv)
+    : cipher_(cipher),
+      feedback_(iv.begin(), iv.end()),
+      used_(cipher.block_size()) {
+  if (iv.size() != cipher.block_size()) {
+    throw std::invalid_argument{"OfbStream: iv size != block size"};
+  }
+}
+
+void OfbStream::apply(std::span<std::uint8_t> data) {
+  const std::size_t block = cipher_.block_size();
+  for (auto& byte : data) {
+    if (used_ == block) {
+      cipher_.encrypt_block(feedback_, feedback_);
+      used_ = 0;
+    }
+    byte ^= feedback_[used_++];
+  }
+}
+
+std::vector<std::uint8_t> ofb_transform(const BlockCipher& cipher,
+                                        std::span<const std::uint8_t> iv,
+                                        std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  ofb_transform_inplace(cipher, iv, out);
+  return out;
+}
+
+void ofb_transform_inplace(const BlockCipher& cipher,
+                           std::span<const std::uint8_t> iv,
+                           std::span<std::uint8_t> data) {
+  OfbStream stream{cipher, iv};
+  stream.apply(data);
+}
+
+std::vector<std::uint8_t> segment_iv(const BlockCipher& cipher,
+                                     std::span<const std::uint8_t> flow_iv,
+                                     std::uint64_t sequence_number) {
+  if (flow_iv.size() != cipher.block_size()) {
+    throw std::invalid_argument{"segment_iv: flow iv size != block size"};
+  }
+  // Encrypt (flow_iv xor seq) so IVs are unpredictable without the key and
+  // unique per segment.
+  std::vector<std::uint8_t> block(flow_iv.begin(), flow_iv.end());
+  for (std::size_t i = 0; i < 8 && i < block.size(); ++i) {
+    block[block.size() - 1 - i] ^=
+        static_cast<std::uint8_t>((sequence_number >> (8 * i)) & 0xff);
+  }
+  cipher.encrypt_block(block, block);
+  return block;
+}
+
+}  // namespace tv::crypto

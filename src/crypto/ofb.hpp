@@ -1,0 +1,51 @@
+// Output Feedback (OFB) stream mode.
+//
+// Section 5: "the OFB encryption mode is applied to each segment separately,
+// and therefore a possible error at the receiver does not propagate to the
+// following segments".  OFB turns any block cipher into a synchronous
+// stream cipher: O_0 = IV, O_i = E_K(O_{i-1}), C_i = P_i xor O_i.
+// Encryption and decryption are the same operation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/block_cipher.hpp"
+
+namespace tv::crypto {
+
+/// One-shot OFB transform of `data` under `cipher` with `iv`
+/// (iv.size() == cipher.block_size()).  Returns the transformed bytes;
+/// applying the function twice with the same iv restores the input.
+[[nodiscard]] std::vector<std::uint8_t> ofb_transform(
+    const BlockCipher& cipher, std::span<const std::uint8_t> iv,
+    std::span<const std::uint8_t> data);
+
+/// In-place variant writing into `data`.
+void ofb_transform_inplace(const BlockCipher& cipher,
+                           std::span<const std::uint8_t> iv,
+                           std::span<std::uint8_t> data);
+
+/// Incremental OFB keystream, for callers that encrypt a segment in chunks.
+class OfbStream {
+ public:
+  OfbStream(const BlockCipher& cipher, std::span<const std::uint8_t> iv);
+
+  /// XOR the next keystream bytes into `data`.
+  void apply(std::span<std::uint8_t> data);
+
+ private:
+  const BlockCipher& cipher_;
+  std::vector<std::uint8_t> feedback_;
+  std::size_t used_ = 0;  // bytes of `feedback_` already consumed.
+};
+
+/// Derive a deterministic per-segment IV from a flow IV and a segment
+/// sequence number, as the sender and receiver must agree on one without
+/// shipping it per packet.
+[[nodiscard]] std::vector<std::uint8_t> segment_iv(
+    const BlockCipher& cipher, std::span<const std::uint8_t> flow_iv,
+    std::uint64_t sequence_number);
+
+}  // namespace tv::crypto

@@ -1,0 +1,78 @@
+#include "crypto/suite.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "crypto/aes.hpp"
+#include "crypto/des.hpp"
+
+namespace tv::crypto {
+
+std::string_view to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kAes128: return "AES128";
+    case Algorithm::kAes256: return "AES256";
+    case Algorithm::kTripleDes: return "3DES";
+  }
+  throw std::invalid_argument{"to_string: bad Algorithm"};
+}
+
+Algorithm algorithm_from_string(std::string_view name) {
+  if (name == "AES128") return Algorithm::kAes128;
+  if (name == "AES256") return Algorithm::kAes256;
+  if (name == "3DES") return Algorithm::kTripleDes;
+  throw std::invalid_argument{"algorithm_from_string: unknown algorithm"};
+}
+
+std::size_t key_size(Algorithm a) {
+  switch (a) {
+    case Algorithm::kAes128: return 16;
+    case Algorithm::kAes256: return 32;
+    case Algorithm::kTripleDes: return 24;
+  }
+  throw std::invalid_argument{"key_size: bad Algorithm"};
+}
+
+std::unique_ptr<BlockCipher> make_cipher(Algorithm a,
+                                         std::span<const std::uint8_t> key) {
+  if (key.size() != key_size(a)) {
+    throw std::invalid_argument{"make_cipher: wrong key size"};
+  }
+  switch (a) {
+    case Algorithm::kAes128:
+    case Algorithm::kAes256:
+      return std::make_unique<Aes>(key);
+    case Algorithm::kTripleDes:
+      return std::make_unique<TripleDes>(key);
+  }
+  throw std::invalid_argument{"make_cipher: bad Algorithm"};
+}
+
+std::unique_ptr<BlockCipher> make_cipher_from_seed(Algorithm a,
+                                                   std::uint64_t seed) {
+  // SplitMix64 expansion of the seed into key material.
+  std::vector<std::uint8_t> key(key_size(a));
+  std::uint64_t state = seed;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    if (i % 8 == 0) {
+      state += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = state;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state = z ^ (z >> 31);
+    }
+    key[i] = static_cast<std::uint8_t>((state >> (8 * (i % 8))) & 0xff);
+  }
+  return make_cipher(a, key);
+}
+
+double relative_cost_per_byte(Algorithm a) {
+  switch (a) {
+    case Algorithm::kAes128: return 1.0;
+    case Algorithm::kAes256: return 1.38;  // 14 rounds vs 10.
+    case Algorithm::kTripleDes: return 3.6;  // 48 Feistel rounds on 8B blocks.
+  }
+  throw std::invalid_argument{"relative_cost_per_byte: bad Algorithm"};
+}
+
+}  // namespace tv::crypto

@@ -1,0 +1,69 @@
+#include "distortion/frame_success.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace tv::distortion {
+
+double receiver_decryption_rate(double packet_success_rate) {
+  if (packet_success_rate < 0.0 || packet_success_rate > 1.0) {
+    throw std::invalid_argument{"receiver_decryption_rate: bad p_s"};
+  }
+  return packet_success_rate;
+}
+
+double eavesdropper_decryption_rate(double encrypted_fraction,
+                                    double packet_success_rate) {
+  if (encrypted_fraction < 0.0 || encrypted_fraction > 1.0 ||
+      packet_success_rate < 0.0 || packet_success_rate > 1.0) {
+    throw std::invalid_argument{"eavesdropper_decryption_rate: bad inputs"};
+  }
+  return (1.0 - encrypted_fraction) * packet_success_rate;
+}
+
+double frame_success_probability(int packets_per_frame, int sensitivity,
+                                 double decryption_rate) {
+  if (packets_per_frame < 1) {
+    throw std::invalid_argument{"frame_success_probability: n < 1"};
+  }
+  if (sensitivity < 0 || sensitivity > packets_per_frame - 1) {
+    throw std::invalid_argument{"frame_success_probability: s out of range"};
+  }
+  if (decryption_rate < 0.0 || decryption_rate > 1.0) {
+    throw std::invalid_argument{"frame_success_probability: bad p_d"};
+  }
+  const double p = decryption_rate;
+  const int m = packets_per_frame - 1;
+  // Binomial tail: sum_{i=s}^{m} C(m, i) p^i (1-p)^(m-i), computed with a
+  // running binomial pmf for numerical robustness at large n.
+  double tail = 0.0;
+  // pmf(0) = (1-p)^m; iterate upward.
+  double pmf = std::pow(1.0 - p, m);
+  if (p == 1.0) {
+    tail = 1.0;  // all of the remaining packets always arrive.
+  } else {
+    for (int i = 0; i <= m; ++i) {
+      if (i >= sensitivity) tail += pmf;
+      // pmf(i+1) = pmf(i) * (m - i)/(i + 1) * p/(1-p).
+      pmf *= static_cast<double>(m - i) / static_cast<double>(i + 1) * p /
+             (1.0 - p);
+    }
+    if (tail > 1.0) tail = 1.0;
+  }
+  return p * tail;
+}
+
+int sensitivity_from_fraction(int packets_per_frame, double fraction) {
+  if (packets_per_frame < 1) {
+    throw std::invalid_argument{"sensitivity_from_fraction: n < 1"};
+  }
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument{"sensitivity_from_fraction: bad fraction"};
+  }
+  const int m = packets_per_frame - 1;
+  const int s = static_cast<int>(std::ceil(fraction * m));
+  return s > m ? m : s;
+}
+
+}  // namespace tv::distortion

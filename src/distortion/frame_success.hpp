@@ -1,0 +1,34 @@
+// Packet decryption rate and video-frame success rate (Sections 4.3, 4.3.1).
+//
+// A node can use a packet iff it was received without channel errors AND it
+// can decrypt it.  The legitimate receiver decrypts everything:
+//     p_d^l = p_s;
+// the eavesdropper only uses clear packets:
+//     p_d^e = (1 - q(P)) p_s,
+// where q(P) is the fraction of packets the policy encrypts.  A frame of n
+// packets is decodable when its first packet (headers) is usable and at
+// least s of the remaining n-1 are (eq. 20); s is the decoder sensitivity,
+// which grows with content motion.
+#pragma once
+
+namespace tv::distortion {
+
+/// Eavesdropper / receiver packet decryption rates (Section 4.3).
+[[nodiscard]] double receiver_decryption_rate(double packet_success_rate);
+[[nodiscard]] double eavesdropper_decryption_rate(double encrypted_fraction,
+                                                  double packet_success_rate);
+
+/// Frame success rate, eq. (20): the first packet must be usable and at
+/// least `sensitivity` of the remaining n-1 must be.  sensitivity must be
+/// in [0, n-1].
+[[nodiscard]] double frame_success_probability(int packets_per_frame,
+                                               int sensitivity,
+                                               double decryption_rate);
+
+/// Sensitivity as a fraction of the frame's remaining packets, by motion
+/// level; defaults follow the calibration in DESIGN.md (fast-motion
+/// content tolerates almost no loss).
+[[nodiscard]] int sensitivity_from_fraction(int packets_per_frame,
+                                            double fraction);
+
+}  // namespace tv::distortion

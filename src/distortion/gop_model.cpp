@@ -1,0 +1,177 @@
+#include "distortion/gop_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "video/frame.hpp"
+
+namespace tv::distortion {
+
+FlowDistortionModel::FlowDistortionModel(FlowModelParameters params,
+                                         DistanceDistortion inter)
+    : params_(params), inter_(std::move(inter)) {
+  if (params_.gop_size < 2) {
+    throw std::invalid_argument{"FlowDistortionModel: gop_size < 2"};
+  }
+  if (params_.p_i_success < 0.0 || params_.p_i_success > 1.0 ||
+      params_.p_p_success < 0.0 || params_.p_p_success > 1.0) {
+    throw std::invalid_argument{"FlowDistortionModel: bad success rates"};
+  }
+  if (params_.age_cap_gops < 2) {
+    throw std::invalid_argument{"FlowDistortionModel: age_cap_gops < 2"};
+  }
+}
+
+double FlowDistortionModel::intra_distortion(int i) const {
+  const int g = params_.gop_size;
+  if (i < 1 || i > g - 1) {
+    throw std::invalid_argument{"intra_distortion: i out of 1..G-1"};
+  }
+  // Eq. (21): d_i = (G - i) (i d_min + (G - i - 1) d_max) / ((G - 1) G).
+  // Early losses freeze more frames at larger distances, so d_i decreases
+  // in i from ~d_max toward ~d_min / G.
+  const double gi = static_cast<double>(g - i);
+  return gi *
+         (static_cast<double>(i) * params_.d_min +
+          static_cast<double>(g - i - 1) * params_.d_max) /
+         (static_cast<double>(g - 1) * static_cast<double>(g));
+}
+
+double FlowDistortionModel::first_loss_probability(int i) const {
+  const int g = params_.gop_size;
+  if (i < 1 || i > g - 1) {
+    throw std::invalid_argument{"first_loss_probability: i out of 1..G-1"};
+  }
+  // Eq. (22): P_i = P_I P_P^{i-1} (1 - P_P).
+  return params_.p_i_success * std::pow(params_.p_p_success, i - 1) *
+         (1.0 - params_.p_p_success);
+}
+
+double FlowDistortionModel::intra_gop_expected() const {
+  double acc = 0.0;
+  for (int i = 1; i <= params_.gop_size - 1; ++i) {
+    acc += intra_distortion(i) * first_loss_probability(i);
+  }
+  return acc;
+}
+
+double FlowDistortionModel::lost_gop_distortion(int age) const {
+  // Every frame j = 0..G-1 is replaced by a frame at distance age + j.
+  const int g = params_.gop_size;
+  double acc = 0.0;
+  for (int j = 0; j < g; ++j) {
+    acc += inter_(static_cast<double>(age + j));
+  }
+  return acc / static_cast<double>(g);
+}
+
+double FlowDistortionModel::flow_average_distortion(int n_gops) const {
+  if (n_gops < 1) {
+    throw std::invalid_argument{"flow_average_distortion: n_gops < 1"};
+  }
+  const int g = params_.gop_size;
+  const double pi_ok = params_.p_i_success;
+  const double pp = params_.p_p_success;
+  const int cap = params_.age_cap_gops * g + 1;  // ages 1..cap, saturating.
+
+  // DP over the age (frames) of the last good displayed frame at GOP start,
+  // plus the Case-3 "no reference ever" state tracked separately.
+  std::vector<double> age_prob(static_cast<std::size_t>(cap) + 1, 0.0);
+  double null_prob = 1.0;  // before the first GOP there is no good frame.
+
+  // Precompute the intra-GOP branch (age-independent).
+  const double p_all_ok = pi_ok * std::pow(pp, g - 1);
+  double intra_term = 0.0;  // sum_i d_i P_i, with P_I folded in.
+  std::vector<double> p_first_loss(static_cast<std::size_t>(g), 0.0);
+  for (int i = 1; i <= g - 1; ++i) {
+    p_first_loss[static_cast<std::size_t>(i)] = first_loss_probability(i);
+    intra_term +=
+        intra_distortion(i) * p_first_loss[static_cast<std::size_t>(i)];
+  }
+
+  double total = 0.0;
+  for (int gop = 0; gop < n_gops; ++gop) {
+    // Expected distortion of this GOP.  The intra branch (I received, some
+    // P lost) applies from every state; the I-lost branch depends on the
+    // reference age, or yields the Case-3 maximum from the null state.
+    double expected = intra_term;
+    for (int a = 1; a <= cap; ++a) {
+      const double pa = age_prob[static_cast<std::size_t>(a)];
+      if (pa <= 0.0) continue;
+      expected += pa * (1.0 - pi_ok) * lost_gop_distortion(a);
+    }
+    expected += null_prob * (1.0 - pi_ok) * params_.null_reference_mse;
+    total += expected + params_.base_mse;
+
+    // Age transition.
+    std::vector<double> next(static_cast<std::size_t>(cap) + 1, 0.0);
+    // All frames fine -> age 1.
+    next[1] += p_all_ok;
+    // First loss at P-frame i -> age G - i + 1.
+    for (int i = 1; i <= g - 1; ++i) {
+      next[static_cast<std::size_t>(g - i + 1)] +=
+          p_first_loss[static_cast<std::size_t>(i)];
+    }
+    // I-frame lost -> age grows by G (saturating at cap); from the null
+    // state only a received I-frame provides a first reference.
+    for (int a = 1; a <= cap; ++a) {
+      const double pa = age_prob[static_cast<std::size_t>(a)];
+      if (pa <= 0.0) continue;
+      const int na = a + g > cap ? cap : a + g;
+      next[static_cast<std::size_t>(na)] += pa * (1.0 - pi_ok);
+    }
+    null_prob *= (1.0 - pi_ok);
+    age_prob = std::move(next);
+  }
+  return total / static_cast<double>(n_gops);
+}
+
+double FlowDistortionModel::flow_average_distortion_mc(int n_gops,
+                                                       int repetitions,
+                                                       util::Rng& rng) const {
+  if (n_gops < 1 || repetitions < 1) {
+    throw std::invalid_argument{"flow_average_distortion_mc: bad inputs"};
+  }
+  const int g = params_.gop_size;
+  const int cap = params_.age_cap_gops * g + 1;
+  double grand_total = 0.0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    int age = -1;  // -1: no good frame ever (Case 3).
+    double total = 0.0;
+    for (int gop = 0; gop < n_gops; ++gop) {
+      if (!rng.bernoulli(params_.p_i_success)) {
+        if (age < 0) {
+          total += params_.null_reference_mse;
+        } else {
+          total += lost_gop_distortion(age);
+          age = age + g > cap ? cap : age + g;
+        }
+      } else {
+        // Find the first lost P-frame, if any (state S_i of eq. 23).
+        int first_loss = 0;  // 0 = none.
+        for (int i = 1; i <= g - 1; ++i) {
+          if (!rng.bernoulli(params_.p_p_success)) {
+            first_loss = i;
+            break;
+          }
+        }
+        if (first_loss == 0) {
+          age = 1;
+        } else {
+          total += intra_distortion(first_loss);
+          age = g - first_loss + 1;
+        }
+      }
+      total += params_.base_mse;
+    }
+    grand_total += total / static_cast<double>(n_gops);
+  }
+  return grand_total / static_cast<double>(repetitions);
+}
+
+double FlowDistortionModel::flow_average_psnr(int n_gops) const {
+  return video::psnr_from_mse(flow_average_distortion(n_gops));
+}
+
+}  // namespace tv::distortion

@@ -1,0 +1,79 @@
+// Flow-level distortion model (Sections 4.3.2-4.3.4, eqs. 21-27).
+//
+// Each GOP is IPP...P with G frames.  Per the paper's abstraction:
+//  * Case 1 (intra-GOP): the I-frame arrives; if the first unrecoverable
+//    P-frame is the i-th, the GOP's distortion is d_i (eq. 21) and the
+//    event has probability P_I P_P^{i-1} (1 - P_P) (eq. 22).
+//  * Case 2 (inter-GOP): the I-frame is lost; every frame of the GOP is
+//    replaced by the most recent good frame, whose distance keeps growing
+//    across consecutively lost GOPs; distortion follows the fitted
+//    distance polynomial D(d).
+//  * Case 3 (initial GOP): no good frame exists yet; distortion saturates
+//    at the maximum of D.
+//
+// The paper's eq. (26) sums over the exponential state space {0..G}^N; the
+// distortion of GOP i only depends on its own first-loss state and on the
+// age of the last good frame, so an exact dynamic program over that age
+// computes E[D] in O(N * age_cap) instead (validated against a Monte Carlo
+// of the literal model in the tests).
+#pragma once
+
+#include "distortion/inter_gop.hpp"
+#include "util/rng.hpp"
+
+namespace tv::distortion {
+
+struct FlowModelParameters {
+  int gop_size = 30;          ///< G.
+  double p_i_success = 1.0;   ///< P_I: I-frame success rate (eq. 20).
+  double p_p_success = 1.0;   ///< P_P: P-frame success rate.
+  double d_min = 0.0;         ///< intra-GOP distortion floor (eq. 21).
+  double d_max = 0.0;         ///< intra-GOP distortion ceiling.
+  double base_mse = 0.0;      ///< coding distortion present even lossless.
+  int age_cap_gops = 8;       ///< DP truncation: ages beyond this saturate.
+  /// Case 3: distortion of a GOP decoded with no reference ever received
+  /// (all I-frames of the flow so far lost/encrypted) — the paper's
+  /// D^(0) = max distortion.  Measured as the content's MSE against the
+  /// decoder's blank (mid-gray) output.
+  double null_reference_mse = 0.0;
+};
+
+class FlowDistortionModel {
+ public:
+  FlowDistortionModel(FlowModelParameters params, DistanceDistortion inter);
+
+  /// d_i of eq. (21): expected GOP distortion when the first unrecoverable
+  /// frame is the i-th P-frame (i in 1..G-1).
+  [[nodiscard]] double intra_distortion(int i) const;
+
+  /// P_i of eq. (22).
+  [[nodiscard]] double first_loss_probability(int i) const;
+
+  /// E[D^(1)]: expected intra-GOP distortion contribution of one GOP.
+  [[nodiscard]] double intra_gop_expected() const;
+
+  /// Exact expected average distortion of an N-GOP flow (eq. 27) by DP.
+  [[nodiscard]] double flow_average_distortion(int n_gops) const;
+
+  /// Monte-Carlo estimate of the same quantity by simulating the literal
+  /// GOP state chain of eqs. (23)-(26); cross-checks the DP.
+  [[nodiscard]] double flow_average_distortion_mc(int n_gops, int repetitions,
+                                                  util::Rng& rng) const;
+
+  /// PSNR corresponding to the flow-average distortion, eq. (28).
+  [[nodiscard]] double flow_average_psnr(int n_gops) const;
+
+  [[nodiscard]] const FlowModelParameters& parameters() const {
+    return params_;
+  }
+
+ private:
+  /// Distortion of a fully lost GOP whose last good frame is `age` frames
+  /// before the GOP's first frame.
+  [[nodiscard]] double lost_gop_distortion(int age) const;
+
+  FlowModelParameters params_;
+  DistanceDistortion inter_;
+};
+
+}  // namespace tv::distortion

@@ -1,0 +1,31 @@
+#include "energy/energy_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tv::energy {
+
+EnergyBreakdown transfer_energy(const PowerCoefficients& coeffs,
+                                double duration_s,
+                                std::size_t encrypted_bytes,
+                                double airtime_s) {
+  if (duration_s <= 0.0 || airtime_s < 0.0 || airtime_s > duration_s) {
+    throw std::invalid_argument{"transfer_energy: bad durations"};
+  }
+  EnergyBreakdown e;
+  e.base_j = coeffs.base_w * duration_s;
+  e.crypto_j = std::min(
+      coeffs.crypto_j_per_mb * static_cast<double>(encrypted_bytes) / 1e6,
+      coeffs.crypto_max_w * duration_s);
+  e.radio_j = coeffs.radio_tx_w * airtime_s;
+  return e;
+}
+
+double mean_power_w(const EnergyBreakdown& energy, double duration_s) {
+  if (duration_s <= 0.0) {
+    throw std::invalid_argument{"mean_power_w: bad duration"};
+  }
+  return energy.total_j() / duration_s;
+}
+
+}  // namespace tv::energy

@@ -1,0 +1,48 @@
+// Component-based energy model for the streaming device (Section 6.3).
+//
+// The paper measures whole-device power with a Monsoon monitor; we
+// integrate energy over the simulated transfer from three components:
+//   * a baseline draw while the streaming app runs (CPU, screen, WiFi idle),
+//   * CPU energy per encrypted byte (device- and algorithm-dependent),
+//   * radio energy while the packet is on the air.
+// Device profiles in core/ are calibrated so the *relative* increases match
+// the figures the paper reports (e.g. Samsung S-II slow motion: all = +140%
+// over none, I-only = +11%, i.e. 92% of the penalty saved).
+#pragma once
+
+#include <cstddef>
+
+namespace tv::energy {
+
+/// Power/energy coefficients of one device + cipher combination.
+struct PowerCoefficients {
+  double base_w = 1.0;            ///< baseline device power (W).
+  double crypto_j_per_mb = 0.0;   ///< CPU energy per encrypted megabyte (J).
+  double radio_tx_w = 0.6;        ///< extra radio power while transmitting.
+  /// Ceiling on the crypto component's mean power draw: once the cipher
+  /// keeps a core permanently busy, burning more bytes cannot draw more
+  /// power (it only stretches the transfer).
+  double crypto_max_w = 1.5;
+};
+
+/// Energy decomposition of one transfer.
+struct EnergyBreakdown {
+  double base_j = 0.0;
+  double crypto_j = 0.0;
+  double radio_j = 0.0;
+
+  [[nodiscard]] double total_j() const { return base_j + crypto_j + radio_j; }
+};
+
+/// Integrate the energy of a transfer that lasted `duration_s`, encrypted
+/// `encrypted_bytes` and kept the radio transmitting for `airtime_s`.
+[[nodiscard]] EnergyBreakdown transfer_energy(const PowerCoefficients& coeffs,
+                                              double duration_s,
+                                              std::size_t encrypted_bytes,
+                                              double airtime_s);
+
+/// Mean power over the stream duration — the quantity in Figs. 10-11.
+[[nodiscard]] double mean_power_w(const EnergyBreakdown& energy,
+                                  double duration_s);
+
+}  // namespace tv::energy

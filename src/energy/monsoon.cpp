@@ -1,0 +1,23 @@
+#include "energy/monsoon.hpp"
+
+#include <stdexcept>
+
+namespace tv::energy {
+
+double watts_from_microamp_hours(double micro_amp_hours,
+                                 double stream_duration_s, double voltage) {
+  if (stream_duration_s <= 0.0 || voltage <= 0.0 || micro_amp_hours < 0.0) {
+    throw std::invalid_argument{"watts_from_microamp_hours: bad inputs"};
+  }
+  return micro_amp_hours * voltage * 3600.0 * 1e-6 / stream_duration_s;
+}
+
+double microamp_hours_from_watts(double watts, double stream_duration_s,
+                                 double voltage) {
+  if (stream_duration_s <= 0.0 || voltage <= 0.0 || watts < 0.0) {
+    throw std::invalid_argument{"microamp_hours_from_watts: bad inputs"};
+  }
+  return watts * stream_duration_s / (voltage * 3600.0 * 1e-6);
+}
+
+}  // namespace tv::energy

@@ -1,0 +1,25 @@
+// Monsoon power-monitor arithmetic (eq. 29).
+//
+// The paper's monitor reports charge in microampere-hours; eq. (29)
+// converts a reading into mean power at the 3.9 V supply.  Provided both
+// ways so experiment output can be cross-checked against monitor-style
+// readings.
+#pragma once
+
+namespace tv::energy {
+
+inline constexpr double kMonsoonVoltage = 3.9;  ///< volts, per Section 6.3.
+
+/// Eq. (29): power (W) from a charge reading v (uAh) over a stream
+/// duration (s):  P = v * Voltage * 3600 * 1e-6 / duration.
+[[nodiscard]] double watts_from_microamp_hours(double micro_amp_hours,
+                                               double stream_duration_s,
+                                               double voltage = kMonsoonVoltage);
+
+/// Inverse of eq. (29): the uAh reading a Monsoon monitor would show for a
+/// transfer of the given mean power and duration.
+[[nodiscard]] double microamp_hours_from_watts(double watts,
+                                               double stream_duration_s,
+                                               double voltage = kMonsoonVoltage);
+
+}  // namespace tv::energy

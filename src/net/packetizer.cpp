@@ -1,0 +1,113 @@
+#include "net/packetizer.hpp"
+
+#include <stdexcept>
+
+#include "crypto/ofb.hpp"
+
+namespace tv::net {
+
+std::vector<VideoPacket> packetize(const video::EncodedStream& stream,
+                                   std::size_t mtu, double fps) {
+  if (mtu <= kIpUdpOverhead + RtpHeader::kSize) {
+    throw std::invalid_argument{"packetize: mtu too small"};
+  }
+  const std::size_t payload_max = max_payload(mtu);
+  std::vector<VideoPacket> packets;
+  std::uint16_t seq = 0;
+  for (const video::EncodedFrame& frame : stream.frames) {
+    const std::size_t size = frame.data.size();
+    const int fragments =
+        static_cast<int>((size + payload_max - 1) / payload_max);
+    for (int f = 0; f < fragments; ++f) {
+      VideoPacket p;
+      p.sequence = seq++;
+      p.timestamp = static_cast<std::uint32_t>(
+          static_cast<double>(frame.index) * 90000.0 / fps);
+      p.frame_index = frame.index;
+      p.fragment_index = f;
+      p.fragment_count = fragments;
+      p.byte_offset = static_cast<std::size_t>(f) * payload_max;
+      p.is_i_frame = frame.is_i;
+      const std::size_t begin = p.byte_offset;
+      const std::size_t end = std::min(begin + payload_max, size);
+      p.payload.assign(frame.data.begin() + static_cast<std::ptrdiff_t>(begin),
+                       frame.data.begin() + static_cast<std::ptrdiff_t>(end));
+      packets.push_back(std::move(p));
+    }
+  }
+  return packets;
+}
+
+void encrypt_selected(std::vector<VideoPacket>& packets,
+                      const std::vector<bool>& selected,
+                      const crypto::BlockCipher& cipher,
+                      std::span<const std::uint8_t> flow_iv) {
+  if (selected.size() != packets.size()) {
+    throw std::invalid_argument{"encrypt_selected: selection size mismatch"};
+  }
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (!selected[i]) continue;
+    VideoPacket& p = packets[i];
+    const auto iv = crypto::segment_iv(cipher, flow_iv, p.sequence);
+    crypto::ofb_transform_inplace(cipher, iv, p.payload);
+    p.encrypted = true;
+  }
+}
+
+EncryptionStats encryption_stats(const std::vector<VideoPacket>& packets) {
+  EncryptionStats stats;
+  for (const VideoPacket& p : packets) {
+    ++stats.total_packets;
+    stats.total_payload_bytes += p.payload.size();
+    if (p.encrypted) {
+      ++stats.encrypted_packets;
+      stats.encrypted_payload_bytes += p.payload.size();
+    }
+  }
+  return stats;
+}
+
+std::vector<video::ReceivedFrameData> reassemble(
+    const std::vector<VideoPacket>& packets,
+    const std::vector<bool>& delivered, int frame_count,
+    const crypto::BlockCipher* cipher,
+    std::span<const std::uint8_t> flow_iv) {
+  if (delivered.size() != packets.size()) {
+    throw std::invalid_argument{"reassemble: delivered size mismatch"};
+  }
+  // Frame sizes from fragment metadata.
+  std::vector<std::size_t> frame_sizes(static_cast<std::size_t>(frame_count),
+                                       0);
+  for (const VideoPacket& p : packets) {
+    if (p.frame_index < 0 || p.frame_index >= frame_count) {
+      throw std::invalid_argument{"reassemble: frame index out of range"};
+    }
+    frame_sizes[static_cast<std::size_t>(p.frame_index)] =
+        std::max(frame_sizes[static_cast<std::size_t>(p.frame_index)],
+                 p.byte_offset + p.payload.size());
+  }
+  std::vector<video::ReceivedFrameData> frames;
+  frames.reserve(static_cast<std::size_t>(frame_count));
+  for (int i = 0; i < frame_count; ++i) {
+    frames.push_back(video::ReceivedFrameData::lost(
+        frame_sizes[static_cast<std::size_t>(i)]));
+  }
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (!delivered[i]) continue;
+    const VideoPacket& p = packets[i];
+    if (p.encrypted && cipher == nullptr) continue;  // erasure for snooper.
+    std::vector<std::uint8_t> payload = p.payload;
+    if (p.encrypted) {
+      const auto iv = crypto::segment_iv(*cipher, flow_iv, p.sequence);
+      crypto::ofb_transform_inplace(*cipher, iv, payload);
+    }
+    auto& frame = frames[static_cast<std::size_t>(p.frame_index)];
+    for (std::size_t b = 0; b < payload.size(); ++b) {
+      frame.data[p.byte_offset + b] = payload[b];
+      frame.byte_ok[p.byte_offset + b] = true;
+    }
+  }
+  return frames;
+}
+
+}  // namespace tv::net

@@ -1,0 +1,90 @@
+// Fragmentation of encoded frames into RTP packets, selective encryption,
+// and receiver/eavesdropper reassembly.
+//
+// This is the byte-level heart of Fig. 3: the sender fragments each encoded
+// frame into MTU-sized RTP packets, encrypts the payloads selected by the
+// active policy (OFB per packet, marker bit set), and transmits.  The
+// legitimate receiver decrypts marked packets; the eavesdropper must treat
+// them as erasures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/block_cipher.hpp"
+#include "net/rtp.hpp"
+#include "video/codec.hpp"
+
+namespace tv::net {
+
+/// One RTP packet of video payload plus the metadata the simulators and
+/// models need (frame type, fragment position, encryption state).
+struct VideoPacket {
+  std::uint16_t sequence = 0;   ///< RTP sequence number.
+  std::uint32_t timestamp = 0;  ///< RTP timestamp (90 kHz).
+  int frame_index = 0;
+  int fragment_index = 0;       ///< position of this fragment in its frame.
+  int fragment_count = 0;       ///< total fragments of the frame.
+  std::size_t byte_offset = 0;  ///< payload's offset within the frame data.
+  bool is_i_frame = false;
+  bool encrypted = false;       ///< RTP marker bit.
+  std::vector<std::uint8_t> payload;
+
+  /// Bytes on the wire including RTP + UDP + IPv4 headers.
+  [[nodiscard]] std::size_t wire_bytes() const {
+    return payload.size() + RtpHeader::kSize + kIpUdpOverhead;
+  }
+};
+
+/// Split every frame of an encoded stream into RTP packets with payloads of
+/// at most max_payload(mtu) bytes.  Timestamps advance at 90 kHz / fps.
+[[nodiscard]] std::vector<VideoPacket> packetize(
+    const video::EncodedStream& stream, std::size_t mtu = kDefaultMtu,
+    double fps = 30.0);
+
+/// Encrypt the payloads of the packets selected by `selected` (same length
+/// as `packets`) with per-packet OFB keystreams derived from `flow_iv` and
+/// the RTP sequence number, and set their marker bits.
+void encrypt_selected(std::vector<VideoPacket>& packets,
+                      const std::vector<bool>& selected,
+                      const crypto::BlockCipher& cipher,
+                      std::span<const std::uint8_t> flow_iv);
+
+/// Aggregate encryption statistics for a packetized, policy-applied stream.
+struct EncryptionStats {
+  std::size_t total_packets = 0;
+  std::size_t encrypted_packets = 0;
+  std::size_t total_payload_bytes = 0;
+  std::size_t encrypted_payload_bytes = 0;
+
+  /// q(P): fraction of packets encrypted under the policy (Section 4.3).
+  [[nodiscard]] double packet_fraction() const {
+    return total_packets > 0 ? static_cast<double>(encrypted_packets) /
+                                   static_cast<double>(total_packets)
+                             : 0.0;
+  }
+  [[nodiscard]] double byte_fraction() const {
+    return total_payload_bytes > 0
+               ? static_cast<double>(encrypted_payload_bytes) /
+                     static_cast<double>(total_payload_bytes)
+               : 0.0;
+  }
+};
+
+[[nodiscard]] EncryptionStats encryption_stats(
+    const std::vector<VideoPacket>& packets);
+
+/// Rebuild per-frame byte availability from the packets a node captured.
+///
+/// `delivered[i]` says whether packet i survived the channel for this node.
+/// If `cipher` is non-null the node can decrypt marked payloads (legitimate
+/// receiver); otherwise marked payloads are unusable erasures even when the
+/// bytes were overheard (eavesdropper, Section 3 threat model).
+[[nodiscard]] std::vector<video::ReceivedFrameData> reassemble(
+    const std::vector<VideoPacket>& packets,
+    const std::vector<bool>& delivered, int frame_count,
+    const crypto::BlockCipher* cipher,
+    std::span<const std::uint8_t> flow_iv);
+
+}  // namespace tv::net

@@ -1,0 +1,152 @@
+#include "net/pcap.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "net/rtp.hpp"
+
+namespace tv::net {
+
+namespace {
+
+void put_u16be(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put_u32be(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put_u16le(std::ostream& out, std::uint16_t v) {
+  const char bytes[2] = {static_cast<char>(v & 0xff),
+                         static_cast<char>(v >> 8)};
+  out.write(bytes, 2);
+}
+
+void put_u32le(std::ostream& out, std::uint32_t v) {
+  const char bytes[4] = {
+      static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+      static_cast<char>((v >> 16) & 0xff), static_cast<char>(v >> 24)};
+  out.write(bytes, 4);
+}
+
+// RFC 1071 checksum over a byte span (IPv4 header checksum).
+std::uint16_t internet_checksum(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < len; i += 2) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (len % 2 == 1) sum += static_cast<std::uint32_t>(data[len - 1]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> wire_frame(const VideoPacket& packet,
+                                     const CaptureEndpoints& endpoints) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(14 + 20 + 8 + RtpHeader::kSize + packet.payload.size());
+
+  // Ethernet II: dst MAC, src MAC, ethertype IPv4.
+  const std::uint8_t dst_mac[6] = {0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
+  const std::uint8_t src_mac[6] = {0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
+  frame.insert(frame.end(), dst_mac, dst_mac + 6);
+  frame.insert(frame.end(), src_mac, src_mac + 6);
+  put_u16be(frame, 0x0800);
+
+  // IPv4 header (20 bytes, no options).
+  const std::size_t ip_begin = frame.size();
+  const auto udp_len =
+      static_cast<std::uint16_t>(8 + RtpHeader::kSize + packet.payload.size());
+  frame.push_back(0x45);  // version 4, IHL 5.
+  frame.push_back(0x00);  // DSCP/ECN.
+  put_u16be(frame, static_cast<std::uint16_t>(20 + udp_len));
+  put_u16be(frame, packet.sequence);  // identification: reuse RTP seq.
+  put_u16be(frame, 0x4000);           // don't fragment.
+  frame.push_back(64);                // TTL.
+  frame.push_back(17);                // protocol UDP.
+  put_u16be(frame, 0);                // checksum placeholder.
+  put_u32be(frame, endpoints.src_ip);
+  put_u32be(frame, endpoints.dst_ip);
+  const std::uint16_t csum = internet_checksum(&frame[ip_begin], 20);
+  frame[ip_begin + 10] = static_cast<std::uint8_t>(csum >> 8);
+  frame[ip_begin + 11] = static_cast<std::uint8_t>(csum & 0xff);
+
+  // UDP header (checksum 0 = unused, legal for IPv4).
+  put_u16be(frame, endpoints.src_port);
+  put_u16be(frame, endpoints.dst_port);
+  put_u16be(frame, udp_len);
+  put_u16be(frame, 0);
+
+  // RTP header + payload (the real bytes, encrypted or not).
+  RtpHeader rtp;
+  rtp.marker = packet.encrypted;
+  rtp.sequence_number = packet.sequence;
+  rtp.timestamp = packet.timestamp;
+  rtp.ssrc = 0x74561D01;  // fixed SSRC for the single simulated flow.
+  const auto rtp_bytes = rtp.serialize();
+  frame.insert(frame.end(), rtp_bytes.begin(), rtp_bytes.end());
+  frame.insert(frame.end(), packet.payload.begin(), packet.payload.end());
+  return frame;
+}
+
+void write_pcap(std::ostream& out, const std::vector<CapturedPacket>& packets,
+                const CaptureEndpoints& endpoints) {
+  // Global header: magic (microsecond), v2.4, LINKTYPE_ETHERNET.
+  put_u32le(out, 0xa1b2c3d4);
+  put_u16le(out, 2);
+  put_u16le(out, 4);
+  put_u32le(out, 0);      // thiszone.
+  put_u32le(out, 0);      // sigfigs.
+  put_u32le(out, 65535);  // snaplen.
+  put_u32le(out, 1);      // LINKTYPE_ETHERNET.
+
+  for (const CapturedPacket& cap : packets) {
+    if (cap.packet == nullptr) {
+      throw std::invalid_argument{"write_pcap: null packet"};
+    }
+    const auto frame = wire_frame(*cap.packet, endpoints);
+    const double ts = cap.timestamp_s;
+    const auto secs = static_cast<std::uint32_t>(ts);
+    const auto usecs = static_cast<std::uint32_t>(
+        std::llround((ts - static_cast<double>(secs)) * 1e6));
+    put_u32le(out, secs);
+    put_u32le(out, usecs);
+    put_u32le(out, static_cast<std::uint32_t>(frame.size()));
+    put_u32le(out, static_cast<std::uint32_t>(frame.size()));
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
+  }
+  if (!out) throw std::runtime_error{"write_pcap: stream failure"};
+}
+
+void write_pcap_file(const std::string& path,
+                     const std::vector<CapturedPacket>& packets,
+                     const CaptureEndpoints& endpoints) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error{"write_pcap_file: cannot open " + path};
+  write_pcap(out, packets, endpoints);
+}
+
+std::vector<CapturedPacket> capture_of(
+    const std::vector<VideoPacket>& packets,
+    const std::vector<bool>& captured,
+    const std::vector<double>& timestamps) {
+  if (captured.size() != packets.size() ||
+      timestamps.size() != packets.size()) {
+    throw std::invalid_argument{"capture_of: size mismatch"};
+  }
+  std::vector<CapturedPacket> out;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (captured[i]) out.push_back({timestamps[i], &packets[i]});
+  }
+  return out;
+}
+
+}  // namespace tv::net

@@ -1,0 +1,54 @@
+// Pcap capture writing — the tcpdump stand-in of Fig. 3.
+//
+// The paper's eavesdropper "overhears the transmission on the channel by
+// using tcpdump on his rooted phone or laptop".  This writer emits the
+// packets a node captured as a classic little-endian pcap file
+// (LINKTYPE_ETHERNET) with synthesized Ethernet/IPv4/UDP framing around
+// the real RTP payloads, so simulated captures open in
+// Wireshark/tcpdump for inspection ("Decode As" RTP shows the marker-bit
+// encryption flags).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/packetizer.hpp"
+
+namespace tv::net {
+
+/// One captured packet with its capture timestamp.
+struct CapturedPacket {
+  double timestamp_s = 0.0;
+  const VideoPacket* packet = nullptr;
+};
+
+/// Addressing used when synthesizing the Ethernet/IP/UDP envelope.
+struct CaptureEndpoints {
+  std::uint32_t src_ip = 0xC0A80102;  ///< 192.168.1.2 (the phone).
+  std::uint32_t dst_ip = 0xC0A80101;  ///< 192.168.1.1 (the server/AP).
+  std::uint16_t src_port = 5004;
+  std::uint16_t dst_port = 5004;
+};
+
+/// Write a pcap capture of the given packets.  Packets should be in
+/// timestamp order (tcpdump writes what it hears, in order).
+void write_pcap(std::ostream& out, const std::vector<CapturedPacket>& packets,
+                const CaptureEndpoints& endpoints = {});
+void write_pcap_file(const std::string& path,
+                     const std::vector<CapturedPacket>& packets,
+                     const CaptureEndpoints& endpoints = {});
+
+/// Build the capture list for a node from a transfer: every packet whose
+/// `captured[i]` flag is set, stamped with its completion time.
+[[nodiscard]] std::vector<CapturedPacket> capture_of(
+    const std::vector<VideoPacket>& packets,
+    const std::vector<bool>& captured, const std::vector<double>& timestamps);
+
+/// Serialize one packet's on-the-wire bytes (Ethernet + IPv4 + UDP + RTP +
+/// payload) — also used by the pcap writer.
+[[nodiscard]] std::vector<std::uint8_t> wire_frame(
+    const VideoPacket& packet, const CaptureEndpoints& endpoints);
+
+}  // namespace tv::net

@@ -1,0 +1,48 @@
+#include "net/rtp.hpp"
+
+#include <stdexcept>
+
+namespace tv::net {
+
+std::vector<std::uint8_t> RtpHeader::serialize() const {
+  std::vector<std::uint8_t> out(kSize);
+  out[0] = static_cast<std::uint8_t>(kVersion << 6);  // no padding/ext/CSRC.
+  out[1] = static_cast<std::uint8_t>((marker ? 0x80 : 0x00) |
+                                     (payload_type & 0x7f));
+  out[2] = static_cast<std::uint8_t>(sequence_number >> 8);
+  out[3] = static_cast<std::uint8_t>(sequence_number & 0xff);
+  out[4] = static_cast<std::uint8_t>(timestamp >> 24);
+  out[5] = static_cast<std::uint8_t>((timestamp >> 16) & 0xff);
+  out[6] = static_cast<std::uint8_t>((timestamp >> 8) & 0xff);
+  out[7] = static_cast<std::uint8_t>(timestamp & 0xff);
+  out[8] = static_cast<std::uint8_t>(ssrc >> 24);
+  out[9] = static_cast<std::uint8_t>((ssrc >> 16) & 0xff);
+  out[10] = static_cast<std::uint8_t>((ssrc >> 8) & 0xff);
+  out[11] = static_cast<std::uint8_t>(ssrc & 0xff);
+  return out;
+}
+
+RtpHeader RtpHeader::parse(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kSize) {
+    throw std::invalid_argument{"RtpHeader::parse: short buffer"};
+  }
+  if ((bytes[0] >> 6) != kVersion) {
+    throw std::invalid_argument{"RtpHeader::parse: bad version"};
+  }
+  RtpHeader h;
+  h.marker = (bytes[1] & 0x80) != 0;
+  h.payload_type = bytes[1] & 0x7f;
+  h.sequence_number =
+      static_cast<std::uint16_t>((bytes[2] << 8) | bytes[3]);
+  h.timestamp = (static_cast<std::uint32_t>(bytes[4]) << 24) |
+                (static_cast<std::uint32_t>(bytes[5]) << 16) |
+                (static_cast<std::uint32_t>(bytes[6]) << 8) |
+                static_cast<std::uint32_t>(bytes[7]);
+  h.ssrc = (static_cast<std::uint32_t>(bytes[8]) << 24) |
+           (static_cast<std::uint32_t>(bytes[9]) << 16) |
+           (static_cast<std::uint32_t>(bytes[10]) << 8) |
+           static_cast<std::uint32_t>(bytes[11]);
+  return h;
+}
+
+}  // namespace tv::net

@@ -1,0 +1,45 @@
+// RTP header handling (RFC 3550 fixed header).
+//
+// Section 5 of the paper: each video segment, encrypted or not, is
+// encapsulated in an RTP packet; when the payload is encrypted the RTP
+// Marker Bit is set so the receiver knows to decrypt.  We serialize real
+// 12-byte headers so header overhead, marker signalling, and the
+// eavesdropper's view are all byte-accurate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tv::net {
+
+/// Fixed part of an RTP header (no CSRC list, no extensions).
+struct RtpHeader {
+  static constexpr std::size_t kSize = 12;
+  static constexpr std::uint8_t kVersion = 2;
+
+  bool marker = false;          ///< paper's "payload is encrypted" flag.
+  std::uint8_t payload_type = 96;  ///< dynamic PT for the video stream.
+  std::uint16_t sequence_number = 0;
+  std::uint32_t timestamp = 0;  ///< 90 kHz media clock.
+  std::uint32_t ssrc = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parse a header; throws std::invalid_argument on short input or a
+  /// version mismatch.
+  [[nodiscard]] static RtpHeader parse(std::span<const std::uint8_t> bytes);
+};
+
+/// Lower-layer overhead per packet on the wire: IPv4 (20) + UDP (8).
+inline constexpr std::size_t kIpUdpOverhead = 28;
+
+/// Default network MTU (Table 1 experiments ran on 802.11g Ethernet MTUs).
+inline constexpr std::size_t kDefaultMtu = 1500;
+
+/// Maximum RTP payload for a given MTU.
+[[nodiscard]] constexpr std::size_t max_payload(std::size_t mtu) {
+  return mtu - kIpUdpOverhead - RtpHeader::kSize;
+}
+
+}  // namespace tv::net

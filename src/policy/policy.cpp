@@ -1,0 +1,136 @@
+#include "policy/policy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tv::policy {
+
+namespace {
+
+/// Deterministic stride selector: returns true for the k-th eligible item
+/// iff floor((k+1) f) > floor(k f), selecting an exact fraction f with an
+/// even spread (Bresenham-style).
+bool stride_select(long k, double fraction) {
+  return std::floor((static_cast<double>(k) + 1.0) * fraction) >
+         std::floor(static_cast<double>(k) * fraction);
+}
+
+}  // namespace
+
+const char* to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kNone: return "none";
+    case Mode::kIFrames: return "I";
+    case Mode::kPFrames: return "P";
+    case Mode::kAll: return "all";
+    case Mode::kIPlusFractionP: return "I+aP";
+    case Mode::kFractionI: return "aI";
+  }
+  return "?";
+}
+
+std::string EncryptionPolicy::label() const {
+  const std::string alg{crypto::to_string(algorithm)};
+  switch (mode) {
+    case Mode::kNone: return "none";
+    case Mode::kIFrames: return "I (" + alg + ")";
+    case Mode::kPFrames: return "P (" + alg + ")";
+    case Mode::kAll: return "all (" + alg + ")";
+    case Mode::kIPlusFractionP:
+      return "I+" + std::to_string(static_cast<int>(fraction * 100.0 + 0.5)) +
+             "%P (" + alg + ")";
+    case Mode::kFractionI:
+      return std::to_string(static_cast<int>(fraction * 100.0 + 0.5)) +
+             "%I (" + alg + ")";
+  }
+  return "?";
+}
+
+void EncryptionPolicy::validate() const {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument{"EncryptionPolicy: fraction out of [0,1]"};
+  }
+  if ((mode == Mode::kIPlusFractionP || mode == Mode::kFractionI) &&
+      fraction == 0.0 && mode == Mode::kFractionI) {
+    // 0% of I packets is just "none"; allowed but almost surely a mistake.
+  }
+}
+
+std::vector<bool> EncryptionPolicy::select(
+    const std::vector<net::VideoPacket>& packets) const {
+  validate();
+  std::vector<bool> out(packets.size(), false);
+  long i_seen = 0;
+  long p_seen = 0;
+  for (std::size_t k = 0; k < packets.size(); ++k) {
+    const bool is_i = packets[k].is_i_frame;
+    bool enc = false;
+    switch (mode) {
+      case Mode::kNone:
+        break;
+      case Mode::kAll:
+        enc = true;
+        break;
+      case Mode::kIFrames:
+        enc = is_i;
+        break;
+      case Mode::kPFrames:
+        enc = !is_i;
+        break;
+      case Mode::kIPlusFractionP:
+        enc = is_i || (!is_i && stride_select(p_seen, fraction));
+        break;
+      case Mode::kFractionI:
+        enc = is_i && stride_select(i_seen, fraction);
+        break;
+    }
+    if (is_i) {
+      ++i_seen;
+    } else {
+      ++p_seen;
+    }
+    out[k] = enc;
+  }
+  return out;
+}
+
+double EncryptionPolicy::i_packet_fraction() const {
+  switch (mode) {
+    case Mode::kNone:
+    case Mode::kPFrames:
+      return 0.0;
+    case Mode::kIFrames:
+    case Mode::kAll:
+    case Mode::kIPlusFractionP:
+      return 1.0;
+    case Mode::kFractionI:
+      return fraction;
+  }
+  return 0.0;
+}
+
+double EncryptionPolicy::p_packet_fraction() const {
+  switch (mode) {
+    case Mode::kNone:
+    case Mode::kIFrames:
+    case Mode::kFractionI:
+      return 0.0;
+    case Mode::kPFrames:
+    case Mode::kAll:
+      return 1.0;
+    case Mode::kIPlusFractionP:
+      return fraction;
+  }
+  return 0.0;
+}
+
+std::vector<EncryptionPolicy> headline_policies(crypto::Algorithm algorithm) {
+  return {
+      {Mode::kNone, algorithm, 0.0},
+      {Mode::kPFrames, algorithm, 0.0},
+      {Mode::kIFrames, algorithm, 0.0},
+      {Mode::kAll, algorithm, 0.0},
+  };
+}
+
+}  // namespace tv::policy

@@ -1,0 +1,56 @@
+// Encryption policies (Section 3): which packets of a video flow get
+// encrypted, and with which algorithm.
+//
+// A selection policy P is (i) the symmetric algorithm and (ii) the set of
+// packets to encrypt.  The paper evaluates: none, all, I-frame packets
+// only, P-frame packets only, I-frames plus a fraction alpha of P-frame
+// packets (Fig. 9 / Table 2), and partial I-frame encryption (Section 6.2,
+// found inadequate).  Fractional selections are deterministic stride
+// patterns so experiments are exactly reproducible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crypto/suite.hpp"
+#include "net/packetizer.hpp"
+
+namespace tv::policy {
+
+enum class Mode {
+  kNone,            ///< send everything in the clear.
+  kIFrames,         ///< encrypt every packet of every I-frame.
+  kPFrames,         ///< encrypt every packet of every P-frame.
+  kAll,             ///< encrypt everything.
+  kIPlusFractionP,  ///< I-frames plus fraction `fraction` of P packets.
+  kFractionI,       ///< fraction `fraction` of I-frame packets only.
+};
+
+[[nodiscard]] const char* to_string(Mode mode);
+
+struct EncryptionPolicy {
+  Mode mode = Mode::kNone;
+  crypto::Algorithm algorithm = crypto::Algorithm::kAes256;
+  double fraction = 0.0;  ///< alpha for the fractional modes, in [0, 1].
+
+  /// Human-readable label, e.g. "I+20%P (AES256)".
+  [[nodiscard]] std::string label() const;
+
+  /// Decide, per packet, whether this policy encrypts it.
+  [[nodiscard]] std::vector<bool> select(
+      const std::vector<net::VideoPacket>& packets) const;
+
+  /// The fractions (q_I, q_P) of I-frame/P-frame packets this policy
+  /// encrypts — the model inputs of Sections 4.2.2 and 4.3.
+  [[nodiscard]] double i_packet_fraction() const;
+  [[nodiscard]] double p_packet_fraction() const;
+
+  void validate() const;
+};
+
+/// The four headline policies of Figs. 4-8 for a given algorithm, in the
+/// paper's plotting order: none, P, I, all.
+[[nodiscard]] std::vector<EncryptionPolicy> headline_policies(
+    crypto::Algorithm algorithm);
+
+}  // namespace tv::policy

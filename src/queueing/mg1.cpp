@@ -1,0 +1,22 @@
+#include "queueing/mg1.hpp"
+
+#include <stdexcept>
+
+namespace tv::queueing {
+
+Mg1Solution solve_mg1(double lambda, double h1, double h2, double h3) {
+  if (lambda <= 0.0 || h1 <= 0.0 || h2 < 0.0) {
+    throw std::invalid_argument{"solve_mg1: bad parameters"};
+  }
+  const double rho = lambda * h1;
+  if (rho >= 1.0) throw std::domain_error{"solve_mg1: rho >= 1"};
+  Mg1Solution s;
+  s.utilization = rho;
+  s.mean_wait = lambda * h2 / (2.0 * (1.0 - rho));
+  s.wait_moment2 =
+      2.0 * s.mean_wait * s.mean_wait + lambda * h3 / (3.0 * (1.0 - rho));
+  s.mean_sojourn = s.mean_wait + h1;
+  return s;
+}
+
+}  // namespace tv::queueing

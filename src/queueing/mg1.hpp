@@ -1,0 +1,19 @@
+// Classical M/G/1 results (Pollaczek-Khinchine), used as the degenerate
+// reference for the MMPP/G/1 solver and in the ablation benches.
+#pragma once
+
+namespace tv::queueing {
+
+struct Mg1Solution {
+  double utilization = 0.0;
+  double mean_wait = 0.0;     ///< E[W] = lambda h2 / (2 (1 - rho)).
+  double wait_moment2 = 0.0;  ///< Takacs: 2 E[W]^2 + lambda h3 / (3(1-rho)).
+  double mean_sojourn = 0.0;
+};
+
+/// Mean waiting time of an M/G/1 queue with arrival rate lambda and service
+/// moments h1, h2, h3.  Throws std::domain_error when rho >= 1.
+[[nodiscard]] Mg1Solution solve_mg1(double lambda, double h1, double h2,
+                                    double h3 = 0.0);
+
+}  // namespace tv::queueing

@@ -1,0 +1,155 @@
+#include "queueing/mmpp_g1.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tv::queueing {
+
+using util::Matrix;
+using util::Vector;
+
+double MmppG1Solution::wait_stddev() const {
+  const double var = wait_moment2 - mean_wait * mean_wait;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+MmppG1Solver::MmppG1Solver(const Mmpp2& arrivals, ServiceTimeModel service)
+    : MmppG1Solver(MmppN::from(arrivals), std::move(service)) {}
+
+MmppG1Solver::MmppG1Solver(MmppN arrivals, ServiceTimeModel service)
+    : arrivals_(std::move(arrivals)), service_(std::move(service)) {
+  arrivals_.validate();
+}
+
+namespace {
+
+// Solve v Q = c for a singular generator Q (null space spanned by e on the
+// right, pi on the left); returns the particular solution with v e = 0.
+// Requires sum(c) == 0 up to round-off.
+Vector solve_singular_left(const Matrix& q, const Vector& c) {
+  const std::size_t n = q.rows();
+  // Unknown v solves v Qtilde = rhs where Qtilde is Q with its last column
+  // replaced by ones (imposing v e = 0).
+  Matrix qt = q;
+  for (std::size_t i = 0; i < n; ++i) qt(i, n - 1) = 1.0;
+  Vector rhs = c;
+  rhs[n - 1] = 0.0;  // v e = 0.
+  return util::solve_left(qt, rhs);
+}
+
+}  // namespace
+
+MmppG1Solution MmppG1Solver::solve(double tolerance,
+                                   int max_iterations) const {
+  const Matrix& q = arrivals_.q;
+  const Matrix lambda_m = arrivals_.rate_matrix();
+  const Vector& lambda_v = arrivals_.rates;
+  const Vector pi = arrivals_.stationary();
+  const std::size_t n = pi.size();
+
+  const double lambda_bar = util::dot(pi, lambda_v);
+  const double h1 = service_.mean();
+  const double h2 = service_.moment2();
+  const double h3 = service_.moment3();
+  const double rho = lambda_bar * h1;
+  if (rho >= 1.0) {
+    throw std::domain_error{"MmppG1Solver: queue unstable (rho >= 1)"};
+  }
+
+  MmppG1Solution sol;
+  sol.utilization = rho;
+
+  // --- Step 1: busy-period phase matrix G. ---------------------------------
+  // Start from the rank-one stochastic matrix e pi.
+  Matrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) g(i, j) = pi[j];
+  }
+  int iterations = 0;
+  for (; iterations < max_iterations; ++iterations) {
+    // A = Q - Lambda + Lambda G.
+    Matrix a = q;
+    a -= lambda_m;
+    a += lambda_m * g;
+    const Matrix next = service_.matrix_mgf(a);
+    Matrix diff = next;
+    diff -= g;
+    g = next;
+    if (diff.max_abs() < tolerance) break;
+  }
+  if (iterations >= max_iterations) {
+    throw std::runtime_error{"MmppG1Solver: G iteration did not converge"};
+  }
+  // G must be (sub)stochastic; a blow-up here means the Gaussian jitter of
+  // a service component is too large for its MGF to exist on the needed
+  // domain (see ServiceTimeModel).
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!std::isfinite(g(i, j))) {
+        throw std::runtime_error{"MmppG1Solver: G diverged (jitter too large)"};
+      }
+      row += g(i, j);
+    }
+    if (row > 1.0 + 1e-6 || row < 0.0) {
+      throw std::runtime_error{"MmppG1Solver: G not stochastic"};
+    }
+  }
+  sol.busy_period_phase = g;
+  sol.g_iterations = iterations + 1;
+
+  // --- Step 2: idle-phase probabilities u. ----------------------------------
+  // U = (Lambda - Q)^{-1} Lambda maps the phase at idle start to the phase
+  // at the arrival that ends the idle period.
+  Matrix lam_minus_q = lambda_m;
+  lam_minus_q -= q;
+  const Matrix lmq_inv = util::inverse(lam_minus_q);
+  const Matrix u_chain = g * (lmq_inv * lambda_m);
+  const Vector phi = util::dtmc_stationary(u_chain);
+  // Expected idle time spent in each phase per cycle.
+  Vector u = util::mul(util::mul(phi, g), lmq_inv);
+  const double u_total = util::sum(u);
+  if (u_total <= 0.0) {
+    throw std::runtime_error{"MmppG1Solver: degenerate idle distribution"};
+  }
+  for (double& x : u) x *= (1.0 - rho) / u_total;
+  sol.idle_phase = u;
+
+  // --- Step 3: workload moments by rate conservation. -----------------------
+  // First moment: v Q = d - h1 (pi o lambda), d_i = pi_i - u_i.
+  Vector c1(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c1[i] = (pi[i] - u[i]) - h1 * pi[i] * lambda_v[i];
+  }
+  const Vector vp = solve_singular_left(q, c1);
+  // Close with E[V] = v e = h1 (v . lambda) + lambda_bar h2 / 2.
+  const double vp_lambda = util::dot(vp, lambda_v);
+  const double alpha =
+      (h1 * vp_lambda + 0.5 * lambda_bar * h2 - util::sum(vp)) / (1.0 - rho);
+  Vector v = vp;
+  for (std::size_t i = 0; i < n; ++i) v[i] += alpha * pi[i];
+
+  const double v_lambda = util::dot(v, lambda_v);
+  sol.mean_workload = util::sum(v);
+  sol.mean_wait = v_lambda / lambda_bar;
+  sol.mean_sojourn = sol.mean_wait + h1;
+
+  // Second moment: w Q = 2v - 2 h1 (v o lambda) - h2 (pi o lambda).
+  Vector c2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c2[i] = 2.0 * v[i] - 2.0 * h1 * lambda_v[i] * v[i] -
+            h2 * lambda_v[i] * pi[i];
+  }
+  const Vector wp = solve_singular_left(q, c2);
+  const double wp_lambda = util::dot(wp, lambda_v);
+  const double beta = (h1 * wp_lambda + h2 * v_lambda +
+                       lambda_bar * h3 / 3.0 - util::sum(wp)) /
+                      (1.0 - rho);
+  Vector w = wp;
+  for (std::size_t i = 0; i < n; ++i) w[i] += beta * pi[i];
+  sol.wait_moment2 = util::dot(w, lambda_v) / lambda_bar;
+
+  return sol;
+}
+
+}  // namespace tv::queueing

@@ -1,0 +1,74 @@
+#include "queueing/queue_sim.hpp"
+
+#include <algorithm>
+
+namespace tv::queueing {
+
+QueueSimResult simulate_queue(const Mmpp2& arrivals,
+                              const ServiceTimeModel& service,
+                              std::uint64_t packets, std::uint64_t warmup,
+                              std::uint64_t seed) {
+  return simulate_queue(MmppN::from(arrivals), service, packets, warmup,
+                        seed);
+}
+
+QueueSimResult simulate_queue(const MmppN& arrivals,
+                              const ServiceTimeModel& service,
+                              std::uint64_t packets, std::uint64_t warmup,
+                              std::uint64_t seed) {
+  arrivals.validate();
+  util::Rng rng{seed};
+  QueueSimResult result;
+
+  // Generate arrivals on the fly: competing exponentials for state change
+  // vs. next arrival; serve FIFO, tracking when the server frees up.
+  const std::size_t n = arrivals.states();
+  const util::Vector pi = arrivals.stationary();
+  std::size_t state = n - 1;
+  {
+    double u = rng.uniform();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (u < pi[i]) {
+        state = i;
+        break;
+      }
+      u -= pi[i];
+    }
+  }
+  double now = 0.0;
+  double server_free_at = 0.0;
+  std::uint64_t count = 0;
+  while (count < packets + warmup) {
+    const double rate = arrivals.rates[state];
+    const double leave = -arrivals.q(state, state);
+    const double total = rate + leave;
+    now += rng.exponential(total);
+    if (rng.uniform() >= rate / total) {
+      // Phase change, proportional to the off-diagonal rates.
+      double u = rng.uniform() * leave;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == state) continue;
+        if (u < arrivals.q(state, j)) {
+          state = j;
+          break;
+        }
+        u -= arrivals.q(state, j);
+      }
+      continue;
+    }
+    // An arrival.
+    const double start = std::max(now, server_free_at);
+    const double wait = start - now;
+    const double service_time = service.sample(rng);
+    server_free_at = start + service_time;
+    ++count;
+    if (count > warmup) {
+      result.wait.add(wait);
+      result.sojourn.add(wait + service_time);
+      ++result.served;
+    }
+  }
+  return result;
+}
+
+}  // namespace tv::queueing

@@ -1,0 +1,38 @@
+// Discrete-event simulation of the MMPP/G/1 queue.
+//
+// Ground truth for the analytic solver: generates MMPP arrivals, serves
+// them FIFO with iid draws from a ServiceTimeModel, and reports waiting-
+// time statistics.  Used by tests and by the ablation bench that
+// quantifies model accuracy across utilizations.
+#pragma once
+
+#include <cstdint>
+
+#include "queueing/mmpp.hpp"
+#include "queueing/service_time.hpp"
+#include "util/stats.hpp"
+
+namespace tv::queueing {
+
+struct QueueSimResult {
+  util::RunningStats wait;     ///< queueing delay per packet.
+  util::RunningStats sojourn;  ///< delay + service.
+  std::uint64_t served = 0;
+};
+
+/// Simulate `packets` arrivals (after discarding `warmup` packets for the
+/// transient) and return waiting-time statistics.
+[[nodiscard]] QueueSimResult simulate_queue(const Mmpp2& arrivals,
+                                            const ServiceTimeModel& service,
+                                            std::uint64_t packets,
+                                            std::uint64_t warmup,
+                                            std::uint64_t seed);
+
+/// n-state variant.
+[[nodiscard]] QueueSimResult simulate_queue(const MmppN& arrivals,
+                                            const ServiceTimeModel& service,
+                                            std::uint64_t packets,
+                                            std::uint64_t warmup,
+                                            std::uint64_t seed);
+
+}  // namespace tv::queueing

@@ -1,0 +1,209 @@
+#include "util/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tv::util {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ > 0 ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument{"Matrix: ragged initializer"};
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument{"Matrix +=: shape mismatch"};
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument{"Matrix -=: shape mismatch"};
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument{"Matrix *: shape mismatch"};
+  }
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+Vector mul(const Vector& v, const Matrix& m) {
+  if (v.size() != m.rows()) throw std::invalid_argument{"v*M shape"};
+  Vector out(m.cols(), 0.0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    if (v[i] == 0.0) continue;
+    for (std::size_t j = 0; j < m.cols(); ++j) out[j] += v[i] * m(i, j);
+  }
+  return out;
+}
+
+Vector mul(const Matrix& m, const Vector& v) {
+  if (v.size() != m.cols()) throw std::invalid_argument{"M*v shape"};
+  Vector out(m.rows(), 0.0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) out[i] += m(i, j) * v[j];
+  }
+  return out;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument{"dot shape"};
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double sum(const Vector& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+Vector solve(Matrix a, Vector b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument{"solve: shape mismatch"};
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    }
+    if (std::abs(a(pivot, col)) < 1e-14) {
+      throw std::runtime_error{"solve: singular matrix"};
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(pivot, j), a(col, j));
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) a(r, j) -= f * a(col, j);
+      b[r] -= f * b[col];
+    }
+  }
+  Vector x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= a(i, j) * x[j];
+    x[i] = s / a(i, i);
+  }
+  return x;
+}
+
+Vector solve_left(const Matrix& a, const Vector& b) {
+  Matrix at(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) at(j, i) = a(i, j);
+  }
+  return solve(std::move(at), b);
+}
+
+Matrix inverse(const Matrix& a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) throw std::invalid_argument{"inverse: not square"};
+  Matrix out(n, n);
+  for (std::size_t col = 0; col < n; ++col) {
+    Vector e(n, 0.0);
+    e[col] = 1.0;
+    const Vector x = solve(a, std::move(e));
+    for (std::size_t r = 0; r < n; ++r) out(r, col) = x[r];
+  }
+  return out;
+}
+
+Matrix expm(const Matrix& a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) throw std::invalid_argument{"expm: not square"};
+  // Scale so that the norm is below 0.5, exponentiate a Taylor series, and
+  // square back.  Phase generators here are tiny (2x2..4x4), so a plain
+  // Taylor core with ~20 terms reaches machine precision.
+  const double norm = a.max_abs() * static_cast<double>(n);
+  int squarings = 0;
+  double scale = 1.0;
+  if (norm > 0.5) {
+    squarings = static_cast<int>(std::ceil(std::log2(norm / 0.5)));
+    scale = std::ldexp(1.0, -squarings);
+  }
+  Matrix x = a;
+  x *= scale;
+  Matrix result = Matrix::identity(n);
+  Matrix term = Matrix::identity(n);
+  for (int k = 1; k <= 24; ++k) {
+    term = term * x;
+    term *= 1.0 / static_cast<double>(k);
+    result += term;
+    if (term.max_abs() < 1e-18) break;
+  }
+  for (int i = 0; i < squarings; ++i) result = result * result;
+  return result;
+}
+
+namespace {
+
+// Solve pi M = 0 with sum(pi) = 1 by replacing the last column with ones.
+Vector left_null_normalized(const Matrix& m) {
+  const std::size_t n = m.rows();
+  Matrix sys(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j + 1 < n; ++j) sys(j, i) = m(i, j);
+    sys(n - 1, i) = 1.0;
+  }
+  Vector rhs(n, 0.0);
+  rhs[n - 1] = 1.0;
+  return solve(std::move(sys), std::move(rhs));
+}
+
+}  // namespace
+
+Vector ctmc_stationary(const Matrix& q) { return left_null_normalized(q); }
+
+Vector dtmc_stationary(const Matrix& p) {
+  Matrix m = p;
+  for (std::size_t i = 0; i < p.rows(); ++i) m(i, i) -= 1.0;
+  return left_null_normalized(m);
+}
+
+}  // namespace tv::util

@@ -1,0 +1,89 @@
+// Small dense matrix algebra for the queueing and distortion models.
+//
+// The MMPP/G/1 solver works with m x m phase matrices (m = 2 in the paper,
+// but the code is written for general small m).  Everything here is plain
+// row-major double storage with value semantics; sizes are tiny so clarity
+// beats cleverness.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace tv::util {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from nested initializer lists: Matrix{{a,b},{c,d}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+
+  /// Largest absolute entry.
+  [[nodiscard]] double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+using Vector = std::vector<double>;
+
+/// row vector * matrix.
+[[nodiscard]] Vector mul(const Vector& v, const Matrix& m);
+/// matrix * column vector.
+[[nodiscard]] Vector mul(const Matrix& m, const Vector& v);
+/// Dot product.
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+/// Sum of components.
+[[nodiscard]] double sum(const Vector& v);
+
+/// Solve A x = b by partial-pivot LU.  Throws std::runtime_error if A is
+/// (numerically) singular.
+[[nodiscard]] Vector solve(Matrix a, Vector b);
+
+/// Solve x A = b (row-vector system) by transposing.
+[[nodiscard]] Vector solve_left(const Matrix& a, const Vector& b);
+
+/// Matrix inverse via LU; throws on singular input.
+[[nodiscard]] Matrix inverse(const Matrix& a);
+
+/// Matrix exponential expm(A) via scaling-and-squaring with a Taylor core.
+/// Intended for small, moderately scaled matrices (phase generators).
+[[nodiscard]] Matrix expm(const Matrix& a);
+
+/// Stationary distribution pi of an irreducible CTMC generator Q
+/// (pi Q = 0, pi e = 1).
+[[nodiscard]] Vector ctmc_stationary(const Matrix& q);
+
+/// Stationary distribution of an irreducible stochastic matrix P
+/// (pi P = pi, pi e = 1).
+[[nodiscard]] Vector dtmc_stationary(const Matrix& p);
+
+}  // namespace tv::util

@@ -1,0 +1,72 @@
+#include "util/polynomial.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/matrix.hpp"
+
+namespace tv::util {
+
+double Polynomial::operator()(double x) const {
+  double acc = 0.0;
+  for (std::size_t i = coefficients_.size(); i-- > 0;) {
+    acc = acc * x + coefficients_[i];
+  }
+  return acc;
+}
+
+Polynomial Polynomial::derivative() const {
+  if (coefficients_.size() <= 1) return Polynomial{{0.0}};
+  std::vector<double> d(coefficients_.size() - 1);
+  for (std::size_t i = 1; i < coefficients_.size(); ++i) {
+    d[i - 1] = coefficients_[i] * static_cast<double>(i);
+  }
+  return Polynomial{std::move(d)};
+}
+
+Polynomial polyfit(std::span<const double> xs, std::span<const double> ys,
+                   std::size_t degree) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument{"polyfit: size mismatch"};
+  }
+  if (xs.size() <= degree) {
+    throw std::invalid_argument{"polyfit: not enough samples for degree"};
+  }
+  const std::size_t n = degree + 1;
+  // Normal equations: (V^T V) a = V^T y with Vandermonde V.
+  Matrix ata(n, n);
+  Vector aty(n, 0.0);
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    // powers[i] = x^i.
+    std::vector<double> powers(n);
+    powers[0] = 1.0;
+    for (std::size_t i = 1; i < n; ++i) powers[i] = powers[i - 1] * xs[k];
+    for (std::size_t i = 0; i < n; ++i) {
+      aty[i] += powers[i] * ys[k];
+      for (std::size_t j = 0; j < n; ++j) ata(i, j) += powers[i] * powers[j];
+    }
+  }
+  return Polynomial{solve(std::move(ata), std::move(aty))};
+}
+
+double r_squared(const Polynomial& p, std::span<const double> xs,
+                 std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.empty()) {
+    throw std::invalid_argument{"r_squared: bad samples"};
+  }
+  double mean = 0.0;
+  for (double y : ys) mean += y;
+  mean /= static_cast<double>(ys.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - p(xs[i]);
+    ss_res += r * r;
+    const double d = ys[i] - mean;
+    ss_tot += d * d;
+  }
+  if (ss_tot == 0.0) return 1.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace tv::util

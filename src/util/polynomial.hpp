@@ -1,0 +1,46 @@
+// Polynomials and least-squares polynomial regression.
+//
+// Section 4.3.2 of the paper approximates the measured inter-GOP distortion
+// vs. reference distance curves with degree-5 polynomials fitted by
+// regression; Polynomial/polyfit implement exactly that step.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tv::util {
+
+/// Dense polynomial a0 + a1 x + ... + an x^n.
+class Polynomial {
+ public:
+  Polynomial() = default;
+  explicit Polynomial(std::vector<double> coefficients)
+      : coefficients_(std::move(coefficients)) {}
+
+  [[nodiscard]] double operator()(double x) const;
+
+  [[nodiscard]] std::size_t degree() const {
+    return coefficients_.empty() ? 0 : coefficients_.size() - 1;
+  }
+  [[nodiscard]] const std::vector<double>& coefficients() const {
+    return coefficients_;
+  }
+
+  [[nodiscard]] Polynomial derivative() const;
+
+ private:
+  std::vector<double> coefficients_;
+};
+
+/// Least-squares fit of a degree-`degree` polynomial to (x, y) samples via
+/// the normal equations.  Requires xs.size() == ys.size() > degree.
+[[nodiscard]] Polynomial polyfit(std::span<const double> xs,
+                                 std::span<const double> ys,
+                                 std::size_t degree);
+
+/// Coefficient of determination of a fit on the given samples.
+[[nodiscard]] double r_squared(const Polynomial& p, std::span<const double> xs,
+                               std::span<const double> ys);
+
+}  // namespace tv::util

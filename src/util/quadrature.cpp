@@ -1,0 +1,56 @@
+#include "util/quadrature.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace tv::util {
+
+QuadratureRule gauss_legendre(int n, double a, double b) {
+  if (n < 1) throw std::invalid_argument{"gauss_legendre: n < 1"};
+  QuadratureRule rule;
+  rule.nodes.resize(static_cast<std::size_t>(n));
+  rule.weights.resize(static_cast<std::size_t>(n));
+  const double mid = 0.5 * (a + b);
+  const double half = 0.5 * (b - a);
+  // Roots are symmetric; compute the first half by Newton iteration from the
+  // Chebyshev-like initial guess.
+  const int half_count = (n + 1) / 2;
+  for (int i = 0; i < half_count; ++i) {
+    double x = std::cos(std::numbers::pi * (static_cast<double>(i) + 0.75) /
+                        (static_cast<double>(n) + 0.5));
+    double pp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      // Evaluate Legendre P_n(x) and its derivative by recurrence.
+      double p0 = 1.0;
+      double p1 = x;
+      for (int k = 2; k <= n; ++k) {
+        const double p2 = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+        p0 = p1;
+        p1 = p2;
+      }
+      pp = static_cast<double>(n) * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = p1 / pp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    const double w = 2.0 / ((1.0 - x * x) * pp * pp);
+    rule.nodes[static_cast<std::size_t>(i)] = mid - half * x;
+    rule.weights[static_cast<std::size_t>(i)] = half * w;
+    rule.nodes[static_cast<std::size_t>(n - 1 - i)] = mid + half * x;
+    rule.weights[static_cast<std::size_t>(n - 1 - i)] = half * w;
+  }
+  return rule;
+}
+
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 int n) {
+  const QuadratureRule rule = gauss_legendre(n, a, b);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < rule.nodes.size(); ++i) {
+    acc += rule.weights[i] * f(rule.nodes[i]);
+  }
+  return acc;
+}
+
+}  // namespace tv::util

@@ -1,0 +1,25 @@
+// Gauss-Legendre quadrature, used to integrate service-time distributions
+// (Gaussian-jitter mixtures, eqs. 15-18) when building the uniformized
+// arrival matrices of the MMPP/G/1 solver.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace tv::util {
+
+/// Nodes and weights of an n-point Gauss-Legendre rule on [a, b].
+struct QuadratureRule {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+};
+
+/// Build an n-point Gauss-Legendre rule on [a, b] (nodes via Newton on
+/// Legendre polynomials).  n must be >= 1.
+[[nodiscard]] QuadratureRule gauss_legendre(int n, double a, double b);
+
+/// Integrate f over [a, b] with an n-point rule.
+[[nodiscard]] double integrate(const std::function<double(double)>& f,
+                               double a, double b, int n = 32);
+
+}  // namespace tv::util

@@ -1,0 +1,55 @@
+// Streaming statistics and confidence intervals.
+//
+// The paper reports every experiment as the mean of 20 repetitions with a
+// 95% confidence interval; RunningStats is the accumulator used everywhere
+// for that purpose.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tv::util {
+
+/// Welford-style streaming accumulator for mean/variance/min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean.
+  [[nodiscard]] double stderr_mean() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  /// Half-width of the 95% confidence interval for the mean, using the
+  /// Student-t quantile for the actual sample count.
+  [[nodiscard]] double ci95_halfwidth() const;
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// 97.5% Student-t quantile for the given degrees of freedom (so that the
+/// two-sided interval covers 95%).  Exact table for small df, normal
+/// approximation beyond.
+[[nodiscard]] double t_quantile_975(std::size_t df);
+
+/// Mean of a span (0 for empty).
+[[nodiscard]] double mean_of(std::span<const double> xs);
+
+/// Sample percentile (linear interpolation); p in [0, 100].
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+}  // namespace tv::util

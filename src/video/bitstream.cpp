@@ -1,0 +1,57 @@
+#include "video/bitstream.hpp"
+
+namespace tv::video {
+
+void ByteWriter::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::put_signed(std::int64_t v) {
+  const std::uint64_t zz =
+      (static_cast<std::uint64_t>(v) << 1) ^
+      static_cast<std::uint64_t>(v >> 63);
+  put_varint(zz);
+}
+
+std::uint8_t ByteReader::get_u8() {
+  if (pos_ >= data_.size()) throw BitstreamError{"get_u8: out of data"};
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::get_u16() {
+  const std::uint16_t lo = get_u8();
+  const std::uint16_t hi = get_u8();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t ByteReader::get_u32() {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(get_u8()) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t ByteReader::get_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (shift >= 64) throw BitstreamError{"get_varint: overlong"};
+    const std::uint8_t byte = get_u8();
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+std::int64_t ByteReader::get_signed() {
+  const std::uint64_t zz = get_varint();
+  return static_cast<std::int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+}
+
+}  // namespace tv::video

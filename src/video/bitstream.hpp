@@ -1,0 +1,68 @@
+// Byte-oriented bitstream writer/reader used by the codec.
+//
+// Coefficients are coded as (run, level) pairs with LEB128 varints and
+// zigzag-signed mapping — a deliberately simple stand-in for CAVLC that
+// still shrinks with content redundancy, so I/P frame sizes respond to
+// motion the way the paper's x264 streams do.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace tv::video {
+
+/// Thrown by ByteReader on truncated or malformed input; the decoder turns
+/// it into concealment of the remaining blocks.
+class BitstreamError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void put_u16(std::uint16_t v) {
+    bytes_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(v & 0xff));
+      v >>= 8;
+    }
+  }
+  /// Unsigned LEB128.
+  void put_varint(std::uint64_t v);
+  /// Zigzag-mapped signed varint.
+  void put_signed(std::int64_t v);
+
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t get_u8();
+  [[nodiscard]] std::uint16_t get_u16();
+  [[nodiscard]] std::uint32_t get_u32();
+  [[nodiscard]] std::uint64_t get_varint();
+  [[nodiscard]] std::int64_t get_signed();
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ >= data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tv::video

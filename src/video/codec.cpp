@@ -1,0 +1,689 @@
+#include "video/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "video/bitstream.hpp"
+#include "video/dct.hpp"
+
+namespace tv::video {
+
+namespace {
+
+constexpr std::uint8_t kMagic = 0x54;
+constexpr std::uint8_t kTypeI = 0;
+constexpr std::uint8_t kTypeP = 1;
+constexpr std::uint8_t kModeSkipRun = 0;
+constexpr std::uint8_t kModeInter = 1;
+constexpr std::uint8_t kModeIntra = 2;
+
+int clampi(int v, int lo, int hi) { return v < lo ? lo : (v > hi ? hi : v); }
+
+// Read an 8x8 block from a plane with coordinate clamping (needed for
+// motion-compensated reads that may point outside the picture).
+Block8x8 read_block(const std::vector<std::uint8_t>& plane, int w, int h,
+                    int x0, int y0) {
+  Block8x8 block{};
+  for (int r = 0; r < 8; ++r) {
+    const int yy = clampi(y0 + r, 0, h - 1);
+    for (int c = 0; c < 8; ++c) {
+      const int xx = clampi(x0 + c, 0, w - 1);
+      block[static_cast<std::size_t>(r * 8 + c)] = static_cast<double>(
+          plane[static_cast<std::size_t>(yy) * static_cast<std::size_t>(w) +
+                static_cast<std::size_t>(xx)]);
+    }
+  }
+  return block;
+}
+
+void write_block(std::vector<std::uint8_t>& plane, int w, int /*h*/, int x0,
+                 int y0, const Block8x8& block) {
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      double v = block[static_cast<std::size_t>(r * 8 + c)];
+      if (v < 0.0) v = 0.0;
+      if (v > 255.0) v = 255.0;
+      plane[static_cast<std::size_t>(y0 + r) * static_cast<std::size_t>(w) +
+            static_cast<std::size_t>(x0 + c)] =
+          static_cast<std::uint8_t>(v + 0.5);
+    }
+  }
+}
+
+bool all_zero(const QuantBlock& q) {
+  for (std::int16_t v : q) {
+    if (v != 0) return false;
+  }
+  return true;
+}
+
+// Coefficient coding: varint count of nonzeros, then per coefficient the
+// zigzag-position gap (delta-1 from the previous position) and the
+// zigzag-signed level.
+void code_coefficients(ByteWriter& writer, const QuantBlock& q) {
+  int nnz = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (q[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(i)])] != 0) {
+      ++nnz;
+    }
+  }
+  writer.put_varint(static_cast<std::uint64_t>(nnz));
+  int prev = -1;
+  for (int i = 0; i < 64; ++i) {
+    const std::int16_t level =
+        q[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(i)])];
+    if (level == 0) continue;
+    writer.put_varint(static_cast<std::uint64_t>(i - prev - 1));
+    writer.put_signed(level);
+    prev = i;
+  }
+}
+
+QuantBlock decode_coefficients(ByteReader& reader) {
+  QuantBlock q{};
+  const std::uint64_t nnz = reader.get_varint();
+  if (nnz > 64) throw BitstreamError{"too many coefficients"};
+  int pos = -1;
+  for (std::uint64_t i = 0; i < nnz; ++i) {
+    pos += static_cast<int>(reader.get_varint()) + 1;
+    if (pos >= 64) throw BitstreamError{"coefficient position overflow"};
+    const std::int64_t level = reader.get_signed();
+    if (level < -32768 || level > 32767 || level == 0) {
+      throw BitstreamError{"bad coefficient level"};
+    }
+    q[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(pos)])] =
+        static_cast<std::int16_t>(level);
+  }
+  return q;
+}
+
+// The six 8x8 blocks of a macroblock: 4 luma + U + V.
+struct MbGeometry {
+  // Luma block origins.
+  int lx[4];
+  int ly[4];
+  // Chroma block origin.
+  int cx;
+  int cy;
+};
+
+MbGeometry mb_geometry(int mb_x, int mb_y) {
+  MbGeometry g{};
+  const int bx = mb_x * 16;
+  const int by = mb_y * 16;
+  g.lx[0] = bx;     g.ly[0] = by;
+  g.lx[1] = bx + 8; g.ly[1] = by;
+  g.lx[2] = bx;     g.ly[2] = by + 8;
+  g.lx[3] = bx + 8; g.ly[3] = by + 8;
+  g.cx = mb_x * 8;
+  g.cy = mb_y * 8;
+  return g;
+}
+
+// Sum of absolute differences of a 16x16 luma block at (bx,by) in `cur`
+// against (bx+dx, by+dy) in `ref` (clamped reads).
+double sad_16x16(const Frame& cur, const Frame& ref, int bx, int by, int dx,
+                 int dy) {
+  double acc = 0.0;
+  for (int r = 0; r < 16; ++r) {
+    const int ry = clampi(by + dy + r, 0, ref.height() - 1);
+    for (int c = 0; c < 16; ++c) {
+      const int rx = clampi(bx + dx + c, 0, ref.width() - 1);
+      acc += std::abs(static_cast<double>(cur.y(bx + c, by + r)) -
+                      static_cast<double>(ref.y(rx, ry)));
+    }
+  }
+  return acc;
+}
+
+// Three-step search around (0,0); returns the best full-pel vector.
+std::pair<int, int> motion_search(const Frame& cur, const Frame& ref, int bx,
+                                  int by, int range) {
+  int best_dx = 0;
+  int best_dy = 0;
+  double best = sad_16x16(cur, ref, bx, by, 0, 0) - 128.0;  // zero-mv bias.
+  for (int step = std::max(1, range / 2); step >= 1; step /= 2) {
+    const int cx = best_dx;
+    const int cy = best_dy;
+    for (int sy = -1; sy <= 1; ++sy) {
+      for (int sx = -1; sx <= 1; ++sx) {
+        if (sx == 0 && sy == 0) continue;
+        const int dx = clampi(cx + sx * step, -range, range);
+        const int dy = clampi(cy + sy * step, -range, range);
+        const double cost = sad_16x16(cur, ref, bx, by, dx, dy);
+        if (cost < best) {
+          best = cost;
+          best_dx = dx;
+          best_dy = dy;
+        }
+      }
+    }
+  }
+  return {best_dx, best_dy};
+}
+
+struct PlaneRef {
+  std::vector<std::uint8_t>* plane;
+  int w;
+  int h;
+};
+
+// Transform, quantize, code and reconstruct one block whose prediction is
+// `prediction`; reconstruction is written back into `recon` at (x0,y0).
+// Returns the quantized block (for CBP decisions the caller quantizes
+// first; this overload takes precomputed levels).
+void reconstruct_block(PlaneRef recon, int x0, int y0,
+                       const Block8x8& prediction, const QuantBlock& levels,
+                       double qstep, bool deadzone) {
+  const Block8x8 residual = inverse_dct(
+      deadzone ? dequantize_deadzone(levels, qstep) : dequantize(levels, qstep));
+  Block8x8 rebuilt{};
+  for (int i = 0; i < 64; ++i) {
+    rebuilt[static_cast<std::size_t>(i)] =
+        prediction[static_cast<std::size_t>(i)] +
+        residual[static_cast<std::size_t>(i)];
+  }
+  write_block(*recon.plane, recon.w, recon.h, x0, y0, rebuilt);
+}
+
+QuantBlock quantize_difference(const Block8x8& source,
+                               const Block8x8& prediction, double qstep,
+                               bool deadzone) {
+  Block8x8 diff{};
+  for (int i = 0; i < 64; ++i) {
+    diff[static_cast<std::size_t>(i)] = source[static_cast<std::size_t>(i)] -
+                                        prediction[static_cast<std::size_t>(i)];
+  }
+  const Block8x8 coeffs = forward_dct(diff);
+  return deadzone ? quantize_deadzone(coeffs, qstep) : quantize(coeffs, qstep);
+}
+
+}  // namespace
+
+std::size_t EncodedStream::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& f : frames) total += f.data.size();
+  return total;
+}
+
+double EncodedStream::mean_i_bytes() const {
+  std::size_t total = 0;
+  std::size_t count = 0;
+  for (const auto& f : frames) {
+    if (f.is_i) {
+      total += f.data.size();
+      ++count;
+    }
+  }
+  return count > 0 ? static_cast<double>(total) / static_cast<double>(count)
+                   : 0.0;
+}
+
+double EncodedStream::mean_p_bytes() const {
+  std::size_t total = 0;
+  std::size_t count = 0;
+  for (const auto& f : frames) {
+    if (!f.is_i) {
+      total += f.data.size();
+      ++count;
+    }
+  }
+  return count > 0 ? static_cast<double>(total) / static_cast<double>(count)
+                   : 0.0;
+}
+
+ReceivedFrameData ReceivedFrameData::lost(std::size_t size) {
+  ReceivedFrameData r;
+  r.data.assign(size, 0);
+  r.byte_ok.assign(size, false);
+  return r;
+}
+
+ReceivedFrameData ReceivedFrameData::intact(std::vector<std::uint8_t> bytes) {
+  ReceivedFrameData r;
+  r.byte_ok.assign(bytes.size(), true);
+  r.data = std::move(bytes);
+  return r;
+}
+
+bool ReceivedFrameData::range_ok(std::size_t begin, std::size_t end) const {
+  if (end > byte_ok.size()) return false;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!byte_ok[i]) return false;
+  }
+  return true;
+}
+
+Encoder::Encoder(CodecConfig config) : config_(config) {
+  if (config_.gop_size < 1) throw std::invalid_argument{"gop_size < 1"};
+  if (config_.i_qstep <= 0.0 || config_.p_qstep <= 0.0) {
+    throw std::invalid_argument{"quantizer steps must be positive"};
+  }
+}
+
+EncodedStream Encoder::encode(const FrameSequence& clip) const {
+  if (clip.empty()) throw std::invalid_argument{"encode: empty clip"};
+  const int width = clip.front().width();
+  const int height = clip.front().height();
+  for (const Frame& f : clip) {
+    if (f.width() != width || f.height() != height) {
+      throw std::invalid_argument{"encode: frame dimensions differ"};
+    }
+  }
+
+  EncodedStream stream;
+  stream.config = config_;
+  stream.width = width;
+  stream.height = height;
+  stream.frames.reserve(clip.size());
+
+  const int mb_cols = width / 16;
+  const int mb_rows = height / 16;
+  Frame recon(width, height);  // encoder-side decoded reference.
+
+  for (std::size_t fi = 0; fi < clip.size(); ++fi) {
+    const Frame& source = clip[fi];
+    const bool is_i = (fi % static_cast<std::size_t>(config_.gop_size)) == 0;
+    const double qstep = is_i ? config_.i_qstep : config_.p_qstep;
+    Frame next_recon(width, height);
+
+    PlaneRef ry{&next_recon.y_plane(), width, height};
+    PlaneRef ru{&next_recon.u_plane(), width / 2, height / 2};
+    PlaneRef rv{&next_recon.v_plane(), width / 2, height / 2};
+
+    // Encode every macroblock row as an independent slice.
+    std::vector<std::vector<std::uint8_t>> slices;
+    slices.reserve(static_cast<std::size_t>(mb_rows));
+
+    for (int mb_y = 0; mb_y < mb_rows; ++mb_y) {
+      ByteWriter row;
+      int pending_skips = 0;
+      std::size_t skip_patch_pos = 0;  // unused when pending_skips == 0.
+      std::vector<std::uint8_t> row_bytes;
+
+      auto flush_skips = [&]() {
+        // Skip runs are coded as mode byte + varint(extra skips); patching
+        // varints in place is fiddly, so buffer the run and emit on flush.
+        if (pending_skips == 0) return;
+        row.put_u8(kModeSkipRun);
+        row.put_varint(static_cast<std::uint64_t>(pending_skips - 1));
+        pending_skips = 0;
+        (void)skip_patch_pos;
+      };
+
+      for (int mb_x = 0; mb_x < mb_cols; ++mb_x) {
+        const MbGeometry g = mb_geometry(mb_x, mb_y);
+
+        if (is_i) {
+          // Intra MB: predict from flat mid-gray; code all six blocks.
+          Block8x8 flat{};
+          flat.fill(128.0);
+          for (int b = 0; b < 4; ++b) {
+            const Block8x8 src =
+                read_block(source.y_plane(), width, height, g.lx[b], g.ly[b]);
+            const QuantBlock q = quantize_difference(src, flat, qstep, false);
+            code_coefficients(row, q);
+            reconstruct_block(ry, g.lx[b], g.ly[b], flat, q, qstep, false);
+          }
+          const Block8x8 src_u = read_block(source.u_plane(), width / 2,
+                                            height / 2, g.cx, g.cy);
+          const QuantBlock qu = quantize_difference(src_u, flat, qstep, false);
+          code_coefficients(row, qu);
+          reconstruct_block(ru, g.cx, g.cy, flat, qu, qstep, false);
+          const Block8x8 src_v = read_block(source.v_plane(), width / 2,
+                                            height / 2, g.cx, g.cy);
+          const QuantBlock qv = quantize_difference(src_v, flat, qstep, false);
+          code_coefficients(row, qv);
+          reconstruct_block(rv, g.cx, g.cy, flat, qv, qstep, false);
+          continue;
+        }
+
+        // Inter MB: try the zero-motion skip first — if the zero-mv
+        // residual quantizes to nothing everywhere, the MB is a skip and no
+        // search is needed (this is what makes static content cheap).
+        int dx = 0;
+        int dy = 0;
+        {
+          bool zero_skippable = true;
+          for (int b = 0; b < 4 && zero_skippable; ++b) {
+            const Block8x8 pred =
+                read_block(recon.y_plane(), width, height, g.lx[b], g.ly[b]);
+            const Block8x8 src =
+                read_block(source.y_plane(), width, height, g.lx[b], g.ly[b]);
+            zero_skippable = all_zero(quantize_difference(src, pred, qstep, true));
+          }
+          if (zero_skippable) {
+            const Block8x8 pu = read_block(recon.u_plane(), width / 2,
+                                           height / 2, g.cx, g.cy);
+            const Block8x8 su = read_block(source.u_plane(), width / 2,
+                                           height / 2, g.cx, g.cy);
+            zero_skippable = all_zero(quantize_difference(su, pu, qstep, true));
+          }
+          if (zero_skippable) {
+            const Block8x8 pv = read_block(recon.v_plane(), width / 2,
+                                           height / 2, g.cx, g.cy);
+            const Block8x8 sv = read_block(source.v_plane(), width / 2,
+                                           height / 2, g.cx, g.cy);
+            zero_skippable = all_zero(quantize_difference(sv, pv, qstep, true));
+          }
+          if (!zero_skippable) {
+            const auto best = motion_search(source, recon, mb_x * 16,
+                                            mb_y * 16, config_.search_range);
+            dx = best.first;
+            dy = best.second;
+          }
+        }
+
+        // Intra refresh: when even the best motion-compensated prediction
+        // is poor (new content), code the MB intra like an I-frame MB.
+        if (sad_16x16(source, recon, mb_x * 16, mb_y * 16, dx, dy) >
+            config_.intra_refresh_sad * 256.0) {
+          flush_skips();
+          row.put_u8(kModeIntra);
+          Block8x8 flat{};
+          flat.fill(128.0);
+          for (int b = 0; b < 4; ++b) {
+            const Block8x8 src =
+                read_block(source.y_plane(), width, height, g.lx[b], g.ly[b]);
+            const QuantBlock q = quantize_difference(src, flat, qstep, false);
+            code_coefficients(row, q);
+            reconstruct_block(ry, g.lx[b], g.ly[b], flat, q, qstep, false);
+          }
+          const Block8x8 src_u = read_block(source.u_plane(), width / 2,
+                                            height / 2, g.cx, g.cy);
+          const QuantBlock qu = quantize_difference(src_u, flat, qstep, false);
+          code_coefficients(row, qu);
+          reconstruct_block(ru, g.cx, g.cy, flat, qu, qstep, false);
+          const Block8x8 src_v = read_block(source.v_plane(), width / 2,
+                                            height / 2, g.cx, g.cy);
+          const QuantBlock qv = quantize_difference(src_v, flat, qstep, false);
+          code_coefficients(row, qv);
+          reconstruct_block(rv, g.cx, g.cy, flat, qv, qstep, false);
+          continue;
+        }
+
+        Block8x8 pred_y[4];
+        QuantBlock qy[4];
+        for (int b = 0; b < 4; ++b) {
+          pred_y[b] = read_block(recon.y_plane(), width, height, g.lx[b] + dx,
+                                 g.ly[b] + dy);
+          const Block8x8 src =
+              read_block(source.y_plane(), width, height, g.lx[b], g.ly[b]);
+          qy[b] = quantize_difference(src, pred_y[b], qstep, true);
+        }
+        const int cdx = dx / 2;
+        const int cdy = dy / 2;
+        const Block8x8 pred_u = read_block(recon.u_plane(), width / 2,
+                                           height / 2, g.cx + cdx, g.cy + cdy);
+        const Block8x8 src_u =
+            read_block(source.u_plane(), width / 2, height / 2, g.cx, g.cy);
+        const QuantBlock qu = quantize_difference(src_u, pred_u, qstep, true);
+        const Block8x8 pred_v = read_block(recon.v_plane(), width / 2,
+                                           height / 2, g.cx + cdx, g.cy + cdy);
+        const Block8x8 src_v =
+            read_block(source.v_plane(), width / 2, height / 2, g.cx, g.cy);
+        const QuantBlock qv = quantize_difference(src_v, pred_v, qstep, true);
+
+        const bool skippable = dx == 0 && dy == 0 && all_zero(qy[0]) &&
+                               all_zero(qy[1]) && all_zero(qy[2]) &&
+                               all_zero(qy[3]) && all_zero(qu) && all_zero(qv);
+        if (skippable) {
+          ++pending_skips;
+          for (int b = 0; b < 4; ++b) {
+            reconstruct_block(ry, g.lx[b], g.ly[b], pred_y[b], qy[b], qstep, true);
+          }
+          reconstruct_block(ru, g.cx, g.cy, pred_u, qu, qstep, true);
+          reconstruct_block(rv, g.cx, g.cy, pred_v, qv, qstep, true);
+          continue;
+        }
+
+        flush_skips();
+        row.put_u8(kModeInter);
+        row.put_signed(dx);
+        row.put_signed(dy);
+        std::uint8_t cbp = 0;
+        for (int b = 0; b < 4; ++b) {
+          if (!all_zero(qy[b])) cbp |= static_cast<std::uint8_t>(1U << b);
+        }
+        if (!all_zero(qu)) cbp |= 1U << 4;
+        if (!all_zero(qv)) cbp |= 1U << 5;
+        row.put_u8(cbp);
+        for (int b = 0; b < 4; ++b) {
+          if (cbp & (1U << b)) code_coefficients(row, qy[b]);
+          reconstruct_block(ry, g.lx[b], g.ly[b], pred_y[b], qy[b], qstep, true);
+        }
+        if (cbp & (1U << 4)) code_coefficients(row, qu);
+        reconstruct_block(ru, g.cx, g.cy, pred_u, qu, qstep, true);
+        if (cbp & (1U << 5)) code_coefficients(row, qv);
+        reconstruct_block(rv, g.cx, g.cy, pred_v, qv, qstep, true);
+      }
+      flush_skips();
+      slices.push_back(row.take());
+    }
+
+    // Assemble the frame: header (magic, type, index, dims, slice table)
+    // followed by the slices.
+    ByteWriter frame;
+    frame.put_u8(kMagic);
+    frame.put_u8(is_i ? kTypeI : kTypeP);
+    frame.put_u32(static_cast<std::uint32_t>(fi));
+    frame.put_u16(static_cast<std::uint16_t>(width));
+    frame.put_u16(static_cast<std::uint16_t>(height));
+    frame.put_u16(static_cast<std::uint16_t>(mb_rows));
+    for (const auto& s : slices) {
+      frame.put_varint(s.size());
+    }
+    for (const auto& s : slices) {
+      for (std::uint8_t b : s) frame.put_u8(b);
+    }
+
+    EncodedFrame out;
+    out.index = static_cast<int>(fi);
+    out.is_i = is_i;
+    out.data = frame.take();
+    stream.frames.push_back(std::move(out));
+    recon = std::move(next_recon);
+  }
+  return stream;
+}
+
+Decoder::Decoder(CodecConfig config) : config_(config) {}
+
+DecodeResult Decoder::decode_frame(const ReceivedFrameData& received,
+                                   const Frame* reference) const {
+  DecodeResult result;
+
+  // Header parse; any unreadable byte aborts the whole frame.
+  struct HeaderInfo {
+    bool is_i = false;
+    int width = 0;
+    int height = 0;
+    int mb_rows = 0;
+    std::vector<std::size_t> slice_begin;
+    std::vector<std::size_t> slice_end;
+  } header;
+
+  try {
+    ByteReader reader{received.data};
+    auto checked = [&](std::size_t end) {
+      if (!received.range_ok(0, end)) throw BitstreamError{"header bytes missing"};
+    };
+    checked(12);
+    if (reader.get_u8() != kMagic) throw BitstreamError{"bad magic"};
+    const std::uint8_t type = reader.get_u8();
+    if (type != kTypeI && type != kTypeP) throw BitstreamError{"bad type"};
+    header.is_i = type == kTypeI;
+    (void)reader.get_u32();  // frame index (informational).
+    header.width = reader.get_u16();
+    header.height = reader.get_u16();
+    header.mb_rows = reader.get_u16();
+    if (header.width <= 0 || header.height <= 0 || header.width % 16 != 0 ||
+        header.height % 16 != 0 || header.mb_rows != header.height / 16) {
+      throw BitstreamError{"bad dimensions"};
+    }
+    std::vector<std::size_t> sizes;
+    sizes.reserve(static_cast<std::size_t>(header.mb_rows));
+    for (int r = 0; r < header.mb_rows; ++r) {
+      checked(reader.position() + 1);
+      // Varint may span several bytes; validate byte-by-byte.
+      const std::size_t before = reader.position();
+      checked(before + 5 <= received.data.size() ? before + 5
+                                                 : received.data.size());
+      sizes.push_back(reader.get_varint());
+    }
+    std::size_t offset = reader.position();
+    for (int r = 0; r < header.mb_rows; ++r) {
+      header.slice_begin.push_back(offset);
+      offset += sizes[static_cast<std::size_t>(r)];
+      header.slice_end.push_back(offset);
+    }
+    if (offset > received.data.size()) throw BitstreamError{"slice overflow"};
+    result.header_ok = true;
+  } catch (const BitstreamError&) {
+    result.header_ok = false;
+  }
+
+  if (!result.header_ok) {
+    // Whole-frame concealment: repeat the reference, or emit gray.
+    if (reference != nullptr) {
+      result.frame = *reference;
+    } else {
+      result.frame = Frame(kCifWidth, kCifHeight);
+      result.frame.fill(128, 128, 128);
+    }
+    return result;
+  }
+
+  const int width = header.width;
+  const int height = header.height;
+  const int mb_cols = width / 16;
+  result.total_macroblocks = mb_cols * header.mb_rows;
+
+  // Start from the concealment baseline.
+  if (reference != nullptr && reference->width() == width &&
+      reference->height() == height) {
+    result.frame = *reference;
+  } else {
+    result.frame = Frame(width, height);
+    result.frame.fill(128, 128, 128);
+  }
+  const Frame baseline = result.frame;  // prediction source for inter MBs.
+
+  PlaneRef ry{&result.frame.y_plane(), width, height};
+  PlaneRef ru{&result.frame.u_plane(), width / 2, height / 2};
+  PlaneRef rv{&result.frame.v_plane(), width / 2, height / 2};
+  const double qstep = header.is_i ? config_.i_qstep : config_.p_qstep;
+
+  for (int mb_y = 0; mb_y < header.mb_rows; ++mb_y) {
+    const std::size_t begin = header.slice_begin[static_cast<std::size_t>(mb_y)];
+    const std::size_t end = header.slice_end[static_cast<std::size_t>(mb_y)];
+    if (!received.range_ok(begin, end)) continue;  // concealed row.
+    try {
+      ByteReader row{std::span<const std::uint8_t>(received.data)
+                         .subspan(begin, end - begin)};
+      int skip_remaining = 0;
+      for (int mb_x = 0; mb_x < mb_cols; ++mb_x) {
+        const MbGeometry g = mb_geometry(mb_x, mb_y);
+        if (header.is_i) {
+          Block8x8 flat{};
+          flat.fill(128.0);
+          for (int b = 0; b < 4; ++b) {
+            const QuantBlock q = decode_coefficients(row);
+            reconstruct_block(ry, g.lx[b], g.ly[b], flat, q, qstep, false);
+          }
+          const QuantBlock qu = decode_coefficients(row);
+          reconstruct_block(ru, g.cx, g.cy, flat, qu, qstep, false);
+          const QuantBlock qv = decode_coefficients(row);
+          reconstruct_block(rv, g.cx, g.cy, flat, qv, qstep, false);
+          ++result.decoded_macroblocks;
+          continue;
+        }
+
+        if (skip_remaining > 0) {
+          --skip_remaining;
+          ++result.decoded_macroblocks;
+          continue;  // baseline already holds the reference copy.
+        }
+        const std::uint8_t mode = row.get_u8();
+        if (mode == kModeSkipRun) {
+          skip_remaining = static_cast<int>(row.get_varint());
+          ++result.decoded_macroblocks;
+          continue;
+        }
+        if (mode == kModeIntra) {
+          Block8x8 flat{};
+          flat.fill(128.0);
+          for (int b = 0; b < 4; ++b) {
+            const QuantBlock q = decode_coefficients(row);
+            reconstruct_block(ry, g.lx[b], g.ly[b], flat, q, qstep, false);
+          }
+          const QuantBlock qu = decode_coefficients(row);
+          reconstruct_block(ru, g.cx, g.cy, flat, qu, qstep, false);
+          const QuantBlock qv = decode_coefficients(row);
+          reconstruct_block(rv, g.cx, g.cy, flat, qv, qstep, false);
+          ++result.decoded_macroblocks;
+          continue;
+        }
+        if (mode != kModeInter) throw BitstreamError{"bad MB mode"};
+        const int dx = static_cast<int>(row.get_signed());
+        const int dy = static_cast<int>(row.get_signed());
+        if (std::abs(dx) > 64 || std::abs(dy) > 64) {
+          throw BitstreamError{"bad motion vector"};
+        }
+        const std::uint8_t cbp = row.get_u8();
+        for (int b = 0; b < 4; ++b) {
+          const Block8x8 pred = read_block(baseline.y_plane(), width, height,
+                                           g.lx[b] + dx, g.ly[b] + dy);
+          QuantBlock q{};
+          if (cbp & (1U << b)) q = decode_coefficients(row);
+          reconstruct_block(ry, g.lx[b], g.ly[b], pred, q, qstep, true);
+        }
+        const int cdx = dx / 2;
+        const int cdy = dy / 2;
+        {
+          const Block8x8 pred =
+              read_block(baseline.u_plane(), width / 2, height / 2,
+                         g.cx + cdx, g.cy + cdy);
+          QuantBlock q{};
+          if (cbp & (1U << 4)) q = decode_coefficients(row);
+          reconstruct_block(ru, g.cx, g.cy, pred, q, qstep, true);
+        }
+        {
+          const Block8x8 pred =
+              read_block(baseline.v_plane(), width / 2, height / 2,
+                         g.cx + cdx, g.cy + cdy);
+          QuantBlock q{};
+          if (cbp & (1U << 5)) q = decode_coefficients(row);
+          reconstruct_block(rv, g.cx, g.cy, pred, q, qstep, true);
+        }
+        ++result.decoded_macroblocks;
+      }
+    } catch (const BitstreamError&) {
+      // Malformed slice tail: keep whatever was decoded, rest stays
+      // concealed.
+    }
+  }
+  return result;
+}
+
+FrameSequence Decoder::decode_stream(
+    int width, int height,
+    const std::vector<ReceivedFrameData>& frames) const {
+  FrameSequence out;
+  out.reserve(frames.size());
+  Frame current(width, height);
+  current.fill(128, 128, 128);
+  bool have_reference = false;
+  for (const auto& received : frames) {
+    const DecodeResult r =
+        decode_frame(received, have_reference ? &current : nullptr);
+    current = r.frame;
+    have_reference = true;
+    out.push_back(current);
+  }
+  return out;
+}
+
+}  // namespace tv::video

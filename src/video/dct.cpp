@@ -1,0 +1,128 @@
+#include "video/dct.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tv::video {
+
+namespace {
+
+// Precomputed cosine basis: kCos[u][x] = c(u) * cos((2x+1) u pi / 16).
+struct Basis {
+  double table[8][8];
+  Basis() {
+    for (int u = 0; u < 8; ++u) {
+      const double cu = u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (int x = 0; x < 8; ++x) {
+        table[u][x] = cu * std::cos((2.0 * x + 1.0) * u * std::numbers::pi / 16.0);
+      }
+    }
+  }
+};
+
+const Basis kBasis;
+
+}  // namespace
+
+Block8x8 forward_dct(const Block8x8& spatial) {
+  // Separable: rows then columns.
+  Block8x8 tmp{};
+  for (int r = 0; r < 8; ++r) {
+    for (int u = 0; u < 8; ++u) {
+      double acc = 0.0;
+      for (int x = 0; x < 8; ++x) {
+        acc += spatial[static_cast<std::size_t>(r * 8 + x)] * kBasis.table[u][x];
+      }
+      tmp[static_cast<std::size_t>(r * 8 + u)] = acc;
+    }
+  }
+  Block8x8 out{};
+  for (int c = 0; c < 8; ++c) {
+    for (int v = 0; v < 8; ++v) {
+      double acc = 0.0;
+      for (int y = 0; y < 8; ++y) {
+        acc += tmp[static_cast<std::size_t>(y * 8 + c)] * kBasis.table[v][y];
+      }
+      out[static_cast<std::size_t>(v * 8 + c)] = acc;
+    }
+  }
+  return out;
+}
+
+Block8x8 inverse_dct(const Block8x8& coefficients) {
+  Block8x8 tmp{};
+  for (int c = 0; c < 8; ++c) {
+    for (int y = 0; y < 8; ++y) {
+      double acc = 0.0;
+      for (int v = 0; v < 8; ++v) {
+        acc += coefficients[static_cast<std::size_t>(v * 8 + c)] *
+               kBasis.table[v][y];
+      }
+      tmp[static_cast<std::size_t>(y * 8 + c)] = acc;
+    }
+  }
+  Block8x8 out{};
+  for (int r = 0; r < 8; ++r) {
+    for (int x = 0; x < 8; ++x) {
+      double acc = 0.0;
+      for (int u = 0; u < 8; ++u) {
+        acc += tmp[static_cast<std::size_t>(r * 8 + u)] * kBasis.table[u][x];
+      }
+      out[static_cast<std::size_t>(r * 8 + x)] = acc;
+    }
+  }
+  return out;
+}
+
+QuantBlock quantize(const Block8x8& coefficients, double qstep) {
+  QuantBlock out{};
+  for (int i = 0; i < 64; ++i) {
+    const double step = i == 0 ? qstep * 0.5 : qstep;
+    out[static_cast<std::size_t>(i)] = static_cast<std::int16_t>(
+        std::lround(coefficients[static_cast<std::size_t>(i)] / step));
+  }
+  return out;
+}
+
+Block8x8 dequantize(const QuantBlock& levels, double qstep) {
+  Block8x8 out{};
+  for (int i = 0; i < 64; ++i) {
+    const double step = i == 0 ? qstep * 0.5 : qstep;
+    out[static_cast<std::size_t>(i)] =
+        static_cast<double>(levels[static_cast<std::size_t>(i)]) * step;
+  }
+  return out;
+}
+
+QuantBlock quantize_deadzone(const Block8x8& coefficients, double qstep) {
+  QuantBlock out{};
+  for (int i = 0; i < 64; ++i) {
+    const double c = coefficients[static_cast<std::size_t>(i)];
+    // Truncation toward zero: the dead zone spans (-qstep, qstep).
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::int16_t>(c / qstep);
+  }
+  return out;
+}
+
+Block8x8 dequantize_deadzone(const QuantBlock& levels, double qstep) {
+  Block8x8 out{};
+  for (int i = 0; i < 64; ++i) {
+    const double l = levels[static_cast<std::size_t>(i)];
+    if (l == 0.0) {
+      out[static_cast<std::size_t>(i)] = 0.0;
+    } else {
+      const double sign = l > 0.0 ? 1.0 : -1.0;
+      out[static_cast<std::size_t>(i)] = (l + 0.5 * sign) * qstep;
+    }
+  }
+  return out;
+}
+
+const std::array<int, 64> kZigzag = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+}  // namespace tv::video

@@ -1,0 +1,107 @@
+// YUV 4:2:0 frames — the raw-video currency of the library.
+//
+// The paper's pipeline starts from uncompressed YUV CIF sequences (ITU-R
+// BT.601); all distortion numbers (MSE, PSNR) are computed between YUV
+// frames exactly as EvalVid does, on the luma plane.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tv::video {
+
+/// Common Intermediate Format, the paper's frame size (Table 1).
+inline constexpr int kCifWidth = 352;
+inline constexpr int kCifHeight = 288;
+
+/// A planar YUV 4:2:0 frame.  Luma is width x height; each chroma plane is
+/// (width/2) x (height/2).  Dimensions must be multiples of 16 so that
+/// macroblock processing needs no edge cases.
+class Frame {
+ public:
+  Frame() = default;
+  Frame(int width, int height);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] int chroma_width() const { return width_ / 2; }
+  [[nodiscard]] int chroma_height() const { return height_ / 2; }
+
+  [[nodiscard]] std::uint8_t& y(int x, int yy) {
+    return y_[static_cast<std::size_t>(yy) * static_cast<std::size_t>(width_) +
+              static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] std::uint8_t y(int x, int yy) const {
+    return y_[static_cast<std::size_t>(yy) * static_cast<std::size_t>(width_) +
+              static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] std::uint8_t& u(int x, int yy) {
+    return u_[static_cast<std::size_t>(yy) *
+                  static_cast<std::size_t>(chroma_width()) +
+              static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] std::uint8_t u(int x, int yy) const {
+    return u_[static_cast<std::size_t>(yy) *
+                  static_cast<std::size_t>(chroma_width()) +
+              static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] std::uint8_t& v(int x, int yy) {
+    return v_[static_cast<std::size_t>(yy) *
+                  static_cast<std::size_t>(chroma_width()) +
+              static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] std::uint8_t v(int x, int yy) const {
+    return v_[static_cast<std::size_t>(yy) *
+                  static_cast<std::size_t>(chroma_width()) +
+              static_cast<std::size_t>(x)];
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t>& y_plane() { return y_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& y_plane() const { return y_; }
+  [[nodiscard]] std::vector<std::uint8_t>& u_plane() { return u_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& u_plane() const { return u_; }
+  [[nodiscard]] std::vector<std::uint8_t>& v_plane() { return v_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& v_plane() const { return v_; }
+
+  /// Fill all planes with a constant (Y, U, V).
+  void fill(std::uint8_t yv, std::uint8_t uv, std::uint8_t vv);
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> y_;
+  std::vector<std::uint8_t> u_;
+  std::vector<std::uint8_t> v_;
+};
+
+/// Mean square error over the luma plane (the paper's distortion metric;
+/// eq. 28 maps it to PSNR).  Frames must have identical dimensions.
+[[nodiscard]] double luma_mse(const Frame& a, const Frame& b);
+
+/// PSNR in dB from a distortion (MSE) value, eq. (28).  Returns +inf for
+/// zero distortion; callers that print typically clamp.
+[[nodiscard]] double psnr_from_mse(double mse);
+
+/// Inverse of psnr_from_mse.
+[[nodiscard]] double mse_from_psnr(double psnr_db);
+
+/// PSNR between two frames over luma.
+[[nodiscard]] double luma_psnr(const Frame& a, const Frame& b);
+
+/// A decoded video clip.
+using FrameSequence = std::vector<Frame>;
+
+/// Average luma PSNR between two equally long sequences, with per-frame MSE
+/// averaged first (EvalVid's convention: average MSE, then convert).
+[[nodiscard]] double sequence_psnr(const FrameSequence& reference,
+                                   const FrameSequence& received);
+
+/// ASCII rendering of the luma plane (for Fig. 6's "screenshots" in a
+/// terminal): rows x cols downsampled, darkest-to-brightest ramp.
+[[nodiscard]] std::vector<std::string> ascii_thumbnail(const Frame& frame,
+                                                       int cols = 64,
+                                                       int rows = 24);
+
+}  // namespace tv::video

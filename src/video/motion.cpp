@@ -1,0 +1,46 @@
+#include "video/motion.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tv::video {
+
+double motion_score(const Frame& previous, const Frame& current,
+                    int threshold) {
+  if (previous.width() != current.width() ||
+      previous.height() != current.height()) {
+    throw std::invalid_argument{"motion_score: dimension mismatch"};
+  }
+  const auto& a = previous.y_plane();
+  const auto& b = current.y_plane();
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(static_cast<int>(a[i]) - static_cast<int>(b[i])) > threshold) {
+      ++changed;
+    }
+  }
+  return static_cast<double>(changed) / static_cast<double>(a.size());
+}
+
+MotionReport classify_motion(const FrameSequence& clip, int pixel_threshold,
+                             double low_cutoff, double high_cutoff) {
+  if (clip.size() < 2) {
+    throw std::invalid_argument{"classify_motion: need at least two frames"};
+  }
+  double total = 0.0;
+  for (std::size_t i = 1; i < clip.size(); ++i) {
+    total += motion_score(clip[i - 1], clip[i], pixel_threshold);
+  }
+  MotionReport report;
+  report.score = total / static_cast<double>(clip.size() - 1);
+  if (report.score < low_cutoff) {
+    report.level = MotionLevel::kLow;
+  } else if (report.score < high_cutoff) {
+    report.level = MotionLevel::kMedium;
+  } else {
+    report.level = MotionLevel::kHigh;
+  }
+  return report;
+}
+
+}  // namespace tv::video

@@ -1,0 +1,34 @@
+// Motion-level estimation — the AForge stand-in (Fig. 1 calibration step).
+//
+// The paper uses the AForge motion-detection tool to classify clips into
+// low/medium/high motion before picking decoder-sensitivity and distortion
+// parameters.  AForge's detector is frame differencing; we do the same:
+// the motion score is the fraction of luma pixels whose inter-frame change
+// exceeds a threshold, averaged over the clip.
+#pragma once
+
+#include "video/frame.hpp"
+#include "video/scene.hpp"
+
+namespace tv::video {
+
+struct MotionReport {
+  double score = 0.0;       ///< mean fraction of changed pixels, [0, 1].
+  MotionLevel level = MotionLevel::kLow;
+};
+
+/// Fraction of luma pixels differing by more than `threshold` between two
+/// frames.
+[[nodiscard]] double motion_score(const Frame& previous, const Frame& current,
+                                  int threshold = 18);
+
+/// Classify a clip.  The cutoffs (0.005, 0.05) were calibrated so the
+/// three SceneParameters presets map to their own classes with an
+/// order-of-magnitude margin; they are exposed for calibration
+/// experiments on other content.
+[[nodiscard]] MotionReport classify_motion(const FrameSequence& clip,
+                                           int pixel_threshold = 18,
+                                           double low_cutoff = 0.005,
+                                           double high_cutoff = 0.05);
+
+}  // namespace tv::video

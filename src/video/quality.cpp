@@ -1,0 +1,41 @@
+#include "video/quality.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tv::video {
+
+int mos_from_psnr(double psnr_db) {
+  if (psnr_db > 37.0) return 5;
+  if (psnr_db > 31.0) return 4;
+  if (psnr_db > 25.0) return 3;
+  if (psnr_db > 20.0) return 2;
+  return 1;
+}
+
+double sequence_mos(const FrameSequence& reference,
+                    const FrameSequence& received) {
+  if (reference.size() != received.size() || reference.empty()) {
+    throw std::invalid_argument{"sequence_mos: length mismatch or empty"};
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    total += mos_from_psnr(luma_psnr(reference[i], received[i]));
+  }
+  return total / static_cast<double>(reference.size());
+}
+
+std::vector<double> psnr_trace(const FrameSequence& reference,
+                               const FrameSequence& received, double cap) {
+  if (reference.size() != received.size()) {
+    throw std::invalid_argument{"psnr_trace: length mismatch"};
+  }
+  std::vector<double> trace;
+  trace.reserve(reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    trace.push_back(std::min(cap, luma_psnr(reference[i], received[i])));
+  }
+  return trace;
+}
+
+}  // namespace tv::video

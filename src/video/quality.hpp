@@ -1,0 +1,28 @@
+// Objective and subjective quality metrics.
+//
+// The paper reports PSNR (eq. 28) and the EvalVid Mean Opinion Score, a
+// 1..5 band derived from PSNR.  We use EvalVid's published PSNR-to-MOS
+// mapping so "MOS drops to ~1 under partial encryption" reads identically.
+#pragma once
+
+#include "video/frame.hpp"
+
+namespace tv::video {
+
+/// EvalVid's PSNR -> MOS banding:
+///   > 37 dB -> 5 (excellent), 31-37 -> 4, 25-31 -> 3, 20-25 -> 2, <20 -> 1.
+[[nodiscard]] int mos_from_psnr(double psnr_db);
+
+/// Per-frame MOS averaged over the clip, EvalVid-style: each frame's PSNR
+/// is banded, then the bands are averaged (this is why the paper's MOS has
+/// fractional values like 1.26).
+[[nodiscard]] double sequence_mos(const FrameSequence& reference,
+                                  const FrameSequence& received);
+
+/// Per-frame luma PSNR trace between two clips (clamped to `cap` dB where
+/// frames are identical, matching EvalVid's handling of infinite PSNR).
+[[nodiscard]] std::vector<double> psnr_trace(const FrameSequence& reference,
+                                             const FrameSequence& received,
+                                             double cap = 60.0);
+
+}  // namespace tv::video

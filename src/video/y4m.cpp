@@ -1,0 +1,109 @@
+#include "video/y4m.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tv::video {
+
+void write_y4m(std::ostream& out, const FrameSequence& clip, int fps) {
+  if (clip.empty()) throw std::invalid_argument{"write_y4m: empty clip"};
+  if (fps <= 0) throw std::invalid_argument{"write_y4m: bad fps"};
+  const int w = clip.front().width();
+  const int h = clip.front().height();
+  out << "YUV4MPEG2 W" << w << " H" << h << " F" << fps << ":1 Ip A1:1 C420\n";
+  for (const Frame& f : clip) {
+    if (f.width() != w || f.height() != h) {
+      throw std::invalid_argument{"write_y4m: mixed frame sizes"};
+    }
+    out << "FRAME\n";
+    out.write(reinterpret_cast<const char*>(f.y_plane().data()),
+              static_cast<std::streamsize>(f.y_plane().size()));
+    out.write(reinterpret_cast<const char*>(f.u_plane().data()),
+              static_cast<std::streamsize>(f.u_plane().size()));
+    out.write(reinterpret_cast<const char*>(f.v_plane().data()),
+              static_cast<std::streamsize>(f.v_plane().size()));
+  }
+  if (!out) throw std::runtime_error{"write_y4m: stream failure"};
+}
+
+void write_y4m_file(const std::string& path, const FrameSequence& clip,
+                    int fps) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error{"write_y4m_file: cannot open " + path};
+  write_y4m(out, clip, fps);
+}
+
+Y4mClip read_y4m(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header)) {
+    throw std::runtime_error{"read_y4m: missing stream header"};
+  }
+  std::istringstream tokens{header};
+  std::string magic;
+  tokens >> magic;
+  if (magic != "YUV4MPEG2") {
+    throw std::runtime_error{"read_y4m: not a YUV4MPEG2 stream"};
+  }
+  int width = 0;
+  int height = 0;
+  Y4mClip clip;
+  std::string tag;
+  while (tokens >> tag) {
+    switch (tag[0]) {
+      case 'W': width = std::stoi(tag.substr(1)); break;
+      case 'H': height = std::stoi(tag.substr(1)); break;
+      case 'F': {
+        const auto colon = tag.find(':');
+        clip.fps_numerator = std::stoi(tag.substr(1, colon - 1));
+        if (colon != std::string::npos) {
+          clip.fps_denominator = std::stoi(tag.substr(colon + 1));
+        }
+        break;
+      }
+      case 'C':
+        if (tag != "C420" && tag != "C420jpeg" && tag != "C420mpeg2" &&
+            tag != "C420paldv") {
+          throw std::runtime_error{"read_y4m: unsupported chroma " + tag};
+        }
+        break;
+      default:
+        break;  // interlacing/aspect tags are irrelevant here.
+    }
+  }
+  if (width <= 0 || height <= 0) {
+    throw std::runtime_error{"read_y4m: missing dimensions"};
+  }
+  if (width % 16 != 0 || height % 16 != 0) {
+    throw std::runtime_error{
+        "read_y4m: dimensions must be multiples of 16 for the codec"};
+  }
+
+  std::string frame_line;
+  while (std::getline(in, frame_line)) {
+    if (frame_line.rfind("FRAME", 0) != 0) {
+      throw std::runtime_error{"read_y4m: expected FRAME marker"};
+    }
+    Frame f(width, height);
+    in.read(reinterpret_cast<char*>(f.y_plane().data()),
+            static_cast<std::streamsize>(f.y_plane().size()));
+    in.read(reinterpret_cast<char*>(f.u_plane().data()),
+            static_cast<std::streamsize>(f.u_plane().size()));
+    in.read(reinterpret_cast<char*>(f.v_plane().data()),
+            static_cast<std::streamsize>(f.v_plane().size()));
+    if (!in) throw std::runtime_error{"read_y4m: truncated frame data"};
+    clip.frames.push_back(std::move(f));
+  }
+  if (clip.frames.empty()) {
+    throw std::runtime_error{"read_y4m: no frames"};
+  }
+  return clip;
+}
+
+Y4mClip read_y4m_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error{"read_y4m_file: cannot open " + path};
+  return read_y4m(in);
+}
+
+}  // namespace tv::video

@@ -1,0 +1,40 @@
+#include "wifi/channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tv::wifi {
+
+double transmission_time_s(const PhyParameters& phy, std::size_t wire_bytes) {
+  if (phy.data_rate_mbps <= 0.0 || phy.control_rate_mbps <= 0.0) {
+    throw std::invalid_argument{"transmission_time_s: bad rates"};
+  }
+  const double data_bits =
+      8.0 * static_cast<double>(wire_bytes + phy.mac_overhead_bytes);
+  const double ack_bits = 8.0 * static_cast<double>(phy.ack_bytes);
+  const double data_time =
+      phy.plcp_preamble_s + data_bits / (phy.data_rate_mbps * 1e6);
+  const double ack_time =
+      phy.plcp_preamble_s + ack_bits / (phy.control_rate_mbps * 1e6);
+  return data_time + phy.sifs_s + ack_time;
+}
+
+double packet_error_probability(double bit_error_rate,
+                                std::size_t wire_bytes) {
+  if (bit_error_rate < 0.0 || bit_error_rate >= 1.0) {
+    throw std::invalid_argument{"packet_error_probability: bad BER"};
+  }
+  if (bit_error_rate == 0.0) return 0.0;
+  const double bits = 8.0 * static_cast<double>(wire_bytes);
+  return -std::expm1(bits * std::log1p(-bit_error_rate));
+}
+
+double bpsk_bit_error_rate(double snr_linear) {
+  if (snr_linear < 0.0) {
+    throw std::invalid_argument{"bpsk_bit_error_rate: negative SNR"};
+  }
+  // Q(x) = erfc(x / sqrt(2)) / 2 with x = sqrt(2 snr).
+  return 0.5 * std::erfc(std::sqrt(snr_linear));
+}
+
+}  // namespace tv::wifi

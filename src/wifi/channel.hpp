@@ -1,0 +1,39 @@
+// 802.11g PHY timing and channel error model.
+//
+// Converts packet sizes into on-air transmission times (PLCP preamble, MAC
+// framing, SIFS + ACK) and bit error rates into per-packet error
+// probabilities.  These feed T_t in eq. (3) and the channel component of
+// the packet success rate in Section 4.1.
+#pragma once
+
+#include <cstddef>
+
+namespace tv::wifi {
+
+/// 802.11g (ERP-OFDM) PHY constants and rates.
+struct PhyParameters {
+  double data_rate_mbps = 24.0;   ///< payload rate.
+  double control_rate_mbps = 6.0; ///< rate for ACKs.
+  double slot_time_s = 9e-6;
+  double sifs_s = 10e-6;
+  double difs_s = 28e-6;          ///< SIFS + 2 slots.
+  double plcp_preamble_s = 20e-6; ///< OFDM preamble + signal field.
+  std::size_t mac_overhead_bytes = 28;  ///< MAC header (24) + FCS (4).
+  std::size_t ack_bytes = 14;
+};
+
+/// Time to put `wire_bytes` of IP datagram on the air, including MAC
+/// framing, the PLCP preamble, and the SIFS + ACK exchange.
+[[nodiscard]] double transmission_time_s(const PhyParameters& phy,
+                                         std::size_t wire_bytes);
+
+/// Per-packet channel error probability for a given bit error rate:
+/// 1 - (1 - ber)^(8 * wire_bytes), computed in log space for stability.
+[[nodiscard]] double packet_error_probability(double bit_error_rate,
+                                              std::size_t wire_bytes);
+
+/// BER of coherent BPSK over AWGN at the given linear SNR:
+/// Q(sqrt(2 snr)).  A convenient way to derive bit_error_rate inputs.
+[[nodiscard]] double bpsk_bit_error_rate(double snr_linear);
+
+}  // namespace tv::wifi

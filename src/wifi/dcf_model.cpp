@@ -1,0 +1,68 @@
+#include "wifi/dcf_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tv::wifi {
+
+DcfSolution solve_dcf(const DcfParameters& params, double tolerance,
+                      int max_iterations) {
+  if (params.contenders < 1 || params.cw_min < 1 ||
+      params.backoff_stages < 0) {
+    throw std::invalid_argument{"solve_dcf: bad parameters"};
+  }
+  const double n = params.contenders;
+  const double w = params.cw_min;
+  const int m = params.backoff_stages;
+
+  if (params.contenders == 1) {
+    // No contention: never collides, attempts with the backoff-limited rate.
+    DcfSolution s;
+    s.collision_probability = 0.0;
+    s.attempt_probability = 2.0 / (w + 1.0);
+    s.iterations = 0;
+    return s;
+  }
+
+  double p = 0.1;  // initial collision probability guess.
+  DcfSolution s;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // tau from Bianchi's backoff chain.
+    const double two_p = 2.0 * p;
+    double geometric;  // (1 - (2p)^m) / (1 - 2p), handling 2p -> 1.
+    if (std::abs(1.0 - two_p) < 1e-9) {
+      geometric = m;
+    } else {
+      geometric = (1.0 - std::pow(two_p, m)) / (1.0 - two_p);
+    }
+    const double tau = 2.0 / (1.0 + w + p * w * geometric);
+    const double p_next = 1.0 - std::pow(1.0 - tau, n - 1.0);
+    const double p_new = 0.5 * (p + p_next);  // damping.
+    s.attempt_probability = tau;
+    s.iterations = iter + 1;
+    if (std::abs(p_new - p) < tolerance) {
+      s.collision_probability = p_new;
+      return s;
+    }
+    p = p_new;
+  }
+  throw std::runtime_error{"solve_dcf: fixed point did not converge"};
+}
+
+double packet_success_rate(const DcfParameters& params,
+                           double channel_error_probability) {
+  if (channel_error_probability < 0.0 || channel_error_probability > 1.0) {
+    throw std::invalid_argument{"packet_success_rate: bad error probability"};
+  }
+  const DcfSolution s = solve_dcf(params);
+  return (1.0 - s.collision_probability) * (1.0 - channel_error_probability);
+}
+
+double mean_collisions(double success_rate) {
+  if (success_rate <= 0.0 || success_rate > 1.0) {
+    throw std::invalid_argument{"mean_collisions: success rate out of (0,1]"};
+  }
+  return (1.0 - success_rate) / success_rate;
+}
+
+}  // namespace tv::wifi

@@ -1,0 +1,52 @@
+// Fixed-point model of IEEE 802.11 DCF — the packet-success-rate substrate
+// of Section 4.1.
+//
+// The paper plugs the PHY/MAC model of [13] (a fixed-point approximation in
+// the Bianchi family) into its delay and distortion analysis to obtain the
+// packet success rate p_s under persistent sources.  We implement the
+// canonical saturated-DCF fixed point:
+//
+//   tau = 2 (1 - 2p) / [ (1 - 2p)(W + 1) + p W (1 - (2p)^m) ]
+//   p   = 1 - (1 - tau)^(n-1)
+//
+// solved iteratively, and compose the collision probability with a channel
+// error probability to produce the per-attempt packet success rate used by
+// eqs. (6) and (20).  The companion DcfSimulator (dcf_sim.hpp) validates
+// this approximation event-by-event.
+#pragma once
+
+#include <cstddef>
+
+namespace tv::wifi {
+
+/// Inputs of the saturated Bianchi fixed point.
+struct DcfParameters {
+  int contenders = 4;     ///< stations with backlogged traffic (n >= 1).
+  int cw_min = 16;        ///< W: minimum contention window (slots).
+  int backoff_stages = 6; ///< m: CWmax = 2^m * CWmin.
+};
+
+/// Outputs of the fixed point.
+struct DcfSolution {
+  double attempt_probability = 0.0;    ///< tau: per-slot transmit prob.
+  double collision_probability = 0.0;  ///< p: conditional collision prob.
+  int iterations = 0;                  ///< fixed-point iterations used.
+};
+
+/// Solve the fixed point by damped iteration.  Converges for all practical
+/// inputs; throws std::runtime_error if it somehow does not.
+[[nodiscard]] DcfSolution solve_dcf(const DcfParameters& params,
+                                    double tolerance = 1e-12,
+                                    int max_iterations = 100000);
+
+/// Per-attempt packet success rate p_s combining MAC collisions with a
+/// channel error probability for the packet's length:
+///   p_s = (1 - p_collision) * (1 - p_channel_error).
+[[nodiscard]] double packet_success_rate(const DcfParameters& params,
+                                         double channel_error_probability);
+
+/// Mean number of retransmission attempts per delivered packet implied by a
+/// per-attempt success rate (geometric, eq. 6): E[K] = (1 - p) / p failures.
+[[nodiscard]] double mean_collisions(double success_rate);
+
+}  // namespace tv::wifi

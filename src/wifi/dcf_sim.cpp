@@ -1,0 +1,74 @@
+#include "wifi/dcf_sim.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tv::wifi {
+
+DcfSimResult simulate_dcf(const DcfParameters& params, std::uint64_t slots,
+                          std::uint64_t seed) {
+  if (params.contenders < 1) {
+    throw std::invalid_argument{"simulate_dcf: need at least one station"};
+  }
+  util::Rng rng{seed};
+  const std::size_t n = static_cast<std::size_t>(params.contenders);
+
+  struct Station {
+    int stage = 0;
+    std::uint64_t counter = 0;
+  };
+  std::vector<Station> stations(n);
+
+  auto draw_backoff = [&](int stage) {
+    const std::uint64_t window =
+        static_cast<std::uint64_t>(params.cw_min) << stage;
+    return rng.uniform_int(window);
+  };
+  for (auto& st : stations) st.counter = draw_backoff(0);
+
+  DcfSimResult result;
+  result.slots = slots;
+  for (std::uint64_t slot = 0; slot < slots; ++slot) {
+    // Stations whose counter hit zero transmit in this slot.
+    std::size_t transmitting = 0;
+    for (const auto& st : stations) {
+      if (st.counter == 0) ++transmitting;
+    }
+    if (transmitting == 0) {
+      for (auto& st : stations) --st.counter;
+      continue;
+    }
+    const bool collision = transmitting > 1;
+    for (auto& st : stations) {
+      if (st.counter != 0) {
+        // In the slotted (Bianchi) abstraction the whole busy period is one
+        // virtual slot and every station's counter decrements at its end.
+        --st.counter;
+        continue;
+      }
+      ++result.transmissions;
+      if (collision) {
+        ++result.collisions;
+        if (st.stage < params.backoff_stages) ++st.stage;
+      } else {
+        st.stage = 0;
+      }
+      st.counter = draw_backoff(st.stage);
+    }
+  }
+
+  const double station_slots =
+      static_cast<double>(result.slots) * static_cast<double>(n);
+  result.attempt_probability =
+      static_cast<double>(result.transmissions) / station_slots;
+  result.collision_probability =
+      result.transmissions > 0
+          ? static_cast<double>(result.collisions) /
+                static_cast<double>(result.transmissions)
+          : 0.0;
+  return result;
+}
+
+}  // namespace tv::wifi

@@ -1,0 +1,29 @@
+// Slotted discrete-event simulation of saturated 802.11 DCF.
+//
+// Ground truth against which the fixed-point approximation of
+// dcf_model.hpp is validated (the paper validates its model [13] against a
+// testbed; we validate against an event-accurate MAC, see
+// bench_ablation_models and the wifi tests).
+#pragma once
+
+#include <cstdint>
+
+#include "wifi/dcf_model.hpp"
+
+namespace tv::wifi {
+
+struct DcfSimResult {
+  double attempt_probability = 0.0;    ///< measured tau.
+  double collision_probability = 0.0;  ///< measured conditional p.
+  std::uint64_t transmissions = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t slots = 0;
+};
+
+/// Simulate `slots` backoff slots of `params.contenders` saturated stations
+/// using binary exponential backoff (CWmin = cw_min, m = backoff_stages).
+[[nodiscard]] DcfSimResult simulate_dcf(const DcfParameters& params,
+                                        std::uint64_t slots,
+                                        std::uint64_t seed);
+
+}  // namespace tv::wifi

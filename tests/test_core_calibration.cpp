@@ -1,0 +1,143 @@
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+
+namespace tv::core {
+namespace {
+
+// One shared small workload; building it is the expensive part.
+const Workload& workload() {
+  static const Workload w =
+      build_workload(video::MotionLevel::kMedium, 15, 60, 77);
+  return w;
+}
+
+struct Calibrated {
+  TransferResult transfer;
+  TrafficCalibration traffic;
+  ServiceCalibration service;
+};
+
+Calibrated calibrate(PipelineConfig config) {
+  Calibrated c;
+  c.transfer = simulate_transfer(config, workload().packets, 2024);
+  c.traffic = calibrate_traffic(workload().packets, c.transfer.timings,
+                                workload().fps);
+  c.service = calibrate_service(workload().packets, c.transfer.timings,
+                                config, c.traffic);
+  return c;
+}
+
+PipelineConfig config() {
+  PipelineConfig c;
+  c.device = samsung_galaxy_s2();
+  return c;
+}
+
+TEST(CalibrateTraffic, CountsAndFractionsMatchTheStream) {
+  const auto c = calibrate(config());
+  std::size_t i_packets = 0;
+  for (const auto& p : workload().packets) i_packets += p.is_i_frame ? 1 : 0;
+  EXPECT_EQ(c.traffic.packet_count, workload().packets.size());
+  EXPECT_NEAR(c.traffic.p_i,
+              static_cast<double>(i_packets) / workload().packets.size(),
+              1e-12);
+  EXPECT_NEAR(c.traffic.clip_duration_s, 2.0, 1e-9);  // 60 frames / 30 fps.
+  EXPECT_GT(c.traffic.mean_i_packets_per_frame, 3.0);
+  EXPECT_GE(c.traffic.mean_p_packets_per_frame, 1.0);
+  EXPECT_EQ(c.traffic.total_payload_bytes, workload().stream.total_bytes());
+}
+
+TEST(CalibrateTraffic, MmppSeparatesBurstAndIdleRates) {
+  const auto c = calibrate(config());
+  // I-frame fragments stream at the read rate (>1000/s); P traffic is
+  // paced by the frame rate (tens/s).
+  EXPECT_GT(c.traffic.mmpp.lambda1, 20.0 * c.traffic.mmpp.lambda2);
+  EXPECT_GT(c.traffic.mmpp.r12, c.traffic.mmpp.r21);
+}
+
+TEST(CalibrateService, TransmissionTimesTrackPacketSizes) {
+  const auto c = calibrate(config());
+  // I-frame packets are full MTU; P packets are smaller on average.
+  EXPECT_GT(c.service.tx_i_mean, c.service.tx_p_mean);
+  EXPECT_GT(c.service.tx_i_mean, 1e-4);
+  EXPECT_LT(c.service.tx_i_mean, 0.1);
+}
+
+TEST(CalibrateService, JitterStaysInMinorVariationRegime) {
+  const auto c = calibrate(config());
+  EXPECT_LE(c.service.tx_i_stddev, 0.25 * c.service.tx_i_mean + 1e-12);
+  EXPECT_LE(c.service.tx_p_stddev, 0.25 * c.service.tx_p_mean + 1e-12);
+}
+
+TEST(CalibrateService, FallsBackToDeviceModelWithoutEncryptedSamples) {
+  // The probe transfer was unencrypted, so encryption times must come from
+  // the device profile at typical payloads.
+  const auto cfg = config();
+  const auto c = calibrate(cfg);
+  const double expected_i = cfg.device.encryption_seconds(
+      cfg.algorithm, static_cast<std::size_t>(c.traffic.mean_i_payload));
+  EXPECT_NEAR(c.service.enc_i_mean, expected_i, 1e-12);
+  EXPECT_GT(c.service.enc_i_mean, c.service.enc_p_mean);
+}
+
+TEST(CalibrateService, UsesMeasuredEncryptionTimesWhenPresent) {
+  // Encrypt everything, transfer, and calibrate: the measured means must
+  // be near the device model's deterministic cost.
+  auto packets = workload().packets;
+  std::vector<bool> all(packets.size(), true);
+  const auto cipher =
+      crypto::make_cipher_from_seed(crypto::Algorithm::kAes256, 5);
+  std::vector<std::uint8_t> iv(cipher->block_size(), 3);
+  net::encrypt_selected(packets, all, *cipher, iv);
+  const auto cfg = config();
+  const auto transfer = simulate_transfer(cfg, packets, 31);
+  const auto traffic = calibrate_traffic(packets, transfer.timings, 30.0);
+  const auto service =
+      calibrate_service(packets, transfer.timings, cfg, traffic);
+  const double model_i = cfg.device.encryption_seconds(
+      crypto::Algorithm::kAes256,
+      static_cast<std::size_t>(traffic.mean_i_payload));
+  EXPECT_NEAR(service.enc_i_mean, model_i, 0.1 * model_i);
+}
+
+TEST(ServiceParameters, AssemblesPolicyFractions) {
+  const auto c = calibrate(config());
+  const auto sp = service_parameters(c.traffic, c.service, 1.0, 0.25);
+  EXPECT_DOUBLE_EQ(sp.q_i, 1.0);
+  EXPECT_DOUBLE_EQ(sp.q_p, 0.25);
+  EXPECT_DOUBLE_EQ(sp.p_i, c.traffic.p_i);
+  EXPECT_DOUBLE_EQ(sp.tx_i_mean, c.service.tx_i_mean);
+  // And it must construct a valid analytic service model.
+  const auto model = queueing::ServiceTimeModel::from_parameters(sp);
+  EXPECT_GT(model.mean(), 0.0);
+}
+
+TEST(Calibration, SamplePrefixLimitsOnlyTimingEstimates) {
+  const auto cfg = config();
+  const auto transfer = simulate_transfer(cfg, workload().packets, 2024);
+  const auto full = calibrate_traffic(workload().packets, transfer.timings,
+                                      30.0, 0);
+  const auto prefix = calibrate_traffic(workload().packets, transfer.timings,
+                                        30.0, workload().packets.size() / 2);
+  // Stream shape facts use the whole file either way.
+  EXPECT_EQ(prefix.total_payload_bytes, full.total_payload_bytes);
+  EXPECT_EQ(prefix.packet_count, full.packet_count);
+  // The MMPP fit from half the trace still lands in the same regime.
+  EXPECT_NEAR(prefix.mmpp.lambda1, full.mmpp.lambda1,
+              0.5 * full.mmpp.lambda1);
+}
+
+TEST(Calibration, ValidatesInputSizes) {
+  const auto transfer = simulate_transfer(config(), workload().packets, 1);
+  auto timings = transfer.timings;
+  timings.pop_back();
+  EXPECT_THROW((void)calibrate_traffic(workload().packets, timings, 30.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tv::core

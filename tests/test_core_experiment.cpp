@@ -1,0 +1,215 @@
+// Integration tests: the full Fig. 3 pipeline plus the analytic predictors,
+// checking the paper's headline orderings end to end on small clips.
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.hpp"
+
+namespace tv::core {
+namespace {
+
+const Workload& slow_workload() {
+  static const Workload w =
+      build_workload(video::MotionLevel::kLow, 20, 60, 2013);
+  return w;
+}
+
+const Workload& fast_workload() {
+  static const Workload w =
+      build_workload(video::MotionLevel::kHigh, 20, 60, 2013);
+  return w;
+}
+
+ExperimentSpec spec_for(const Workload& w, policy::Mode mode,
+                        double fraction = 0.0) {
+  ExperimentSpec spec;
+  spec.policy = {mode, crypto::Algorithm::kAes256, fraction};
+  spec.pipeline.device = samsung_galaxy_s2();
+  spec.repetitions = 2;
+  spec.seed = 99;
+  spec.sensitivity_fraction = default_sensitivity(w.motion);
+  return spec;
+}
+
+TEST(Workload, HasPaperLikeStreamStructure) {
+  const auto& w = slow_workload();
+  EXPECT_EQ(w.stream.frames.size(), 60u);
+  EXPECT_GT(w.stream.mean_i_bytes(), 5.0 * w.stream.mean_p_bytes());
+  EXPECT_GT(w.base_mse, 0.0);
+  EXPECT_GT(w.null_mse, 50.0 * w.base_mse);  // gray is far from content.
+  EXPECT_GT(w.inter(10.0), 0.0);
+  // Fast motion content diverges from its past much faster.
+  EXPECT_GT(fast_workload().inter(5.0), 5.0 * w.inter(5.0));
+}
+
+TEST(Experiment, ReceiverAlwaysBeatsEavesdropper) {
+  for (const auto* w : {&slow_workload(), &fast_workload()}) {
+    for (auto mode : {policy::Mode::kIFrames, policy::Mode::kAll}) {
+      const auto r = run_experiment(spec_for(*w, mode), *w);
+      EXPECT_GT(r.receiver_psnr_db.mean(),
+                r.eavesdropper_psnr_db.mean() + 5.0)
+          << r.label;
+      EXPECT_GE(r.receiver_mos.mean(), r.eavesdropper_mos.mean());
+    }
+  }
+}
+
+TEST(Experiment, EncryptionNeverHelpsTheEavesdropper) {
+  const auto& w = slow_workload();
+  const auto none = run_experiment(spec_for(w, policy::Mode::kNone), w);
+  const auto all = run_experiment(spec_for(w, policy::Mode::kAll), w);
+  EXPECT_GT(none.eavesdropper_psnr_db.mean(),
+            all.eavesdropper_psnr_db.mean() + 10.0);
+  EXPECT_GT(none.eavesdropper_mos.mean(), all.eavesdropper_mos.mean());
+}
+
+TEST(Experiment, SlowMotionIFramesDominateConfidentiality) {
+  // Paper key result: for slow motion, I-only is nearly as protective as
+  // encrypting everything, and much more protective than P-only.
+  const auto& w = slow_workload();
+  const auto i_only = run_experiment(spec_for(w, policy::Mode::kIFrames), w);
+  const auto p_only = run_experiment(spec_for(w, policy::Mode::kPFrames), w);
+  const auto all = run_experiment(spec_for(w, policy::Mode::kAll), w);
+  EXPECT_LT(i_only.eavesdropper_psnr_db.mean(),
+            p_only.eavesdropper_psnr_db.mean() - 5.0);
+  EXPECT_NEAR(i_only.eavesdropper_psnr_db.mean(),
+              all.eavesdropper_psnr_db.mean(), 2.0);
+}
+
+TEST(Experiment, FastMotionPFramesMatterMore) {
+  // Paper key result: for fast motion the P-frames carry enough content
+  // that encrypting only them distorts more than encrypting only I-frames.
+  const auto& w = fast_workload();
+  const auto i_only = run_experiment(spec_for(w, policy::Mode::kIFrames), w);
+  const auto p_only = run_experiment(spec_for(w, policy::Mode::kPFrames), w);
+  EXPECT_LT(p_only.eavesdropper_psnr_db.mean(),
+            i_only.eavesdropper_psnr_db.mean());
+}
+
+TEST(Experiment, FractionOfPTightensProtectionAtSmallDelayCost) {
+  const auto& w = fast_workload();
+  const auto i_only = run_experiment(spec_for(w, policy::Mode::kIFrames), w);
+  const auto i_p20 =
+      run_experiment(spec_for(w, policy::Mode::kIPlusFractionP, 0.20), w);
+  EXPECT_LT(i_p20.eavesdropper_psnr_db.mean(),
+            i_only.eavesdropper_psnr_db.mean());
+  // Table 2: the extra delay is a few milliseconds, not a regime change.
+  EXPECT_LT(i_p20.delay_ms.mean(), i_only.delay_ms.mean() + 15.0);
+}
+
+TEST(Experiment, DelayOrderingMatchesPaper) {
+  const auto& w = fast_workload();
+  auto quick = [&](policy::Mode mode) {
+    auto s = spec_for(w, mode);
+    s.evaluate_quality = false;
+    s.repetitions = 6;
+    return run_experiment(s, w).delay_ms.mean();
+  };
+  const double none = quick(policy::Mode::kNone);
+  const double i_only = quick(policy::Mode::kIFrames);
+  const double p_only = quick(policy::Mode::kPFrames);
+  const double all = quick(policy::Mode::kAll);
+  EXPECT_LT(none, p_only);
+  EXPECT_LT(i_only, p_only);
+  EXPECT_LE(p_only, all * 1.1);  // P carries most packets: nearly "all".
+  EXPECT_LT(none, all);
+}
+
+TEST(Experiment, PowerOrderingMatchesPaper) {
+  const auto& w = slow_workload();
+  auto power = [&](policy::Mode mode) {
+    auto s = spec_for(w, mode);
+    s.evaluate_quality = false;
+    return run_experiment(s, w).power_w.mean();
+  };
+  const double none = power(policy::Mode::kNone);
+  const double i_only = power(policy::Mode::kIFrames);
+  const double all = power(policy::Mode::kAll);
+  EXPECT_LT(none, i_only);
+  EXPECT_LT(i_only, all);
+}
+
+TEST(Experiment, PredictionsTrackMeasurements) {
+  const auto& w = slow_workload();
+  const auto r = run_experiment(spec_for(w, policy::Mode::kIFrames), w);
+  // Analysis vs experiment: same regime, not orders of magnitude apart.
+  EXPECT_GT(r.predicted_delay.mean_delay_ms, 0.2 * r.delay_ms.mean());
+  EXPECT_LT(r.predicted_delay.mean_delay_ms, 5.0 * r.delay_ms.mean());
+  EXPECT_NEAR(r.predicted_eavesdropper.psnr_db,
+              r.eavesdropper_psnr_db.mean(), 6.0);
+  EXPECT_NEAR(r.predicted_receiver.psnr_db, r.receiver_psnr_db.mean(), 8.0);
+  EXPECT_NEAR(r.predicted_power.mean_power_w, r.power_w.mean(),
+              0.25 * r.power_w.mean());
+}
+
+TEST(Experiment, TcpIsSlowerButSameDistortionStory) {
+  const auto& w = slow_workload();
+  auto udp_spec = spec_for(w, policy::Mode::kIFrames);
+  auto tcp_spec = udp_spec;
+  tcp_spec.pipeline.transport = Transport::kHttpTcp;
+  const auto udp = run_experiment(udp_spec, w);
+  const auto tcp = run_experiment(tcp_spec, w);
+  EXPECT_GT(tcp.delay_ms.mean(), udp.delay_ms.mean());
+  EXPECT_LT(tcp.eavesdropper_psnr_db.mean(), 25.0);
+  EXPECT_GT(tcp.receiver_psnr_db.mean(), 30.0);
+}
+
+TEST(Experiment, EncryptionStatsMatchPolicy) {
+  const auto& w = slow_workload();
+  const auto r = run_experiment(spec_for(w, policy::Mode::kAll), w);
+  EXPECT_DOUBLE_EQ(r.encryption.packet_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(r.encryption.byte_fraction(), 1.0);
+  const auto none = run_experiment(spec_for(w, policy::Mode::kNone), w);
+  EXPECT_DOUBLE_EQ(none.encryption.packet_fraction(), 0.0);
+}
+
+TEST(Advisor, RecommendsCheapestConfidentialPolicy) {
+  const auto& w = slow_workload();
+  PipelineConfig pipeline;
+  pipeline.device = samsung_galaxy_s2();
+  const auto probe = simulate_transfer(pipeline, w.packets, 12);
+  const auto traffic = calibrate_traffic(w.packets, probe.timings, w.fps);
+  const auto service =
+      calibrate_service(w.packets, probe.timings, pipeline, traffic);
+  DistortionInputs di;
+  di.gop_size = w.codec.gop_size;
+  di.n_gops = 3;
+  di.sensitivity_fraction = default_sensitivity(w.motion);
+  di.base_mse = w.base_mse;
+  di.null_mse = w.null_mse;
+  di.inter = w.inter;
+  AdvisorRequest request;
+  request.max_eavesdropper_psnr_db = 20.0;
+  const auto result = advise(request, traffic, service, pipeline.device, di,
+                             1.0 - pipeline.eavesdropper_loss_prob);
+  ASSERT_TRUE(result.recommendation.has_value());
+  EXPECT_TRUE(result.recommendation->confidential);
+  // "none" must never qualify at a 20 dB ceiling for this content.
+  for (const auto& eval : result.evaluations) {
+    if (eval.policy.mode == policy::Mode::kNone) {
+      EXPECT_FALSE(eval.confidential);
+    }
+  }
+  // The recommendation minimizes delay among confidential candidates.
+  for (const auto& eval : result.evaluations) {
+    if (eval.confidential) {
+      EXPECT_LE(result.recommendation->delay.mean_delay_ms,
+                eval.delay.mean_delay_ms + 1e-9);
+    }
+  }
+}
+
+TEST(Workload, ValidatesInputs) {
+  EXPECT_THROW((void)build_workload(video::MotionLevel::kLow, 30, 10, 1),
+               std::invalid_argument);
+}
+
+TEST(Experiment, ValidatesRepetitions) {
+  auto spec = spec_for(slow_workload(), policy::Mode::kNone);
+  spec.repetitions = 0;
+  EXPECT_THROW((void)run_experiment(spec, slow_workload()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tv::core

@@ -1,0 +1,178 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tv::core {
+namespace {
+
+// Hand-built packet list: one 6-fragment I-frame then five P packets.
+std::vector<net::VideoPacket> test_packets(bool encrypt_i = false) {
+  std::vector<net::VideoPacket> packets;
+  std::uint16_t seq = 0;
+  for (int f = 0; f < 6; ++f) {
+    net::VideoPacket p;
+    p.sequence = seq++;
+    p.frame_index = 0;
+    p.fragment_index = f;
+    p.fragment_count = 6;
+    p.is_i_frame = true;
+    p.encrypted = encrypt_i;
+    p.payload.assign(1400, 0x55);
+    packets.push_back(std::move(p));
+  }
+  for (int f = 1; f <= 5; ++f) {
+    net::VideoPacket p;
+    p.sequence = seq++;
+    p.frame_index = f;
+    p.fragment_index = 0;
+    p.fragment_count = 1;
+    p.is_i_frame = false;
+    p.payload.assign(300, 0xAA);
+    packets.push_back(std::move(p));
+  }
+  return packets;
+}
+
+PipelineConfig test_config() {
+  PipelineConfig c;
+  c.device = samsung_galaxy_s2();
+  return c;
+}
+
+TEST(Pipeline, TimelineInvariants) {
+  const auto packets = test_packets();
+  const auto r = simulate_transfer(test_config(), packets, 1);
+  ASSERT_EQ(r.timings.size(), packets.size());
+  double prev_completion = 0.0;
+  for (const auto& t : r.timings) {
+    EXPECT_GE(t.service_start, t.arrival);          // FIFO queue.
+    EXPECT_GE(t.service_start, prev_completion - 1e-12);  // one server.
+    EXPECT_GE(t.completion, t.service_start);
+    EXPECT_GE(t.delay(), 0.0);
+    EXPECT_GT(t.transmit_s, 0.0);
+    prev_completion = t.completion;
+  }
+  EXPECT_GT(r.duration_s, 0.0);
+  EXPECT_GT(r.airtime_s, 0.0);
+}
+
+TEST(Pipeline, ArrivalsAreMonotoneAndFramePaced) {
+  const auto packets = test_packets();
+  const auto r = simulate_transfer(test_config(), packets, 2);
+  for (std::size_t i = 1; i < r.timings.size(); ++i) {
+    EXPECT_GE(r.timings[i].arrival, r.timings[i - 1].arrival);
+  }
+  // Frame 5's packets cannot be read before its capture time 5/fps.
+  EXPECT_GE(r.timings.back().arrival, 5.0 / 30.0);
+}
+
+TEST(Pipeline, EncryptionChargesTimeAndBytes) {
+  const auto clear = simulate_transfer(test_config(), test_packets(false), 3);
+  const auto enc = simulate_transfer(test_config(), test_packets(true), 3);
+  EXPECT_EQ(clear.encrypted_payload_bytes, 0u);
+  EXPECT_EQ(enc.encrypted_payload_bytes, 6u * 1400u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(clear.timings[i].encryption_s, 0.0);
+    EXPECT_GT(enc.timings[i].encryption_s, 0.0);
+  }
+  EXPECT_GT(enc.mean_delay_s(), clear.mean_delay_s());
+}
+
+TEST(Pipeline, TripleDesSlowerThanAes) {
+  auto cfg_aes = test_config();
+  cfg_aes.algorithm = crypto::Algorithm::kAes128;
+  auto cfg_des = test_config();
+  cfg_des.algorithm = crypto::Algorithm::kTripleDes;
+  const auto packets = test_packets(true);
+  double aes_total = 0.0;
+  double des_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    aes_total += simulate_transfer(cfg_aes, packets, seed).mean_delay_s();
+    des_total += simulate_transfer(cfg_des, packets, seed).mean_delay_s();
+  }
+  EXPECT_GT(des_total, aes_total);
+}
+
+TEST(Pipeline, DeterministicPerSeed) {
+  const auto packets = test_packets();
+  const auto a = simulate_transfer(test_config(), packets, 7);
+  const auto b = simulate_transfer(test_config(), packets, 7);
+  EXPECT_EQ(a.receiver_delivered, b.receiver_delivered);
+  EXPECT_DOUBLE_EQ(a.mean_delay_s(), b.mean_delay_s());
+}
+
+TEST(Pipeline, LossRatesShowUpInDeliveries) {
+  auto config = test_config();
+  config.receiver_loss_prob = 0.3;
+  config.eavesdropper_loss_prob = 0.0;
+  // Many packets for statistics.
+  std::vector<net::VideoPacket> packets;
+  for (int i = 0; i < 60; ++i) {
+    auto batch = test_packets();
+    for (auto& p : batch) {
+      p.frame_index += i * 6;
+      packets.push_back(std::move(p));
+    }
+  }
+  const auto r = simulate_transfer(config, packets, 5);
+  std::size_t rx = 0;
+  std::size_t ev = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    rx += r.receiver_delivered[i] ? 1 : 0;
+    ev += r.eavesdropper_captured[i] ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(rx) / packets.size(), 0.7, 0.05);
+  EXPECT_EQ(ev, packets.size());
+}
+
+TEST(Pipeline, TcpRetransmitsUntilDelivered) {
+  auto config = test_config();
+  config.transport = Transport::kHttpTcp;
+  config.receiver_loss_prob = 0.3;
+  const auto packets = test_packets();
+  const auto r = simulate_transfer(config, packets, 11);
+  for (bool delivered : r.receiver_delivered) {
+    EXPECT_TRUE(delivered);  // reliable transport.
+  }
+}
+
+TEST(Pipeline, TcpCostsMoreDelayThanUdp) {
+  auto udp = test_config();
+  auto tcp = test_config();
+  tcp.transport = Transport::kHttpTcp;
+  tcp.receiver_loss_prob = udp.receiver_loss_prob = 0.05;
+  const auto packets = test_packets();
+  double udp_total = 0.0;
+  double tcp_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    udp_total += simulate_transfer(udp, packets, seed).mean_delay_s();
+    tcp_total += simulate_transfer(tcp, packets, seed).mean_delay_s();
+  }
+  EXPECT_GT(tcp_total, udp_total);
+}
+
+TEST(Pipeline, ValidatesInputs) {
+  EXPECT_THROW((void)simulate_transfer(test_config(), {}, 1),
+               std::invalid_argument);
+  auto bad = test_config();
+  bad.mac_success_prob = 0.0;
+  EXPECT_THROW((void)simulate_transfer(bad, test_packets(), 1),
+               std::invalid_argument);
+}
+
+TEST(DeviceProfile, EncryptionTimesScaleWithSizeAndAlgorithm) {
+  const auto device = samsung_galaxy_s2();
+  EXPECT_GT(device.encryption_seconds(crypto::Algorithm::kAes256, 1460),
+            device.encryption_seconds(crypto::Algorithm::kAes256, 100));
+  EXPECT_GT(device.encryption_seconds(crypto::Algorithm::kTripleDes, 1460),
+            device.encryption_seconds(crypto::Algorithm::kAes128, 1460));
+  // HTC has the faster CPU (Table 1): cheaper crypto across algorithms.
+  const auto htc = htc_amaze_4g();
+  EXPECT_LT(htc.encryption_seconds(crypto::Algorithm::kAes256, 1460),
+            device.encryption_seconds(crypto::Algorithm::kAes256, 1460));
+}
+
+}  // namespace
+}  // namespace tv::core

@@ -1,0 +1,121 @@
+#include "crypto/aes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tv::crypto {
+namespace {
+
+std::vector<std::uint8_t> sequential_key(std::size_t n) {
+  std::vector<std::uint8_t> key(n);
+  for (std::size_t i = 0; i < n; ++i) key[i] = static_cast<std::uint8_t>(i);
+  return key;
+}
+
+// FIPS-197 Appendix C example vectors: plaintext 00112233...ff under the
+// sequential key.
+const std::array<std::uint8_t, 16> kFipsPlain = {
+    0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+    0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+
+TEST(Aes, Fips197Aes128Vector) {
+  const Aes aes{sequential_key(16)};
+  std::array<std::uint8_t, 16> out{};
+  aes.encrypt_block(kFipsPlain, out);
+  const std::array<std::uint8_t, 16> expected = {
+      0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+      0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Aes, Fips197Aes192Vector) {
+  const Aes aes{sequential_key(24)};
+  std::array<std::uint8_t, 16> out{};
+  aes.encrypt_block(kFipsPlain, out);
+  const std::array<std::uint8_t, 16> expected = {
+      0xdd, 0xa9, 0x7c, 0xa4, 0x86, 0x4c, 0xdf, 0xe0,
+      0x6e, 0xaf, 0x70, 0xa0, 0xec, 0x0d, 0x71, 0x91};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Aes, Fips197Aes256Vector) {
+  const Aes aes{sequential_key(32)};
+  std::array<std::uint8_t, 16> out{};
+  aes.encrypt_block(kFipsPlain, out);
+  const std::array<std::uint8_t, 16> expected = {
+      0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf,
+      0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49, 0x60, 0x89};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Aes, DecryptInvertsEncryptOnFipsVectors) {
+  for (std::size_t bytes : {16u, 24u, 32u}) {
+    const Aes aes{sequential_key(bytes)};
+    std::array<std::uint8_t, 16> ct{};
+    std::array<std::uint8_t, 16> back{};
+    aes.encrypt_block(kFipsPlain, ct);
+    aes.decrypt_block(ct, back);
+    EXPECT_EQ(back, kFipsPlain) << "key size " << bytes;
+  }
+}
+
+class AesRoundtrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AesRoundtrip, RandomBlocksRoundtrip) {
+  util::Rng rng{GetParam()};
+  std::vector<std::uint8_t> key(GetParam() % 2 == 0 ? 16 : 32);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng());
+  const Aes aes{key};
+  for (int i = 0; i < 50; ++i) {
+    std::array<std::uint8_t, 16> pt{};
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng());
+    std::array<std::uint8_t, 16> ct{};
+    std::array<std::uint8_t, 16> back{};
+    aes.encrypt_block(pt, ct);
+    aes.decrypt_block(ct, back);
+    EXPECT_EQ(back, pt);
+    EXPECT_NE(ct, pt);  // 2^-128 chance of a fixed point; effectively never.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AesRoundtrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(Aes, EncryptionIsKeyDependent) {
+  const Aes a{sequential_key(16)};
+  auto other = sequential_key(16);
+  other[0] ^= 0x01;
+  const Aes b{other};
+  std::array<std::uint8_t, 16> ca{};
+  std::array<std::uint8_t, 16> cb{};
+  a.encrypt_block(kFipsPlain, ca);
+  b.encrypt_block(kFipsPlain, cb);
+  EXPECT_NE(ca, cb);
+}
+
+TEST(Aes, RejectsBadKeyAndBlockSizes) {
+  EXPECT_THROW(Aes{sequential_key(15)}, std::invalid_argument);
+  EXPECT_THROW(Aes{sequential_key(0)}, std::invalid_argument);
+  const Aes aes{sequential_key(16)};
+  std::array<std::uint8_t, 15> small{};
+  std::array<std::uint8_t, 16> out{};
+  EXPECT_THROW(aes.encrypt_block(small, out), std::invalid_argument);
+  EXPECT_THROW(aes.decrypt_block(small, out), std::invalid_argument);
+}
+
+TEST(Aes, MetadataIsConsistent) {
+  const Aes aes128{sequential_key(16)};
+  EXPECT_EQ(aes128.block_size(), 16u);
+  EXPECT_EQ(aes128.key_size(), 16u);
+  EXPECT_EQ(aes128.name(), "AES128");
+  const Aes aes256{sequential_key(32)};
+  EXPECT_EQ(aes256.name(), "AES256");
+}
+
+}  // namespace
+}  // namespace tv::crypto

@@ -1,0 +1,150 @@
+#include "crypto/modes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/aes.hpp"
+#include "crypto/suite.hpp"
+#include "util/rng.hpp"
+
+namespace tv::crypto {
+namespace {
+
+const std::vector<std::uint8_t> kNistKey = {
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+    0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+const std::vector<std::uint8_t> kNistBlock1 = {
+    0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96,
+    0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17, 0x2a};
+
+TEST(Cbc, NistSp80038aFirstBlock) {
+  // SP 800-38A F.2.1 CBC-AES128, first block.
+  const Aes aes{kNistKey};
+  std::vector<std::uint8_t> iv(16);
+  for (int i = 0; i < 16; ++i) iv[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i);
+  const auto ct = cbc_encrypt(aes, iv, kNistBlock1);
+  const std::vector<std::uint8_t> expected = {
+      0x76, 0x49, 0xab, 0xac, 0x81, 0x19, 0xb2, 0x46,
+      0xce, 0xe9, 0x8e, 0x9b, 0x12, 0xe9, 0x19, 0x7d};
+  ASSERT_EQ(ct.size(), 32u);  // one data block + one full padding block.
+  EXPECT_TRUE(std::equal(expected.begin(), expected.end(), ct.begin()));
+}
+
+class CbcRoundtrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CbcRoundtrip, PaddingAndChainingRoundtrip) {
+  const auto cipher = make_cipher_from_seed(Algorithm::kAes256, 5);
+  util::Rng rng{GetParam()};
+  std::vector<std::uint8_t> iv(16);
+  for (auto& b : iv) b = static_cast<std::uint8_t>(rng());
+  std::vector<std::uint8_t> pt(GetParam());
+  for (auto& b : pt) b = static_cast<std::uint8_t>(rng());
+  const auto ct = cbc_encrypt(*cipher, iv, pt);
+  EXPECT_EQ(ct.size() % 16, 0u);
+  EXPECT_GT(ct.size(), pt.size());  // PKCS#7 always pads.
+  EXPECT_EQ(cbc_decrypt(*cipher, iv, ct), pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CbcRoundtrip,
+                         ::testing::Values(0u, 1u, 15u, 16u, 17u, 255u,
+                                           1460u));
+
+TEST(Cbc, DecryptRejectsCorruption) {
+  const auto cipher = make_cipher_from_seed(Algorithm::kAes128, 7);
+  std::vector<std::uint8_t> iv(16, 0x22);
+  std::vector<std::uint8_t> pt(20, 0x33);
+  auto ct = cbc_encrypt(*cipher, iv, pt);
+  EXPECT_THROW((void)cbc_decrypt(*cipher, iv, std::span(ct).subspan(0, 15)),
+               std::invalid_argument);
+  // Corrupting the final block almost surely breaks the padding.
+  ct.back() ^= 0xff;
+  EXPECT_THROW((void)cbc_decrypt(*cipher, iv, ct), std::invalid_argument);
+}
+
+TEST(Cbc, ErrorPropagatesOneBlockOnly) {
+  // CBC's known property (and why the paper prefers OFB for lossy video):
+  // a flipped ciphertext bit garbles its own block and flips one bit of
+  // the next, leaving the rest intact.
+  const auto cipher = make_cipher_from_seed(Algorithm::kAes128, 9);
+  std::vector<std::uint8_t> iv(16, 0x01);
+  std::vector<std::uint8_t> pt(64, 0x00);
+  auto ct = cbc_encrypt(*cipher, iv, pt);
+  ct[16] ^= 0x80;  // corrupt block 2.
+  // Strip padding check by decrypting manually through cbc_decrypt on a
+  // reconstructed stream: padding block is the 5th, untouched, so decrypt
+  // succeeds.
+  const auto out = cbc_decrypt(*cipher, iv, ct);
+  ASSERT_EQ(out.size(), 64u);
+  // Block 1 intact, block 3 has exactly the mirrored bit flipped, block 4
+  // intact.
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], 0);
+  EXPECT_EQ(out[32], 0x80);
+  for (int i = 33; i < 64; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], 0);
+}
+
+TEST(Ctr, NistSp80038aFirstBlock) {
+  // SP 800-38A F.5.1 CTR-AES128, first block.
+  const Aes aes{kNistKey};
+  std::vector<std::uint8_t> counter0(16);
+  for (int i = 0; i < 16; ++i) {
+    counter0[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(0xf0 + i);
+  }
+  const auto ct = ctr_transform(aes, counter0, kNistBlock1);
+  const std::vector<std::uint8_t> expected = {
+      0x87, 0x4d, 0x61, 0x91, 0xb6, 0x20, 0xe3, 0x26,
+      0x1b, 0xef, 0x68, 0x64, 0x99, 0x0d, 0xb6, 0xce};
+  EXPECT_EQ(ct, expected);
+}
+
+TEST(Ctr, IsAnInvolutionAndLengthPreserving) {
+  const auto cipher = make_cipher_from_seed(Algorithm::kTripleDes, 11);
+  std::vector<std::uint8_t> nonce(8, 0x44);
+  util::Rng rng{12};
+  std::vector<std::uint8_t> pt(333);
+  for (auto& b : pt) b = static_cast<std::uint8_t>(rng());
+  const auto ct = ctr_transform(*cipher, nonce, pt);
+  EXPECT_EQ(ct.size(), pt.size());
+  EXPECT_NE(ct, pt);
+  EXPECT_EQ(ctr_transform(*cipher, nonce, ct), pt);
+}
+
+TEST(Ctr, SeekableByInitialCounter) {
+  // Transforming the second block alone with initial_counter=1 must match
+  // the corresponding slice of the full transform (random access, the
+  // property DASH/CENC relies on).
+  const auto cipher = make_cipher_from_seed(Algorithm::kAes128, 13);
+  std::vector<std::uint8_t> nonce(16, 0x10);
+  std::vector<std::uint8_t> pt(48, 0xab);
+  const auto full = ctr_transform(*cipher, nonce, pt);
+  const auto tail = ctr_transform(
+      *cipher, nonce, std::span<const std::uint8_t>(pt).subspan(16), 1);
+  EXPECT_TRUE(std::equal(tail.begin(), tail.end(), full.begin() + 16));
+}
+
+TEST(Ctr, CounterCarryPropagates) {
+  // A nonce ending in 0xff must roll over into the next byte.
+  const auto cipher = make_cipher_from_seed(Algorithm::kAes128, 15);
+  std::vector<std::uint8_t> nonce(16, 0x00);
+  nonce[15] = 0xff;
+  std::vector<std::uint8_t> incremented(16, 0x00);
+  incremented[14] = 0x01;  // 0x...00ff + 1 = 0x...0100.
+  std::vector<std::uint8_t> zeros(16, 0);
+  const auto a = ctr_transform(*cipher, nonce, zeros, 1);
+  const auto b = ctr_transform(*cipher, incremented, zeros, 0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Modes, ValidateIvSizes) {
+  const auto cipher = make_cipher_from_seed(Algorithm::kAes128, 17);
+  std::vector<std::uint8_t> bad_iv(8, 0);
+  std::vector<std::uint8_t> data(16, 0);
+  EXPECT_THROW((void)cbc_encrypt(*cipher, bad_iv, data), std::invalid_argument);
+  EXPECT_THROW((void)cbc_decrypt(*cipher, bad_iv, data), std::invalid_argument);
+  EXPECT_THROW((void)ctr_transform(*cipher, bad_iv, data), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tv::crypto

@@ -1,0 +1,69 @@
+#include "crypto/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tv::crypto {
+namespace {
+
+TEST(Suite, NamesRoundtrip) {
+  for (auto alg : {Algorithm::kAes128, Algorithm::kAes256,
+                   Algorithm::kTripleDes}) {
+    EXPECT_EQ(algorithm_from_string(std::string{to_string(alg)}), alg);
+  }
+  EXPECT_THROW((void)algorithm_from_string("DES5"), std::invalid_argument);
+}
+
+TEST(Suite, KeySizesMatchStandards) {
+  EXPECT_EQ(key_size(Algorithm::kAes128), 16u);
+  EXPECT_EQ(key_size(Algorithm::kAes256), 32u);
+  EXPECT_EQ(key_size(Algorithm::kTripleDes), 24u);
+}
+
+TEST(Suite, FactoryChecksKeySize) {
+  std::vector<std::uint8_t> key(16, 1);
+  EXPECT_NE(make_cipher(Algorithm::kAes128, key), nullptr);
+  EXPECT_THROW((void)make_cipher(Algorithm::kAes256, key), std::invalid_argument);
+}
+
+TEST(Suite, FactoryProducesWorkingCiphers) {
+  for (auto alg : {Algorithm::kAes128, Algorithm::kAes256,
+                   Algorithm::kTripleDes}) {
+    const auto cipher = make_cipher_from_seed(alg, 1234);
+    ASSERT_NE(cipher, nullptr);
+    std::vector<std::uint8_t> pt(cipher->block_size(), 0x5a);
+    std::vector<std::uint8_t> ct(cipher->block_size());
+    std::vector<std::uint8_t> back(cipher->block_size());
+    cipher->encrypt_block(pt, ct);
+    cipher->decrypt_block(ct, back);
+    EXPECT_EQ(back, pt);
+    EXPECT_NE(ct, pt);
+  }
+}
+
+TEST(Suite, SeededCiphersAreDeterministicPerSeed) {
+  const auto a = make_cipher_from_seed(Algorithm::kAes128, 7);
+  const auto b = make_cipher_from_seed(Algorithm::kAes128, 7);
+  const auto c = make_cipher_from_seed(Algorithm::kAes128, 8);
+  std::vector<std::uint8_t> pt(16, 0x11);
+  std::vector<std::uint8_t> ca(16);
+  std::vector<std::uint8_t> cb(16);
+  std::vector<std::uint8_t> cc(16);
+  a->encrypt_block(pt, ca);
+  b->encrypt_block(pt, cb);
+  c->encrypt_block(pt, cc);
+  EXPECT_EQ(ca, cb);
+  EXPECT_NE(ca, cc);
+}
+
+TEST(Suite, RelativeCostOrderingMatchesLiterature) {
+  // AES128 < AES256 < 3DES per [15, 28] and our microbenchmarks.
+  EXPECT_LT(relative_cost_per_byte(Algorithm::kAes128),
+            relative_cost_per_byte(Algorithm::kAes256));
+  EXPECT_LT(relative_cost_per_byte(Algorithm::kAes256),
+            relative_cost_per_byte(Algorithm::kTripleDes));
+}
+
+}  // namespace
+}  // namespace tv::crypto

@@ -1,0 +1,159 @@
+#include "distortion/gop_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "video/frame.hpp"
+
+namespace tv::distortion {
+namespace {
+
+DistanceDistortion linear_curve(double slope, int max_d = 12) {
+  DistanceSamples samples;
+  for (int d = 1; d <= max_d; ++d) {
+    samples.distances.push_back(d);
+    samples.mse.push_back(slope * d);
+  }
+  return DistanceDistortion::fit(samples, 3);
+}
+
+FlowModelParameters base_params() {
+  FlowModelParameters p;
+  p.gop_size = 30;
+  p.p_i_success = 0.95;
+  p.p_p_success = 0.99;
+  p.d_min = 10.0;
+  p.d_max = 400.0;
+  p.null_reference_mse = 2000.0;
+  return p;
+}
+
+TEST(FlowModel, IntraDistortionDecreasesWithLossPosition) {
+  const FlowDistortionModel m{base_params(), linear_curve(30.0)};
+  double prev = 1e9;
+  for (int i = 1; i <= 29; ++i) {
+    const double d = m.intra_distortion(i);
+    EXPECT_LT(d, prev) << "i = " << i;
+    EXPECT_GE(d, 0.0);
+    prev = d;
+  }
+  // Early loss approaches d_max scale; late loss is tiny (eq. 21).
+  EXPECT_GT(m.intra_distortion(1), 0.8 * base_params().d_max);
+  EXPECT_LT(m.intra_distortion(29), base_params().d_min);
+}
+
+TEST(FlowModel, FirstLossProbabilitiesFormSubDistribution) {
+  const FlowDistortionModel m{base_params(), linear_curve(30.0)};
+  double total = 0.0;
+  for (int i = 1; i <= 29; ++i) total += m.first_loss_probability(i);
+  // P(I ok) * P(some P lost).
+  const double expected = 0.95 * (1.0 - std::pow(0.99, 29));
+  EXPECT_NEAR(total, expected, 1e-12);
+}
+
+TEST(FlowModel, PerfectChannelLeavesOnlyCodingDistortion) {
+  FlowModelParameters p = base_params();
+  p.p_i_success = 1.0;
+  p.p_p_success = 1.0;
+  p.base_mse = 7.5;
+  const FlowDistortionModel m{p, linear_curve(30.0)};
+  EXPECT_NEAR(m.flow_average_distortion(10), 7.5, 1e-12);
+}
+
+TEST(FlowModel, AllIFramesLostSticksAtNullReference) {
+  // q_I = 1 at the eavesdropper means P_I = 0: the decoder never gets a
+  // reference and every GOP costs the Case-3 maximum.
+  FlowModelParameters p = base_params();
+  p.p_i_success = 0.0;
+  const FlowDistortionModel m{p, linear_curve(30.0)};
+  EXPECT_NEAR(m.flow_average_distortion(8), p.null_reference_mse, 1e-9);
+}
+
+TEST(FlowModel, DistortionDecreasesInSuccessRates) {
+  const auto curve = linear_curve(30.0);
+  double prev = 1e18;
+  for (double pi : {0.2, 0.5, 0.8, 0.95, 0.999}) {
+    FlowModelParameters p = base_params();
+    p.p_i_success = pi;
+    const FlowDistortionModel m{p, curve};
+    const double d = m.flow_average_distortion(10);
+    EXPECT_LT(d, prev);
+    prev = d;
+  }
+  prev = 1e18;
+  for (double pp : {0.9, 0.95, 0.99, 0.999}) {
+    FlowModelParameters p = base_params();
+    p.p_p_success = pp;
+    const FlowDistortionModel m{p, curve};
+    const double d = m.flow_average_distortion(10);
+    EXPECT_LT(d, prev);
+    prev = d;
+  }
+}
+
+class FlowDpVsMc
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(FlowDpVsMc, DynamicProgramMatchesMonteCarlo) {
+  const auto [pi, pp] = GetParam();
+  FlowModelParameters p = base_params();
+  p.p_i_success = pi;
+  p.p_p_success = pp;
+  const FlowDistortionModel m{p, linear_curve(25.0)};
+  util::Rng rng{404};
+  const double dp = m.flow_average_distortion(12);
+  const double mc = m.flow_average_distortion_mc(12, 30000, rng);
+  EXPECT_NEAR(dp, mc, 0.03 * dp + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rates, FlowDpVsMc,
+    ::testing::Values(std::pair{0.98, 0.999}, std::pair{0.9, 0.98},
+                      std::pair{0.5, 0.95}, std::pair{0.15, 0.9},
+                      std::pair{0.0, 0.9}));
+
+TEST(FlowModel, ConsecutiveILossesCompoundViaAge) {
+  // Lower P_I -> older references on average -> more inter-GOP distortion
+  // than a single-GOP freeze would suggest.
+  FlowModelParameters p = base_params();
+  p.p_i_success = 0.3;
+  p.p_p_success = 1.0;
+  const auto curve = linear_curve(30.0, 40);
+  const FlowDistortionModel m{p, curve};
+  const double avg = m.flow_average_distortion(40);
+  // With P_I = 0.3, many GOPs decode against references more than one GOP
+  // old, so the average must exceed P(loss) * D(age = 1 GOP average).
+  double one_gop_freeze = 0.0;
+  for (int j = 0; j < 30; ++j) one_gop_freeze += curve(1.0 + j);
+  one_gop_freeze /= 30.0;
+  EXPECT_GT(avg, 0.7 * one_gop_freeze);
+}
+
+TEST(FlowModel, PsnrMappingUsesEquation28) {
+  FlowModelParameters p = base_params();
+  p.p_i_success = 1.0;
+  p.p_p_success = 1.0;
+  p.base_mse = 25.0;
+  const FlowDistortionModel m{p, linear_curve(10.0)};
+  EXPECT_NEAR(m.flow_average_psnr(5),
+              video::psnr_from_mse(25.0), 1e-9);
+}
+
+TEST(FlowModel, ValidatesParameters) {
+  EXPECT_THROW(FlowDistortionModel(FlowModelParameters{.gop_size = 1},
+                                   linear_curve(10.0)),
+               std::invalid_argument);
+  FlowModelParameters bad = base_params();
+  bad.p_i_success = 1.5;
+  EXPECT_THROW(FlowDistortionModel(bad, linear_curve(10.0)),
+               std::invalid_argument);
+  const FlowDistortionModel m{base_params(), linear_curve(10.0)};
+  EXPECT_THROW((void)m.intra_distortion(0), std::invalid_argument);
+  EXPECT_THROW((void)m.intra_distortion(30), std::invalid_argument);
+  EXPECT_THROW((void)m.flow_average_distortion(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tv::distortion

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hpp"
+#include "energy/monsoon.hpp"
+
+namespace tv::energy {
+namespace {
+
+TEST(EnergyModel, ComponentsAddUp) {
+  PowerCoefficients c{.base_w = 1.0, .crypto_j_per_mb = 20.0,
+                      .radio_tx_w = 0.5, .crypto_max_w = 100.0};
+  const EnergyBreakdown e = transfer_energy(c, 10.0, 2'000'000, 2.0);
+  EXPECT_DOUBLE_EQ(e.base_j, 10.0);
+  EXPECT_DOUBLE_EQ(e.crypto_j, 40.0);
+  EXPECT_DOUBLE_EQ(e.radio_j, 1.0);
+  EXPECT_DOUBLE_EQ(e.total_j(), 51.0);
+  EXPECT_DOUBLE_EQ(mean_power_w(e, 10.0), 5.1);
+}
+
+TEST(EnergyModel, NoEncryptionCostsOnlyBaseAndRadio) {
+  PowerCoefficients c{.base_w = 1.2, .crypto_j_per_mb = 38.0,
+                      .radio_tx_w = 0.7, .crypto_max_w = 1.5};
+  const EnergyBreakdown e = transfer_energy(c, 5.0, 0, 1.0);
+  EXPECT_DOUBLE_EQ(e.crypto_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.total_j(), 1.2 * 5.0 + 0.7);
+}
+
+TEST(EnergyModel, CryptoPowerSaturatesAtCpuCeiling) {
+  PowerCoefficients c{.base_w = 1.0, .crypto_j_per_mb = 100.0,
+                      .radio_tx_w = 0.0, .crypto_max_w = 1.5};
+  // 10 MB in 2 s would nominally draw 500 W of crypto: capped at 1.5 W.
+  const EnergyBreakdown e = transfer_energy(c, 2.0, 10'000'000, 0.0);
+  EXPECT_DOUBLE_EQ(e.crypto_j, 3.0);
+  EXPECT_DOUBLE_EQ(mean_power_w(e, 2.0), 2.5);
+}
+
+TEST(EnergyModel, MorePolicyBytesNeverCostsLess) {
+  PowerCoefficients c{.base_w = 1.0, .crypto_j_per_mb = 20.0,
+                      .radio_tx_w = 0.6, .crypto_max_w = 1.45};
+  double prev = -1.0;
+  for (std::size_t bytes : {0u, 100'000u, 400'000u, 1'000'000u, 4'000'000u}) {
+    const double p =
+        mean_power_w(transfer_energy(c, 10.0, bytes, 1.5), 10.0);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(EnergyModel, ValidatesDurations) {
+  PowerCoefficients c;
+  EXPECT_THROW((void)transfer_energy(c, 0.0, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)transfer_energy(c, 1.0, 0, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)mean_power_w(EnergyBreakdown{}, 0.0), std::invalid_argument);
+}
+
+TEST(Monsoon, Equation29Conversion) {
+  // P = v * Voltage * 3600e-6 / duration.
+  EXPECT_NEAR(watts_from_microamp_hours(1000.0, 10.0), 1.404, 1e-9);
+  // Round trip.
+  for (double watts : {0.5, 1.28, 2.4}) {
+    const double uah = microamp_hours_from_watts(watts, 33.0);
+    EXPECT_NEAR(watts_from_microamp_hours(uah, 33.0), watts, 1e-12);
+  }
+}
+
+TEST(Monsoon, PaperScaleSanity) {
+  // A 1.48 W transfer lasting 10 s should read about 1054 uAh at 3.9 V.
+  EXPECT_NEAR(microamp_hours_from_watts(1.48, 10.0), 1054.1, 0.5);
+}
+
+TEST(Monsoon, Validation) {
+  EXPECT_THROW((void)watts_from_microamp_hours(10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)watts_from_microamp_hours(-1.0, 5.0), std::invalid_argument);
+  EXPECT_THROW((void)microamp_hours_from_watts(1.0, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tv::energy

@@ -1,0 +1,166 @@
+#include "net/packetizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/suite.hpp"
+#include "util/rng.hpp"
+#include "video/codec.hpp"
+#include "video/scene.hpp"
+
+namespace tv::net {
+namespace {
+
+video::EncodedStream small_stream(std::uint64_t seed, int frames = 8,
+                                  int gop = 4) {
+  video::SceneParameters p =
+      video::SceneParameters::preset(video::MotionLevel::kMedium);
+  p.width = 128;
+  p.height = 96;
+  const video::SceneGenerator gen{p, seed};
+  video::CodecConfig config;
+  config.gop_size = gop;
+  return video::Encoder{config}.encode(gen.render_clip(frames));
+}
+
+TEST(Packetizer, FragmentMetadataIsConsistent) {
+  const auto stream = small_stream(1);
+  const auto packets = packetize(stream, 1500, 30.0);
+  ASSERT_FALSE(packets.empty());
+  const std::size_t payload_max = max_payload(1500);
+  std::size_t frame_bytes[64] = {};
+  for (const auto& p : packets) {
+    EXPECT_LE(p.payload.size(), payload_max);
+    EXPECT_FALSE(p.encrypted);
+    EXPECT_EQ(p.byte_offset,
+              static_cast<std::size_t>(p.fragment_index) * payload_max);
+    EXPECT_LT(p.fragment_index, p.fragment_count);
+    frame_bytes[p.frame_index] += p.payload.size();
+    EXPECT_EQ(p.is_i_frame,
+              stream.frames[static_cast<std::size_t>(p.frame_index)].is_i);
+  }
+  for (std::size_t f = 0; f < stream.frames.size(); ++f) {
+    EXPECT_EQ(frame_bytes[f], stream.frames[f].data.size());
+  }
+}
+
+TEST(Packetizer, SequenceNumbersAreConsecutive) {
+  const auto stream = small_stream(2);
+  const auto packets = packetize(stream);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].sequence, static_cast<std::uint16_t>(i));
+  }
+}
+
+TEST(Packetizer, SmallerMtuMeansMorePackets) {
+  const auto stream = small_stream(3);
+  EXPECT_GT(packetize(stream, 576).size(), packetize(stream, 1500).size());
+  EXPECT_THROW((void)packetize(stream, 40), std::invalid_argument);
+}
+
+TEST(Packetizer, WireBytesIncludeHeaders) {
+  const auto stream = small_stream(4);
+  const auto packets = packetize(stream);
+  for (const auto& p : packets) {
+    EXPECT_EQ(p.wire_bytes(), p.payload.size() + 40u);
+  }
+}
+
+TEST(Reassemble, IntactDeliveryRestoresEveryFrameByte) {
+  const auto stream = small_stream(5);
+  const auto packets = packetize(stream);
+  const std::vector<bool> delivered(packets.size(), true);
+  const auto frames =
+      reassemble(packets, delivered, static_cast<int>(stream.frames.size()),
+                 nullptr, {});
+  ASSERT_EQ(frames.size(), stream.frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    EXPECT_EQ(frames[f].data, stream.frames[f].data);
+    for (bool ok : frames[f].byte_ok) EXPECT_TRUE(ok);
+  }
+}
+
+TEST(Reassemble, LostPacketLeavesByteHole) {
+  const auto stream = small_stream(6);
+  const auto packets = packetize(stream);
+  std::vector<bool> delivered(packets.size(), true);
+  delivered[0] = false;  // first fragment of the first I-frame.
+  const auto frames =
+      reassemble(packets, delivered, static_cast<int>(stream.frames.size()),
+                 nullptr, {});
+  EXPECT_FALSE(frames[0].byte_ok[0]);
+  EXPECT_FALSE(frames[0].range_ok(0, packets[0].payload.size()));
+}
+
+TEST(EncryptSelected, ReceiverDecryptsEavesdropperCannot) {
+  const auto stream = small_stream(7);
+  auto packets = packetize(stream);
+  // Encrypt all I-frame packets.
+  std::vector<bool> selected(packets.size(), false);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    selected[i] = packets[i].is_i_frame;
+  }
+  const auto cipher =
+      crypto::make_cipher_from_seed(crypto::Algorithm::kAes256, 9);
+  std::vector<std::uint8_t> iv(cipher->block_size(), 0x7e);
+  encrypt_selected(packets, selected, *cipher, iv);
+
+  const auto stats = encryption_stats(packets);
+  EXPECT_GT(stats.encrypted_packets, 0u);
+  EXPECT_LT(stats.encrypted_packets, stats.total_packets);
+
+  const std::vector<bool> delivered(packets.size(), true);
+  const int n = static_cast<int>(stream.frames.size());
+
+  const auto receiver = reassemble(packets, delivered, n, cipher.get(), iv);
+  for (std::size_t f = 0; f < receiver.size(); ++f) {
+    EXPECT_EQ(receiver[f].data, stream.frames[f].data) << "frame " << f;
+  }
+
+  const auto eaves = reassemble(packets, delivered, n, nullptr, iv);
+  // Encrypted (I) frames are erasures for the eavesdropper...
+  EXPECT_FALSE(eaves[0].range_ok(0, 1));
+  // ...while clear P-frames arrive fine.
+  EXPECT_EQ(eaves[1].data, stream.frames[1].data);
+}
+
+TEST(EncryptSelected, PayloadActuallyChangesOnTheWire) {
+  const auto stream = small_stream(8);
+  auto packets = packetize(stream);
+  const auto original = packets[0].payload;
+  std::vector<bool> selected(packets.size(), false);
+  selected[0] = true;
+  const auto cipher =
+      crypto::make_cipher_from_seed(crypto::Algorithm::kTripleDes, 10);
+  std::vector<std::uint8_t> iv(cipher->block_size(), 0x31);
+  encrypt_selected(packets, selected, *cipher, iv);
+  EXPECT_TRUE(packets[0].encrypted);
+  EXPECT_NE(packets[0].payload, original);
+  EXPECT_EQ(packets[0].payload.size(), original.size());
+}
+
+TEST(EncryptionStats, FractionsAreExact) {
+  const auto stream = small_stream(11);
+  auto packets = packetize(stream);
+  std::vector<bool> selected(packets.size(), false);
+  for (std::size_t i = 0; i < packets.size(); i += 2) selected[i] = true;
+  const auto cipher =
+      crypto::make_cipher_from_seed(crypto::Algorithm::kAes128, 12);
+  std::vector<std::uint8_t> iv(cipher->block_size(), 0x01);
+  encrypt_selected(packets, selected, *cipher, iv);
+  const auto stats = encryption_stats(packets);
+  EXPECT_EQ(stats.encrypted_packets, (packets.size() + 1) / 2);
+  EXPECT_NEAR(stats.packet_fraction(), 0.5, 0.51 / packets.size());
+}
+
+TEST(Reassemble, ValidatesInputSizes) {
+  const auto stream = small_stream(13);
+  const auto packets = packetize(stream);
+  const std::vector<bool> wrong(packets.size() + 1, true);
+  EXPECT_THROW((void)reassemble(packets, wrong, 8, nullptr, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tv::net

@@ -1,0 +1,103 @@
+#include "net/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/rtp.hpp"
+
+namespace tv::net {
+namespace {
+
+VideoPacket make_packet(std::uint16_t seq, bool encrypted,
+                        std::size_t payload = 100) {
+  VideoPacket p;
+  p.sequence = seq;
+  p.timestamp = 90000u * seq;
+  p.encrypted = encrypted;
+  p.payload.assign(payload, static_cast<std::uint8_t>(seq));
+  return p;
+}
+
+TEST(Pcap, WireFrameLayout) {
+  const VideoPacket p = make_packet(7, true, 64);
+  const auto frame = wire_frame(p, CaptureEndpoints{});
+  ASSERT_EQ(frame.size(), 14u + 20u + 8u + 12u + 64u);
+  // Ethertype IPv4 at offset 12.
+  EXPECT_EQ(frame[12], 0x08);
+  EXPECT_EQ(frame[13], 0x00);
+  // IPv4 version/IHL and protocol UDP.
+  EXPECT_EQ(frame[14], 0x45);
+  EXPECT_EQ(frame[14 + 9], 17);
+  // UDP length covers UDP header + RTP + payload.
+  const std::uint16_t udp_len = static_cast<std::uint16_t>(
+      (frame[14 + 20 + 4] << 8) | frame[14 + 20 + 5]);
+  EXPECT_EQ(udp_len, 8u + 12u + 64u);
+  // The embedded RTP header parses back with the marker (encryption) bit.
+  const auto rtp = RtpHeader::parse(
+      std::span<const std::uint8_t>(frame).subspan(14 + 20 + 8, 12));
+  EXPECT_TRUE(rtp.marker);
+  EXPECT_EQ(rtp.sequence_number, 7);
+}
+
+TEST(Pcap, Ipv4HeaderChecksumValidates) {
+  const VideoPacket p = make_packet(3, false);
+  const auto frame = wire_frame(p, CaptureEndpoints{});
+  // RFC 1071: summing the header including its checksum gives 0xffff.
+  std::uint32_t sum = 0;
+  for (std::size_t i = 14; i < 34; i += 2) {
+    sum += static_cast<std::uint32_t>(frame[i]) << 8 | frame[i + 1];
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  EXPECT_EQ(sum, 0xffffu);
+}
+
+TEST(Pcap, GlobalHeaderAndRecords) {
+  std::vector<VideoPacket> packets = {make_packet(0, false, 10),
+                                      make_packet(1, true, 20)};
+  std::vector<CapturedPacket> caps = {{1.5, &packets[0]},
+                                      {1.5078125, &packets[1]}};
+  std::ostringstream out;
+  write_pcap(out, caps);
+  const std::string s = out.str();
+  ASSERT_GE(s.size(), 24u);
+  // Little-endian classic pcap magic.
+  EXPECT_EQ(static_cast<std::uint8_t>(s[0]), 0xd4);
+  EXPECT_EQ(static_cast<std::uint8_t>(s[1]), 0xc3);
+  EXPECT_EQ(static_cast<std::uint8_t>(s[2]), 0xb2);
+  EXPECT_EQ(static_cast<std::uint8_t>(s[3]), 0xa1);
+  // LINKTYPE_ETHERNET = 1 at offset 20.
+  EXPECT_EQ(static_cast<std::uint8_t>(s[20]), 1);
+  // First record: ts_sec = 1, ts_usec = 500000.
+  EXPECT_EQ(static_cast<std::uint8_t>(s[24]), 1);
+  const std::uint32_t usec = static_cast<std::uint8_t>(s[28]) |
+                             (static_cast<std::uint8_t>(s[29]) << 8) |
+                             (static_cast<std::uint8_t>(s[30]) << 16) |
+                             (static_cast<std::uint8_t>(s[31]) << 24);
+  EXPECT_EQ(usec, 500000u);
+  // Total size: global header + 2 * (record header + frame).
+  const std::size_t f0 = 14 + 20 + 8 + 12 + 10;
+  const std::size_t f1 = 14 + 20 + 8 + 12 + 20;
+  EXPECT_EQ(s.size(), 24u + 16u + f0 + 16u + f1);
+}
+
+TEST(Pcap, CaptureOfFiltersByFlag) {
+  std::vector<VideoPacket> packets = {make_packet(0, false),
+                                      make_packet(1, false),
+                                      make_packet(2, false)};
+  const std::vector<bool> captured = {true, false, true};
+  const std::vector<double> times = {0.1, 0.2, 0.3};
+  const auto caps = capture_of(packets, captured, times);
+  ASSERT_EQ(caps.size(), 2u);
+  EXPECT_EQ(caps[0].packet, &packets[0]);
+  EXPECT_DOUBLE_EQ(caps[1].timestamp_s, 0.3);
+  EXPECT_THROW((void)capture_of(packets, {true}, times), std::invalid_argument);
+}
+
+TEST(Pcap, ValidatesNullPackets) {
+  std::ostringstream out;
+  EXPECT_THROW(write_pcap(out, {{0.0, nullptr}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tv::net

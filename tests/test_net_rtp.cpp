@@ -1,0 +1,60 @@
+#include "net/rtp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace tv::net {
+namespace {
+
+TEST(Rtp, SerializedHeaderIsTwelveBytes) {
+  const RtpHeader h;
+  EXPECT_EQ(h.serialize().size(), RtpHeader::kSize);
+}
+
+TEST(Rtp, VersionBitsAndMarker) {
+  RtpHeader h;
+  h.marker = true;
+  h.payload_type = 96;
+  const auto bytes = h.serialize();
+  EXPECT_EQ(bytes[0] >> 6, 2);          // RTP version 2.
+  EXPECT_EQ(bytes[1] & 0x80, 0x80);     // marker set.
+  EXPECT_EQ(bytes[1] & 0x7f, 96);       // payload type.
+}
+
+class RtpRoundtrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RtpRoundtrip, ParseInvertsSerialize) {
+  util::Rng rng{GetParam()};
+  RtpHeader h;
+  h.marker = rng.bernoulli(0.5);
+  h.payload_type = static_cast<std::uint8_t>(rng.uniform_int(128));
+  h.sequence_number = static_cast<std::uint16_t>(rng.uniform_int(65536));
+  h.timestamp = static_cast<std::uint32_t>(rng());
+  h.ssrc = static_cast<std::uint32_t>(rng());
+  const auto bytes = h.serialize();
+  const RtpHeader back = RtpHeader::parse(bytes);
+  EXPECT_EQ(back.marker, h.marker);
+  EXPECT_EQ(back.payload_type, h.payload_type);
+  EXPECT_EQ(back.sequence_number, h.sequence_number);
+  EXPECT_EQ(back.timestamp, h.timestamp);
+  EXPECT_EQ(back.ssrc, h.ssrc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtpRoundtrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Rtp, ParseRejectsShortAndWrongVersion) {
+  std::vector<std::uint8_t> short_buf(11, 0);
+  EXPECT_THROW((void)RtpHeader::parse(short_buf), std::invalid_argument);
+  std::vector<std::uint8_t> bad(12, 0);  // version 0.
+  EXPECT_THROW((void)RtpHeader::parse(bad), std::invalid_argument);
+}
+
+TEST(Rtp, MaxPayloadAccountsForAllHeaders) {
+  EXPECT_EQ(max_payload(1500), 1500u - 28u - 12u);
+  EXPECT_EQ(max_payload(576), 576u - 40u);
+}
+
+}  // namespace
+}  // namespace tv::net

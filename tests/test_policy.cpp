@@ -1,0 +1,172 @@
+#include "policy/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tv::policy {
+namespace {
+
+// A synthetic packet sequence: per "GOP", 6 I-frame packets then 10
+// P-frame packets.
+std::vector<net::VideoPacket> synthetic_packets(int gops = 10) {
+  std::vector<net::VideoPacket> packets;
+  std::uint16_t seq = 0;
+  for (int g = 0; g < gops; ++g) {
+    for (int k = 0; k < 6; ++k) {
+      net::VideoPacket p;
+      p.sequence = seq++;
+      p.frame_index = g * 11;
+      p.is_i_frame = true;
+      p.payload.assign(1000, 0);
+      packets.push_back(std::move(p));
+    }
+    for (int k = 0; k < 10; ++k) {
+      net::VideoPacket p;
+      p.sequence = seq++;
+      p.frame_index = g * 11 + 1 + k;
+      p.is_i_frame = false;
+      p.payload.assign(300, 0);
+      packets.push_back(std::move(p));
+    }
+  }
+  return packets;
+}
+
+long count_selected(const std::vector<bool>& sel,
+                    const std::vector<net::VideoPacket>& packets,
+                    bool i_frames) {
+  long n = 0;
+  for (std::size_t i = 0; i < sel.size(); ++i) {
+    if (sel[i] && packets[i].is_i_frame == i_frames) ++n;
+  }
+  return n;
+}
+
+TEST(Policy, NoneSelectsNothing) {
+  const auto packets = synthetic_packets();
+  const EncryptionPolicy p{Mode::kNone, crypto::Algorithm::kAes128, 0.0};
+  const auto sel = p.select(packets);
+  EXPECT_EQ(count_selected(sel, packets, true), 0);
+  EXPECT_EQ(count_selected(sel, packets, false), 0);
+  EXPECT_DOUBLE_EQ(p.i_packet_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(p.p_packet_fraction(), 0.0);
+}
+
+TEST(Policy, AllSelectsEverything) {
+  const auto packets = synthetic_packets();
+  const EncryptionPolicy p{Mode::kAll, crypto::Algorithm::kAes128, 0.0};
+  const auto sel = p.select(packets);
+  EXPECT_EQ(count_selected(sel, packets, true), 60);
+  EXPECT_EQ(count_selected(sel, packets, false), 100);
+}
+
+TEST(Policy, IFramesSelectsExactlyIPackets) {
+  const auto packets = synthetic_packets();
+  const EncryptionPolicy p{Mode::kIFrames, crypto::Algorithm::kAes256, 0.0};
+  const auto sel = p.select(packets);
+  EXPECT_EQ(count_selected(sel, packets, true), 60);
+  EXPECT_EQ(count_selected(sel, packets, false), 0);
+  EXPECT_DOUBLE_EQ(p.i_packet_fraction(), 1.0);
+}
+
+TEST(Policy, PFramesSelectsExactlyPPackets) {
+  const auto packets = synthetic_packets();
+  const EncryptionPolicy p{Mode::kPFrames, crypto::Algorithm::kAes256, 0.0};
+  const auto sel = p.select(packets);
+  EXPECT_EQ(count_selected(sel, packets, true), 0);
+  EXPECT_EQ(count_selected(sel, packets, false), 100);
+  EXPECT_DOUBLE_EQ(p.p_packet_fraction(), 1.0);
+}
+
+class FractionPolicy : public ::testing::TestWithParam<double> {};
+
+TEST_P(FractionPolicy, IPlusFractionPSelectsExactShare) {
+  const double fraction = GetParam();
+  const auto packets = synthetic_packets();
+  const EncryptionPolicy p{Mode::kIPlusFractionP, crypto::Algorithm::kAes256,
+                           fraction};
+  const auto sel = p.select(packets);
+  EXPECT_EQ(count_selected(sel, packets, true), 60);  // all I packets.
+  // Bresenham stride selects floor/ceil of the exact share.
+  const double expected = 100.0 * fraction;
+  EXPECT_NEAR(static_cast<double>(count_selected(sel, packets, false)),
+              expected, 1.0);
+  EXPECT_DOUBLE_EQ(p.p_packet_fraction(), fraction);
+  EXPECT_DOUBLE_EQ(p.i_packet_fraction(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, FractionPolicy,
+                         ::testing::Values(0.0, 0.1, 0.15, 0.2, 0.25, 0.3,
+                                           0.5, 1.0));
+
+TEST(Policy, FractionSelectionIsEvenlySpread) {
+  const auto packets = synthetic_packets();
+  const EncryptionPolicy p{Mode::kIPlusFractionP, crypto::Algorithm::kAes256,
+                           0.2};
+  const auto sel = p.select(packets);
+  // No window of 10 consecutive P packets may contain more than 4
+  // selections (a clumped selector would leak long clear runs).
+  int p_seen = 0;
+  int window[10] = {};
+  int in_window = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (packets[i].is_i_frame) continue;
+    in_window -= window[p_seen % 10];
+    window[p_seen % 10] = sel[i] ? 1 : 0;
+    in_window += window[p_seen % 10];
+    ++p_seen;
+    if (p_seen >= 10) {
+      EXPECT_LE(in_window, 4);
+    }
+  }
+}
+
+TEST(Policy, FractionIEncryptsOnlyPartOfIFrames) {
+  const auto packets = synthetic_packets();
+  const EncryptionPolicy p{Mode::kFractionI, crypto::Algorithm::kAes256, 0.5};
+  const auto sel = p.select(packets);
+  EXPECT_EQ(count_selected(sel, packets, true), 30);
+  EXPECT_EQ(count_selected(sel, packets, false), 0);
+  EXPECT_DOUBLE_EQ(p.i_packet_fraction(), 0.5);
+}
+
+TEST(Policy, SelectionIsDeterministic) {
+  const auto packets = synthetic_packets();
+  const EncryptionPolicy p{Mode::kIPlusFractionP, crypto::Algorithm::kAes128,
+                           0.25};
+  EXPECT_EQ(p.select(packets), p.select(packets));
+}
+
+TEST(Policy, LabelsAreHumanReadable) {
+  EXPECT_EQ((EncryptionPolicy{Mode::kNone, crypto::Algorithm::kAes128, 0.0})
+                .label(),
+            "none");
+  EXPECT_EQ((EncryptionPolicy{Mode::kIFrames, crypto::Algorithm::kAes256,
+                              0.0})
+                .label(),
+            "I (AES256)");
+  EXPECT_EQ((EncryptionPolicy{Mode::kIPlusFractionP,
+                              crypto::Algorithm::kTripleDes, 0.2})
+                .label(),
+            "I+20%P (3DES)");
+}
+
+TEST(Policy, HeadlineOrderMatchesPaperPlots) {
+  const auto ladder = headline_policies(crypto::Algorithm::kAes256);
+  ASSERT_EQ(ladder.size(), 4u);
+  EXPECT_EQ(ladder[0].mode, Mode::kNone);
+  EXPECT_EQ(ladder[1].mode, Mode::kPFrames);
+  EXPECT_EQ(ladder[2].mode, Mode::kIFrames);
+  EXPECT_EQ(ladder[3].mode, Mode::kAll);
+}
+
+TEST(Policy, ValidatesFraction) {
+  EncryptionPolicy p{Mode::kIPlusFractionP, crypto::Algorithm::kAes128, 1.4};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  const auto packets = synthetic_packets();
+  EXPECT_THROW((void)p.select(packets), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tv::policy

@@ -1,0 +1,186 @@
+#include "queueing/mmpp_g1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/mg1.hpp"
+#include "queueing/queue_sim.hpp"
+
+namespace tv::queueing {
+namespace {
+
+ServiceTimeModel mixture_service() {
+  return ServiceTimeModel{
+      {{0.3, 4e-3, 4e-4}, {0.7, 2e-3, 2e-4}},
+      BackoffModel{0.9, 2000.0}};
+}
+
+TEST(MmppG1, PoissonDegenerateMatchesPollaczekKhinchine) {
+  // Identical rates in both states make the MMPP a Poisson process,
+  // whatever the modulating chain does; the solver must then agree with
+  // the P-K formula to near machine precision.
+  const Mmpp2 m{.r12 = 3.0, .r21 = 5.0, .lambda1 = 100.0, .lambda2 = 100.0};
+  const auto svc = mixture_service();
+  const auto sol = MmppG1Solver{m, svc}.solve();
+  const auto pk =
+      solve_mg1(100.0, svc.mean(), svc.moment2(), svc.moment3());
+  EXPECT_NEAR(sol.utilization, pk.utilization, 1e-12);
+  EXPECT_NEAR(sol.mean_wait, pk.mean_wait, 1e-9 * pk.mean_wait);
+  EXPECT_NEAR(sol.wait_moment2, pk.wait_moment2, 1e-8 * pk.wait_moment2);
+  EXPECT_NEAR(sol.mean_workload, pk.mean_wait, 1e-9 * pk.mean_wait);
+}
+
+TEST(MmppG1, PoissonDegenerateForAnyModulation) {
+  const auto svc = mixture_service();
+  for (double r12 : {0.1, 1.0, 50.0}) {
+    const Mmpp2 m{.r12 = r12, .r21 = 2.0 * r12, .lambda1 = 80.0,
+                  .lambda2 = 80.0};
+    const auto sol = MmppG1Solver{m, svc}.solve();
+    const auto pk = solve_mg1(80.0, svc.mean(), svc.moment2(), svc.moment3());
+    EXPECT_NEAR(sol.mean_wait, pk.mean_wait, 1e-8 * pk.mean_wait)
+        << "r12 = " << r12;
+  }
+}
+
+class MmppG1VsSim : public ::testing::TestWithParam<double> {};
+
+TEST_P(MmppG1VsSim, SolverMatchesDiscreteEventSimulation) {
+  const double scale = GetParam();
+  const Mmpp2 m{.r12 = 50.0, .r21 = 5.0, .lambda1 = 2000.0 * scale,
+                .lambda2 = 60.0 * scale};
+  ServiceTimeModel svc{
+      {{0.2, 1.5e-3, 1.5e-4}, {0.8, 0.7e-3, 0.7e-4}},
+      BackoffModel{0.85, 3000.0}};
+  const auto sol = MmppG1Solver{m, svc}.solve();
+  const auto sim = simulate_queue(m, svc, 1500000, 100000, 4242);
+  // Waits are heavily autocorrelated, so allow a few percent.
+  EXPECT_NEAR(sol.mean_wait, sim.wait.mean(), 0.06 * sim.wait.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, MmppG1VsSim,
+                         ::testing::Values(0.5, 1.0, 1.7, 2.4));
+
+TEST(MmppG1, BurstinessCostsMoreThanPoisson) {
+  // Same mean arrival rate and service: a bursty MMPP must wait longer
+  // than the Poisson equivalent (M/G/1).
+  const Mmpp2 bursty{.r12 = 50.0, .r21 = 2.0, .lambda1 = 3000.0,
+                     .lambda2 = 20.0};
+  const auto svc = mixture_service();
+  const auto sol = MmppG1Solver{bursty, svc}.solve();
+  const auto pk = solve_mg1(bursty.mean_rate(), svc.mean(), svc.moment2(),
+                            svc.moment3());
+  EXPECT_GT(sol.mean_wait, 2.0 * pk.mean_wait);
+}
+
+TEST(MmppG1, BusyPeriodMatrixIsStochastic) {
+  const Mmpp2 m{.r12 = 30.0, .r21 = 3.0, .lambda1 = 2500.0, .lambda2 = 100.0};
+  ServiceTimeModel svc{
+      {{0.25, 2.2e-3, 2e-4}, {0.75, 1.1e-3, 1e-4}},
+      BackoffModel{0.8, 2500.0}};
+  const auto sol = MmppG1Solver{m, svc}.solve();
+  for (std::size_t i = 0; i < 2; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_GE(sol.busy_period_phase(i, j), 0.0);
+      row += sol.busy_period_phase(i, j);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-9);
+  }
+}
+
+TEST(MmppG1, IdleProbabilitySumsToOneMinusRho) {
+  const Mmpp2 m{.r12 = 30.0, .r21 = 3.0, .lambda1 = 2500.0, .lambda2 = 100.0};
+  ServiceTimeModel svc{
+      {{0.25, 2.2e-3, 2e-4}, {0.75, 1.1e-3, 1e-4}},
+      BackoffModel{0.8, 2500.0}};
+  const auto sol = MmppG1Solver{m, svc}.solve();
+  double total = 0.0;
+  for (double u : sol.idle_phase) {
+    EXPECT_GE(u, 0.0);
+    total += u;
+  }
+  EXPECT_NEAR(total, 1.0 - sol.utilization, 1e-9);
+}
+
+TEST(MmppG1, WaitVarianceIsNonNegativeAndSimConsistent) {
+  const Mmpp2 m{.r12 = 50.0, .r21 = 5.0, .lambda1 = 2000.0, .lambda2 = 60.0};
+  ServiceTimeModel svc{
+      {{0.2, 1.5e-3, 1.5e-4}, {0.8, 0.7e-3, 0.7e-4}},
+      BackoffModel{0.85, 3000.0}};
+  const auto sol = MmppG1Solver{m, svc}.solve();
+  EXPECT_GE(sol.wait_stddev(), 0.0);
+  const auto sim = simulate_queue(m, svc, 1000000, 100000, 17);
+  const double sim_m2 =
+      sim.wait.mean() * sim.wait.mean() + sim.wait.variance();
+  EXPECT_NEAR(sol.wait_moment2, sim_m2, 0.12 * sim_m2);
+}
+
+TEST(MmppG1, ThrowsOnUnstableQueue) {
+  const Mmpp2 m{.r12 = 1.0, .r21 = 1.0, .lambda1 = 1000.0, .lambda2 = 1000.0};
+  ServiceTimeModel svc{{{1.0, 2e-3, 1e-4}},
+                       BackoffModel{1.0, 1.0}};  // rho = 2.
+  EXPECT_THROW(MmppG1Solver(m, svc).solve(), std::domain_error);
+}
+
+TEST(MmppG1, SojournIsWaitPlusService) {
+  const Mmpp2 m{.r12 = 10.0, .r21 = 2.0, .lambda1 = 500.0, .lambda2 = 50.0};
+  const auto svc = mixture_service();
+  const auto sol = MmppG1Solver{m, svc}.solve();
+  EXPECT_NEAR(sol.mean_sojourn, sol.mean_wait + svc.mean(), 1e-12);
+}
+
+TEST(MmppG1, ThreeStateSolverMatchesSimulation) {
+  // Extension beyond the paper's 2-state model: an I / P / B-like
+  // three-phase arrival process.
+  MmppN m;
+  m.q = util::Matrix{{-200.0, 150.0, 50.0},
+                     {2.0, -5.0, 3.0},
+                     {10.0, 30.0, -40.0}};
+  m.rates = {3000.0, 40.0, 400.0};
+  ServiceTimeModel svc{
+      {{0.3, 1.8e-3, 1.5e-4}, {0.7, 0.8e-3, 0.7e-4}},
+      BackoffModel{0.85, 2000.0}};
+  const auto sol = MmppG1Solver{m, svc}.solve();
+  EXPECT_GT(sol.utilization, 0.0);
+  EXPECT_LT(sol.utilization, 1.0);
+  const auto sim = simulate_queue(m, svc, 1500000, 100000, 777);
+  EXPECT_NEAR(sol.mean_wait, sim.wait.mean(), 0.06 * sim.wait.mean());
+  // Idle probabilities still sum to 1 - rho in the general case.
+  double total = 0.0;
+  for (double u : sol.idle_phase) total += u;
+  EXPECT_NEAR(total, 1.0 - sol.utilization, 1e-9);
+}
+
+TEST(MmppG1, ThreeStatePoissonDegenerateStillPollaczekKhinchine) {
+  MmppN m;
+  m.q = util::Matrix{{-3.0, 2.0, 1.0}, {4.0, -9.0, 5.0}, {0.5, 0.5, -1.0}};
+  m.rates = {120.0, 120.0, 120.0};
+  const auto svc = mixture_service();
+  const auto sol = MmppG1Solver{m, svc}.solve();
+  const auto pk = solve_mg1(120.0, svc.mean(), svc.moment2(), svc.moment3());
+  EXPECT_NEAR(sol.mean_wait, pk.mean_wait, 1e-7 * pk.mean_wait);
+}
+
+TEST(MmppN, ValidationCatchesBadGenerators) {
+  MmppN m;
+  m.q = util::Matrix{{-1.0, 2.0}, {1.0, -1.0}};  // rows don't sum to 0.
+  m.rates = {1.0, 1.0};
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.q = util::Matrix{{-1.0, 1.0}, {1.0, -1.0}};
+  m.rates = {0.0, 0.0};
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.rates = {1.0, 1.0};
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Mg1, ClosedFormsAndValidation) {
+  const auto s = solve_mg1(10.0, 0.05, 0.005, 0.0001);
+  EXPECT_NEAR(s.utilization, 0.5, 1e-12);
+  EXPECT_NEAR(s.mean_wait, 10.0 * 0.005 / (2.0 * 0.5), 1e-12);
+  EXPECT_THROW((void)solve_mg1(10.0, 0.2, 0.05), std::domain_error);
+  EXPECT_THROW((void)solve_mg1(-1.0, 0.2, 0.05), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tv::queueing

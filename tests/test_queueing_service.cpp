@@ -1,0 +1,156 @@
+#include "queueing/service_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace tv::queueing {
+namespace {
+
+TEST(BackoffModel, MomentsMatchClosedForms) {
+  const BackoffModel b{0.8, 500.0};
+  // E[K] = 0.25 collisions, each Exp(500).
+  EXPECT_NEAR(b.mean(), 0.25 / 500.0, 1e-15);
+  EXPECT_NEAR(b.moment2(), 2.0 * 0.2 / (0.64 * 500.0 * 500.0), 1e-15);
+  EXPECT_NEAR(b.moment3(), 6.0 * 0.2 / (0.512 * std::pow(500.0, 3)), 1e-18);
+}
+
+TEST(BackoffModel, MomentsMatchMonteCarlo) {
+  const BackoffModel b{0.7, 300.0};
+  util::Rng rng{13};
+  double m1 = 0.0;
+  double m2 = 0.0;
+  constexpr int kN = 400000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = b.sample(rng);
+    m1 += x;
+    m2 += x * x;
+  }
+  m1 /= kN;
+  m2 /= kN;
+  EXPECT_NEAR(m1, b.mean(), 0.02 * b.mean());
+  EXPECT_NEAR(m2, b.moment2(), 0.05 * b.moment2());
+}
+
+TEST(BackoffModel, LstAtZeroIsOneAndSlopeIsMinusMean) {
+  const BackoffModel b{0.78, 420.0};
+  EXPECT_NEAR(b.lst(0.0), 1.0, 1e-15);
+  const double h = 1e-4;
+  EXPECT_NEAR((b.lst(h) - b.lst(-h)) / (2.0 * h), -b.mean(),
+              1e-6 * b.mean() + 1e-12);
+}
+
+TEST(BackoffModel, PerfectMacMeansNoBackoff) {
+  const BackoffModel b{1.0, 100.0};
+  EXPECT_DOUBLE_EQ(b.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(b.lst(3.0), 1.0);
+  util::Rng rng{1};
+  EXPECT_DOUBLE_EQ(b.sample(rng), 0.0);
+}
+
+ServiceTimeModel example_model() {
+  return ServiceTimeModel{
+      {{0.25, 3e-3, 2e-4}, {0.75, 1e-3, 1e-4}},
+      BackoffModel{0.8, 400.0}};
+}
+
+TEST(ServiceTimeModel, MeanIsMixturePlusBackoff) {
+  const auto m = example_model();
+  EXPECT_NEAR(m.mean(), 0.25 * 3e-3 + 0.75 * 1e-3 + (1.0 - 0.8) / (0.8 * 400.0),
+              1e-15);
+}
+
+TEST(ServiceTimeModel, MomentsMatchMonteCarlo) {
+  const auto m = example_model();
+  util::Rng rng{21};
+  double m1 = 0.0;
+  double m2 = 0.0;
+  double m3 = 0.0;
+  constexpr int kN = 500000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = m.sample(rng);
+    m1 += x;
+    m2 += x * x;
+    m3 += x * x * x;
+  }
+  m1 /= kN;
+  m2 /= kN;
+  m3 /= kN;
+  EXPECT_NEAR(m1, m.mean(), 0.01 * m.mean());
+  EXPECT_NEAR(m2, m.moment2(), 0.03 * m.moment2());
+  EXPECT_NEAR(m3, m.moment3(), 0.08 * m.moment3());
+}
+
+TEST(ServiceTimeModel, LstDerivativesGiveMoments) {
+  const auto m = example_model();
+  EXPECT_NEAR(m.lst(0.0), 1.0, 1e-15);
+  const double h = 1e-3;
+  const double d1 = (m.lst(h) - m.lst(-h)) / (2.0 * h);
+  EXPECT_NEAR(-d1, m.mean(), 1e-8);
+  const double d2 = (m.lst(h) - 2.0 * m.lst(0.0) + m.lst(-h)) / (h * h);
+  EXPECT_NEAR(d2, m.moment2(), 1e-8);
+}
+
+TEST(ServiceTimeModel, MatrixMgfOnScalarMatchesLst) {
+  // For a 1x1 "matrix" A = [-s], E[expm(A S)] must equal the LST at s.
+  const auto m = example_model();
+  for (double s : {10.0, 100.0, 350.0}) {
+    util::Matrix a(1, 1);
+    a(0, 0) = -s;
+    EXPECT_NEAR(m.matrix_mgf(a)(0, 0), m.lst(s), 1e-10);
+  }
+}
+
+TEST(ServiceTimeModel, FromParametersBuildsFourClasses) {
+  ServiceParameters p;
+  p.p_i = 0.3;
+  p.q_i = 1.0;
+  p.q_p = 0.5;
+  p.enc_i_mean = 2e-3;
+  p.enc_p_mean = 1e-3;
+  p.tx_i_mean = 3e-3;
+  p.tx_p_mean = 1e-3;
+  p.success_prob = 0.9;
+  p.backoff_rate = 500.0;
+  const auto m = ServiceTimeModel::from_parameters(p);
+  // weights: I-enc 0.3, P-enc 0.35, P-clear 0.35 (I-clear weight 0 dropped).
+  ASSERT_EQ(m.components().size(), 3u);
+  double total = 0.0;
+  for (const auto& c : m.components()) total += c.weight;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Expected mean: 0.3*(5e-3) + 0.35*(2e-3) + 0.35*(1e-3) + backoff.
+  const double backoff = (0.1 / 0.9) / 500.0;
+  EXPECT_NEAR(m.mean(), 0.3 * 5e-3 + 0.35 * 2e-3 + 0.35 * 1e-3 + backoff,
+              1e-12);
+}
+
+TEST(ServiceTimeModel, ValidatesInputs) {
+  EXPECT_THROW(ServiceTimeModel({}, BackoffModel{0.9, 1.0}),
+               std::invalid_argument);
+  // Weights must sum to one.
+  EXPECT_THROW(ServiceTimeModel({{0.5, 1e-3, 0.0}}, BackoffModel{0.9, 1.0}),
+               std::invalid_argument);
+  // Jitter beyond the minor-variations regime is rejected (would break the
+  // Gaussian MGF in the solver).
+  EXPECT_THROW(ServiceTimeModel({{1.0, 1e-3, 0.9e-3}}, BackoffModel{0.9, 1.0}),
+               std::invalid_argument);
+  // Bad backoff.
+  EXPECT_THROW(ServiceTimeModel({{1.0, 1e-3, 0.0}}, BackoffModel{0.0, 1.0}),
+               std::invalid_argument);
+  ServiceParameters p;
+  p.q_i = 1.4;
+  EXPECT_THROW(ServiceTimeModel::from_parameters(p), std::invalid_argument);
+}
+
+TEST(ServiceTimeModel, SamplesAreNonNegative) {
+  const auto m = example_model();
+  util::Rng rng{5};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(m.sample(rng), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace tv::queueing

@@ -1,0 +1,140 @@
+#include "util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tv::util {
+namespace {
+
+TEST(Matrix, InitializerListAndAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_THROW((Matrix{{1.0}, {1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 12.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 4.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+  const Matrix prod = a * b;
+  EXPECT_DOUBLE_EQ(prod(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(prod(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(prod(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(prod(1, 1), 50.0);
+}
+
+TEST(Matrix, SolveRecoversKnownSolution) {
+  const Matrix a{{2.0, 1.0, -1.0}, {-3.0, -1.0, 2.0}, {-2.0, 1.0, 2.0}};
+  const Vector b = {8.0, -11.0, -3.0};
+  const Vector x = solve(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  EXPECT_NEAR(x[2], -1.0, 1e-12);
+}
+
+TEST(Matrix, SolveThrowsOnSingular) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW((void)solve(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(Matrix, SolveLeftMatchesRowSystem) {
+  const Matrix a{{4.0, 1.0}, {2.0, 3.0}};
+  const Vector b = {10.0, 13.0};
+  const Vector x = solve_left(a, b);  // x A = b.
+  EXPECT_NEAR(x[0] * a(0, 0) + x[1] * a(1, 0), b[0], 1e-12);
+  EXPECT_NEAR(x[0] * a(0, 1) + x[1] * a(1, 1), b[1], 1e-12);
+}
+
+TEST(Matrix, InverseTimesSelfIsIdentity) {
+  const Matrix a{{3.0, 1.0, 2.0}, {0.0, 4.0, 1.0}, {2.0, -1.0, 5.0}};
+  const Matrix inv = inverse(a);
+  const Matrix id = a * inv;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(id(i, j), i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Matrix, ExpmOfZeroIsIdentity) {
+  const Matrix z(3, 3);
+  const Matrix e = expm(z);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(e(i, j), i == j ? 1.0 : 0.0, 1e-14);
+    }
+  }
+}
+
+TEST(Matrix, ExpmDiagonalIsElementwiseExp) {
+  Matrix d(2, 2);
+  d(0, 0) = 1.0;
+  d(1, 1) = -2.0;
+  const Matrix e = expm(d);
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-14);
+}
+
+TEST(Matrix, ExpmOfGeneratorIsStochastic) {
+  // exp(Q t) of a CTMC generator must have rows summing to 1.
+  const Matrix q{{-2.0, 2.0}, {5.0, -5.0}};
+  const Matrix p = expm(q * 0.37);
+  EXPECT_NEAR(p(0, 0) + p(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(p(1, 0) + p(1, 1), 1.0, 1e-12);
+  EXPECT_GE(p(0, 0), 0.0);
+  EXPECT_GE(p(1, 0), 0.0);
+}
+
+TEST(Matrix, ExpmMatchesClosedForm2x2) {
+  // For Q = [[-a, a], [b, -b]], exp(Qt) has the classic closed form.
+  const double a = 3.0;
+  const double b = 1.5;
+  const double t = 0.8;
+  const Matrix p = expm(Matrix{{-a, a}, {b, -b}} * t);
+  const double s = a + b;
+  const double decay = std::exp(-s * t);
+  EXPECT_NEAR(p(0, 0), (b + a * decay) / s, 1e-12);
+  EXPECT_NEAR(p(0, 1), (a - a * decay) / s, 1e-12);
+  EXPECT_NEAR(p(1, 0), (b - b * decay) / s, 1e-12);
+}
+
+TEST(Matrix, CtmcStationarySatisfiesBalance) {
+  const Matrix q{{-2.0, 2.0}, {6.0, -6.0}};
+  const Vector pi = ctmc_stationary(q);
+  EXPECT_NEAR(pi[0], 0.75, 1e-12);
+  EXPECT_NEAR(pi[1], 0.25, 1e-12);
+  const Vector zero = mul(pi, q);
+  EXPECT_NEAR(zero[0], 0.0, 1e-12);
+}
+
+TEST(Matrix, DtmcStationaryOfDoublyStochasticIsUniform) {
+  const Matrix p{{0.5, 0.5}, {0.5, 0.5}};
+  const Vector pi = dtmc_stationary(p);
+  EXPECT_NEAR(pi[0], 0.5, 1e-12);
+  EXPECT_NEAR(pi[1], 0.5, 1e-12);
+}
+
+TEST(Matrix, VectorHelpers) {
+  const Vector v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(sum(v), 6.0);
+  EXPECT_DOUBLE_EQ(dot(v, v), 14.0);
+  const Matrix m{{1.0, 0.0}, {0.0, 2.0}, {1.0, 1.0}};
+  const Vector vm = mul(v, m);
+  EXPECT_DOUBLE_EQ(vm[0], 4.0);
+  EXPECT_DOUBLE_EQ(vm[1], 7.0);
+  const Vector mv = mul(m, Vector{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(mv[0], 2.0);
+  EXPECT_DOUBLE_EQ(mv[2], 5.0);
+}
+
+}  // namespace
+}  // namespace tv::util

@@ -1,0 +1,73 @@
+#include "util/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tv::util {
+namespace {
+
+TEST(Polynomial, EvaluatesHorner) {
+  const Polynomial p{{1.0, -2.0, 3.0}};  // 1 - 2x + 3x^2.
+  EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(p(2.0), 9.0);
+}
+
+TEST(Polynomial, DerivativeCoefficients) {
+  const Polynomial p{{5.0, 1.0, 2.0, 4.0}};
+  const Polynomial d = p.derivative();
+  ASSERT_EQ(d.coefficients().size(), 3u);
+  EXPECT_DOUBLE_EQ(d.coefficients()[0], 1.0);
+  EXPECT_DOUBLE_EQ(d.coefficients()[1], 4.0);
+  EXPECT_DOUBLE_EQ(d.coefficients()[2], 12.0);
+  EXPECT_DOUBLE_EQ(Polynomial{{7.0}}.derivative()(3.0), 0.0);
+}
+
+TEST(Polyfit, RecoversExactPolynomial) {
+  const Polynomial truth{{2.0, -1.0, 0.5, 0.25}};
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 10; ++i) {
+    xs.push_back(i * 0.7);
+    ys.push_back(truth(i * 0.7));
+  }
+  const Polynomial fit = polyfit(xs, ys, 3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(fit.coefficients()[i], truth.coefficients()[i], 1e-8);
+  }
+  EXPECT_NEAR(r_squared(fit, xs, ys), 1.0, 1e-12);
+}
+
+TEST(Polyfit, Degree5OnNoisySamplesHasHighR2) {
+  Rng rng{77};
+  const Polynomial truth{{3.0, 2.0, 0.0, 0.1, 0.0, 0.01}};
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 1; i <= 30; ++i) {
+    xs.push_back(static_cast<double>(i) / 3.0);
+    ys.push_back(truth(xs.back()) + rng.gaussian(0.0, 0.05));
+  }
+  const Polynomial fit = polyfit(xs, ys, 5);
+  EXPECT_GT(r_squared(fit, xs, ys), 0.999);
+}
+
+TEST(Polyfit, RejectsDegenerateInput) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_THROW((void)polyfit(xs, ys, 1), std::invalid_argument);
+  const std::vector<double> few = {1.0, 2.0};
+  EXPECT_THROW((void)polyfit(few, few, 2), std::invalid_argument);
+}
+
+TEST(RSquared, ZeroForMeanPredictor) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {1.0, 5.0, 3.0};
+  const Polynomial mean_only{{3.0}};
+  EXPECT_NEAR(r_squared(mean_only, xs, ys), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tv::util

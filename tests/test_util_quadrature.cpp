@@ -1,0 +1,50 @@
+#include "util/quadrature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace tv::util {
+namespace {
+
+TEST(GaussLegendre, WeightsSumToIntervalLength) {
+  const QuadratureRule rule = gauss_legendre(16, -2.0, 5.0);
+  double total = 0.0;
+  for (double w : rule.weights) total += w;
+  EXPECT_NEAR(total, 7.0, 1e-12);
+}
+
+TEST(GaussLegendre, NodesInsideInterval) {
+  const QuadratureRule rule = gauss_legendre(12, 1.0, 3.0);
+  for (double x : rule.nodes) {
+    EXPECT_GT(x, 1.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Integrate, PolynomialExactness) {
+  // An n-point rule integrates polynomials up to degree 2n-1 exactly.
+  const auto f = [](double x) { return 3.0 * x * x * x - x + 2.0; };
+  EXPECT_NEAR(integrate(f, 0.0, 2.0, 2), 12.0 - 2.0 + 4.0, 1e-12);
+}
+
+TEST(Integrate, SineOverHalfPeriod) {
+  EXPECT_NEAR(integrate([](double x) { return std::sin(x); }, 0.0,
+                        std::numbers::pi, 24),
+              2.0, 1e-12);
+}
+
+TEST(Integrate, GaussianDensityNormalizes) {
+  const auto density = [](double x) {
+    return std::exp(-0.5 * x * x) / std::sqrt(2.0 * std::numbers::pi);
+  };
+  EXPECT_NEAR(integrate(density, -8.0, 8.0, 64), 1.0, 1e-10);
+}
+
+TEST(GaussLegendre, RejectsBadOrder) {
+  EXPECT_THROW((void)gauss_legendre(0, 0.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tv::util

@@ -1,0 +1,102 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tv::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased.
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.add(3.25);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.25);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng{5};
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(1.0, 2.0);
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  Rng rng{3};
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10; ++i) small.add(rng.gaussian(0.0, 1.0));
+  for (int i = 0; i < 1000; ++i) large.add(rng.gaussian(0.0, 1.0));
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(TQuantile, MatchesTable) {
+  EXPECT_NEAR(t_quantile_975(1), 12.706, 1e-3);
+  EXPECT_NEAR(t_quantile_975(19), 2.093, 1e-3);
+  EXPECT_NEAR(t_quantile_975(10000), 1.96, 1e-3);
+}
+
+TEST(MeanOf, HandlesEmptyAndValues) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  const std::vector<double> xs = {1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 3.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW((void)percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tv::util

@@ -1,0 +1,117 @@
+#include "video/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace tv::video {
+namespace {
+
+TEST(ByteWriter, FixedWidthLittleEndian) {
+  ByteWriter w;
+  w.put_u8(0xab);
+  w.put_u16(0x1234);
+  w.put_u32(0xdeadbeef);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 7u);
+  EXPECT_EQ(b[0], 0xab);
+  EXPECT_EQ(b[1], 0x34);
+  EXPECT_EQ(b[2], 0x12);
+  EXPECT_EQ(b[3], 0xef);
+  EXPECT_EQ(b[6], 0xde);
+}
+
+TEST(ByteReader, FixedWidthRoundtrip) {
+  ByteWriter w;
+  w.put_u8(7);
+  w.put_u16(65535);
+  w.put_u32(123456789);
+  const auto bytes = w.bytes();
+  ByteReader r{bytes};
+  EXPECT_EQ(r.get_u8(), 7);
+  EXPECT_EQ(r.get_u16(), 65535);
+  EXPECT_EQ(r.get_u32(), 123456789u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+class VarintRoundtrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundtrip, UnsignedRoundtrips) {
+  ByteWriter w;
+  w.put_varint(GetParam());
+  const auto bytes = w.bytes();
+  ByteReader r{bytes};
+  EXPECT_EQ(r.get_varint(), GetParam());
+  EXPECT_TRUE(r.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarintRoundtrip,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+                      (1ull << 32), (1ull << 56) + 12345ull,
+                      std::numeric_limits<std::uint64_t>::max()));
+
+class SignedRoundtrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SignedRoundtrip, SignedRoundtrips) {
+  ByteWriter w;
+  w.put_signed(GetParam());
+  const auto bytes = w.bytes();
+  ByteReader r{bytes};
+  EXPECT_EQ(r.get_signed(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, SignedRoundtrip,
+    ::testing::Values(0ll, 1ll, -1ll, 63ll, -64ll, 64ll, -65ll, 4096ll,
+                      -4096ll, std::numeric_limits<std::int64_t>::max(),
+                      std::numeric_limits<std::int64_t>::min()));
+
+TEST(Varint, SmallValuesAreOneByte) {
+  for (std::uint64_t v : {0ull, 1ull, 127ull}) {
+    ByteWriter w;
+    w.put_varint(v);
+    EXPECT_EQ(w.size(), 1u);
+  }
+  ByteWriter w;
+  w.put_varint(128);
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(ByteReader, ThrowsOnTruncation) {
+  const std::vector<std::uint8_t> empty;
+  ByteReader r1{empty};
+  EXPECT_THROW((void)r1.get_u8(), BitstreamError);
+
+  const std::vector<std::uint8_t> one = {0x12};
+  ByteReader r2{one};
+  EXPECT_THROW((void)r2.get_u16(), BitstreamError);
+
+  // Unterminated varint: continuation bit set, then end of data.
+  const std::vector<std::uint8_t> dangling = {0x80};
+  ByteReader r3{dangling};
+  EXPECT_THROW((void)r3.get_varint(), BitstreamError);
+}
+
+TEST(ByteReader, ThrowsOnOverlongVarint) {
+  // Eleven continuation bytes exceed 64 bits.
+  const std::vector<std::uint8_t> overlong(11, 0x80);
+  ByteReader r{overlong};
+  EXPECT_THROW((void)r.get_varint(), BitstreamError);
+}
+
+TEST(ByteReader, PositionTracking) {
+  ByteWriter w;
+  w.put_u32(1);
+  w.put_u8(2);
+  const auto bytes = w.bytes();
+  ByteReader r{bytes};
+  EXPECT_EQ(r.remaining(), 5u);
+  (void)r.get_u32();
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+}  // namespace
+}  // namespace tv::video

@@ -1,0 +1,202 @@
+#include "video/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "video/frame.hpp"
+#include "video/quality.hpp"
+#include "video/scene.hpp"
+
+namespace tv::video {
+namespace {
+
+FrameSequence test_clip(MotionLevel level, int frames, std::uint64_t seed) {
+  SceneParameters p = SceneParameters::preset(level);
+  p.width = 128;  // small frames keep the tests fast.
+  p.height = 96;
+  return SceneGenerator{p, seed}.render_clip(frames);
+}
+
+std::vector<ReceivedFrameData> intact_stream(const EncodedStream& stream) {
+  std::vector<ReceivedFrameData> out;
+  out.reserve(stream.frames.size());
+  for (const auto& f : stream.frames) {
+    out.push_back(ReceivedFrameData::intact(f.data));
+  }
+  return out;
+}
+
+TEST(Codec, GopStructureIsIppp) {
+  const auto clip = test_clip(MotionLevel::kMedium, 25, 1);
+  CodecConfig config;
+  config.gop_size = 10;
+  const Encoder encoder{config};
+  const EncodedStream stream = encoder.encode(clip);
+  ASSERT_EQ(stream.frames.size(), 25u);
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_EQ(stream.frames[static_cast<std::size_t>(i)].is_i, i % 10 == 0)
+        << "frame " << i;
+    EXPECT_EQ(stream.frames[static_cast<std::size_t>(i)].index, i);
+  }
+}
+
+TEST(Codec, IFramesAreMuchLargerThanPFramesForLowMotion) {
+  const auto clip = test_clip(MotionLevel::kLow, 20, 2);
+  const Encoder encoder{CodecConfig{.gop_size = 10}};
+  const EncodedStream stream = encoder.encode(clip);
+  // On these small 128x96 test frames the objects cover a larger share of
+  // the picture than at CIF, so the ratio is smaller than the ~20-80x seen
+  // on full-size clips.
+  EXPECT_GT(stream.mean_i_bytes(), 5.0 * stream.mean_p_bytes());
+}
+
+TEST(Codec, PFrameSizeGrowsWithMotion) {
+  const Encoder encoder{CodecConfig{.gop_size = 10}};
+  const double p_low =
+      encoder.encode(test_clip(MotionLevel::kLow, 20, 3)).mean_p_bytes();
+  const double p_high =
+      encoder.encode(test_clip(MotionLevel::kHigh, 20, 3)).mean_p_bytes();
+  EXPECT_GT(p_high, 2.0 * p_low);
+}
+
+TEST(Codec, LosslessTransportDecodesAboveThirtyDb) {
+  for (auto level : {MotionLevel::kLow, MotionLevel::kHigh}) {
+    const auto clip = test_clip(level, 15, 4);
+    CodecConfig config;
+    config.gop_size = 5;
+    const Encoder encoder{config};
+    const EncodedStream stream = encoder.encode(clip);
+    const Decoder decoder{config};
+    const FrameSequence decoded =
+        decoder.decode_stream(128, 96, intact_stream(stream));
+    ASSERT_EQ(decoded.size(), clip.size());
+    EXPECT_GT(sequence_psnr(clip, decoded), 30.0)
+        << "motion " << to_string(level);
+  }
+}
+
+TEST(Codec, DecoderMatchesEncoderReconstructionExactly) {
+  // The decoder must reproduce the encoder's reference frames bit-exactly,
+  // otherwise P-frame prediction drifts.  Decode twice: identical output.
+  const auto clip = test_clip(MotionLevel::kMedium, 8, 5);
+  CodecConfig config;
+  config.gop_size = 8;
+  const EncodedStream stream = Encoder{config}.encode(clip);
+  const Decoder decoder{config};
+  const auto a = decoder.decode_stream(128, 96, intact_stream(stream));
+  const auto b = decoder.decode_stream(128, 96, intact_stream(stream));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(luma_mse(a[i], b[i]), 0.0);
+  }
+}
+
+TEST(Codec, LostFrameIsConcealedByPreviousOutput) {
+  const auto clip = test_clip(MotionLevel::kLow, 6, 6);
+  CodecConfig config;
+  config.gop_size = 6;
+  const EncodedStream stream = Encoder{config}.encode(clip);
+  auto received = intact_stream(stream);
+  received[3] = ReceivedFrameData::lost(stream.frames[3].data.size());
+  const Decoder decoder{config};
+  const FrameSequence decoded = decoder.decode_stream(128, 96, received);
+  // Frame 3 must equal frame 2's output (freeze concealment).
+  EXPECT_DOUBLE_EQ(luma_mse(decoded[3], decoded[2]), 0.0);
+}
+
+TEST(Codec, LostIFrameDegradesWholeGop) {
+  const auto clip = test_clip(MotionLevel::kHigh, 12, 7);
+  CodecConfig config;
+  config.gop_size = 6;
+  const EncodedStream stream = Encoder{config}.encode(clip);
+  auto received = intact_stream(stream);
+  received[6] = ReceivedFrameData::lost(stream.frames[6].data.size());
+  const Decoder decoder{config};
+  const auto intact = decoder.decode_stream(128, 96, intact_stream(stream));
+  const auto lossy = decoder.decode_stream(128, 96, received);
+  double mse_second_gop = 0.0;
+  for (int i = 6; i < 12; ++i) {
+    mse_second_gop += luma_mse(intact[static_cast<std::size_t>(i)],
+                               lossy[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_GT(mse_second_gop / 6.0, 50.0);
+}
+
+TEST(Codec, PartialFrameDecodesAvailableRows) {
+  const auto clip = test_clip(MotionLevel::kMedium, 2, 8);
+  CodecConfig config;
+  config.gop_size = 2;
+  const EncodedStream stream = Encoder{config}.encode(clip);
+  // Keep only the first 60% of the I-frame's bytes.
+  const auto& data = stream.frames[0].data;
+  ReceivedFrameData partial = ReceivedFrameData::intact(data);
+  for (std::size_t i = data.size() * 3 / 5; i < data.size(); ++i) {
+    partial.byte_ok[i] = false;
+  }
+  const Decoder decoder{config};
+  const DecodeResult result = decoder.decode_frame(partial, nullptr);
+  EXPECT_TRUE(result.header_ok);
+  EXPECT_GT(result.decoded_macroblocks, 0);
+  EXPECT_LT(result.decoded_macroblocks, result.total_macroblocks);
+}
+
+TEST(Codec, HeaderLossKillsTheFrame) {
+  const auto clip = test_clip(MotionLevel::kMedium, 1, 9);
+  CodecConfig config;
+  const EncodedStream stream = Encoder{config}.encode(clip);
+  ReceivedFrameData received = ReceivedFrameData::intact(stream.frames[0].data);
+  received.byte_ok[2] = false;  // inside the fixed header.
+  const Decoder decoder{config};
+  const DecodeResult result = decoder.decode_frame(received, nullptr);
+  EXPECT_FALSE(result.header_ok);
+  EXPECT_EQ(result.decoded_macroblocks, 0);
+}
+
+TEST(Codec, GarbageInputIsRejectedGracefully) {
+  std::vector<std::uint8_t> garbage(500, 0xCD);
+  const Decoder decoder{CodecConfig{}};
+  const DecodeResult result =
+      decoder.decode_frame(ReceivedFrameData::intact(garbage), nullptr);
+  EXPECT_FALSE(result.header_ok);
+}
+
+TEST(Codec, EncodedFrameSizesShrinkWithCoarserQuantizer) {
+  const auto clip = test_clip(MotionLevel::kMedium, 10, 10);
+  CodecConfig fine;
+  fine.gop_size = 10;
+  fine.i_qstep = 8.0;
+  fine.p_qstep = 10.0;
+  CodecConfig coarse = fine;
+  coarse.i_qstep = 24.0;
+  coarse.p_qstep = 30.0;
+  const auto s_fine = Encoder{fine}.encode(clip);
+  const auto s_coarse = Encoder{coarse}.encode(clip);
+  EXPECT_GT(s_fine.total_bytes(), s_coarse.total_bytes());
+}
+
+TEST(Codec, IntraRefreshRecoversWithoutIFrame) {
+  // Drop the single I-frame of a high-motion clip entirely; intra-refreshed
+  // macroblocks in P-frames must progressively rebuild the picture, which
+  // is the mechanism that forces I+a%P policies for fast motion (Fig. 9).
+  const auto clip = test_clip(MotionLevel::kHigh, 12, 11);
+  CodecConfig config;
+  config.gop_size = 12;
+  const EncodedStream stream = Encoder{config}.encode(clip);
+  auto received = intact_stream(stream);
+  received[0] = ReceivedFrameData::lost(stream.frames[0].data.size());
+  const Decoder decoder{config};
+  const auto decoded = decoder.decode_stream(128, 96, received);
+  const double early = luma_mse(clip[1], decoded[1]);
+  const double late = luma_mse(clip[11], decoded[11]);
+  EXPECT_LT(late, 0.7 * early);
+}
+
+TEST(Codec, RejectsInvalidConfigs) {
+  EXPECT_THROW(Encoder{CodecConfig{.gop_size = 0}}, std::invalid_argument);
+  EXPECT_THROW(Encoder{CodecConfig{.i_qstep = -1.0}}, std::invalid_argument);
+  const Encoder encoder{CodecConfig{}};
+  EXPECT_THROW(encoder.encode({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tv::video

@@ -1,0 +1,55 @@
+#include "video/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "video/frame.hpp"
+
+namespace tv::video {
+namespace {
+
+TEST(Mos, EvalVidBands) {
+  EXPECT_EQ(mos_from_psnr(45.0), 5);
+  EXPECT_EQ(mos_from_psnr(37.1), 5);
+  EXPECT_EQ(mos_from_psnr(36.9), 4);
+  EXPECT_EQ(mos_from_psnr(31.0), 3);
+  EXPECT_EQ(mos_from_psnr(25.0), 2);
+  EXPECT_EQ(mos_from_psnr(20.0), 1);
+  EXPECT_EQ(mos_from_psnr(5.0), 1);
+}
+
+TEST(SequenceMos, PerFrameBandsAreAveraged) {
+  Frame ref(32, 32);
+  ref.fill(100, 128, 128);
+  Frame perfect = ref;           // PSNR inf -> band 5.
+  Frame bad(32, 32);
+  bad.fill(200, 128, 128);       // MSE 10000 -> ~8 dB -> band 1.
+  const double mos = sequence_mos({ref, ref}, {perfect, bad});
+  EXPECT_DOUBLE_EQ(mos, 3.0);    // (5 + 1) / 2 -> fractional MOS possible.
+}
+
+TEST(SequenceMos, RejectsMismatchedLengths) {
+  Frame f(32, 32);
+  EXPECT_THROW((void)sequence_mos({f, f}, {f}), std::invalid_argument);
+  EXPECT_THROW((void)sequence_mos({}, {}), std::invalid_argument);
+}
+
+TEST(PsnrTrace, CapsInfiniteValues) {
+  Frame ref(32, 32);
+  ref.fill(128, 128, 128);
+  const auto trace = psnr_trace({ref}, {ref}, 60.0);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace[0], 60.0);
+}
+
+TEST(PsnrTrace, ReportsPerFrameValues) {
+  Frame ref(32, 32);
+  ref.fill(100, 128, 128);
+  Frame off(32, 32);
+  off.fill(110, 128, 128);  // MSE 100 -> 28.13 dB.
+  const auto trace = psnr_trace({ref, ref}, {ref, off});
+  EXPECT_DOUBLE_EQ(trace[0], 60.0);
+  EXPECT_NEAR(trace[1], 28.13, 0.01);
+}
+
+}  // namespace
+}  // namespace tv::video

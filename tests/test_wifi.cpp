@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wifi/channel.hpp"
+#include "wifi/dcf_model.hpp"
+#include "wifi/dcf_sim.hpp"
+
+namespace tv::wifi {
+namespace {
+
+TEST(DcfModel, SingleStationNeverCollides) {
+  const DcfSolution s = solve_dcf(DcfParameters{.contenders = 1});
+  EXPECT_DOUBLE_EQ(s.collision_probability, 0.0);
+  EXPECT_NEAR(s.attempt_probability, 2.0 / 17.0, 1e-12);
+}
+
+TEST(DcfModel, BianchiTwoStationClosedForm) {
+  // For n = 2, p = tau and the fixed point can be checked by residual.
+  const DcfParameters params{.contenders = 2, .cw_min = 32,
+                             .backoff_stages = 5};
+  const DcfSolution s = solve_dcf(params);
+  const double p = s.collision_probability;
+  const double tau = s.attempt_probability;
+  EXPECT_NEAR(p, tau, 1e-9);  // 1 - (1 - tau)^(2-1) = tau.
+  // tau must satisfy Bianchi's backoff-chain equation.
+  const double geometric = (1.0 - std::pow(2.0 * p, 5)) / (1.0 - 2.0 * p);
+  EXPECT_NEAR(tau, 2.0 / (1.0 + 32.0 + p * 32.0 * geometric), 1e-9);
+}
+
+TEST(DcfModel, CollisionProbabilityGrowsWithContention) {
+  double prev = 0.0;
+  for (int n : {2, 4, 8, 16, 32, 64}) {
+    const DcfSolution s = solve_dcf(DcfParameters{.contenders = n});
+    EXPECT_GT(s.collision_probability, prev);
+    prev = s.collision_probability;
+  }
+}
+
+TEST(DcfModel, AttemptRateFallsWithContention) {
+  double prev = 1.0;
+  for (int n : {2, 4, 8, 16, 32}) {
+    const DcfSolution s = solve_dcf(DcfParameters{.contenders = n});
+    EXPECT_LT(s.attempt_probability, prev);
+    prev = s.attempt_probability;
+  }
+}
+
+TEST(DcfModel, LargerWindowReducesAttempts) {
+  const auto small = solve_dcf(DcfParameters{.contenders = 8, .cw_min = 16});
+  const auto large = solve_dcf(DcfParameters{.contenders = 8, .cw_min = 64});
+  EXPECT_GT(small.attempt_probability, large.attempt_probability);
+  EXPECT_GT(small.collision_probability, large.collision_probability);
+}
+
+class DcfModelVsSim : public ::testing::TestWithParam<int> {};
+
+TEST_P(DcfModelVsSim, FixedPointMatchesSlottedSimulation) {
+  const DcfParameters params{.contenders = GetParam()};
+  const DcfSolution model = solve_dcf(params);
+  const DcfSimResult sim = simulate_dcf(params, 300000, 42);
+  EXPECT_NEAR(sim.attempt_probability, model.attempt_probability,
+              0.08 * model.attempt_probability + 1e-4);
+  EXPECT_NEAR(sim.collision_probability, model.collision_probability,
+              0.08 * model.collision_probability + 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Contenders, DcfModelVsSim,
+                         ::testing::Values(2, 3, 5, 8, 12, 20, 32));
+
+TEST(PacketSuccess, ComposesCollisionAndChannel) {
+  const DcfParameters params{.contenders = 4};
+  const double p_col = solve_dcf(params).collision_probability;
+  const double ps = packet_success_rate(params, 0.1);
+  EXPECT_NEAR(ps, (1.0 - p_col) * 0.9, 1e-12);
+  EXPECT_THROW((void)packet_success_rate(params, 1.5), std::invalid_argument);
+}
+
+TEST(MeanCollisions, GeometricMean) {
+  EXPECT_DOUBLE_EQ(mean_collisions(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(mean_collisions(0.5), 1.0);
+  EXPECT_NEAR(mean_collisions(0.8), 0.25, 1e-12);
+  EXPECT_THROW((void)mean_collisions(0.0), std::invalid_argument);
+}
+
+TEST(Channel, TransmissionTimeScalesWithSizeAndRate) {
+  PhyParameters phy;
+  const double t_small = transmission_time_s(phy, 100);
+  const double t_big = transmission_time_s(phy, 1500);
+  EXPECT_GT(t_big, t_small);
+  PhyParameters fast = phy;
+  fast.data_rate_mbps = 54.0;
+  EXPECT_LT(transmission_time_s(fast, 1500), t_big);
+}
+
+TEST(Channel, TransmissionTimeIncludesAckExchange) {
+  PhyParameters phy;
+  phy.data_rate_mbps = 6.0;
+  // Payload + MAC header bits at 6 Mb/s, plus two preambles, SIFS, ACK.
+  const double expected = 20e-6 + (1500 + 28) * 8 / 6e6 + 10e-6 + 20e-6 +
+                          14 * 8 / 6e6;
+  EXPECT_NEAR(transmission_time_s(phy, 1500), expected, 1e-9);
+}
+
+TEST(Channel, PacketErrorProbability) {
+  EXPECT_DOUBLE_EQ(packet_error_probability(0.0, 1500), 0.0);
+  // 1 - (1 - b)^n for small b*n ~ b*n.
+  EXPECT_NEAR(packet_error_probability(1e-7, 1500), 1500 * 8 * 1e-7, 1e-6);
+  // Monotone in both arguments.
+  EXPECT_GT(packet_error_probability(1e-5, 1500),
+            packet_error_probability(1e-5, 100));
+  EXPECT_THROW((void)packet_error_probability(-0.1, 10), std::invalid_argument);
+}
+
+TEST(Channel, BpskBerAtKnownSnrs) {
+  EXPECT_NEAR(bpsk_bit_error_rate(0.0), 0.5, 1e-12);
+  // Q(sqrt(2*4.77 lin)) ... standard value: BER at 9.6 dB ~ 1e-5.
+  EXPECT_NEAR(bpsk_bit_error_rate(std::pow(10.0, 9.59 / 10.0)), 1e-5, 5e-6);
+  EXPECT_GT(bpsk_bit_error_rate(1.0), bpsk_bit_error_rate(4.0));
+}
+
+TEST(DcfSim, ReproducibleBySeed) {
+  const DcfParameters params{.contenders = 4};
+  const auto a = simulate_dcf(params, 50000, 7);
+  const auto b = simulate_dcf(params, 50000, 7);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.collisions, b.collisions);
+}
+
+}  // namespace
+}  // namespace tv::wifi

@@ -1,0 +1,292 @@
+// thriftyvid — command-line front end.
+//
+//   thriftyvid classify <clip.y4m>
+//       AForge-style motion classification of a YUV4MPEG2 clip.
+//
+//   thriftyvid simulate [--motion=low|medium|high] [--gop=N] [--frames=N]
+//                       [--policy=none|I|P|all|I+<pct>P] [--alg=AES128|AES256|3DES]
+//                       [--device=samsung|htc] [--transport=udp|tcp]
+//                       [--reps=N] [--seed=S]
+//       Run the full Fig.-3 pipeline and print measured metrics with 95%
+//       CIs next to the analytic predictions.
+//
+//   thriftyvid advise [--motion=...] [--ceiling=DB] [--objective=delay|power]
+//                     [--alg=...] [--device=...]
+//       The Fig.-1 workflow: calibrate on a probe transfer, evaluate the
+//       policy ladder analytically, recommend the cheapest confidential
+//       policy.
+//
+//   thriftyvid export [--motion=...] [--policy=...] [--outdir=DIR]
+//       Write original/receiver/eavesdropper .y4m files plus the
+//       eavesdropper's .pcap capture.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "core/advisor.hpp"
+#include "core/experiment.hpp"
+#include "net/pcap.hpp"
+#include "video/motion.hpp"
+#include "video/y4m.hpp"
+
+using namespace tv;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
+
+  static Args parse(int argc, char** argv, int from) {
+    Args a;
+    for (int i = from; i < argc; ++i) {
+      std::string s = argv[i];
+      if (s.rfind("--", 0) == 0) {
+        const auto eq = s.find('=');
+        if (eq == std::string::npos) {
+          a.options[s.substr(2)] = "1";
+        } else {
+          a.options[s.substr(2, eq - 2)] = s.substr(eq + 1);
+        }
+      } else {
+        a.positional.push_back(std::move(s));
+      }
+    }
+    return a;
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoi(it->second);
+  }
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+};
+
+video::MotionLevel parse_motion(const std::string& s) {
+  if (s == "low" || s == "slow") return video::MotionLevel::kLow;
+  if (s == "medium") return video::MotionLevel::kMedium;
+  if (s == "high" || s == "fast") return video::MotionLevel::kHigh;
+  throw std::invalid_argument{"unknown motion level: " + s};
+}
+
+crypto::Algorithm parse_alg(const std::string& s) {
+  return crypto::algorithm_from_string(s);
+}
+
+core::DeviceProfile parse_device(const std::string& s) {
+  if (s == "samsung") return core::samsung_galaxy_s2();
+  if (s == "htc") return core::htc_amaze_4g();
+  throw std::invalid_argument{"unknown device: " + s + " (samsung|htc)"};
+}
+
+policy::EncryptionPolicy parse_policy(const std::string& s,
+                                      crypto::Algorithm alg) {
+  if (s == "none") return {policy::Mode::kNone, alg, 0.0};
+  if (s == "I") return {policy::Mode::kIFrames, alg, 0.0};
+  if (s == "P") return {policy::Mode::kPFrames, alg, 0.0};
+  if (s == "all") return {policy::Mode::kAll, alg, 0.0};
+  // I+<pct>P, e.g. I+20P.
+  if (s.rfind("I+", 0) == 0 && s.back() == 'P') {
+    const double pct = std::stod(s.substr(2, s.size() - 3));
+    return {policy::Mode::kIPlusFractionP, alg, pct / 100.0};
+  }
+  throw std::invalid_argument{"unknown policy: " + s +
+                              " (none|I|P|all|I+<pct>P)"};
+}
+
+int cmd_classify(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: thriftyvid classify <clip.y4m>\n");
+    return 2;
+  }
+  const auto clip = video::read_y4m_file(args.positional.front());
+  const auto report = video::classify_motion(clip.frames);
+  std::printf("%s: %zu frames %dx%d @%d/%d fps\n",
+              args.positional.front().c_str(), clip.frames.size(),
+              clip.frames.front().width(), clip.frames.front().height(),
+              clip.fps_numerator, clip.fps_denominator);
+  std::printf("motion score %.4f -> %s motion\n", report.score,
+              video::to_string(report.level));
+  std::printf("suggested decoder sensitivity fraction: %.2f\n",
+              core::default_sensitivity(report.level));
+  return 0;
+}
+
+core::Workload workload_from(const Args& args) {
+  return core::build_workload(parse_motion(args.get("motion", "low")),
+                              args.get_int("gop", 30),
+                              args.get_int("frames", 120),
+                              static_cast<std::uint64_t>(
+                                  args.get_int("seed", 1)));
+}
+
+int cmd_simulate(const Args& args) {
+  const auto alg = parse_alg(args.get("alg", "AES256"));
+  const auto workload = workload_from(args);
+  core::ExperimentSpec spec;
+  spec.policy = parse_policy(args.get("policy", "I"), alg);
+  spec.pipeline.device = parse_device(args.get("device", "samsung"));
+  spec.pipeline.transport = args.get("transport", "udp") == "tcp"
+                                ? core::Transport::kHttpTcp
+                                : core::Transport::kRtpUdp;
+  spec.repetitions = args.get_int("reps", 5);
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  spec.sensitivity_fraction = core::default_sensitivity(workload.motion);
+
+  const auto r = core::run_experiment(spec, workload);
+  std::printf("workload: %s motion, GOP %d, %zu frames, I=%.0fB P=%.0fB\n",
+              video::to_string(workload.motion), workload.codec.gop_size,
+              workload.clip.size(), workload.stream.mean_i_bytes(),
+              workload.stream.mean_p_bytes());
+  std::printf("policy %s on %s over %s: %.0f%% of packets encrypted\n",
+              r.label.c_str(), spec.pipeline.device.name.c_str(),
+              core::to_string(spec.pipeline.transport),
+              100.0 * r.encryption.packet_fraction());
+  std::printf("  delay        %7.2f ms ±%.2f   (model %.2f ms, rho %.2f)\n",
+              r.delay_ms.mean(), r.delay_ms.ci95_halfwidth(),
+              r.predicted_delay.mean_delay_ms,
+              r.predicted_delay.utilization);
+  std::printf("  receiver     %7.2f dB ±%.2f   MOS %.2f\n",
+              r.receiver_psnr_db.mean(), r.receiver_psnr_db.ci95_halfwidth(),
+              r.receiver_mos.mean());
+  std::printf("  eavesdropper %7.2f dB ±%.2f   MOS %.2f   (model %.2f dB)\n",
+              r.eavesdropper_psnr_db.mean(),
+              r.eavesdropper_psnr_db.ci95_halfwidth(),
+              r.eavesdropper_mos.mean(), r.predicted_eavesdropper.psnr_db);
+  std::printf("  power        %7.2f W           (model %.2f W)\n",
+              r.power_w.mean(), r.predicted_power.mean_power_w);
+  return 0;
+}
+
+int cmd_advise(const Args& args) {
+  const auto alg = parse_alg(args.get("alg", "AES256"));
+  const auto workload = workload_from(args);
+  core::PipelineConfig pipeline;
+  pipeline.device = parse_device(args.get("device", "samsung"));
+  const auto probe = core::simulate_transfer(
+      pipeline, workload.packets,
+      static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const auto traffic =
+      core::calibrate_traffic(workload.packets, probe.timings, workload.fps);
+  const auto service = core::calibrate_service(workload.packets,
+                                               probe.timings, pipeline,
+                                               traffic);
+  core::DistortionInputs di;
+  di.gop_size = workload.codec.gop_size;
+  di.n_gops = static_cast<int>(workload.stream.frames.size()) /
+              workload.codec.gop_size;
+  di.sensitivity_fraction = core::default_sensitivity(workload.motion);
+  di.base_mse = workload.base_mse;
+  di.null_mse = workload.null_mse;
+  di.inter = workload.inter;
+
+  core::AdvisorRequest request;
+  request.algorithm = alg;
+  request.max_eavesdropper_psnr_db = args.get_double("ceiling", 18.0);
+  request.objective = args.get("objective", "delay") == "power"
+                          ? core::AdvisorRequest::Objective::kPower
+                          : core::AdvisorRequest::Objective::kDelay;
+  const auto result =
+      core::advise(request, traffic, service, pipeline.device, di,
+                   1.0 - pipeline.eavesdropper_loss_prob);
+
+  std::printf("%-16s %-11s %-10s %-9s %s\n", "policy", "delay ms",
+              "eaves dB", "power W", "confidential");
+  for (const auto& e : result.evaluations) {
+    std::printf("%-16s %-11.1f %-10.1f %-9.2f %s\n",
+                e.policy.label().c_str(), e.delay.mean_delay_ms,
+                e.eavesdropper.psnr_db, e.power.mean_power_w,
+                e.confidential ? "yes" : "no");
+  }
+  if (result.recommendation) {
+    std::printf("\nrecommendation: %s\n",
+                result.recommendation->policy.label().c_str());
+    return 0;
+  }
+  std::printf("\nno policy meets the %.1f dB ceiling\n",
+              request.max_eavesdropper_psnr_db);
+  return 1;
+}
+
+int cmd_export(const Args& args) {
+  const auto alg = parse_alg(args.get("alg", "AES256"));
+  const auto workload = workload_from(args);
+  const auto pol = parse_policy(args.get("policy", "I"), alg);
+  const std::string outdir = args.get("outdir", "out");
+  std::filesystem::create_directories(outdir);
+
+  std::vector<net::VideoPacket> packets = workload.packets;
+  const auto selected = pol.select(packets);
+  const auto cipher = crypto::make_cipher_from_seed(
+      pol.algorithm, static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  std::vector<std::uint8_t> iv(cipher->block_size(), 0x5c);
+  net::encrypt_selected(packets, selected, *cipher, iv);
+
+  core::PipelineConfig pipeline;
+  pipeline.device = parse_device(args.get("device", "samsung"));
+  const auto transfer = core::simulate_transfer(
+      pipeline, packets, static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const int frames = static_cast<int>(workload.stream.frames.size());
+  const video::Decoder decoder{workload.codec};
+
+  const auto rx = decoder.decode_stream(
+      workload.stream.width, workload.stream.height,
+      net::reassemble(packets, transfer.receiver_delivered, frames,
+                      cipher.get(), iv));
+  const auto ev = decoder.decode_stream(
+      workload.stream.width, workload.stream.height,
+      net::reassemble(packets, transfer.eavesdropper_captured, frames,
+                      nullptr, iv));
+
+  video::write_y4m_file(outdir + "/original.y4m", workload.clip);
+  video::write_y4m_file(outdir + "/receiver.y4m", rx);
+  video::write_y4m_file(outdir + "/eavesdropper.y4m", ev);
+  std::vector<double> stamps;
+  for (const auto& t : transfer.timings) stamps.push_back(t.completion);
+  net::write_pcap_file(
+      outdir + "/eavesdropper.pcap",
+      net::capture_of(packets, transfer.eavesdropper_captured, stamps));
+  std::printf("wrote %s/{original,receiver,eavesdropper}.y4m and "
+              "eavesdropper.pcap  (policy %s, rx %.1f dB, eaves %.1f dB)\n",
+              outdir.c_str(), pol.label().c_str(),
+              video::sequence_psnr(workload.clip, rx),
+              video::sequence_psnr(workload.clip, ev));
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: thriftyvid <classify|simulate|advise|export> "
+               "[options]\n  (see the header of tools/thriftyvid_cli.cpp "
+               "for the full option list)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args = Args::parse(argc, argv, 2);
+  try {
+    if (cmd == "classify") return cmd_classify(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "advise") return cmd_advise(args);
+    if (cmd == "export") return cmd_export(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
