@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full check pass: normal build + tests, then a sanitized build + tests.
+#
+# Usage: ./run_checks.sh [--sanitize-only]
+#
+# The sanitized pass builds with -fsanitize=address,undefined and
+# -fno-sanitize-recover=all, so any report aborts the run and fails the
+# script.  Both build trees are kept (build/ and build-asan/) so
+# incremental re-runs are fast.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+if [[ "${1:-}" != "--sanitize-only" ]]; then
+  echo "=== plain build + tests ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${jobs}"
+  ctest --test-dir build --output-on-failure -j "${jobs}"
+fi
+
+echo "=== sanitized build + tests (ASan + UBSan) ==="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DTHRIFTYVID_SANITIZE=ON
+cmake --build build-asan -j "${jobs}"
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir build-asan --output-on-failure -j "${jobs}"
+
+echo "=== all checks passed ==="

@@ -121,9 +121,32 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
 
   std::optional<TransferResult> first_transfer;
   for (int rep = 0; rep < spec.repetitions; ++rep) {
-    const TransferResult transfer = simulate_transfer(
-        pipeline, packets, spec.seed * 7919 + static_cast<std::uint64_t>(rep));
+    // A repetition that dies on a degraded network is recorded as a
+    // FailureEvent and skipped; the survivors still produce statistics.
+    TransferResult transfer;
+    try {
+      transfer = simulate_transfer(
+          pipeline, packets,
+          spec.seed * 7919 + static_cast<std::uint64_t>(rep));
+    } catch (const std::exception&) {
+      ++result.failed_repetitions;
+      FailureEvent failure;
+      failure.kind = FailureEvent::Kind::kException;
+      failure.repetition = rep;
+      result.failures.push_back(failure);
+      continue;
+    }
     if (!first_transfer) first_transfer = transfer;
+
+    for (FailureEvent f : transfer.failures) {
+      f.repetition = rep;
+      result.failures.push_back(f);
+    }
+    result.total_retransmissions += transfer.retransmissions;
+    result.total_deadline_drops += transfer.deadline_drops;
+    result.total_outage_drops += transfer.outage_drops;
+    result.total_degraded_packets += transfer.degraded_packets;
+    ++result.completed_repetitions;
 
     result.delay_ms.add(transfer.mean_delay_ms());
     result.duration_s.add(transfer.duration_s);
@@ -154,6 +177,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
     result.eavesdropper_psnr_db.add(video::sequence_psnr(workload.clip, ev));
     result.eavesdropper_mos.add(video::sequence_mos(workload.clip, ev));
   }
+
+  // Every repetition failed: return what we have (the failure record)
+  // rather than crashing the caller's whole sweep.
+  if (!first_transfer) return result;
 
   // Calibrate the analytic model on the first transfer (Section 6.1) and
   // attach its predictions.

@@ -58,6 +58,18 @@ struct ExperimentResult {
   std::string label;
   net::EncryptionStats encryption;
 
+  // Resilience accounting.  A repetition that fails mid-flight is
+  // recorded (kind + time + packet index + repetition) instead of
+  // aborting the whole experiment; the statistics below then cover the
+  // repetitions that produced data.
+  std::vector<FailureEvent> failures;
+  std::size_t total_retransmissions = 0;
+  std::size_t total_deadline_drops = 0;
+  std::size_t total_outage_drops = 0;
+  std::size_t total_degraded_packets = 0;
+  int completed_repetitions = 0;  ///< repetitions that yielded statistics.
+  int failed_repetitions = 0;     ///< repetitions that threw.
+
   // Measured (across repetitions).
   util::RunningStats delay_ms;            ///< mean per-packet delay per rep.
   util::RunningStats receiver_psnr_db;

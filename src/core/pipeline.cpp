@@ -15,11 +15,41 @@ const char* to_string(Transport t) {
   return "?";
 }
 
+const char* to_string(FailureEvent::Kind kind) {
+  switch (kind) {
+    case FailureEvent::Kind::kApOutage: return "ap-outage";
+    case FailureEvent::Kind::kDeadlineExpired: return "deadline-expired";
+    case FailureEvent::Kind::kMaxAttempts: return "max-attempts";
+    case FailureEvent::Kind::kException: return "exception";
+  }
+  return "?";
+}
+
 double TransferResult::mean_delay_s() const {
   if (timings.empty()) return 0.0;
   double acc = 0.0;
   for (const auto& t : timings) acc += t.delay();
   return acc / static_cast<double>(timings.size());
+}
+
+void validate(const PipelineConfig& config) {
+  if (config.mac_success_prob <= 0.0 || config.mac_success_prob > 1.0 ||
+      config.backoff_rate <= 0.0 || config.fps <= 0.0) {
+    throw std::invalid_argument{"simulate_transfer: bad config"};
+  }
+  if (config.tcp_backoff_multiplier < 1.0 || config.tcp_backoff_max_s < 0.0 ||
+      config.packet_deadline_s < 0.0 || config.degrade_sojourn_s < 0.0) {
+    throw std::invalid_argument{"simulate_transfer: bad resilience config"};
+  }
+  if (config.channel) {
+    config.channel->receiver.validate();
+    config.channel->eavesdropper.validate();
+    for (const auto& o : config.channel->outages) {
+      if (o.start_s < 0.0 || o.duration_s < 0.0) {
+        throw std::invalid_argument{"outage window: negative start/duration"};
+      }
+    }
+  }
 }
 
 TransferResult simulate_transfer(const PipelineConfig& config,
@@ -28,16 +58,24 @@ TransferResult simulate_transfer(const PipelineConfig& config,
   if (packets.empty()) {
     throw std::invalid_argument{"simulate_transfer: no packets"};
   }
-  if (config.mac_success_prob <= 0.0 || config.mac_success_prob > 1.0 ||
-      config.backoff_rate <= 0.0 || config.fps <= 0.0) {
-    throw std::invalid_argument{"simulate_transfer: bad config"};
-  }
+  validate(config);
   util::Rng rng{seed};
 
   TransferResult result;
   result.timings.resize(packets.size());
   result.receiver_delivered.assign(packets.size(), false);
   result.eavesdropper_captured.assign(packets.size(), false);
+  result.degraded_cleartext.assign(packets.size(), false);
+
+  // Bursty channel chains (opt-in): one per listener, seeded from the
+  // transfer seed so a given seed reproduces the identical loss trace.
+  std::optional<wifi::GilbertElliottChannel> rx_channel;
+  std::optional<wifi::GilbertElliottChannel> ev_channel;
+  if (config.channel) {
+    util::Rng channel_seeder{seed ^ 0x6a09e667f3bcc908ULL};
+    rx_channel.emplace(config.channel->receiver, channel_seeder());
+    ev_channel.emplace(config.channel->eavesdropper, channel_seeder());
+  }
 
   // --- Producer: arrival times. -------------------------------------------
   // Packets of frame f become available at f/fps; successive segments of
@@ -76,8 +114,19 @@ TransferResult simulate_transfer(const PipelineConfig& config,
     PacketTiming& t = result.timings[i];
     t.service_start = std::max(t.arrival, server_free);
 
+    // Graceful policy degradation: when the queue's sojourn exceeds the
+    // threshold, ship encrypted non-I packets in clear — the selective-
+    // encryption policy collapses to I-frame-only under pressure.
+    const bool degraded =
+        config.degrade_sojourn_s > 0.0 && p.encrypted && !p.is_i_frame &&
+        (t.service_start - t.arrival) > config.degrade_sojourn_s;
+    if (degraded) {
+      result.degraded_cleartext[i] = true;
+      ++result.degraded_packets;
+    }
+
     // T_e: encryption time with Gaussian jitter (eq. 15).
-    if (p.encrypted) {
+    if (p.encrypted && !degraded) {
       const double mean =
           config.device.encryption_seconds(config.algorithm, p.payload.size());
       const double jitter =
@@ -91,32 +140,79 @@ TransferResult simulate_transfer(const PipelineConfig& config,
 
     bool receiver_got = false;
     bool eaves_got = false;
+    bool last_attempt_in_outage = false;
     int attempts = 0;
     double backoff_total = 0.0;
     double tx_total = 0.0;
     double recovery_total = 0.0;
+    double now = t.service_start + t.encryption_s;
     for (;;) {
       ++attempts;
       // T_b: geometric number of collisions, exponential waits (eq. 6/7).
       const std::uint64_t collisions =
           rng.geometric_failures(config.mac_success_prob);
       for (std::uint64_t c = 0; c < collisions; ++c) {
-        backoff_total += rng.exponential(config.backoff_rate);
+        const double wait = rng.exponential(config.backoff_rate);
+        backoff_total += wait;
+        now += wait;
       }
       // T_t with jitter (eq. 16).
-      tx_total += std::max(0.0, rng.gaussian(tx_mean,
-                                             config.tx_jitter_stddev_s));
-      // Channel outcome at each listener (independent positions).
-      const bool rx_ok = !rng.bernoulli(config.receiver_loss_prob);
-      eaves_got =
-          eaves_got || !rng.bernoulli(config.eavesdropper_loss_prob);
+      const double tx =
+          std::max(0.0, rng.gaussian(tx_mean, config.tx_jitter_stddev_s));
+      tx_total += tx;
+      now += tx;
+      // Channel outcome at each listener (independent positions).  A
+      // scheduled AP outage swallows the packet for everyone; otherwise
+      // the bursty chains (or the legacy i.i.d. draws) decide.
+      bool rx_ok;
+      if (config.channel) {
+        last_attempt_in_outage = wifi::in_outage(config.channel->outages, now);
+        if (last_attempt_in_outage) {
+          ++result.outage_drops;
+          rx_ok = false;
+        } else {
+          rx_ok = !rx_channel->lose_packet();
+          eaves_got = eaves_got || !ev_channel->lose_packet();
+        }
+      } else {
+        rx_ok = !rng.bernoulli(config.receiver_loss_prob);
+        eaves_got =
+            eaves_got || !rng.bernoulli(config.eavesdropper_loss_prob);
+      }
       if (rx_ok) {
         receiver_got = true;
         break;
       }
-      if (!reliable || attempts >= config.tcp_max_attempts) break;
-      // Loss recovery: the sender notices via dupacks/timeout and retries.
-      recovery_total += config.tcp_retx_penalty_s;
+      if (!reliable) {
+        if (last_attempt_in_outage) {
+          result.failures.push_back({FailureEvent::Kind::kApOutage, now,
+                                     static_cast<std::int64_t>(i), -1});
+        }
+        break;
+      }
+      if (attempts >= config.tcp_max_attempts) {
+        result.failures.push_back({FailureEvent::Kind::kMaxAttempts, now,
+                                   static_cast<std::int64_t>(i), -1});
+        break;
+      }
+      // Loss recovery: the sender notices via dupacks/timeout and
+      // retries, waiting exponentially longer each round (capped).
+      double wait = config.tcp_retx_penalty_s;
+      for (int a = 1; a < attempts; ++a) wait *= config.tcp_backoff_multiplier;
+      if (config.tcp_backoff_max_s > 0.0) {
+        wait = std::min(wait, config.tcp_backoff_max_s);
+      }
+      if (config.packet_deadline_s > 0.0 &&
+          (now + wait) - t.arrival > config.packet_deadline_s) {
+        // Give up instead of blocking the queue behind a doomed packet.
+        ++result.deadline_drops;
+        result.failures.push_back({FailureEvent::Kind::kDeadlineExpired, now,
+                                   static_cast<std::int64_t>(i), -1});
+        break;
+      }
+      recovery_total += wait;
+      now += wait;
+      ++result.retransmissions;
     }
 
     t.backoff_s = backoff_total;

@@ -17,18 +17,52 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/device_profile.hpp"
 #include "net/packetizer.hpp"
 #include "policy/policy.hpp"
 #include "wifi/channel.hpp"
+#include "wifi/gilbert_elliott.hpp"
 
 namespace tv::core {
 
 enum class Transport { kRtpUdp, kHttpTcp };
 
 [[nodiscard]] const char* to_string(Transport t);
+
+/// Opt-in degraded-network channel model.  When set on a PipelineConfig
+/// it replaces the flat Bernoulli `receiver_loss_prob` /
+/// `eavesdropper_loss_prob` knobs with per-listener Gilbert-Elliott
+/// chains (bursty, correlated losses) and adds scheduled AP-outage
+/// windows during which no listener hears anything.  With
+/// `mean_burst_length <= 1` the chains degenerate to exactly the legacy
+/// i.i.d. losses, so burstiness can be swept at a fixed loss rate.
+struct ChannelModel {
+  wifi::GilbertElliottParams receiver;
+  wifi::GilbertElliottParams eavesdropper;
+  std::vector<wifi::OutageWindow> outages;
+};
+
+/// Something that went wrong during a transfer (or, with repetition >= 0,
+/// during one repetition of an experiment).  Recording these instead of
+/// throwing is what lets a degraded-network run finish with partial
+/// statistics.
+struct FailureEvent {
+  enum class Kind {
+    kApOutage,         ///< packet swallowed by a scheduled AP outage.
+    kDeadlineExpired,  ///< ARQ gave up: per-packet deadline exceeded.
+    kMaxAttempts,      ///< ARQ gave up: retransmission budget exhausted.
+    kException,        ///< a repetition threw; partial stats were kept.
+  };
+  Kind kind = Kind::kApOutage;
+  double time_s = 0.0;
+  std::int64_t packet_index = -1;  ///< -1 when not packet-specific.
+  int repetition = -1;             ///< set by run_experiment.
+};
+
+[[nodiscard]] const char* to_string(FailureEvent::Kind kind);
 
 /// Everything the sender-side DES needs besides the packets themselves.
 struct PipelineConfig {
@@ -49,14 +83,29 @@ struct PipelineConfig {
   /// PHY for transmission times (effective rate on a contended cafe WLAN).
   wifi::PhyParameters phy{.data_rate_mbps = 4.0};
   double tx_jitter_stddev_s = 20e-6;
-  /// Independent channel-error loss probabilities per on-air packet.
+  /// Independent channel-error loss probabilities per on-air packet
+  /// (the legacy i.i.d. model, used whenever `channel` is not set).
   double receiver_loss_prob = 0.003;
   double eavesdropper_loss_prob = 0.01;
+  /// Bursty-loss / AP-outage channel model (opt-in; see ChannelModel).
+  std::optional<ChannelModel> channel;
   /// TCP mode: extra recovery latency charged per retransmission, plus a
   /// per-packet overhead for ACK processing and congestion-window pacing.
   double tcp_retx_penalty_s = 18e-3;
   double tcp_per_packet_overhead_s = 1.6e-3;
   int tcp_max_attempts = 8;
+  /// ARQ resilience: each successive retransmission wait is the penalty
+  /// scaled by this factor (1.0 = the legacy flat penalty), capped at
+  /// `tcp_backoff_max_s`.
+  double tcp_backoff_multiplier = 1.0;
+  double tcp_backoff_max_s = 0.25;
+  /// ARQ give-up: stop retransmitting a packet once its sojourn (arrival
+  /// to projected completion) would exceed this deadline.  0 disables.
+  double packet_deadline_s = 0.0;
+  /// Graceful policy degradation: when a packet has waited in the send
+  /// queue longer than this, encrypted non-I packets are sent in clear
+  /// (I-frame-only encryption) to shed encryption latency.  0 disables.
+  double degrade_sojourn_s = 0.0;
 };
 
 /// Per-packet timeline through the sender (timestamps in seconds).
@@ -78,13 +127,27 @@ struct TransferResult {
   std::vector<PacketTiming> timings;          ///< one per packet.
   std::vector<bool> receiver_delivered;
   std::vector<bool> eavesdropper_captured;
+  std::vector<bool> degraded_cleartext;  ///< sent clear under queue pressure.
   double duration_s = 0.0;       ///< first arrival to last completion.
   double airtime_s = 0.0;        ///< radio-on time (all attempts).
   std::size_t encrypted_payload_bytes = 0;
 
+  // Resilience accounting (all zero on a healthy network).
+  std::vector<FailureEvent> failures;  ///< in packet order.
+  std::size_t retransmissions = 0;     ///< ARQ retries across all packets.
+  std::size_t deadline_drops = 0;      ///< packets abandoned past deadline.
+  std::size_t outage_drops = 0;        ///< attempts swallowed by AP outages.
+  std::size_t degraded_packets = 0;    ///< packets downgraded to cleartext.
+
   [[nodiscard]] double mean_delay_s() const;
   [[nodiscard]] double mean_delay_ms() const { return mean_delay_s() * 1e3; }
 };
+
+/// Throws std::invalid_argument on an unusable configuration (bad MAC /
+/// rate / fps values, bad resilience knobs, unreachable channel-model
+/// parameters).  Callers that degrade gracefully on *transient* failures
+/// should validate up front so configuration mistakes still fail fast.
+void validate(const PipelineConfig& config);
 
 /// Simulate the transfer of an already policy-encrypted packet sequence.
 /// `encrypted[i]` mirrors packets[i].encrypted (passed separately so the

@@ -1,0 +1,132 @@
+#include "net/fault_injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace tv::net {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kCorruptHeader: return "corrupt-header";
+    case FaultKind::kCorruptPayload: return "corrupt-payload";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kReorder: return "reorder";
+  }
+  return "?";
+}
+
+void FaultPlan::validate() const {
+  for (double p : {drop_prob, corrupt_header_prob, corrupt_payload_prob,
+                   truncate_prob, duplicate_prob, reorder_prob}) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument{
+          "FaultPlan: probabilities must lie in [0, 1]"};
+    }
+  }
+  if (max_bit_flips < 1) {
+    throw std::invalid_argument{"FaultPlan: max_bit_flips must be >= 1"};
+  }
+  if (max_reorder_displacement < 1) {
+    throw std::invalid_argument{
+        "FaultPlan: max_reorder_displacement must be >= 1"};
+  }
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed)
+    : plan_(plan), rng_(seed) {
+  plan_.validate();
+}
+
+InjectionResult FaultInjector::apply(
+    const std::vector<VideoPacket>& packets) {
+  std::vector<std::vector<std::uint8_t>> datagrams;
+  datagrams.reserve(packets.size());
+  for (const auto& p : packets) {
+    RtpHeader h;
+    h.marker = p.encrypted;
+    h.sequence_number = p.sequence;
+    h.timestamp = p.timestamp;
+    auto bytes = h.serialize();
+    bytes.insert(bytes.end(), p.payload.begin(), p.payload.end());
+    datagrams.push_back(std::move(bytes));
+  }
+  return apply_raw(std::move(datagrams));
+}
+
+InjectionResult FaultInjector::apply_raw(
+    std::vector<std::vector<std::uint8_t>> datagrams) {
+  InjectionResult result;
+  result.datagrams.reserve(datagrams.size());
+  result.origins.reserve(datagrams.size());
+
+  for (std::size_t i = 0; i < datagrams.size(); ++i) {
+    auto& d = datagrams[i];
+    if (rng_.bernoulli(plan_.drop_prob)) {
+      result.faults.push_back({FaultKind::kDrop, i, 0});
+      continue;
+    }
+    if (!d.empty() && rng_.bernoulli(plan_.corrupt_header_prob)) {
+      const std::size_t header_bytes = std::min(d.size(), RtpHeader::kSize);
+      const auto bit =
+          static_cast<std::uint32_t>(rng_.uniform_int(header_bytes * 8));
+      d[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      result.faults.push_back({FaultKind::kCorruptHeader, i, bit});
+    }
+    if (d.size() > RtpHeader::kSize &&
+        rng_.bernoulli(plan_.corrupt_payload_prob)) {
+      const std::size_t payload_bits = (d.size() - RtpHeader::kSize) * 8;
+      const auto flips =
+          1 + rng_.uniform_int(static_cast<std::uint64_t>(plan_.max_bit_flips));
+      for (std::uint64_t f = 0; f < flips; ++f) {
+        const auto bit = static_cast<std::uint32_t>(
+            rng_.uniform_int(payload_bits));
+        const std::size_t byte = RtpHeader::kSize + bit / 8;
+        d[byte] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        result.faults.push_back({FaultKind::kCorruptPayload, i, bit});
+      }
+    }
+    if (!d.empty() && rng_.bernoulli(plan_.truncate_prob)) {
+      // Cut anywhere, including below the RTP header: the receiver must
+      // treat a runt datagram as garbage, not crash on it.
+      const auto new_len =
+          static_cast<std::uint32_t>(rng_.uniform_int(d.size()));
+      d.resize(new_len);
+      result.faults.push_back({FaultKind::kTruncate, i, new_len});
+    }
+    result.datagrams.push_back(d);
+    result.origins.push_back(i);
+    if (rng_.bernoulli(plan_.duplicate_prob)) {
+      result.datagrams.push_back(std::move(d));
+      result.origins.push_back(i);
+      result.faults.push_back({FaultKind::kDuplicate, i, 0});
+    }
+  }
+
+  // Reordering pass: displace marked datagrams later in delivery order.
+  // Applied after drops/duplicates so displacement distances refer to
+  // what is actually delivered.
+  for (std::size_t pos = 0; pos < result.datagrams.size(); ++pos) {
+    if (!rng_.bernoulli(plan_.reorder_prob)) continue;
+    const std::size_t room = result.datagrams.size() - 1 - pos;
+    if (room == 0) continue;
+    const std::size_t shift =
+        1 + rng_.uniform_int(std::min<std::uint64_t>(
+                room, static_cast<std::uint64_t>(
+                          plan_.max_reorder_displacement)));
+    const std::size_t dest = pos + shift;
+    std::rotate(result.datagrams.begin() + static_cast<std::ptrdiff_t>(pos),
+                result.datagrams.begin() + static_cast<std::ptrdiff_t>(pos) + 1,
+                result.datagrams.begin() + static_cast<std::ptrdiff_t>(dest) + 1);
+    std::rotate(result.origins.begin() + static_cast<std::ptrdiff_t>(pos),
+                result.origins.begin() + static_cast<std::ptrdiff_t>(pos) + 1,
+                result.origins.begin() + static_cast<std::ptrdiff_t>(dest) + 1);
+    result.faults.push_back({FaultKind::kReorder, result.origins[dest],
+                             static_cast<std::uint32_t>(dest)});
+  }
+  return result;
+}
+
+}  // namespace tv::net

@@ -96,9 +96,12 @@ std::vector<std::uint8_t> wire_frame(const VideoPacket& packet,
   return frame;
 }
 
-void write_pcap(std::ostream& out, const std::vector<CapturedPacket>& packets,
-                const CaptureEndpoints& endpoints) {
+std::size_t write_pcap(std::ostream& out,
+                       const std::vector<CapturedPacket>& packets,
+                       const CaptureEndpoints& endpoints) {
   // Global header: magic (microsecond), v2.4, LINKTYPE_ETHERNET.
+  // Written even for an empty capture list: a header-only pcap is the
+  // valid "heard nothing" capture, exactly what tcpdump produces.
   put_u32le(out, 0xa1b2c3d4);
   put_u16le(out, 2);
   put_u16le(out, 4);
@@ -107,15 +110,26 @@ void write_pcap(std::ostream& out, const std::vector<CapturedPacket>& packets,
   put_u32le(out, 65535);  // snaplen.
   put_u32le(out, 1);      // LINKTYPE_ETHERNET.
 
+  std::size_t clamped = 0;
+  double previous_ts = 0.0;
   for (const CapturedPacket& cap : packets) {
     if (cap.packet == nullptr) {
       throw std::invalid_argument{"write_pcap: null packet"};
     }
     const auto frame = wire_frame(*cap.packet, endpoints);
-    const double ts = cap.timestamp_s;
+    // Clamp timestamps that would corrupt the capture: negative times
+    // underflow the unsigned fields, and records running backwards make
+    // readers mis-sort or reject the file.
+    double ts = cap.timestamp_s;
+    if (!(ts >= previous_ts)) {  // also catches NaN.
+      ts = previous_ts;
+      ++clamped;
+    }
+    previous_ts = ts;
     const auto secs = static_cast<std::uint32_t>(ts);
-    const auto usecs = static_cast<std::uint32_t>(
+    auto usecs = static_cast<std::uint32_t>(
         std::llround((ts - static_cast<double>(secs)) * 1e6));
+    if (usecs >= 1000000u) usecs = 999999u;
     put_u32le(out, secs);
     put_u32le(out, usecs);
     put_u32le(out, static_cast<std::uint32_t>(frame.size()));
@@ -124,14 +138,15 @@ void write_pcap(std::ostream& out, const std::vector<CapturedPacket>& packets,
               static_cast<std::streamsize>(frame.size()));
   }
   if (!out) throw std::runtime_error{"write_pcap: stream failure"};
+  return clamped;
 }
 
-void write_pcap_file(const std::string& path,
-                     const std::vector<CapturedPacket>& packets,
-                     const CaptureEndpoints& endpoints) {
+std::size_t write_pcap_file(const std::string& path,
+                            const std::vector<CapturedPacket>& packets,
+                            const CaptureEndpoints& endpoints) {
   std::ofstream out{path, std::ios::binary};
   if (!out) throw std::runtime_error{"write_pcap_file: cannot open " + path};
-  write_pcap(out, packets, endpoints);
+  return write_pcap(out, packets, endpoints);
 }
 
 std::vector<CapturedPacket> capture_of(

@@ -33,12 +33,19 @@ struct CaptureEndpoints {
 };
 
 /// Write a pcap capture of the given packets.  Packets should be in
-/// timestamp order (tcpdump writes what it hears, in order).
-void write_pcap(std::ostream& out, const std::vector<CapturedPacket>& packets,
-                const CaptureEndpoints& endpoints = {});
-void write_pcap_file(const std::string& path,
-                     const std::vector<CapturedPacket>& packets,
-                     const CaptureEndpoints& endpoints = {});
+/// timestamp order (tcpdump writes what it hears, in order); an empty
+/// list yields a valid, empty capture.  Timestamps that would make the
+/// file invalid — negative, or running backwards past an earlier record
+/// — are clamped (to zero / the previous record's time); the return
+/// value is the number of records that needed clamping, so callers can
+/// flag a suspect capture instead of silently shipping one tcpdump
+/// rejects.
+std::size_t write_pcap(std::ostream& out,
+                       const std::vector<CapturedPacket>& packets,
+                       const CaptureEndpoints& endpoints = {});
+std::size_t write_pcap_file(const std::string& path,
+                            const std::vector<CapturedPacket>& packets,
+                            const CaptureEndpoints& endpoints = {});
 
 /// Build the capture list for a node from a transfer: every packet whose
 /// `captured[i]` flag is set, stamped with its completion time.

@@ -22,13 +22,11 @@ std::vector<std::uint8_t> RtpHeader::serialize() const {
   return out;
 }
 
-RtpHeader RtpHeader::parse(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < kSize) {
-    throw std::invalid_argument{"RtpHeader::parse: short buffer"};
-  }
-  if ((bytes[0] >> 6) != kVersion) {
-    throw std::invalid_argument{"RtpHeader::parse: bad version"};
-  }
+namespace {
+
+/// Decode the fixed fields; the caller has already validated the
+/// first byte (version / extension / CSRC count).
+RtpHeader decode_fields(std::span<const std::uint8_t> bytes) {
   RtpHeader h;
   h.marker = (bytes[1] & 0x80) != 0;
   h.payload_type = bytes[1] & 0x7f;
@@ -43,6 +41,36 @@ RtpHeader RtpHeader::parse(std::span<const std::uint8_t> bytes) {
            (static_cast<std::uint32_t>(bytes[10]) << 8) |
            static_cast<std::uint32_t>(bytes[11]);
   return h;
+}
+
+}  // namespace
+
+RtpHeader RtpHeader::parse(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kSize) {
+    throw std::invalid_argument{"RtpHeader::parse: short buffer"};
+  }
+  if ((bytes[0] >> 6) != kVersion) {
+    throw std::invalid_argument{"RtpHeader::parse: bad version"};
+  }
+  // This type models the 12-byte fixed header only.  A nonzero CSRC
+  // count or a header extension would shift the payload boundary, so
+  // silently accepting them would mis-parse everything after the
+  // header; reject instead of ignoring.
+  if ((bytes[0] & 0x0f) != 0) {
+    throw std::invalid_argument{"RtpHeader::parse: unsupported CSRC count"};
+  }
+  if ((bytes[0] & 0x10) != 0) {
+    throw std::invalid_argument{"RtpHeader::parse: unsupported extension"};
+  }
+  return decode_fields(bytes);
+}
+
+std::optional<RtpHeader> RtpHeader::try_parse(
+    std::span<const std::uint8_t> bytes) noexcept {
+  if (bytes.size() < kSize) return std::nullopt;
+  if ((bytes[0] >> 6) != kVersion) return std::nullopt;
+  if ((bytes[0] & 0x1f) != 0) return std::nullopt;  // CSRC count or X bit.
+  return decode_fields(bytes);
 }
 
 }  // namespace tv::net

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -26,9 +27,15 @@ struct RtpHeader {
 
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
 
-  /// Parse a header; throws std::invalid_argument on short input or a
-  /// version mismatch.
+  /// Parse a header; throws std::invalid_argument on short input, a
+  /// version mismatch, or header bits this fixed-header type cannot
+  /// represent (a nonzero CSRC count or the extension flag).
   [[nodiscard]] static RtpHeader parse(std::span<const std::uint8_t> bytes);
+
+  /// Non-throwing variant for hostile input (corrupted or truncated
+  /// captures): returns std::nullopt wherever parse() would throw.
+  [[nodiscard]] static std::optional<RtpHeader> try_parse(
+      std::span<const std::uint8_t> bytes) noexcept;
 };
 
 /// Lower-layer overhead per packet on the wire: IPv4 (20) + UDP (8).

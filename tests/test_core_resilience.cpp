@@ -1,0 +1,336 @@
+// Degraded-network resilience: bursty losses, AP outages, ARQ backoff,
+// deadlines, policy degradation, and graceful experiment failure.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+
+namespace tv::core {
+namespace {
+
+// A stream of `frames` frames: the first is a 6-fragment I-frame, the
+// rest single-fragment P packets (same shape as the pipeline tests).
+std::vector<net::VideoPacket> long_stream(int frames, bool encrypt_all = false) {
+  std::vector<net::VideoPacket> packets;
+  std::uint16_t seq = 0;
+  for (int f = 0; f < frames; ++f) {
+    const bool i_frame = f % 30 == 0;
+    const int fragments = i_frame ? 6 : 1;
+    for (int g = 0; g < fragments; ++g) {
+      net::VideoPacket p;
+      p.sequence = seq++;
+      p.frame_index = f;
+      p.fragment_index = g;
+      p.fragment_count = fragments;
+      p.is_i_frame = i_frame;
+      p.encrypted = encrypt_all;
+      p.payload.assign(i_frame ? 1400 : 300,
+                       static_cast<std::uint8_t>(f));
+      packets.push_back(std::move(p));
+    }
+  }
+  return packets;
+}
+
+PipelineConfig base_config() {
+  PipelineConfig c;
+  c.device = samsung_galaxy_s2();
+  return c;
+}
+
+ChannelModel bursty_channel(double rx_loss, double burst) {
+  ChannelModel m;
+  m.receiver.mean_loss_prob = rx_loss;
+  m.receiver.mean_burst_length = burst;
+  m.eavesdropper.mean_loss_prob = 0.01;
+  m.eavesdropper.mean_burst_length = burst;
+  return m;
+}
+
+// Acceptance: 30% bursty loss plus a mid-transfer AP outage completes
+// without throwing, reports nonzero failure/retry counters, and the same
+// seed reproduces the identical failure trace byte for byte.
+TEST(Resilience, BurstyLossPlusOutageCompletesAndReproduces) {
+  auto config = base_config();
+  config.transport = Transport::kHttpTcp;
+  config.tcp_max_attempts = 4;
+  config.channel = bursty_channel(0.30, 4.0);
+  config.channel->outages = {{0.5, 0.3}};  // AP gone mid-transfer.
+  const auto packets = long_stream(60);
+
+  const auto a = simulate_transfer(config, packets, 2013);
+  const auto b = simulate_transfer(config, packets, 2013);
+
+  EXPECT_GT(a.retransmissions, 0u);
+  EXPECT_GT(a.outage_drops, 0u);
+  EXPECT_FALSE(a.failures.empty());
+
+  // Identical failure trace, field by field.
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_EQ(a.failures[i].kind, b.failures[i].kind);
+    EXPECT_EQ(a.failures[i].packet_index, b.failures[i].packet_index);
+    EXPECT_DOUBLE_EQ(a.failures[i].time_s, b.failures[i].time_s);
+  }
+  EXPECT_EQ(a.receiver_delivered, b.receiver_delivered);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.outage_drops, b.outage_drops);
+  ASSERT_EQ(a.timings.size(), b.timings.size());
+  for (std::size_t i = 0; i < a.timings.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.timings[i].completion, b.timings[i].completion);
+  }
+
+  // A different seed produces a different trace (the chain is live).
+  const auto c = simulate_transfer(config, packets, 2014);
+  EXPECT_NE(a.receiver_delivered, c.receiver_delivered);
+}
+
+TEST(Resilience, OutageDropsEverythingInsideTheWindowForUdp) {
+  auto config = base_config();
+  config.channel = bursty_channel(0.0, 1.0);  // lossless except the outage.
+  config.channel->outages = {{0.4, 0.4}};
+  const auto packets = long_stream(40);
+  const auto r = simulate_transfer(config, packets, 5);
+
+  std::size_t in_window = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const double t = r.timings[i].completion;
+    if (t >= 0.4 && t < 0.8) {
+      ++in_window;
+      EXPECT_FALSE(r.receiver_delivered[i]);
+      EXPECT_FALSE(r.eavesdropper_captured[i]);
+    } else {
+      EXPECT_TRUE(r.receiver_delivered[i]);
+    }
+  }
+  EXPECT_GT(in_window, 0u);
+  EXPECT_EQ(r.outage_drops, in_window);
+  // Every outage loss is recorded as an ApOutage failure event.
+  EXPECT_EQ(r.failures.size(), in_window);
+  for (const auto& f : r.failures) {
+    EXPECT_EQ(f.kind, FailureEvent::Kind::kApOutage);
+    EXPECT_TRUE(f.time_s >= 0.4 && f.time_s < 0.8);
+  }
+}
+
+// Acceptance: Gilbert-Elliott degenerated to burst length 1 matches the
+// legacy Bernoulli channel within statistical noise.
+TEST(Resilience, DegenerateGilbertElliottMatchesBernoulli) {
+  const auto packets = long_stream(120);
+
+  auto legacy = base_config();
+  legacy.receiver_loss_prob = 0.10;
+  legacy.eavesdropper_loss_prob = 0.05;
+
+  auto ge = legacy;
+  ge.channel = ChannelModel{};
+  ge.channel->receiver = {.mean_loss_prob = 0.10, .mean_burst_length = 1.0};
+  ge.channel->eavesdropper = {.mean_loss_prob = 0.05,
+                              .mean_burst_length = 1.0};
+
+  double legacy_rx = 0.0, ge_rx = 0.0, legacy_ev = 0.0, ge_ev = 0.0;
+  const int reps = 20;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto seed = static_cast<std::uint64_t>(rep) + 1;
+    const auto a = simulate_transfer(legacy, packets, seed);
+    const auto b = simulate_transfer(ge, packets, seed);
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      legacy_rx += a.receiver_delivered[i] ? 1.0 : 0.0;
+      ge_rx += b.receiver_delivered[i] ? 1.0 : 0.0;
+      legacy_ev += a.eavesdropper_captured[i] ? 1.0 : 0.0;
+      ge_ev += b.eavesdropper_captured[i] ? 1.0 : 0.0;
+    }
+  }
+  const double n = static_cast<double>(packets.size()) * reps;
+  EXPECT_NEAR(legacy_rx / n, 0.90, 0.01);
+  EXPECT_NEAR(ge_rx / n, legacy_rx / n, 0.01);
+  EXPECT_NEAR(ge_ev / n, legacy_ev / n, 0.01);
+}
+
+TEST(Resilience, BurstsConcentrateLossesAtFixedRate) {
+  const auto packets = long_stream(150);
+  auto iid = base_config();
+  iid.channel = bursty_channel(0.20, 1.0);
+  auto bursty = base_config();
+  bursty.channel = bursty_channel(0.20, 6.0);
+
+  // Count loss runs at the receiver across several seeds.
+  auto mean_run = [&](const PipelineConfig& cfg) {
+    std::size_t losses = 0, runs = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const auto r = simulate_transfer(cfg, packets, seed);
+      bool in_run = false;
+      for (bool got : r.receiver_delivered) {
+        if (!got) {
+          ++losses;
+          if (!in_run) {
+            ++runs;
+            in_run = true;
+          }
+        } else {
+          in_run = false;
+        }
+      }
+    }
+    return static_cast<double>(losses) / static_cast<double>(runs);
+  };
+  EXPECT_GT(mean_run(bursty), 2.0 * mean_run(iid));
+}
+
+TEST(Resilience, ExponentialBackoffSlowsRetriesAndCapHolds) {
+  const auto packets = long_stream(40);
+  auto flat = base_config();
+  flat.transport = Transport::kHttpTcp;
+  flat.receiver_loss_prob = 0.4;
+  auto expo = flat;
+  expo.tcp_backoff_multiplier = 2.0;
+  expo.tcp_backoff_max_s = 0.1;
+
+  double flat_total = 0.0, expo_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    flat_total += simulate_transfer(flat, packets, seed).mean_delay_s();
+    expo_total += simulate_transfer(expo, packets, seed).mean_delay_s();
+  }
+  EXPECT_GT(expo_total, flat_total);
+
+  // An absurdly low cap collapses exponential back to near-flat.
+  auto capped = expo;
+  capped.tcp_backoff_max_s = flat.tcp_retx_penalty_s;
+  double capped_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    capped_total += simulate_transfer(capped, packets, seed).mean_delay_s();
+  }
+  EXPECT_NEAR(capped_total, flat_total, 0.05 * flat_total);
+}
+
+TEST(Resilience, DeadlineGiveUpBoundsSojournAndRecordsFailures) {
+  const auto packets = long_stream(40);
+  auto config = base_config();
+  config.transport = Transport::kHttpTcp;
+  config.channel = bursty_channel(0.5, 8.0);  // brutal bursts.
+  config.tcp_max_attempts = 64;
+  config.packet_deadline_s = 0.08;
+
+  const auto r = simulate_transfer(config, packets, 3);
+  EXPECT_GT(r.deadline_drops, 0u);
+  std::size_t deadline_events = 0;
+  for (const auto& f : r.failures) {
+    if (f.kind == FailureEvent::Kind::kDeadlineExpired) ++deadline_events;
+  }
+  EXPECT_EQ(deadline_events, r.deadline_drops);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    // Give-up keeps every sojourn bounded near the deadline (the last
+    // transmission may finish slightly past it, but no unbounded wait).
+    EXPECT_LT(r.timings[i].delay(), 0.5);
+  }
+}
+
+TEST(Resilience, QueuePressureDegradesToIFrameOnlyEncryption) {
+  // Heavy all-encrypted stream (3 MTU fragments per P frame) arriving at
+  // 120 fps against slow 3DES: the send queue saturates and sojourn
+  // grows, so the degradation threshold must kick in on P packets.
+  std::vector<net::VideoPacket> packets;
+  std::uint16_t seq = 0;
+  for (int f = 0; f < 60; ++f) {
+    const bool i_frame = f == 0;
+    const int fragments = i_frame ? 6 : 3;
+    for (int g = 0; g < fragments; ++g) {
+      net::VideoPacket p;
+      p.sequence = seq++;
+      p.frame_index = f;
+      p.fragment_index = g;
+      p.fragment_count = fragments;
+      p.is_i_frame = i_frame;
+      p.encrypted = true;
+      p.payload.assign(1400, static_cast<std::uint8_t>(f));
+      packets.push_back(std::move(p));
+    }
+  }
+  auto config = base_config();
+  config.algorithm = crypto::Algorithm::kTripleDes;  // slow: queue builds.
+  config.fps = 120.0;
+  config.frame_jitter_mean_s = 0.0;  // steady producer, saturated server.
+  config.degrade_sojourn_s = 0.05;
+
+  const auto r = simulate_transfer(config, packets, 9);
+  EXPECT_GT(r.degraded_packets, 0u);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (r.degraded_cleartext[i]) {
+      EXPECT_FALSE(packets[i].is_i_frame);  // I-frames keep encryption.
+      EXPECT_DOUBLE_EQ(r.timings[i].encryption_s, 0.0);
+    }
+  }
+
+  // Degradation sheds load: strictly less encrypted payload than the
+  // same transfer without it.
+  auto no_degrade = config;
+  no_degrade.degrade_sojourn_s = 0.0;
+  const auto full = simulate_transfer(no_degrade, packets, 9);
+  EXPECT_LT(r.encrypted_payload_bytes, full.encrypted_payload_bytes);
+  EXPECT_EQ(full.degraded_packets, 0u);
+}
+
+TEST(Resilience, ExperimentSurvivesDegradedNetworkWithPartialStats) {
+  const Workload w = build_workload(video::MotionLevel::kLow, 10, 20, 7);
+  ExperimentSpec spec;
+  spec.policy = {policy::Mode::kIFrames, crypto::Algorithm::kAes256, 0.0};
+  spec.pipeline.device = samsung_galaxy_s2();
+  spec.pipeline.transport = Transport::kHttpTcp;
+  spec.pipeline.tcp_max_attempts = 3;
+  spec.pipeline.channel = bursty_channel(0.30, 4.0);
+  spec.pipeline.channel->outages = {{0.2, 0.2}};
+  spec.repetitions = 3;
+  spec.seed = 11;
+  spec.evaluate_quality = false;
+
+  const auto r = run_experiment(spec, w);
+  EXPECT_EQ(r.completed_repetitions, 3);
+  EXPECT_EQ(r.failed_repetitions, 0);
+  EXPECT_GT(r.total_retransmissions, 0u);
+  EXPECT_GT(r.total_outage_drops, 0u);
+  EXPECT_FALSE(r.failures.empty());
+  for (const auto& f : r.failures) {
+    EXPECT_GE(f.repetition, 0);
+    EXPECT_LT(f.repetition, 3);
+  }
+  EXPECT_GT(r.delay_ms.mean(), 0.0);
+}
+
+TEST(Resilience, ExperimentRecordsFailedRepetitionsInsteadOfThrowing) {
+  const Workload w = build_workload(video::MotionLevel::kLow, 10, 20, 7);
+  ExperimentSpec spec;
+  spec.policy = {policy::Mode::kNone, crypto::Algorithm::kAes256, 0.0};
+  spec.pipeline.device = samsung_galaxy_s2();
+  spec.pipeline.mac_success_prob = 0.0;  // every repetition throws.
+  spec.repetitions = 2;
+  spec.evaluate_quality = false;
+
+  const auto r = run_experiment(spec, w);
+  EXPECT_EQ(r.completed_repetitions, 0);
+  EXPECT_EQ(r.failed_repetitions, 2);
+  ASSERT_EQ(r.failures.size(), 2u);
+  EXPECT_EQ(r.failures[0].kind, FailureEvent::Kind::kException);
+  EXPECT_EQ(r.failures[0].repetition, 0);
+  EXPECT_EQ(r.failures[1].repetition, 1);
+}
+
+TEST(Resilience, ValidatesResilienceKnobs) {
+  const auto packets = long_stream(5);
+  auto bad = base_config();
+  bad.tcp_backoff_multiplier = 0.5;
+  EXPECT_THROW((void)simulate_transfer(bad, packets, 1),
+               std::invalid_argument);
+  auto bad2 = base_config();
+  bad2.packet_deadline_s = -1.0;
+  EXPECT_THROW((void)simulate_transfer(bad2, packets, 1),
+               std::invalid_argument);
+  auto bad3 = base_config();
+  bad3.channel = bursty_channel(1.5, 2.0);  // impossible loss rate.
+  EXPECT_THROW((void)simulate_transfer(bad3, packets, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tv::core

@@ -99,5 +99,36 @@ TEST(Pcap, ValidatesNullPackets) {
   EXPECT_THROW(write_pcap(out, {{0.0, nullptr}}), std::invalid_argument);
 }
 
+TEST(Pcap, EmptyCaptureYieldsHeaderOnlyFile) {
+  std::ostringstream out;
+  EXPECT_EQ(write_pcap(out, {}), 0u);
+  const std::string s = out.str();
+  ASSERT_EQ(s.size(), 24u);  // global header only: a valid empty capture.
+  EXPECT_EQ(static_cast<std::uint8_t>(s[0]), 0xd4);
+}
+
+TEST(Pcap, ClampsNonMonotonicAndNegativeTimestamps) {
+  std::vector<VideoPacket> packets = {make_packet(0, false, 10),
+                                      make_packet(1, false, 10),
+                                      make_packet(2, false, 10)};
+  // Out-of-order capture stamps: 2.0, then 1.0 (backwards), then -0.5 on
+  // a fresh capture (negative).
+  std::vector<CapturedPacket> caps = {{2.0, &packets[0]},
+                                      {1.0, &packets[1]},
+                                      {2.5, &packets[2]}};
+  std::ostringstream out;
+  EXPECT_EQ(write_pcap(out, caps), 1u);  // the 1.0 record was clamped.
+  const std::string s = out.str();
+  const std::size_t record = 16 + (14 + 20 + 8 + 12 + 10);
+  // Second record's ts_sec (clamped from 1.0 up to 2.0).
+  const std::size_t off = 24 + record;
+  EXPECT_EQ(static_cast<std::uint8_t>(s[off]), 2);
+
+  std::vector<CapturedPacket> negative = {{-0.5, &packets[0]}};
+  std::ostringstream out2;
+  EXPECT_EQ(write_pcap(out2, negative), 1u);  // clamped up to zero.
+  EXPECT_EQ(static_cast<std::uint8_t>(out2.str()[24]), 0);
+}
+
 }  // namespace
 }  // namespace tv::net

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/rng.hpp"
 
 namespace tv::net {
@@ -49,6 +51,77 @@ TEST(Rtp, ParseRejectsShortAndWrongVersion) {
   EXPECT_THROW((void)RtpHeader::parse(short_buf), std::invalid_argument);
   std::vector<std::uint8_t> bad(12, 0);  // version 0.
   EXPECT_THROW((void)RtpHeader::parse(bad), std::invalid_argument);
+}
+
+TEST(Rtp, ParseRejectsCsrcAndExtensionBits) {
+  // The fixed-header type cannot represent CSRC lists or extensions;
+  // accepting them would silently mis-place the payload boundary.
+  std::vector<std::uint8_t> csrc(12, 0);
+  csrc[0] = (2 << 6) | 0x02;  // version 2, CC = 2.
+  EXPECT_THROW((void)RtpHeader::parse(csrc), std::invalid_argument);
+  std::vector<std::uint8_t> ext(12, 0);
+  ext[0] = (2 << 6) | 0x10;  // version 2, X = 1.
+  EXPECT_THROW((void)RtpHeader::parse(ext), std::invalid_argument);
+}
+
+TEST(Rtp, TryParseRoundtripsAndRejectsLikeParse) {
+  RtpHeader h;
+  h.marker = true;
+  h.payload_type = 97;
+  h.sequence_number = 0xBEEF;
+  h.timestamp = 0x01020304;
+  h.ssrc = 0xA1B2C3D4;
+  const auto bytes = h.serialize();
+  const auto back = RtpHeader::try_parse(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->sequence_number, h.sequence_number);
+  EXPECT_EQ(back->ssrc, h.ssrc);
+
+  EXPECT_FALSE(RtpHeader::try_parse(std::vector<std::uint8_t>{}));
+  EXPECT_FALSE(RtpHeader::try_parse(std::vector<std::uint8_t>(11, 0)));
+  std::vector<std::uint8_t> bad(12, 0);
+  EXPECT_FALSE(RtpHeader::try_parse(bad));  // version 0.
+  bad[0] = (2 << 6) | 0x05;                 // CSRC count 5.
+  EXPECT_FALSE(RtpHeader::try_parse(bad));
+  bad[0] = (2 << 6) | 0x10;                 // extension bit.
+  EXPECT_FALSE(RtpHeader::try_parse(bad));
+}
+
+// Property-style fuzz: random bytes must either parse into a header that
+// reserializes to the same bytes, or be rejected — and try_parse must
+// agree exactly with whether parse throws.  Never crash, never throw
+// from try_parse.
+TEST(Rtp, FuzzTryParseNeverThrowsAndAgreesWithParse) {
+  util::Rng rng{0xF00DF00DULL};
+  std::size_t accepted = 0;
+  for (int iter = 0; iter < 5000; ++iter) {
+    const std::size_t len = rng.uniform_int(40);  // 0..39 bytes.
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+    // Bias some iterations toward valid-looking headers so the accept
+    // path is exercised too, not just the version check.
+    if (iter % 3 == 0 && len >= 1) bytes[0] = 2 << 6;
+
+    const auto maybe = RtpHeader::try_parse(bytes);
+    bool threw = false;
+    RtpHeader parsed;
+    try {
+      parsed = RtpHeader::parse(bytes);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    EXPECT_EQ(maybe.has_value(), !threw);
+    if (maybe) {
+      ++accepted;
+      const auto reserialized = maybe->serialize();
+      // The fixed fields must round-trip through serialize().
+      EXPECT_TRUE(std::equal(reserialized.begin() + 1, reserialized.end(),
+                             bytes.begin() + 1));
+      EXPECT_EQ(parsed.sequence_number, maybe->sequence_number);
+      EXPECT_EQ(parsed.timestamp, maybe->timestamp);
+    }
+  }
+  EXPECT_GT(accepted, 100u);  // the accept path really ran.
 }
 
 TEST(Rtp, MaxPayloadAccountsForAllHeaders) {

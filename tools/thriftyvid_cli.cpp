@@ -7,8 +7,13 @@
 //                       [--policy=none|I|P|all|I+<pct>P] [--alg=AES128|AES256|3DES]
 //                       [--device=samsung|htc] [--transport=udp|tcp]
 //                       [--reps=N] [--seed=S]
+//                       [--loss=P] [--burst=L] [--outage=START:DURATION,...]
 //       Run the full Fig.-3 pipeline and print measured metrics with 95%
-//       CIs next to the analytic predictions.
+//       CIs next to the analytic predictions.  --loss/--burst switch the
+//       link to a Gilbert-Elliott bursty channel (mean loss P, mean burst
+//       length L packets); --outage schedules AP blackout windows, and the
+//       resilience counters (retransmissions, deadline/outage drops,
+//       recorded failures) are reported after the metrics.
 //
 //   thriftyvid advise [--motion=...] [--ceiling=DB] [--objective=delay|power]
 //                     [--alg=...] [--device=...]
@@ -123,6 +128,45 @@ int cmd_classify(const Args& args) {
   return 0;
 }
 
+// Parses "--outage=START:DURATION[,START:DURATION...]" (seconds).
+std::vector<wifi::OutageWindow> parse_outages(const std::string& spec) {
+  std::vector<wifi::OutageWindow> outages;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const auto comma = spec.find(',', pos);
+    const auto item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument{
+          "outage window must be START:DURATION, got: " + item};
+    }
+    outages.push_back({std::stod(item.substr(0, colon)),
+                       std::stod(item.substr(colon + 1))});
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return outages;
+}
+
+// Installs a Gilbert-Elliott channel model when any of --loss/--burst/
+// --outage is present; otherwise leaves the legacy i.i.d. losses in place.
+void apply_channel_flags(const Args& args, core::PipelineConfig& pipeline) {
+  const bool wants_channel = args.options.count("loss") ||
+                             args.options.count("burst") ||
+                             args.options.count("outage");
+  if (!wants_channel) return;
+  core::ChannelModel channel;
+  channel.receiver.mean_loss_prob =
+      args.get_double("loss", pipeline.receiver_loss_prob);
+  channel.receiver.mean_burst_length = args.get_double("burst", 1.0);
+  channel.eavesdropper.mean_loss_prob = pipeline.eavesdropper_loss_prob;
+  channel.eavesdropper.mean_burst_length = 1.0;
+  const auto it = args.options.find("outage");
+  if (it != args.options.end()) channel.outages = parse_outages(it->second);
+  pipeline.channel = channel;
+}
+
 core::Workload workload_from(const Args& args) {
   return core::build_workload(parse_motion(args.get("motion", "low")),
                               args.get_int("gop", 30),
@@ -143,6 +187,11 @@ int cmd_simulate(const Args& args) {
   spec.repetitions = args.get_int("reps", 5);
   spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   spec.sensitivity_fraction = core::default_sensitivity(workload.motion);
+  apply_channel_flags(args, spec.pipeline);
+  // Fail fast on configuration mistakes; run_experiment itself downgrades
+  // per-repetition failures to FailureEvents and would otherwise report a
+  // bad --loss/--burst as "0 completed" with all-zero statistics.
+  core::validate(spec.pipeline);
 
   const auto r = core::run_experiment(spec, workload);
   std::printf("workload: %s motion, GOP %d, %zu frames, I=%.0fB P=%.0fB\n",
@@ -166,6 +215,31 @@ int cmd_simulate(const Args& args) {
               r.eavesdropper_mos.mean(), r.predicted_eavesdropper.psnr_db);
   std::printf("  power        %7.2f W           (model %.2f W)\n",
               r.power_w.mean(), r.predicted_power.mean_power_w);
+  if (spec.pipeline.channel) {
+    const auto& ch = *spec.pipeline.channel;
+    std::printf("channel: Gilbert-Elliott loss %.0f%% burst %.1f, "
+                "%zu outage window(s)\n",
+                100.0 * ch.receiver.mean_loss_prob,
+                ch.receiver.mean_burst_length, ch.outages.size());
+    std::printf("  repetitions  %d completed, %d failed\n",
+                r.completed_repetitions, r.failed_repetitions);
+    std::printf("  resilience   %llu retransmissions, %llu deadline drops, "
+                "%llu outage drops\n",
+                static_cast<unsigned long long>(r.total_retransmissions),
+                static_cast<unsigned long long>(r.total_deadline_drops),
+                static_cast<unsigned long long>(r.total_outage_drops));
+    std::printf("  failures     %zu recorded", r.failures.size());
+    std::size_t shown = 0;
+    for (const auto& f : r.failures) {
+      if (shown++ >= 5) {
+        std::printf(" ...");
+        break;
+      }
+      std::printf("%s rep %d %s@%.3fs", shown == 1 ? ":" : ",", f.repetition,
+                  core::to_string(f.kind), f.time_s);
+    }
+    std::printf("\n");
+  }
   return 0;
 }
 
