@@ -7,6 +7,9 @@
 //  * Cipher choice does not change distortion, only delay/energy — the
 //    confidentiality comes from *which* packets are hidden, not how
 //    strongly.
+//
+// Each section is a one-axis sweep run through BenchEngine; rows come
+// back in declaration order, computed in parallel across --threads.
 #include <cstdio>
 
 #include "bench/common.hpp"
@@ -18,46 +21,45 @@ int main(int argc, char** argv) {
   bench::print_banner("Policy ablations",
                       "partial-I, slow-motion I+a%P, cipher independence",
                       options);
-  bench::WorkloadCache cache{options};
+  bench::BenchEngine engine{options};
   const auto device = core::samsung_galaxy_s2();
 
   std::printf("\n(a) fraction-of-I encryption, slow motion, GOP 30\n");
   std::printf("%-14s %-16s %-14s %-12s\n", "policy", "eaves PSNR dB",
               "eaves MOS", "delay ms");
   {
-    const auto& w = cache.get(video::MotionLevel::kLow, 30);
-    std::vector<policy::EncryptionPolicy> ladder = {
+    auto spec = bench::base_spec(options, /*quality=*/true);
+    spec.devices = {device};
+    spec.policies = {
         {policy::Mode::kFractionI, crypto::Algorithm::kAes256, 0.25},
         {policy::Mode::kFractionI, crypto::Algorithm::kAes256, 0.50},
         {policy::Mode::kFractionI, crypto::Algorithm::kAes256, 0.75},
         {policy::Mode::kIFrames, crypto::Algorithm::kAes256, 0.0},
         {policy::Mode::kPFrames, crypto::Algorithm::kAes256, 0.0},
     };
-    for (const auto& pol : ladder) {
-      const auto r = core::run_experiment(
-          bench::make_spec(w, pol, device, options, true), w);
-      std::printf("%-14s %-16s %-14s %-12.1f\n", pol.label().c_str(),
-                  bench::fmt_ci(r.eavesdropper_psnr_db, 2).c_str(),
-                  bench::fmt_ci(r.eavesdropper_mos, 2).c_str(),
-                  r.delay_ms.mean());
+    for (const auto& c : engine.run(spec)) {
+      std::printf("%-14s %-16s %-14s %-12.1f\n",
+                  c.cell.policy.label().c_str(),
+                  bench::fmt_ci(c.result.eavesdropper_psnr_db, 2).c_str(),
+                  bench::fmt_ci(c.result.eavesdropper_mos, 2).c_str(),
+                  c.result.delay_ms.mean());
     }
   }
 
   std::printf("\n(b) I+a%%P on slow motion (already terminal at a=0)\n");
   std::printf("%-14s %-16s %-14s\n", "policy", "eaves PSNR dB", "eaves MOS");
   {
-    const auto& w = cache.get(video::MotionLevel::kLow, 30);
-    for (double f : {0.0, 0.2, 0.5}) {
-      policy::EncryptionPolicy pol =
-          f == 0.0 ? policy::EncryptionPolicy{policy::Mode::kIFrames,
-                                              crypto::Algorithm::kAes256, 0.0}
-                   : policy::EncryptionPolicy{policy::Mode::kIPlusFractionP,
-                                              crypto::Algorithm::kAes256, f};
-      const auto r = core::run_experiment(
-          bench::make_spec(w, pol, device, options, true), w);
-      std::printf("%-14s %-16s %-14s\n", pol.label().c_str(),
-                  bench::fmt_ci(r.eavesdropper_psnr_db, 2).c_str(),
-                  bench::fmt_ci(r.eavesdropper_mos, 2).c_str());
+    auto spec = bench::base_spec(options, /*quality=*/true);
+    spec.devices = {device};
+    spec.policies = {
+        {policy::Mode::kIFrames, crypto::Algorithm::kAes256, 0.0},
+        {policy::Mode::kIPlusFractionP, crypto::Algorithm::kAes256, 0.2},
+        {policy::Mode::kIPlusFractionP, crypto::Algorithm::kAes256, 0.5},
+    };
+    for (const auto& c : engine.run(spec)) {
+      std::printf("%-14s %-16s %-14s\n", c.cell.policy.label().c_str(),
+                  bench::fmt_ci(c.result.eavesdropper_psnr_db, 2).c_str(),
+                  bench::fmt_ci(c.result.eavesdropper_mos, 2).c_str());
     }
   }
 
@@ -65,16 +67,19 @@ int main(int argc, char** argv) {
   std::printf("%-10s %-16s %-12s %-10s\n", "cipher", "eaves PSNR dB",
               "delay ms", "power W");
   {
-    const auto& w = cache.get(video::MotionLevel::kHigh, 30);
-    for (auto alg : {crypto::Algorithm::kAes128, crypto::Algorithm::kAes256,
-                     crypto::Algorithm::kTripleDes}) {
-      policy::EncryptionPolicy pol{policy::Mode::kIFrames, alg, 0.0};
-      const auto r = core::run_experiment(
-          bench::make_spec(w, pol, device, options, true), w);
+    auto spec = bench::base_spec(options, /*quality=*/true);
+    spec.devices = {device};
+    spec.motions = {video::MotionLevel::kHigh};
+    spec.policies = {{policy::Mode::kIFrames, crypto::Algorithm::kAes256,
+                      0.0}};
+    spec.algorithms = {crypto::Algorithm::kAes128, crypto::Algorithm::kAes256,
+                       crypto::Algorithm::kTripleDes};
+    for (const auto& c : engine.run(spec)) {
       std::printf("%-10s %-16s %-12.1f %-10.2f\n",
-                  std::string(crypto::to_string(alg)).c_str(),
-                  bench::fmt_ci(r.eavesdropper_psnr_db, 2).c_str(),
-                  r.delay_ms.mean(), r.power_w.mean());
+                  std::string(crypto::to_string(c.cell.policy.algorithm))
+                      .c_str(),
+                  bench::fmt_ci(c.result.eavesdropper_psnr_db, 2).c_str(),
+                  c.result.delay_ms.mean(), c.result.power_w.mean());
     }
   }
 
@@ -87,5 +92,6 @@ int main(int argc, char** argv) {
       "nothing; (c) PSNR is flat across ciphers while delay/power vary, "
       "because confidentiality comes from packet selection, not key "
       "length.");
+  engine.print_summary();
   return 0;
 }

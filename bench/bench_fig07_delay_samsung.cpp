@@ -8,8 +8,8 @@ int main(int argc, char** argv) {
   const auto options = bench::BenchOptions::parse(argc, argv);
   bench::print_banner("Figure 7", "transfer latency, Samsung Galaxy S-II",
                       options);
-  bench::WorkloadCache cache{options};
-  bench::run_delay_figure(cache, core::samsung_galaxy_s2(), options,
+  bench::BenchEngine engine{options};
+  bench::run_delay_figure(engine, core::samsung_galaxy_s2(), options,
                           core::Transport::kRtpUdp);
   bench::print_expectation(
       "encrypting P-frame packets costs nearly as much delay as encrypting "
@@ -17,5 +17,6 @@ int main(int argc, char** argv) {
       "close to 'none'; 3DES inflates every encrypted level well beyond "
       "AES256, and fast motion amplifies all of it.  Analysis bars track "
       "the experiment.");
+  engine.print_summary();
   return 0;
 }

@@ -7,12 +7,13 @@ using namespace tv;
 int main(int argc, char** argv) {
   const auto options = bench::BenchOptions::parse(argc, argv);
   bench::print_banner("Figure 8", "transfer latency, HTC Amaze 4G", options);
-  bench::WorkloadCache cache{options};
-  bench::run_delay_figure(cache, core::htc_amaze_4g(), options,
+  bench::BenchEngine engine{options};
+  bench::run_delay_figure(engine, core::htc_amaze_4g(), options,
                           core::Transport::kRtpUdp);
   bench::print_expectation(
       "same ordering as Fig. 7 (none ~= I << P ~= all); the HTC's faster "
       "crypto keeps the absolute penalties somewhat smaller than the "
       "Samsung's under 3DES.");
+  engine.print_summary();
   return 0;
 }

@@ -8,13 +8,14 @@ int main(int argc, char** argv) {
   const auto options = bench::BenchOptions::parse(argc, argv);
   bench::print_banner("Figure 10", "power consumption, Samsung Galaxy S-II",
                       options);
-  bench::WorkloadCache cache{options};
-  bench::run_power_figure(cache, core::samsung_galaxy_s2(), options);
+  bench::BenchEngine engine{options};
+  bench::run_power_figure(engine, core::samsung_galaxy_s2(), options);
   bench::print_expectation(
       "none < I-frames < P-frames < all.  For slow motion the paper reports "
       "+140% for 'all' vs. 'none' but only +11% for I-only (a 92% saving of "
       "the penalty); our clip's I-frames carry a larger byte share, so the "
       "I-only increase is larger, but the ordering and the large none->all "
       "spread reproduce.  3DES draws more than AES256 at every level.");
+  engine.print_summary();
   return 0;
 }

@@ -7,10 +7,11 @@ int main(int argc, char** argv) {
   const auto options = bench::BenchOptions::parse(argc, argv);
   bench::print_banner("Figure 11", "power consumption, HTC Amaze 4G",
                       options);
-  bench::WorkloadCache cache{options};
-  bench::run_power_figure(cache, core::htc_amaze_4g(), options);
+  bench::BenchEngine engine{options};
+  bench::run_power_figure(engine, core::htc_amaze_4g(), options);
   bench::print_expectation(
       "same ordering as Fig. 10 but a much flatter response (paper: largest "
       "increases +50% slow / +38% fast vs. Samsung's +140%).");
+  engine.print_summary();
   return 0;
 }

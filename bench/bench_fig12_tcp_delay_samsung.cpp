@@ -9,11 +9,12 @@ int main(int argc, char** argv) {
   const auto options = bench::BenchOptions::parse(argc, argv);
   bench::print_banner("Figure 12", "HTTP/TCP latency, Samsung Galaxy S-II",
                       options);
-  bench::WorkloadCache cache{options};
-  bench::run_delay_figure(cache, core::samsung_galaxy_s2(), options,
+  bench::BenchEngine engine{options};
+  bench::run_delay_figure(engine, core::samsung_galaxy_s2(), options,
                           core::Transport::kHttpTcp);
   bench::print_expectation(
       "the RTP/UDP ordering (none ~= I << P ~= all) persists, with every "
       "bar higher than Fig. 7 due to retransmissions and ACK processing.");
+  engine.print_summary();
   return 0;
 }

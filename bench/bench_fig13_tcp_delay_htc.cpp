@@ -7,11 +7,12 @@ int main(int argc, char** argv) {
   const auto options = bench::BenchOptions::parse(argc, argv);
   bench::print_banner("Figure 13", "HTTP/TCP latency, HTC Amaze 4G",
                       options);
-  bench::WorkloadCache cache{options};
-  bench::run_delay_figure(cache, core::htc_amaze_4g(), options,
+  bench::BenchEngine engine{options};
+  bench::run_delay_figure(engine, core::htc_amaze_4g(), options,
                           core::Transport::kHttpTcp);
   bench::print_expectation(
       "same ordering as Fig. 12; latencies above the RTP/UDP runs of "
       "Fig. 8.");
+  engine.print_summary();
   return 0;
 }

@@ -6,17 +6,28 @@
 // (c) a short "expected shape" note quoting what the paper reports.
 // Absolute values are simulator-scale; the shapes are the reproduction
 // target (see EXPERIMENTS.md).
+//
+// Figures that are cartesian grids run through BenchEngine, a thin wrapper
+// over core::SweepRunner that executes every grid cell on a work-stealing
+// thread pool (--threads=N; docs/sweeps.md).  The engine runs in
+// SeedMode::kShared so the printed numbers are bit-identical to the
+// historical serial benches at any thread count.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
-#include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
+#include "util/flags.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tv::bench {
 
@@ -26,33 +37,48 @@ struct BenchOptions {
   int quality_reps = 5; ///< repetitions when decoding is involved.
   int delay_reps = 20;  ///< repetitions for timing-only experiments.
   std::uint64_t seed = 2013;
+  unsigned threads = util::ThreadPool::default_thread_count();
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions o;
-    for (int i = 1; i < argc; ++i) {
-      const char* arg = argv[i];
-      if (std::strncmp(arg, "--frames=", 9) == 0) {
-        o.frames = std::atoi(arg + 9);
-      } else if (std::strncmp(arg, "--reps=", 7) == 0) {
-        o.quality_reps = std::atoi(arg + 7);
-        o.delay_reps = std::atoi(arg + 7);
-      } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-        o.seed = std::strtoull(arg + 7, nullptr, 10);
-      } else if (std::strcmp(arg, "--quick") == 0) {
+    try {
+      const auto args = util::Flags::parse(argc, argv);
+      args.check_known({"frames", "reps", "seed", "threads", "quick", "help"});
+      if (args.get_bool("help", false)) {
+        std::printf(
+            "options: --frames=N --reps=N --seed=S --threads=N --quick\n");
+        std::exit(0);
+      }
+      if (args.get_bool("quick", false)) {
         o.frames = 120;
         o.quality_reps = 2;
         o.delay_reps = 5;
-      } else if (std::strcmp(arg, "--help") == 0) {
-        std::printf(
-            "options: --frames=N --reps=N --seed=S --quick\n");
-        std::exit(0);
       }
+      o.frames = args.get_int("frames", o.frames);
+      if (args.has("reps")) {
+        o.quality_reps = args.get_int("reps", o.quality_reps);
+        o.delay_reps = o.quality_reps;
+      }
+      o.seed = args.get_uint64("seed", o.seed);
+      const int threads = args.get_int("threads",
+                                       static_cast<int>(o.threads));
+      if (threads < 1) throw util::FlagError{"--threads must be >= 1"};
+      o.threads = static_cast<unsigned>(threads);
+    } catch (const util::FlagError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::fprintf(stderr,
+                   "options: --frames=N --reps=N --seed=S --threads=N "
+                   "--quick\n");
+      std::exit(2);
     }
     return o;
   }
 };
 
 /// Build-once cache for workloads shared across experiment configurations.
+/// (Grid-shaped benches go through BenchEngine instead, which shares the
+/// thread-safe core::WorkloadCache; this one serves the remaining serial
+/// benches.)
 class WorkloadCache {
  public:
   explicit WorkloadCache(const BenchOptions& options) : options_(options) {}
@@ -77,6 +103,70 @@ class WorkloadCache {
   BenchOptions options_;
   std::map<std::pair<int, int>, core::Workload> cache_;
 };
+
+/// Sweep spec pre-filled with the bench conventions: clip length, rep
+/// count for the experiment class, root seed, and — crucially — shared
+/// seeding, so every cell reproduces the historical per-figure numbers.
+inline core::SweepSpec base_spec(const BenchOptions& options, bool quality) {
+  core::SweepSpec spec;
+  spec.frames = options.frames;
+  spec.repetitions = quality ? options.quality_reps : options.delay_reps;
+  spec.seed = options.seed;
+  spec.evaluate_quality = quality;
+  spec.seed_mode = core::SweepSpec::SeedMode::kShared;
+  return spec;
+}
+
+/// Executes figure grids on the shared thread pool and accumulates a small
+/// cells/wall-time tally for the end-of-run summary line.
+class BenchEngine {
+ public:
+  explicit BenchEngine(const BenchOptions& options)
+      : options_(options),
+        pool_(options.threads > 1
+                  ? std::make_unique<util::ThreadPool>(options.threads)
+                  : nullptr),
+        runner_(pool_.get()) {}
+
+  /// Runs the grid and returns results in row-major cell order.
+  std::vector<core::CellResult> run(const core::SweepSpec& spec) {
+    core::CollectSink sink;
+    const auto summary = runner_.run(spec, sink);
+    cells_ += summary.cells;
+    wall_s_ += summary.wall_s;
+    return std::move(sink.results);
+  }
+
+  [[nodiscard]] util::ThreadPool* pool() { return pool_.get(); }
+  [[nodiscard]] const BenchOptions& options() const { return options_; }
+
+  void print_summary() const {
+    std::printf("\n# engine: %zu cells on %u thread(s), %.2f s in sweeps\n",
+                cells_, pool_ ? static_cast<unsigned>(options_.threads) : 1u,
+                wall_s_);
+  }
+
+ private:
+  BenchOptions options_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  core::SweepRunner runner_;
+  std::size_t cells_ = 0;
+  double wall_s_ = 0.0;
+};
+
+/// Row-major results hold every grid point; figures print them in the
+/// paper's nesting order via this lookup.
+inline const core::CellResult* find_cell(
+    const std::vector<core::CellResult>& cells, video::MotionLevel motion,
+    int gop, policy::Mode mode, crypto::Algorithm alg) {
+  for (const auto& c : cells) {
+    if (c.cell.motion == motion && c.cell.gop_size == gop &&
+        c.cell.policy.mode == mode && c.cell.policy.algorithm == alg) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
 
 inline void print_banner(const char* figure, const char* description,
                          const BenchOptions& options) {
@@ -125,14 +215,25 @@ inline core::ExperimentSpec make_spec(const core::Workload& workload,
 
 /// Shared body of the delay figures (Figs. 7, 8, 12, 13): mean per-packet
 /// delay, analysis vs. experiment, for AES256 and 3DES, GOP 30/50,
-/// slow/fast motion, across the four headline policies.
-inline void run_delay_figure(WorkloadCache& cache,
+/// slow/fast motion, across the four headline policies — one 2x2x4x2-cell
+/// sweep executed in parallel, printed in the paper's nesting order.
+inline void run_delay_figure(BenchEngine& engine,
                              const core::DeviceProfile& device,
                              const BenchOptions& options,
                              core::Transport transport) {
   // Like the paper, the HTTP/TCP latency figures (12, 13) show experiment
   // bars only — the 2-MMPP/G/1 analysis models the RTP/UDP service path.
   const bool show_analysis = transport == core::Transport::kRtpUdp;
+  auto spec = base_spec(options, /*quality=*/false);
+  spec.motions = {video::MotionLevel::kLow, video::MotionLevel::kHigh};
+  spec.gop_sizes = {30, 50};
+  spec.policies = policy::headline_policies(crypto::Algorithm::kAes256);
+  spec.algorithms = {crypto::Algorithm::kAes256,
+                     crypto::Algorithm::kTripleDes};
+  spec.devices = {device};
+  spec.transports = {transport};
+  const auto cells = engine.run(spec);
+
   for (auto alg : {crypto::Algorithm::kAes256, crypto::Algorithm::kTripleDes}) {
     for (int gop : {30, 50}) {
       std::printf("\n(%s, GOP=%d, %s, %s)\n",
@@ -147,12 +248,11 @@ inline void run_delay_figure(WorkloadCache& cache,
                     "fast experiment");
       }
       for (const auto& pol : policy::headline_policies(alg)) {
-        std::string cells[2][2];
+        std::string col[2][2];
         for (bool fast : {false, true}) {
-          const auto& workload = cache.get(motion_for(fast), gop);
-          auto spec = make_spec(workload, pol, device, options,
-                                /*quality=*/false, transport);
-          const auto r = core::run_experiment(spec, workload);
+          const auto* c =
+              find_cell(cells, motion_for(fast), gop, pol.mode, alg);
+          const auto& r = c->result;
           char pred[32];
           if (std::isfinite(r.predicted_delay.mean_delay_ms)) {
             std::snprintf(pred, sizeof pred, "%.1f ms",
@@ -160,17 +260,17 @@ inline void run_delay_figure(WorkloadCache& cache,
           } else {
             std::snprintf(pred, sizeof pred, "unstable");
           }
-          cells[fast ? 1 : 0][0] = pred;
-          cells[fast ? 1 : 0][1] = fmt_ci(r.delay_ms, 1) + " ms";
+          col[fast ? 1 : 0][0] = pred;
+          col[fast ? 1 : 0][1] = fmt_ci(r.delay_ms, 1) + " ms";
         }
         if (show_analysis) {
           std::printf("%-8s | %-13s %-16s | %-13s %-16s\n",
-                      policy::to_string(pol.mode), cells[0][0].c_str(),
-                      cells[0][1].c_str(), cells[1][0].c_str(),
-                      cells[1][1].c_str());
+                      policy::to_string(pol.mode), col[0][0].c_str(),
+                      col[0][1].c_str(), col[1][0].c_str(),
+                      col[1][1].c_str());
         } else {
           std::printf("%-8s | %-16s %-16s\n", policy::to_string(pol.mode),
-                      cells[0][1].c_str(), cells[1][1].c_str());
+                      col[0][1].c_str(), col[1][1].c_str());
         }
       }
     }
@@ -178,10 +278,20 @@ inline void run_delay_figure(WorkloadCache& cache,
 }
 
 /// Shared body of the power figures (Figs. 10, 11): mean device power per
-/// policy, for AES256 and 3DES, slow/fast motion, GOP 30/50.
-inline void run_power_figure(WorkloadCache& cache,
+/// policy, for AES256 and 3DES, slow/fast motion, GOP 30/50 — the same
+/// grid as the delay figures, printed against the power column.
+inline void run_power_figure(BenchEngine& engine,
                              const core::DeviceProfile& device,
                              const BenchOptions& options) {
+  auto spec = base_spec(options, /*quality=*/false);
+  spec.motions = {video::MotionLevel::kLow, video::MotionLevel::kHigh};
+  spec.gop_sizes = {30, 50};
+  spec.policies = policy::headline_policies(crypto::Algorithm::kAes256);
+  spec.algorithms = {crypto::Algorithm::kAes256,
+                     crypto::Algorithm::kTripleDes};
+  spec.devices = {device};
+  const auto cells = engine.run(spec);
+
   for (bool fast : {false, true}) {
     for (auto alg :
          {crypto::Algorithm::kAes256, crypto::Algorithm::kTripleDes}) {
@@ -191,17 +301,15 @@ inline void run_power_figure(WorkloadCache& cache,
       std::printf("%-8s | %-16s %-16s\n", "level", "GOP=30 (W)",
                   "GOP=50 (W)");
       for (const auto& pol : policy::headline_policies(alg)) {
-        std::string cells[2];
+        std::string col[2];
         int idx = 0;
         for (int gop : {30, 50}) {
-          const auto& workload = cache.get(motion_for(fast), gop);
-          auto spec = make_spec(workload, pol, device, options,
-                                /*quality=*/false);
-          const auto r = core::run_experiment(spec, workload);
-          cells[idx++] = fmt_ci(r.power_w, 2);
+          const auto* c =
+              find_cell(cells, motion_for(fast), gop, pol.mode, alg);
+          col[idx++] = fmt_ci(c->result.power_w, 2);
         }
         std::printf("%-8s | %-16s %-16s\n", policy::to_string(pol.mode),
-                    cells[0].c_str(), cells[1].c_str());
+                    col[0].c_str(), col[1].c_str());
       }
     }
   }

@@ -1,29 +1,46 @@
 #!/usr/bin/env bash
-# Full check pass: normal build + tests, then a sanitized build + tests.
+# Full check pass: normal build + tests, then a sanitized build + tests,
+# then a ThreadSanitizer build running the concurrency-sensitive suites.
 #
-# Usage: ./run_checks.sh [--sanitize-only]
+# Usage: ./run_checks.sh [--sanitize-only | --tsan-only]
 #
 # The sanitized pass builds with -fsanitize=address,undefined and
 # -fno-sanitize-recover=all, so any report aborts the run and fails the
-# script.  Both build trees are kept (build/ and build-asan/) so
+# script.  The TSan pass builds with -DTHRIFTYVID_TSAN=ON and runs the
+# thread pool / sweep / flags suites (the code that actually shares state
+# across threads) — running every test under TSan would be prohibitively
+# slow.  All build trees are kept (build/, build-asan/, build-tsan/) so
 # incremental re-runs are fast.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 jobs=$(nproc 2>/dev/null || echo 4)
+mode="${1:-}"
 
-if [[ "${1:-}" != "--sanitize-only" ]]; then
+if [[ "${mode}" != "--sanitize-only" && "${mode}" != "--tsan-only" ]]; then
   echo "=== plain build + tests ==="
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build -j "${jobs}"
   ctest --test-dir build --output-on-failure -j "${jobs}"
 fi
 
-echo "=== sanitized build + tests (ASan + UBSan) ==="
-cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-      -DTHRIFTYVID_SANITIZE=ON
-cmake --build build-asan -j "${jobs}"
-ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
-  ctest --test-dir build-asan --output-on-failure -j "${jobs}"
+if [[ "${mode}" != "--tsan-only" ]]; then
+  echo "=== sanitized build + tests (ASan + UBSan) ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTHRIFTYVID_SANITIZE=ON
+  cmake --build build-asan -j "${jobs}"
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --test-dir build-asan --output-on-failure -j "${jobs}"
+fi
+
+if [[ "${mode}" != "--sanitize-only" ]]; then
+  echo "=== ThreadSanitizer build + concurrency tests ==="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTHRIFTYVID_TSAN=ON
+  cmake --build build-tsan -j "${jobs}"
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan --output-on-failure -j "${jobs}" \
+          -R 'ThreadPool|Sweep|WorkloadCache|Flags'
+fi
 
 echo "=== all checks passed ==="

@@ -38,6 +38,7 @@ energy::PowerCoefficients DeviceProfile::power_coefficients(
 DeviceProfile samsung_galaxy_s2() {
   DeviceProfile d;
   d.name = "Samsung Galaxy S-II";
+  d.key = "samsung";
   d.aes128 = {7.0, 220e-6, 45e-6};
   d.aes256 = {5.2, 220e-6, 55e-6};
   d.triple_des = {1.1, 260e-6, 120e-6};
@@ -53,6 +54,7 @@ DeviceProfile samsung_galaxy_s2() {
 DeviceProfile htc_amaze_4g() {
   DeviceProfile d;
   d.name = "HTC Amaze 4G";
+  d.key = "htc";
   d.aes128 = {8.5, 180e-6, 40e-6};
   d.aes256 = {6.4, 180e-6, 50e-6};
   d.triple_des = {1.4, 210e-6, 100e-6};
@@ -63,6 +65,14 @@ DeviceProfile htc_amaze_4g() {
   d.crypto_max_power_w = 0.58;
   d.radio_tx_power_w = 0.70;
   return d;
+}
+
+DeviceProfile device_from_string(std::string_view name) {
+  for (const DeviceProfile& d : {samsung_galaxy_s2(), htc_amaze_4g()}) {
+    if (name == d.key || name == d.name) return d;
+  }
+  throw std::invalid_argument{"unknown device: " + std::string{name} +
+                              " (samsung|htc)"};
 }
 
 }  // namespace tv::core

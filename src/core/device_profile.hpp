@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 
 #include "crypto/suite.hpp"
 #include "energy/energy_model.hpp"
@@ -26,6 +27,9 @@ struct CryptoSpeed {
 
 struct DeviceProfile {
   std::string name;
+  /// Short machine-readable key ("samsung", "htc") round-tripping through
+  /// device_from_string; used by the CLI flags and the sweep result sinks.
+  std::string key;
   CryptoSpeed aes128;
   CryptoSpeed aes256;
   CryptoSpeed triple_des;
@@ -59,5 +63,9 @@ struct DeviceProfile {
 /// HTC Amaze 4G (1.5 GHz dual Snapdragon S3): faster crypto, flatter power
 /// response.
 [[nodiscard]] DeviceProfile htc_amaze_4g();
+
+/// Look up a built-in profile by its short key ("samsung", "htc") or full
+/// display name.  Throws std::invalid_argument listing the valid keys.
+[[nodiscard]] DeviceProfile device_from_string(std::string_view name);
 
 }  // namespace tv::core

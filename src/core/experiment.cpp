@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "crypto/suite.hpp"
+#include "util/thread_pool.hpp"
 #include "video/quality.hpp"
 
 namespace tv::core {
@@ -97,7 +98,8 @@ Workload build_workload(video::MotionLevel motion, int gop_size, int frames,
 }
 
 ExperimentResult run_experiment(const ExperimentSpec& spec,
-                                const Workload& workload) {
+                                const Workload& workload,
+                                util::ThreadPool* pool) {
   if (spec.repetitions < 1) {
     throw std::invalid_argument{"run_experiment: repetitions < 1"};
   }
@@ -119,8 +121,23 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   const int frame_count = static_cast<int>(workload.stream.frames.size());
   const video::Decoder decoder{workload.codec};
 
-  std::optional<TransferResult> first_transfer;
-  for (int rep = 0; rep < spec.repetitions; ++rep) {
+  // Repetitions are mutually independent: each draws its own seed from
+  // (spec.seed, rep), reads only shared const state, and writes only its
+  // own slot.  The fold below then merges the slots in repetition order
+  // (see util::RunningStats::merge), so a pooled run is bit-identical to
+  // the serial one at any thread count.
+  struct RepOutcome {
+    bool ok = false;
+    TransferResult transfer;
+    util::RunningStats delay_ms, duration_s, power_w;
+    util::RunningStats rx_psnr, rx_mos, ev_psnr, ev_mos;
+    std::vector<FailureEvent> failures;
+  };
+  std::vector<RepOutcome> reps(static_cast<std::size_t>(spec.repetitions));
+
+  auto run_rep = [&](std::size_t index) {
+    RepOutcome& out = reps[index];
+    const int rep = static_cast<int>(index);
     // A repetition that dies on a degraded network is recorded as a
     // FailureEvent and skipped; the survivors still produce statistics.
     TransferResult transfer;
@@ -129,58 +146,83 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
           pipeline, packets,
           spec.seed * 7919 + static_cast<std::uint64_t>(rep));
     } catch (const std::exception&) {
-      ++result.failed_repetitions;
       FailureEvent failure;
       failure.kind = FailureEvent::Kind::kException;
       failure.repetition = rep;
-      result.failures.push_back(failure);
-      continue;
+      out.failures.push_back(failure);
+      return;
     }
-    if (!first_transfer) first_transfer = transfer;
-
+    out.ok = true;
     for (FailureEvent f : transfer.failures) {
       f.repetition = rep;
-      result.failures.push_back(f);
+      out.failures.push_back(f);
     }
-    result.total_retransmissions += transfer.retransmissions;
-    result.total_deadline_drops += transfer.deadline_drops;
-    result.total_outage_drops += transfer.outage_drops;
-    result.total_degraded_packets += transfer.degraded_packets;
-    ++result.completed_repetitions;
 
-    result.delay_ms.add(transfer.mean_delay_ms());
-    result.duration_s.add(transfer.duration_s);
+    out.delay_ms.add(transfer.mean_delay_ms());
+    out.duration_s.add(transfer.duration_s);
 
     const energy::EnergyBreakdown energy = energy::transfer_energy(
         spec.pipeline.device.power_coefficients(spec.policy.algorithm),
         transfer.duration_s, transfer.encrypted_payload_bytes,
         transfer.airtime_s);
-    result.power_w.add(energy::mean_power_w(energy, transfer.duration_s));
+    out.power_w.add(energy::mean_power_w(energy, transfer.duration_s));
 
-    if (!spec.evaluate_quality) continue;
+    if (spec.evaluate_quality) {
+      // Legitimate receiver: decrypts what it gets.
+      const auto rx_frames =
+          net::reassemble(packets, transfer.receiver_delivered, frame_count,
+                          cipher.get(), flow_iv);
+      const video::FrameSequence rx = decoder.decode_stream(
+          workload.stream.width, workload.stream.height, rx_frames);
+      out.rx_psnr.add(video::sequence_psnr(workload.clip, rx));
+      out.rx_mos.add(video::sequence_mos(workload.clip, rx));
 
-    // Legitimate receiver: decrypts what it gets.
-    const auto rx_frames =
-        net::reassemble(packets, transfer.receiver_delivered, frame_count,
-                        cipher.get(), flow_iv);
-    const video::FrameSequence rx = decoder.decode_stream(
-        workload.stream.width, workload.stream.height, rx_frames);
-    result.receiver_psnr_db.add(video::sequence_psnr(workload.clip, rx));
-    result.receiver_mos.add(video::sequence_mos(workload.clip, rx));
+      // Eavesdropper: overhears, cannot decrypt.
+      const auto ev_frames =
+          net::reassemble(packets, transfer.eavesdropper_captured,
+                          frame_count, nullptr, flow_iv);
+      const video::FrameSequence ev = decoder.decode_stream(
+          workload.stream.width, workload.stream.height, ev_frames);
+      out.ev_psnr.add(video::sequence_psnr(workload.clip, ev));
+      out.ev_mos.add(video::sequence_mos(workload.clip, ev));
+    }
+    out.transfer = std::move(transfer);
+  };
 
-    // Eavesdropper: overhears, cannot decrypt.
-    const auto ev_frames =
-        net::reassemble(packets, transfer.eavesdropper_captured, frame_count,
-                        nullptr, flow_iv);
-    const video::FrameSequence ev = decoder.decode_stream(
-        workload.stream.width, workload.stream.height, ev_frames);
-    result.eavesdropper_psnr_db.add(video::sequence_psnr(workload.clip, ev));
-    result.eavesdropper_mos.add(video::sequence_mos(workload.clip, ev));
+  if (pool != nullptr && reps.size() > 1) {
+    pool->parallel_for(reps.size(), run_rep);
+  } else {
+    for (std::size_t i = 0; i < reps.size(); ++i) run_rep(i);
+  }
+
+  // Deterministic fold in repetition order.
+  const TransferResult* first_transfer = nullptr;
+  for (const RepOutcome& out : reps) {
+    result.failures.insert(result.failures.end(), out.failures.begin(),
+                           out.failures.end());
+    if (!out.ok) {
+      ++result.failed_repetitions;
+      continue;
+    }
+    if (first_transfer == nullptr) first_transfer = &out.transfer;
+    result.total_retransmissions += out.transfer.retransmissions;
+    result.total_deadline_drops += out.transfer.deadline_drops;
+    result.total_outage_drops += out.transfer.outage_drops;
+    result.total_degraded_packets += out.transfer.degraded_packets;
+    ++result.completed_repetitions;
+
+    result.delay_ms.merge(out.delay_ms);
+    result.duration_s.merge(out.duration_s);
+    result.power_w.merge(out.power_w);
+    result.receiver_psnr_db.merge(out.rx_psnr);
+    result.receiver_mos.merge(out.rx_mos);
+    result.eavesdropper_psnr_db.merge(out.ev_psnr);
+    result.eavesdropper_mos.merge(out.ev_mos);
   }
 
   // Every repetition failed: return what we have (the failure record)
   // rather than crashing the caller's whole sweep.
-  if (!first_transfer) return result;
+  if (first_transfer == nullptr) return result;
 
   // Calibrate the analytic model on the first transfer (Section 6.1) and
   // attach its predictions.

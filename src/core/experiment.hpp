@@ -20,6 +20,10 @@
 #include "video/codec.hpp"
 #include "video/scene.hpp"
 
+namespace tv::util {
+class ThreadPool;
+}
+
 namespace tv::core {
 
 /// A reusable, deterministic video workload.
@@ -87,8 +91,14 @@ struct ExperimentResult {
 };
 
 /// Run one experiment configuration against a prebuilt workload.
+///
+/// When `pool` is non-null the repetition loop runs on it; each repetition
+/// derives its own seed from `spec.seed` and its index, and the partial
+/// per-repetition statistics are folded in repetition order, so the result
+/// is bit-identical to the serial run at any thread count.
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec,
-                                              const Workload& workload);
+                                              const Workload& workload,
+                                              util::ThreadPool* pool = nullptr);
 
 /// Default sensitivity fraction per motion level (calibrated so the model's
 /// frame success tracks the slice-decoder's observed robustness).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "util/rng.hpp"
 
@@ -13,6 +14,21 @@ const char* to_string(Transport t) {
     case Transport::kHttpTcp: return "HTTP/TCP";
   }
   return "?";
+}
+
+const char* transport_key(Transport t) {
+  switch (t) {
+    case Transport::kRtpUdp: return "udp";
+    case Transport::kHttpTcp: return "tcp";
+  }
+  return "?";
+}
+
+Transport transport_from_string(std::string_view name) {
+  if (name == "udp" || name == "RTP/UDP") return Transport::kRtpUdp;
+  if (name == "tcp" || name == "HTTP/TCP") return Transport::kHttpTcp;
+  throw std::invalid_argument{"unknown transport: " + std::string{name} +
+                              " (udp|tcp)"};
 }
 
 const char* to_string(FailureEvent::Kind kind) {

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/device_profile.hpp"
@@ -31,6 +32,14 @@ namespace tv::core {
 enum class Transport { kRtpUdp, kHttpTcp };
 
 [[nodiscard]] const char* to_string(Transport t);
+
+/// Short machine-readable key ("udp", "tcp") round-tripping through
+/// transport_from_string; used by CLI flags and sweep result sinks.
+[[nodiscard]] const char* transport_key(Transport t);
+
+/// Parse "udp"/"tcp" (or the to_string display names).  Throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] Transport transport_from_string(std::string_view name);
 
 /// Opt-in degraded-network channel model.  When set on a PipelineConfig
 /// it replaces the flat Bernoulli `receiver_loss_prob` /

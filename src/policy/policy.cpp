@@ -1,11 +1,36 @@
 #include "policy/policy.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace tv::policy {
 
 namespace {
+
+/// "20" for 0.2, "12.5" for 0.125 — shortest representation of the
+/// percentage, so spec() stays readable and round-trips exactly enough.
+std::string format_pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", fraction * 100.0);
+  return buf;
+}
+
+/// Parse a percentage like "20" or "12.5" into a fraction; throws on
+/// malformed or out-of-range input.
+double parse_pct(std::string_view text, std::string_view full_spec) {
+  const std::string value{text};
+  errno = 0;
+  char* end = nullptr;
+  const double pct = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size() || errno != 0 ||
+      pct < 0.0 || pct > 100.0) {
+    throw std::invalid_argument{"bad percentage in policy spec: " +
+                                std::string{full_spec}};
+  }
+  return pct / 100.0;
+}
 
 /// Deterministic stride selector: returns true for the k-th eligible item
 /// iff floor((k+1) f) > floor(k f), selecting an exact fraction f with an
@@ -42,6 +67,18 @@ std::string EncryptionPolicy::label() const {
     case Mode::kFractionI:
       return std::to_string(static_cast<int>(fraction * 100.0 + 0.5)) +
              "%I (" + alg + ")";
+  }
+  return "?";
+}
+
+std::string EncryptionPolicy::spec() const {
+  switch (mode) {
+    case Mode::kNone: return "none";
+    case Mode::kIFrames: return "I";
+    case Mode::kPFrames: return "P";
+    case Mode::kAll: return "all";
+    case Mode::kIPlusFractionP: return "I+" + format_pct(fraction) + "P";
+    case Mode::kFractionI: return format_pct(fraction) + "I";
   }
   return "?";
 }
@@ -122,6 +159,28 @@ double EncryptionPolicy::p_packet_fraction() const {
       return fraction;
   }
   return 0.0;
+}
+
+EncryptionPolicy policy_from_string(std::string_view spec,
+                                    crypto::Algorithm algorithm) {
+  if (spec == "none") return {Mode::kNone, algorithm, 0.0};
+  if (spec == "I") return {Mode::kIFrames, algorithm, 0.0};
+  if (spec == "P") return {Mode::kPFrames, algorithm, 0.0};
+  if (spec == "all") return {Mode::kAll, algorithm, 0.0};
+  // "I+<pct>P", e.g. I+20P.
+  if (spec.size() > 3 && spec.rfind("I+", 0) == 0 && spec.back() == 'P') {
+    const double fraction =
+        parse_pct(spec.substr(2, spec.size() - 3), spec);
+    return {Mode::kIPlusFractionP, algorithm, fraction};
+  }
+  // "<pct>I", e.g. 50I (Section 6.2's partial I-frame encryption).
+  if (spec.size() > 1 && spec.back() == 'I') {
+    const double fraction =
+        parse_pct(spec.substr(0, spec.size() - 1), spec);
+    return {Mode::kFractionI, algorithm, fraction};
+  }
+  throw std::invalid_argument{"unknown policy: " + std::string{spec} +
+                              " (none|I|P|all|I+<pct>P|<pct>I)"};
 }
 
 std::vector<EncryptionPolicy> headline_policies(crypto::Algorithm algorithm) {

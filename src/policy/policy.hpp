@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "crypto/suite.hpp"
@@ -36,6 +37,10 @@ struct EncryptionPolicy {
   /// Human-readable label, e.g. "I+20%P (AES256)".
   [[nodiscard]] std::string label() const;
 
+  /// Canonical machine-readable spec ("none", "I", "P", "all", "I+<pct>P",
+  /// "<pct>I") that round-trips through policy_from_string.
+  [[nodiscard]] std::string spec() const;
+
   /// Decide, per packet, whether this policy encrypts it.
   [[nodiscard]] std::vector<bool> select(
       const std::vector<net::VideoPacket>& packets) const;
@@ -52,5 +57,13 @@ struct EncryptionPolicy {
 /// paper's plotting order: none, P, I, all.
 [[nodiscard]] std::vector<EncryptionPolicy> headline_policies(
     crypto::Algorithm algorithm);
+
+/// Parse a policy spec for `algorithm`.  Accepted grammar:
+///   none | I | P | all | I+<pct>P (e.g. I+20P) | <pct>I (e.g. 50I)
+/// Percentages may be fractional ("I+12.5P").  Throws std::invalid_argument
+/// with the accepted grammar on malformed input.  Inverse of
+/// EncryptionPolicy::spec().
+[[nodiscard]] EncryptionPolicy policy_from_string(std::string_view spec,
+                                                  crypto::Algorithm algorithm);
 
 }  // namespace tv::policy

@@ -1,0 +1,131 @@
+#include "util/flags.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+
+namespace tv::util {
+
+namespace {
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            const char* expected) {
+  throw FlagError{"invalid value for --" + key + ": '" + value +
+                  "' (expected " + expected + ")"};
+}
+
+template <typename T>
+T parse_integral(const std::string& key, const std::string& value,
+                 const char* expected) {
+  T parsed{};
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (ec != std::errc{} || ptr != end) bad_value(key, value, expected);
+  return parsed;
+}
+
+}  // namespace
+
+Flags Flags::parse(int argc, char** argv, int from) {
+  Flags flags;
+  for (int i = from; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags.options_[arg.substr(2)] = "1";
+      } else {
+        flags.options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      flags.positional_.push_back(std::move(arg));
+    }
+  }
+  return flags;
+}
+
+bool Flags::has(const std::string& key) const {
+  return options_.count(key) > 0;
+}
+
+std::string Flags::get(const std::string& key, std::string fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? std::move(fallback) : it->second;
+}
+
+int Flags::get_int(const std::string& key, int fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return parse_integral<int>(key, it->second, "an integer");
+}
+
+std::uint64_t Flags::get_uint64(const std::string& key,
+                                std::uint64_t fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return parse_integral<std::uint64_t>(key, it->second,
+                                       "a non-negative integer");
+}
+
+double Flags::get_double(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  const std::string& value = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size() || errno != 0) {
+    bad_value(key, value, "a number");
+  }
+  return parsed;
+}
+
+bool Flags::get_bool(const std::string& key, bool fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  const std::string& value = it->second;
+  if (value == "1" || value == "true" || value == "on" || value == "yes") {
+    return true;
+  }
+  if (value == "0" || value == "false" || value == "off" || value == "no") {
+    return false;
+  }
+  bad_value(key, value, "a boolean (1/0, true/false, on/off, yes/no)");
+}
+
+std::vector<std::string> Flags::get_list(const std::string& key) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return {};
+  std::vector<std::string> items;
+  const std::string& value = it->second;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const auto comma = value.find(',', pos);
+    const auto end = comma == std::string::npos ? value.size() : comma;
+    if (end > pos) items.push_back(value.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return items;
+}
+
+std::vector<int> Flags::get_int_list(const std::string& key) const {
+  std::vector<int> items;
+  for (const std::string& item : get_list(key)) {
+    items.push_back(parse_integral<int>(key, item, "a comma-separated "
+                                        "list of integers"));
+  }
+  return items;
+}
+
+void Flags::check_known(std::initializer_list<std::string_view> known) const {
+  for (const auto& [key, value] : options_) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      throw FlagError{"unknown option --" + key};
+    }
+  }
+}
+
+}  // namespace tv::util

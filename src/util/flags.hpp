@@ -1,0 +1,62 @@
+// Typed command-line flag parsing shared by tools/ and bench/.
+//
+// The front ends all speak the same dialect: `--key=value` options,
+// `--key` boolean shorthands, everything else positional.  The typed
+// accessors validate the whole value and throw FlagError with a usable
+// message ("invalid value for --reps: 'abc' ...") instead of letting a raw
+// std::stoi exception escape to the user.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tv::util {
+
+/// Malformed command-line input: unknown flag or a value that fails typed
+/// validation.  Front ends catch this and print a usage error.
+class FlagError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Flags {
+ public:
+  /// Parse argv[from..argc).  `--key=value` and `--key` (stored as "1")
+  /// become options; everything else is positional, in order.
+  [[nodiscard]] static Flags parse(int argc, char** argv, int from = 1);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                std::string fallback) const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+  [[nodiscard]] std::uint64_t get_uint64(const std::string& key,
+                                         std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  /// Accepts 1/0, true/false, on/off, yes/no (case-sensitive).
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+  /// Comma-separated list; empty vector when the flag is absent.
+  [[nodiscard]] std::vector<std::string> get_list(
+      const std::string& key) const;
+  /// Comma-separated integer list; empty vector when the flag is absent.
+  [[nodiscard]] std::vector<int> get_int_list(const std::string& key) const;
+
+  /// Throws FlagError naming the first option not in `known`.
+  void check_known(std::initializer_list<std::string_view> known) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tv::util

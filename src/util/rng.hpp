@@ -13,6 +13,31 @@
 
 namespace tv::util {
 
+/// One SplitMix64 step: the statistically-strong 64-bit mixer used both to
+/// seed the engine below and to derive independent sub-stream seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Derive a child seed from a root seed and up to three stream components
+/// (e.g. a purpose tag, a grid-cell index, a repetition index) by chaining
+/// SplitMix64 over the components.  The derivation is pure, so any thread
+/// can compute the seed of any (cell, repetition) without coordination —
+/// this is what makes parallel sweeps bit-identical to serial ones.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t root,
+                                                  std::uint64_t a,
+                                                  std::uint64_t b = 0,
+                                                  std::uint64_t c = 0) {
+  std::uint64_t s = splitmix64(root);
+  s = splitmix64(s ^ a);
+  s = splitmix64(s ^ b);
+  s = splitmix64(s ^ c);
+  return s;
+}
+
 /// xoshiro256++ engine with SplitMix64 seeding.
 ///
 /// Satisfies the essentials of UniformRandomBitGenerator so it can be used
@@ -27,11 +52,8 @@ class Rng {
   /// Re-initialize the state from a 64-bit seed via SplitMix64.
   void reseed(std::uint64_t seed) {
     for (auto& word : state_) {
+      word = splitmix64(seed);
       seed += 0x9e3779b97f4a7c15ULL;
-      std::uint64_t z = seed;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      word = z ^ (z >> 31);
     }
     has_cached_gaussian_ = false;
   }

@@ -30,7 +30,18 @@ class RunningStats {
   /// Student-t quantile for the actual sample count.
   [[nodiscard]] double ci95_halfwidth() const;
 
-  /// Merge another accumulator into this one (parallel reduction).
+  /// Merge another accumulator into this one using the Chan et al.
+  /// parallel-Welford combination.
+  ///
+  /// Invariant: `count`, `min` and `max` are exactly independent of the
+  /// merge order, and the combined `mean`/`variance` (hence the CI) agree
+  /// with the single-stream Welford result up to floating-point round-off
+  /// only — the combination is the algebraically exact pooling of the two
+  /// partitions' (n, mean, M2).  Callers that need *bit-identical* results
+  /// across thread counts (the sweep engine's determinism guarantee) must
+  /// therefore fold partial accumulators in a fixed order — e.g.
+  /// repetition order — regardless of the order in which the partials were
+  /// produced; see core::run_experiment.
   void merge(const RunningStats& other);
 
  private:

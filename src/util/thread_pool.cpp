@@ -1,0 +1,105 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tv::util {
+
+namespace {
+
+// Identifies the pool (and worker slot) the current thread belongs to, so
+// submissions from inside a task land on the submitter's own deque and
+// run_pending_task() steals relative to the right home queue.
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_index = 0;
+
+}  // namespace
+
+unsigned ThreadPool::default_thread_count() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = std::max(1u, threads);
+  queues_.resize(n);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock{mu_};
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+bool ThreadPool::pop_task_locked(std::function<void()>& out,
+                                 std::size_t home) {
+  auto& own = queues_[home];
+  if (!own.empty()) {
+    out = std::move(own.front());
+    own.pop_front();
+    return true;
+  }
+  for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
+    auto& victim = queues_[(home + offset) % queues_.size()];
+    if (!victim.empty()) {
+      out = std::move(victim.back());
+      victim.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard lock{mu_};
+    if (stop_ && tl_pool != this) {
+      throw std::runtime_error{"ThreadPool: submit after shutdown"};
+    }
+    if (tl_pool == this) {
+      queues_[tl_index].push_front(std::move(task));
+    } else {
+      queues_[next_queue_++ % queues_.size()].push_back(std::move(task));
+    }
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::run_pending_task() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock{mu_};
+    const std::size_t home = tl_pool == this ? tl_index : 0;
+    if (!pop_task_locked(task, home)) return false;
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  tl_pool = this;
+  tl_index = index;
+  std::unique_lock lock{mu_};
+  for (;;) {
+    std::function<void()> task;
+    if (pop_task_locked(task, index)) {
+      lock.unlock();
+      task();
+      task = nullptr;  // release captures before re-locking.
+      lock.lock();
+      continue;
+    }
+    // Exit only once the stop flag is set AND every deque is empty, so the
+    // destructor's drain guarantee holds.
+    if (stop_) return;
+    cv_.wait(lock);
+  }
+}
+
+}  // namespace tv::util

@@ -1,6 +1,8 @@
 #include "video/scene.hpp"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "util/rng.hpp"
 
@@ -60,6 +62,14 @@ const char* to_string(MotionLevel level) {
     case MotionLevel::kHigh: return "high";
   }
   return "?";
+}
+
+MotionLevel motion_from_string(std::string_view name) {
+  if (name == "low" || name == "slow") return MotionLevel::kLow;
+  if (name == "medium") return MotionLevel::kMedium;
+  if (name == "high" || name == "fast") return MotionLevel::kHigh;
+  throw std::invalid_argument{"unknown motion level: " + std::string{name} +
+                              " (low|medium|high)"};
 }
 
 SceneParameters SceneParameters::preset(MotionLevel level) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "video/frame.hpp"
@@ -20,6 +21,10 @@ namespace tv::video {
 enum class MotionLevel { kLow, kMedium, kHigh };
 
 [[nodiscard]] const char* to_string(MotionLevel level);
+
+/// Inverse of to_string; also accepts the paper's "slow"/"fast" aliases.
+/// Throws std::invalid_argument on anything else.
+[[nodiscard]] MotionLevel motion_from_string(std::string_view name);
 
 /// Tunable generator parameters; use the presets unless you are making a
 /// custom workload.

@@ -161,6 +161,41 @@ TEST(Policy, HeadlineOrderMatchesPaperPlots) {
   EXPECT_EQ(ladder[3].mode, Mode::kAll);
 }
 
+TEST(PolicySpec, RoundTripsThroughParser) {
+  const std::vector<EncryptionPolicy> shapes = {
+      {Mode::kNone, crypto::Algorithm::kAes256, 0.0},
+      {Mode::kIFrames, crypto::Algorithm::kAes128, 0.0},
+      {Mode::kPFrames, crypto::Algorithm::kAes256, 0.0},
+      {Mode::kAll, crypto::Algorithm::kTripleDes, 0.0},
+      {Mode::kIPlusFractionP, crypto::Algorithm::kAes256, 0.2},
+      {Mode::kIPlusFractionP, crypto::Algorithm::kAes256, 0.125},
+      {Mode::kFractionI, crypto::Algorithm::kAes256, 0.5},
+  };
+  for (const auto& p : shapes) {
+    const auto back = policy_from_string(p.spec(), p.algorithm);
+    EXPECT_EQ(back.mode, p.mode) << p.spec();
+    EXPECT_EQ(back.algorithm, p.algorithm) << p.spec();
+    EXPECT_DOUBLE_EQ(back.fraction, p.fraction) << p.spec();
+  }
+  EXPECT_EQ((EncryptionPolicy{Mode::kIPlusFractionP,
+                              crypto::Algorithm::kAes256, 0.2})
+                .spec(),
+            "I+20P");
+  EXPECT_EQ((EncryptionPolicy{Mode::kFractionI, crypto::Algorithm::kAes256,
+                              0.5})
+                .spec(),
+            "50I");
+}
+
+TEST(PolicySpec, ParserRejectsMalformedSpecs) {
+  for (const char* bad : {"", "Q", "I+P", "I+abcP", "I+120P", "-5I",
+                          "101I", "20", "allx"}) {
+    EXPECT_THROW((void)policy_from_string(bad, crypto::Algorithm::kAes256),
+                 std::invalid_argument)
+        << bad;
+  }
+}
+
 TEST(Policy, ValidatesFraction) {
   EncryptionPolicy p{Mode::kIPlusFractionP, crypto::Algorithm::kAes128, 1.4};
   EXPECT_THROW(p.validate(), std::invalid_argument);

@@ -1,0 +1,91 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tv::util {
+namespace {
+
+Flags parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return Flags::parse(static_cast<int>(argv.size()),
+                      const_cast<char**>(argv.data()));
+}
+
+TEST(Flags, SplitsOptionsAndPositionals) {
+  const auto f = parse({"--motion=high", "clip.y4m", "--verbose", "extra"});
+  EXPECT_TRUE(f.has("motion"));
+  EXPECT_EQ(f.get("motion", ""), "high");
+  EXPECT_EQ(f.get("verbose", ""), "1");  // bare flag stored as "1".
+  EXPECT_EQ(f.positional(), (std::vector<std::string>{"clip.y4m", "extra"}));
+  EXPECT_FALSE(f.has("absent"));
+  EXPECT_EQ(f.get("absent", "fallback"), "fallback");
+}
+
+TEST(Flags, TypedAccessors) {
+  const auto f = parse({"--reps=20", "--seed=2013", "--loss=0.25",
+                        "--quality=off"});
+  EXPECT_EQ(f.get_int("reps", 0), 20);
+  EXPECT_EQ(f.get_uint64("seed", 0), 2013u);
+  EXPECT_DOUBLE_EQ(f.get_double("loss", 0.0), 0.25);
+  EXPECT_FALSE(f.get_bool("quality", true));
+  // Fallbacks when absent.
+  EXPECT_EQ(f.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 1.5), 1.5);
+  EXPECT_TRUE(f.get_bool("missing", true));
+}
+
+TEST(Flags, InvalidIntegerReportsFlagAndValue) {
+  const auto f = parse({"--reps=abc"});
+  try {
+    (void)f.get_int("reps", 0);
+    FAIL() << "expected FlagError";
+  } catch (const FlagError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--reps"), std::string::npos) << what;
+    EXPECT_NE(what.find("'abc'"), std::string::npos) << what;
+  }
+}
+
+TEST(Flags, RejectsTrailingGarbageAndPartialNumbers) {
+  const auto f = parse({"--reps=12x", "--loss=0.5y", "--seed=-3"});
+  EXPECT_THROW((void)f.get_int("reps", 0), FlagError);
+  EXPECT_THROW((void)f.get_double("loss", 0.0), FlagError);
+  EXPECT_THROW((void)f.get_uint64("seed", 0), FlagError);
+}
+
+TEST(Flags, BoolAcceptsAllSpellings) {
+  const auto f = parse({"--a=1", "--b=true", "--c=on", "--d=yes", "--e=0",
+                        "--f=false", "--g=off", "--h=no", "--i=maybe"});
+  for (const char* key : {"a", "b", "c", "d"}) {
+    EXPECT_TRUE(f.get_bool(key, false)) << key;
+  }
+  for (const char* key : {"e", "f", "g", "h"}) {
+    EXPECT_FALSE(f.get_bool(key, true)) << key;
+  }
+  EXPECT_THROW((void)f.get_bool("i", false), FlagError);
+}
+
+TEST(Flags, ListsSplitOnCommas) {
+  const auto f = parse({"--motions=low,high", "--gops=30,50", "--one=x"});
+  EXPECT_EQ(f.get_list("motions"), (std::vector<std::string>{"low", "high"}));
+  EXPECT_EQ(f.get_int_list("gops"), (std::vector<int>{30, 50}));
+  EXPECT_EQ(f.get_list("one"), (std::vector<std::string>{"x"}));
+  EXPECT_TRUE(f.get_list("absent").empty());
+  EXPECT_THROW((void)f.get_int_list("motions"), FlagError);
+}
+
+TEST(Flags, CheckKnownNamesTheOffender) {
+  const auto f = parse({"--reps=3", "--typo=1"});
+  try {
+    f.check_known({"reps", "seed"});
+    FAIL() << "expected FlagError";
+  } catch (const FlagError& e) {
+    EXPECT_NE(std::string(e.what()).find("--typo"), std::string::npos);
+  }
+  EXPECT_NO_THROW(f.check_known({"reps", "typo"}));
+}
+
+}  // namespace
+}  // namespace tv::util

@@ -53,6 +53,36 @@ TEST(RunningStats, MergeMatchesSequential) {
   EXPECT_DOUBLE_EQ(left.max(), all.max());
 }
 
+// The sweep engine's determinism contract (docs/sweeps.md): count/min/max
+// are exactly merge-order independent, and folding the same partials in
+// the same order always reproduces the same bits.
+TEST(RunningStats, MergeOrderInvariants) {
+  Rng rng{11};
+  std::vector<RunningStats> parts(7);
+  for (int i = 0; i < 700; ++i) {
+    parts[i % parts.size()].add(rng.gaussian(3.0, 5.0));
+  }
+
+  RunningStats forward;
+  for (const auto& p : parts) forward.merge(p);
+  RunningStats forward_again;
+  for (const auto& p : parts) forward_again.merge(p);
+  // Same fold order -> bit-identical everything.
+  EXPECT_EQ(forward.mean(), forward_again.mean());
+  EXPECT_EQ(forward.variance(), forward_again.variance());
+
+  RunningStats backward;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    backward.merge(*it);
+  }
+  // Any fold order -> exactly equal count/min/max, near-equal moments.
+  EXPECT_EQ(backward.count(), forward.count());
+  EXPECT_DOUBLE_EQ(backward.min(), forward.min());
+  EXPECT_DOUBLE_EQ(backward.max(), forward.max());
+  EXPECT_NEAR(backward.mean(), forward.mean(), 1e-12);
+  EXPECT_NEAR(backward.variance(), forward.variance(), 1e-9);
+}
+
 TEST(RunningStats, MergeWithEmptyIsIdentity) {
   RunningStats a;
   a.add(1.0);

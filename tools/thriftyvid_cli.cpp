@@ -4,7 +4,8 @@
 //       AForge-style motion classification of a YUV4MPEG2 clip.
 //
 //   thriftyvid simulate [--motion=low|medium|high] [--gop=N] [--frames=N]
-//                       [--policy=none|I|P|all|I+<pct>P] [--alg=AES128|AES256|3DES]
+//                       [--policy=none|I|P|all|I+<pct>P|<pct>I]
+//                       [--alg=AES128|AES256|3DES]
 //                       [--device=samsung|htc] [--transport=udp|tcp]
 //                       [--reps=N] [--seed=S]
 //                       [--loss=P] [--burst=L] [--outage=START:DURATION,...]
@@ -14,6 +15,19 @@
 //       length L packets); --outage schedules AP blackout windows, and the
 //       resilience counters (retransmissions, deadline/outage drops,
 //       recorded failures) are reported after the metrics.
+//
+//   thriftyvid sweep [--motions=low,high] [--gops=30,50]
+//                    [--policies=none,I,P,all] [--algs=AES256,3DES]
+//                    [--devices=samsung,htc] [--transports=udp,tcp]
+//                    [--frames=N] [--reps=N] [--seed=S] [--threads=N]
+//                    [--quality=on|off] [--format=table|jsonl|csv]
+//                    [--out=FILE] [--shared-seed]
+//                    [--loss=P] [--burst=L] [--outage=...]
+//       Run the cartesian grid over every listed axis value on a
+//       work-stealing thread pool (docs/sweeps.md).  Per-cell seeds are
+//       derived deterministically from --seed, so any --threads value
+//       produces bit-identical statistics; --shared-seed instead reuses
+//       the root seed in every cell (the figure benches' convention).
 //
 //   thriftyvid advise [--motion=...] [--ceiling=DB] [--objective=delay|power]
 //                     [--alg=...] [--device=...]
@@ -25,100 +39,36 @@
 //       Write original/receiver/eavesdropper .y4m files plus the
 //       eavesdropper's .pcap capture.
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
-#include <map>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "core/advisor.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "net/pcap.hpp"
+#include "util/flags.hpp"
+#include "util/thread_pool.hpp"
 #include "video/motion.hpp"
 #include "video/y4m.hpp"
 
 using namespace tv;
+using util::Flags;
 
 namespace {
 
-struct Args {
-  std::map<std::string, std::string> options;
-  std::vector<std::string> positional;
-
-  static Args parse(int argc, char** argv, int from) {
-    Args a;
-    for (int i = from; i < argc; ++i) {
-      std::string s = argv[i];
-      if (s.rfind("--", 0) == 0) {
-        const auto eq = s.find('=');
-        if (eq == std::string::npos) {
-          a.options[s.substr(2)] = "1";
-        } else {
-          a.options[s.substr(2, eq - 2)] = s.substr(eq + 1);
-        }
-      } else {
-        a.positional.push_back(std::move(s));
-      }
-    }
-    return a;
-  }
-
-  [[nodiscard]] std::string get(const std::string& key,
-                                const std::string& fallback) const {
-    const auto it = options.find(key);
-    return it == options.end() ? fallback : it->second;
-  }
-  [[nodiscard]] int get_int(const std::string& key, int fallback) const {
-    const auto it = options.find(key);
-    return it == options.end() ? fallback : std::stoi(it->second);
-  }
-  [[nodiscard]] double get_double(const std::string& key,
-                                  double fallback) const {
-    const auto it = options.find(key);
-    return it == options.end() ? fallback : std::stod(it->second);
-  }
-};
-
-video::MotionLevel parse_motion(const std::string& s) {
-  if (s == "low" || s == "slow") return video::MotionLevel::kLow;
-  if (s == "medium") return video::MotionLevel::kMedium;
-  if (s == "high" || s == "fast") return video::MotionLevel::kHigh;
-  throw std::invalid_argument{"unknown motion level: " + s};
-}
-
-crypto::Algorithm parse_alg(const std::string& s) {
-  return crypto::algorithm_from_string(s);
-}
-
-core::DeviceProfile parse_device(const std::string& s) {
-  if (s == "samsung") return core::samsung_galaxy_s2();
-  if (s == "htc") return core::htc_amaze_4g();
-  throw std::invalid_argument{"unknown device: " + s + " (samsung|htc)"};
-}
-
-policy::EncryptionPolicy parse_policy(const std::string& s,
-                                      crypto::Algorithm alg) {
-  if (s == "none") return {policy::Mode::kNone, alg, 0.0};
-  if (s == "I") return {policy::Mode::kIFrames, alg, 0.0};
-  if (s == "P") return {policy::Mode::kPFrames, alg, 0.0};
-  if (s == "all") return {policy::Mode::kAll, alg, 0.0};
-  // I+<pct>P, e.g. I+20P.
-  if (s.rfind("I+", 0) == 0 && s.back() == 'P') {
-    const double pct = std::stod(s.substr(2, s.size() - 3));
-    return {policy::Mode::kIPlusFractionP, alg, pct / 100.0};
-  }
-  throw std::invalid_argument{"unknown policy: " + s +
-                              " (none|I|P|all|I+<pct>P)"};
-}
-
-int cmd_classify(const Args& args) {
-  if (args.positional.empty()) {
+int cmd_classify(const Flags& args) {
+  if (args.positional().empty()) {
     std::fprintf(stderr, "usage: thriftyvid classify <clip.y4m>\n");
     return 2;
   }
-  const auto clip = video::read_y4m_file(args.positional.front());
+  const auto clip = video::read_y4m_file(args.positional().front());
   const auto report = video::classify_motion(clip.frames);
   std::printf("%s: %zu frames %dx%d @%d/%d fps\n",
-              args.positional.front().c_str(), clip.frames.size(),
+              args.positional().front().c_str(), clip.frames.size(),
               clip.frames.front().width(), clip.frames.front().height(),
               clip.fps_numerator, clip.fps_denominator);
   std::printf("motion score %.4f -> %s motion\n", report.score,
@@ -129,65 +79,71 @@ int cmd_classify(const Args& args) {
 }
 
 // Parses "--outage=START:DURATION[,START:DURATION...]" (seconds).
-std::vector<wifi::OutageWindow> parse_outages(const std::string& spec) {
+std::vector<wifi::OutageWindow> parse_outages(const Flags& args) {
   std::vector<wifi::OutageWindow> outages;
-  std::size_t pos = 0;
-  while (pos < spec.size()) {
-    const auto comma = spec.find(',', pos);
-    const auto item = spec.substr(
-        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+  for (const std::string& item : args.get_list("outage")) {
     const auto colon = item.find(':');
     if (colon == std::string::npos) {
-      throw std::invalid_argument{
-          "outage window must be START:DURATION, got: " + item};
+      throw util::FlagError{
+          "invalid value for --outage: '" + item +
+          "' (expected START:DURATION[,START:DURATION...] in seconds)"};
     }
-    outages.push_back({std::stod(item.substr(0, colon)),
-                       std::stod(item.substr(colon + 1))});
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
+    errno = 0;
+    char* end = nullptr;
+    const double start = std::strtod(item.c_str(), &end);
+    const bool start_ok = end == item.c_str() + colon && errno == 0;
+    errno = 0;
+    const double duration = std::strtod(item.c_str() + colon + 1, &end);
+    const bool duration_ok =
+        end == item.c_str() + item.size() && colon + 1 < item.size() &&
+        errno == 0;
+    if (!start_ok || !duration_ok) {
+      throw util::FlagError{"invalid value for --outage: '" + item +
+                            "' (expected numeric START:DURATION)"};
+    }
+    outages.push_back({start, duration});
   }
   return outages;
 }
 
-// Installs a Gilbert-Elliott channel model when any of --loss/--burst/
-// --outage is present; otherwise leaves the legacy i.i.d. losses in place.
-void apply_channel_flags(const Args& args, core::PipelineConfig& pipeline) {
-  const bool wants_channel = args.options.count("loss") ||
-                             args.options.count("burst") ||
-                             args.options.count("outage");
-  if (!wants_channel) return;
+// Builds a Gilbert-Elliott channel model when any of --loss/--burst/
+// --outage is present; otherwise returns nullopt (legacy i.i.d. losses).
+std::optional<core::ChannelModel> channel_from_flags(
+    const Flags& args, const core::PipelineConfig& defaults) {
+  const bool wants_channel =
+      args.has("loss") || args.has("burst") || args.has("outage");
+  if (!wants_channel) return std::nullopt;
   core::ChannelModel channel;
   channel.receiver.mean_loss_prob =
-      args.get_double("loss", pipeline.receiver_loss_prob);
+      args.get_double("loss", defaults.receiver_loss_prob);
   channel.receiver.mean_burst_length = args.get_double("burst", 1.0);
-  channel.eavesdropper.mean_loss_prob = pipeline.eavesdropper_loss_prob;
+  channel.eavesdropper.mean_loss_prob = defaults.eavesdropper_loss_prob;
   channel.eavesdropper.mean_burst_length = 1.0;
-  const auto it = args.options.find("outage");
-  if (it != args.options.end()) channel.outages = parse_outages(it->second);
-  pipeline.channel = channel;
+  channel.outages = parse_outages(args);
+  return channel;
 }
 
-core::Workload workload_from(const Args& args) {
-  return core::build_workload(parse_motion(args.get("motion", "low")),
-                              args.get_int("gop", 30),
-                              args.get_int("frames", 120),
-                              static_cast<std::uint64_t>(
-                                  args.get_int("seed", 1)));
+core::Workload workload_from(const Flags& args) {
+  return core::build_workload(
+      video::motion_from_string(args.get("motion", "low")),
+      args.get_int("gop", 30), args.get_int("frames", 120),
+      args.get_uint64("seed", 1));
 }
 
-int cmd_simulate(const Args& args) {
-  const auto alg = parse_alg(args.get("alg", "AES256"));
+int cmd_simulate(const Flags& args) {
+  args.check_known({"motion", "gop", "frames", "policy", "alg", "device",
+                    "transport", "reps", "seed", "loss", "burst", "outage"});
+  const auto alg = crypto::algorithm_from_string(args.get("alg", "AES256"));
   const auto workload = workload_from(args);
   core::ExperimentSpec spec;
-  spec.policy = parse_policy(args.get("policy", "I"), alg);
-  spec.pipeline.device = parse_device(args.get("device", "samsung"));
-  spec.pipeline.transport = args.get("transport", "udp") == "tcp"
-                                ? core::Transport::kHttpTcp
-                                : core::Transport::kRtpUdp;
+  spec.policy = policy::policy_from_string(args.get("policy", "I"), alg);
+  spec.pipeline.device = core::device_from_string(args.get("device", "samsung"));
+  spec.pipeline.transport =
+      core::transport_from_string(args.get("transport", "udp"));
   spec.repetitions = args.get_int("reps", 5);
-  spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  spec.seed = args.get_uint64("seed", 1);
   spec.sensitivity_fraction = core::default_sensitivity(workload.motion);
-  apply_channel_flags(args, spec.pipeline);
+  spec.pipeline.channel = channel_from_flags(args, spec.pipeline);
   // Fail fast on configuration mistakes; run_experiment itself downgrades
   // per-repetition failures to FailureEvents and would otherwise report a
   // bad --loss/--burst as "0 completed" with all-zero statistics.
@@ -243,14 +199,113 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
-int cmd_advise(const Args& args) {
-  const auto alg = parse_alg(args.get("alg", "AES256"));
+int cmd_sweep(const Flags& args) {
+  args.check_known({"motions", "gops", "policies", "algs", "devices",
+                    "transports", "frames", "reps", "seed", "threads",
+                    "quality", "format", "out", "shared-seed", "loss",
+                    "burst", "outage"});
+
+  core::SweepSpec spec;
+  spec.motions.clear();
+  for (const auto& m : args.get_list("motions")) {
+    spec.motions.push_back(video::motion_from_string(m));
+  }
+  if (spec.motions.empty()) spec.motions = {video::MotionLevel::kLow};
+
+  if (args.has("gops")) spec.gop_sizes = args.get_int_list("gops");
+
+  spec.algorithms.clear();
+  for (const auto& a : args.get_list("algs")) {
+    spec.algorithms.push_back(crypto::algorithm_from_string(a));
+  }
+  if (spec.algorithms.empty()) {
+    spec.algorithms = {crypto::Algorithm::kAes256};
+  }
+
+  spec.policies.clear();
+  for (const auto& p : args.get_list("policies")) {
+    spec.policies.push_back(
+        policy::policy_from_string(p, spec.algorithms.front()));
+  }
+  if (spec.policies.empty()) {
+    spec.policies = policy::headline_policies(spec.algorithms.front());
+  }
+
+  spec.devices.clear();
+  for (const auto& d : args.get_list("devices")) {
+    spec.devices.push_back(core::device_from_string(d));
+  }
+  if (spec.devices.empty()) spec.devices = {core::samsung_galaxy_s2()};
+
+  spec.transports.clear();
+  for (const auto& t : args.get_list("transports")) {
+    spec.transports.push_back(core::transport_from_string(t));
+  }
+  if (spec.transports.empty()) spec.transports = {core::Transport::kRtpUdp};
+
+  core::PipelineConfig channel_defaults;
+  spec.channels = {channel_from_flags(args, channel_defaults)};
+
+  spec.frames = args.get_int("frames", 120);
+  spec.repetitions = args.get_int("reps", 5);
+  spec.seed = args.get_uint64("seed", 1);
+  spec.evaluate_quality = args.get_bool("quality", true);
+  if (args.get_bool("shared-seed", false)) {
+    spec.seed_mode = core::SweepSpec::SeedMode::kShared;
+  }
+
+  const int threads = args.get_int(
+      "threads", static_cast<int>(util::ThreadPool::default_thread_count()));
+  if (threads < 1) {
+    throw util::FlagError{"invalid value for --threads: must be >= 1"};
+  }
+
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  const std::string out_path = args.get("out", "");
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      throw util::FlagError{"cannot open --out file: " + out_path};
+    }
+    out = &file;
+  }
+
+  const std::string format = args.get("format", "table");
+  std::unique_ptr<core::ResultSink> sink;
+  if (format == "table") {
+    sink = std::make_unique<core::TableSink>(*out);
+  } else if (format == "jsonl") {
+    sink = std::make_unique<core::JsonlSink>(*out);
+  } else if (format == "csv") {
+    sink = std::make_unique<core::CsvSink>(*out);
+  } else {
+    throw util::FlagError{"invalid value for --format: '" + format +
+                          "' (expected table, jsonl or csv)"};
+  }
+
+  std::optional<util::ThreadPool> pool;
+  if (threads > 1) pool.emplace(static_cast<unsigned>(threads));
+  core::SweepRunner runner{pool ? &*pool : nullptr};
+  const core::SweepSummary summary = runner.run(spec, *sink);
+  out->flush();
+  std::fprintf(stderr,
+               "# sweep: %zu cells x %d reps, %zu workload(s), "
+               "%u thread(s), %.2f s\n",
+               summary.cells, spec.repetitions, summary.workloads,
+               summary.threads, summary.wall_s);
+  return 0;
+}
+
+int cmd_advise(const Flags& args) {
+  args.check_known({"motion", "gop", "frames", "alg", "device", "ceiling",
+                    "objective", "seed"});
+  const auto alg = crypto::algorithm_from_string(args.get("alg", "AES256"));
   const auto workload = workload_from(args);
   core::PipelineConfig pipeline;
-  pipeline.device = parse_device(args.get("device", "samsung"));
-  const auto probe = core::simulate_transfer(
-      pipeline, workload.packets,
-      static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  pipeline.device = core::device_from_string(args.get("device", "samsung"));
+  const auto probe = core::simulate_transfer(pipeline, workload.packets,
+                                             args.get_uint64("seed", 1));
   const auto traffic =
       core::calibrate_traffic(workload.packets, probe.timings, workload.fps);
   const auto service = core::calibrate_service(workload.packets,
@@ -293,24 +348,26 @@ int cmd_advise(const Args& args) {
   return 1;
 }
 
-int cmd_export(const Args& args) {
-  const auto alg = parse_alg(args.get("alg", "AES256"));
+int cmd_export(const Flags& args) {
+  args.check_known({"motion", "gop", "frames", "policy", "alg", "device",
+                    "outdir", "seed"});
+  const auto alg = crypto::algorithm_from_string(args.get("alg", "AES256"));
   const auto workload = workload_from(args);
-  const auto pol = parse_policy(args.get("policy", "I"), alg);
+  const auto pol = policy::policy_from_string(args.get("policy", "I"), alg);
   const std::string outdir = args.get("outdir", "out");
   std::filesystem::create_directories(outdir);
 
   std::vector<net::VideoPacket> packets = workload.packets;
   const auto selected = pol.select(packets);
-  const auto cipher = crypto::make_cipher_from_seed(
-      pol.algorithm, static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const auto cipher =
+      crypto::make_cipher_from_seed(pol.algorithm, args.get_uint64("seed", 1));
   std::vector<std::uint8_t> iv(cipher->block_size(), 0x5c);
   net::encrypt_selected(packets, selected, *cipher, iv);
 
   core::PipelineConfig pipeline;
-  pipeline.device = parse_device(args.get("device", "samsung"));
-  const auto transfer = core::simulate_transfer(
-      pipeline, packets, static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  pipeline.device = core::device_from_string(args.get("device", "samsung"));
+  const auto transfer = core::simulate_transfer(pipeline, packets,
+                                                args.get_uint64("seed", 1));
   const int frames = static_cast<int>(workload.stream.frames.size());
   const video::Decoder decoder{workload.codec};
 
@@ -341,7 +398,7 @@ int cmd_export(const Args& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: thriftyvid <classify|simulate|advise|export> "
+               "usage: thriftyvid <classify|simulate|sweep|advise|export> "
                "[options]\n  (see the header of tools/thriftyvid_cli.cpp "
                "for the full option list)\n");
   return 2;
@@ -352,10 +409,11 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  const Args args = Args::parse(argc, argv, 2);
   try {
+    const Flags args = Flags::parse(argc, argv, 2);
     if (cmd == "classify") return cmd_classify(args);
     if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "advise") return cmd_advise(args);
     if (cmd == "export") return cmd_export(args);
   } catch (const std::exception& e) {
