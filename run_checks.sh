@@ -2,26 +2,107 @@
 # Full check pass: normal build + tests, then a sanitized build + tests,
 # then a ThreadSanitizer build running the concurrency-sensitive suites.
 #
-# Usage: ./run_checks.sh [--sanitize-only | --tsan-only]
+# Usage: ./run_checks.sh [--sanitize-only | --tsan-only | --validation-only
+#                         | --coverage]
+#
+# Test tiers are selected by ctest labels (see docs/validation.md):
+#   * default passes run everything except the `slow` label (the full-grid
+#     convergence test, minutes of simulation under sanitizers);
+#   * --validation-only runs the `validation` label — the simulator,
+#     property-based and golden-file suites, including the slow grid;
+#   * --coverage builds with gcov instrumentation (build-cov/), runs the
+#     non-slow tests and prints per-directory line coverage for src/.
 #
 # The sanitized pass builds with -fsanitize=address,undefined and
 # -fno-sanitize-recover=all, so any report aborts the run and fails the
 # script.  The TSan pass builds with -DTHRIFTYVID_TSAN=ON and runs the
-# thread pool / sweep / flags suites (the code that actually shares state
-# across threads) — running every test under TSan would be prohibitively
-# slow.  All build trees are kept (build/, build-asan/, build-tsan/) so
-# incremental re-runs are fast.
+# thread pool / sweep / validation / flags suites (the code that actually
+# shares state across threads) — running every test under TSan would be
+# prohibitively slow.  All build trees are kept (build/, build-asan/,
+# build-tsan/, build-cov/) so incremental re-runs are fast.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 jobs=$(nproc 2>/dev/null || echo 4)
 mode="${1:-}"
 
+case "${mode}" in
+  ""|--sanitize-only|--tsan-only|--validation-only|--coverage) ;;
+  *)
+    echo "usage: $0 [--sanitize-only | --tsan-only | --validation-only |" \
+         "--coverage]" >&2
+    exit 2
+    ;;
+esac
+
+if [[ "${mode}" == "--validation-only" ]]; then
+  echo "=== validation tier (plain build) ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${jobs}"
+  ctest --test-dir build --output-on-failure -j "${jobs}" \
+        -L 'validation|slow'
+  echo "=== validation tier passed ==="
+  exit 0
+fi
+
+if [[ "${mode}" == "--coverage" ]]; then
+  echo "=== coverage build + tests (gcov) ==="
+  cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug -DTHRIFTYVID_COVERAGE=ON
+  cmake --build build-cov -j "${jobs}"
+  ctest --test-dir build-cov --output-on-failure -j "${jobs}" -LE slow
+  echo "=== per-directory line coverage (src/) ==="
+  covdir=build-cov/coverage
+  rm -rf "${covdir}"
+  mkdir -p "${covdir}"
+  # -p keeps the full path in each .gcov filename so sources with the same
+  # basename in different directories cannot clobber each other.
+  (cd "${covdir}" &&
+     find ../src -name '*.gcda' -print0 |
+       xargs -0 gcov -p >/dev/null 2>&1) || true
+  report=$(awk -v root="$(pwd)/src/" '
+    BEGIN { FS = ":" }
+    {
+      count = $1; sub(/^[ \t]+/, "", count)
+      lineno = $2 + 0
+    }
+    lineno == 0 && $3 == "Source" {
+      keep = index($4, root) == 1
+      if (keep) {
+        rel = substr($4, length(root) + 1)
+        dir = rel
+        if (sub(/\/[^\/]*$/, "", dir) == 0) dir = "."
+        dir = "src/" dir
+      }
+      next
+    }
+    !keep || lineno == 0 || count == "-" { next }
+    {
+      total[dir]++
+      if (count != "#####" && count != "=====") hit[dir]++
+    }
+    END {
+      for (d in total) {
+        printf "%-22s %6.1f%%  (%d/%d lines)\n",
+               d, 100.0 * hit[d] / total[d], hit[d], total[d]
+        grand_total += total[d]
+        grand_hit += hit[d]
+      }
+      if (grand_total > 0) {
+        printf "TOTAL %6.1f%% (%d/%d lines)\n",
+               100.0 * grand_hit / grand_total, grand_hit, grand_total
+      }
+    }' "${covdir}"/*.gcov)
+  echo "${report}" | grep -v '^TOTAL' | sort
+  echo "${report}" | grep '^TOTAL'
+  echo "=== coverage pass done ==="
+  exit 0
+fi
+
 if [[ "${mode}" != "--sanitize-only" && "${mode}" != "--tsan-only" ]]; then
   echo "=== plain build + tests ==="
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build -j "${jobs}"
-  ctest --test-dir build --output-on-failure -j "${jobs}"
+  ctest --test-dir build --output-on-failure -j "${jobs}" -LE slow
 fi
 
 if [[ "${mode}" != "--tsan-only" ]]; then
@@ -30,7 +111,7 @@ if [[ "${mode}" != "--tsan-only" ]]; then
         -DTHRIFTYVID_SANITIZE=ON
   cmake --build build-asan -j "${jobs}"
   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
-    ctest --test-dir build-asan --output-on-failure -j "${jobs}"
+    ctest --test-dir build-asan --output-on-failure -j "${jobs}" -LE slow
 fi
 
 if [[ "${mode}" != "--sanitize-only" ]]; then
@@ -40,7 +121,7 @@ if [[ "${mode}" != "--sanitize-only" ]]; then
   cmake --build build-tsan -j "${jobs}"
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure -j "${jobs}" \
-          -R 'ThreadPool|Sweep|WorkloadCache|Flags'
+          -R 'ThreadPool|Sweep|WorkloadCache|Flags|Validation'
 fi
 
 echo "=== all checks passed ==="

@@ -48,6 +48,17 @@ double FlowDistortionModel::first_loss_probability(int i) const {
          (1.0 - params_.p_p_success);
 }
 
+std::vector<double> FlowDistortionModel::gop_state_pmf() const {
+  const int g = params_.gop_size;
+  std::vector<double> pmf(static_cast<std::size_t>(g) + 1, 0.0);
+  pmf[0] = params_.p_i_success * std::pow(params_.p_p_success, g - 1);
+  for (int i = 1; i <= g - 1; ++i) {
+    pmf[static_cast<std::size_t>(i)] = first_loss_probability(i);
+  }
+  pmf[static_cast<std::size_t>(g)] = 1.0 - params_.p_i_success;
+  return pmf;
+}
+
 double FlowDistortionModel::intra_gop_expected() const {
   double acc = 0.0;
   for (int i = 1; i <= params_.gop_size - 1; ++i) {

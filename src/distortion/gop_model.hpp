@@ -52,6 +52,14 @@ class FlowDistortionModel {
   /// E[D^(1)]: expected intra-GOP distortion contribution of one GOP.
   [[nodiscard]] double intra_gop_expected() const;
 
+  /// Per-GOP state occupancy of the eq. (23) chain: slot 0 = intact GOP,
+  /// slot i (1..G-1) = first unrecoverable frame is the i-th P-frame
+  /// (eq. 22), slot G = I-frame unrecoverable.  The branch probabilities
+  /// do not depend on the reference age, so the pmf is the same for every
+  /// GOP; the discrete-event eavesdropper simulator cross-checks it
+  /// empirically.
+  [[nodiscard]] std::vector<double> gop_state_pmf() const;
+
   /// Exact expected average distortion of an N-GOP flow (eq. 27) by DP.
   [[nodiscard]] double flow_average_distortion(int n_gops) const;
 

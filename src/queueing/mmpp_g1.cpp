@@ -133,6 +133,8 @@ MmppG1Solution MmppG1Solver::solve(double tolerance,
   sol.mean_workload = util::sum(v);
   sol.mean_wait = v_lambda / lambda_bar;
   sol.mean_sojourn = sol.mean_wait + h1;
+  sol.phase_wait = Vector(n);
+  for (std::size_t i = 0; i < n; ++i) sol.phase_wait[i] = v[i] / pi[i];
 
   // Second moment: w Q = 2v - 2 h1 (v o lambda) - h2 (pi o lambda).
   Vector c2(n);

@@ -36,6 +36,11 @@ struct MmppG1Solution {
   double wait_moment2 = 0.0;      ///< E[W^2] of arrivals.
   double mean_workload = 0.0;     ///< E[V]: time-stationary workload.
   double mean_sojourn = 0.0;      ///< E[W] + E[S].
+  /// E[W | arrival in phase i] = v_i / pi_i (conditional PASTA: an arrival
+  /// in phase i sees the time-stationary workload conditioned on J = i).
+  /// Cross-checked against the per-state waits of the discrete-event
+  /// sender simulator (sim::simulate_sender).
+  util::Vector phase_wait;
   util::Matrix busy_period_phase; ///< G.
   util::Vector idle_phase;        ///< u_i = P(V = 0, J = i).
   int g_iterations = 0;

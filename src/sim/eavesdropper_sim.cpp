@@ -1,0 +1,168 @@
+#include "sim/eavesdropper_sim.hpp"
+
+#include <stdexcept>
+
+#include "distortion/frame_success.hpp"
+#include "util/rng.hpp"
+#include "video/frame.hpp"
+
+namespace tv::sim {
+
+namespace {
+
+constexpr std::uint64_t kFlowStream = 0x7eaf;  // per-repetition RNG tag.
+
+// One frame's packet-level recovery: the first packet (headers) must be
+// captured and decryptable, and at least `sensitivity` of the remaining
+// n-1 must be — the literal event behind eq. (20).  Every packet is drawn
+// even after the outcome is decided so that RNG consumption is a fixed
+// function of the frame shape.
+bool recover_frame(util::Rng& rng, int packets, int sensitivity,
+                   double p_success, double q_encrypted) {
+  auto usable = [&] {
+    const bool captured = rng.bernoulli(p_success);
+    const bool encrypted = rng.bernoulli(q_encrypted);
+    return captured && !encrypted;
+  };
+  const bool header_ok = usable();
+  int rest_ok = 0;
+  for (int i = 1; i < packets; ++i) rest_ok += usable() ? 1 : 0;
+  return header_ok && rest_ok >= sensitivity;
+}
+
+// Eq. (21): expected GOP distortion when the first unrecoverable frame is
+// the i-th P-frame.  Restated here (not called through distortion::) so the
+// simulator stays an independent implementation of the chain around it.
+double intra_gop_distortion(int gop_size, int i, double d_min, double d_max) {
+  const double g = static_cast<double>(gop_size);
+  const double gi = static_cast<double>(gop_size - i);
+  return gi * (static_cast<double>(i) * d_min +
+               static_cast<double>(gop_size - i - 1) * d_max) /
+         ((g - 1.0) * g);
+}
+
+}  // namespace
+
+void EavesdropperSimSpec::validate() const {
+  if (gop_size < 2) {
+    throw std::invalid_argument{"EavesdropperSimSpec: gop_size < 2"};
+  }
+  if (n_gops < 1 || repetitions < 1) {
+    throw std::invalid_argument{
+        "EavesdropperSimSpec: n_gops and repetitions must be >= 1"};
+  }
+  if (i_packets_per_frame < 1 || p_packets_per_frame < 1) {
+    throw std::invalid_argument{
+        "EavesdropperSimSpec: packets per frame must be >= 1"};
+  }
+  if (sensitivity_fraction < 0.0 || sensitivity_fraction > 1.0 ||
+      packet_success_rate < 0.0 || packet_success_rate > 1.0 ||
+      q_i < 0.0 || q_i > 1.0 || q_p < 0.0 || q_p > 1.0) {
+    throw std::invalid_argument{
+        "EavesdropperSimSpec: probabilities must be in [0, 1]"};
+  }
+  if (base_mse < 0.0 || null_reference_mse < 0.0 || d_min < 0.0 ||
+      d_max < 0.0) {
+    throw std::invalid_argument{
+        "EavesdropperSimSpec: distortions must be non-negative"};
+  }
+  if (age_cap_gops < 2) {
+    throw std::invalid_argument{"EavesdropperSimSpec: age_cap_gops < 2"};
+  }
+}
+
+double EavesdropperSimResult::mean_psnr_db() const {
+  return video::psnr_from_mse(flow_mse.mean());
+}
+
+EavesdropperSimResult simulate_eavesdropper(const EavesdropperSimSpec& spec) {
+  spec.validate();
+  const int g = spec.gop_size;
+  const int s_i = distortion::sensitivity_from_fraction(
+      spec.i_packets_per_frame, spec.sensitivity_fraction);
+  const int s_p = distortion::sensitivity_from_fraction(
+      spec.p_packets_per_frame, spec.sensitivity_fraction);
+  const int age_cap = spec.age_cap_gops * g + 1;
+
+  EavesdropperSimResult result;
+  result.gop_state_pmf.assign(static_cast<std::size_t>(g) + 1, 0.0);
+
+  for (int rep = 0; rep < spec.repetitions; ++rep) {
+    util::Rng rng{util::derive_seed(spec.seed, kFlowStream,
+                                    static_cast<std::uint64_t>(rep))};
+    int age = -1;  // frames since the last good frame; -1 = none ever.
+    double flow_total = 0.0;
+    std::uint64_t i_ok = 0;
+    std::uint64_t p_ok = 0;
+    util::RunningStats distances;
+
+    for (int gop = 0; gop < spec.n_gops; ++gop) {
+      // Recover every frame of the GOP at the packet level.  All frames
+      // are transmitted regardless of earlier losses, so all are drawn.
+      const bool i_recovered =
+          recover_frame(rng, spec.i_packets_per_frame, s_i,
+                        spec.packet_success_rate, spec.q_i);
+      i_ok += i_recovered ? 1 : 0;
+      int first_loss = 0;  // 0 = every P-frame recovered.
+      for (int j = 1; j <= g - 1; ++j) {
+        const bool recovered =
+            recover_frame(rng, spec.p_packets_per_frame, s_p,
+                          spec.packet_success_rate, spec.q_p);
+        p_ok += recovered ? 1 : 0;
+        if (!recovered && first_loss == 0) first_loss = j;
+      }
+
+      double gop_distortion = 0.0;
+      if (!i_recovered) {
+        result.gop_state_pmf[static_cast<std::size_t>(g)] += 1.0;
+        if (age < 0) {
+          // Case 3: no reference has ever been displayed.
+          gop_distortion = spec.null_reference_mse;
+        } else {
+          // Case 2: every frame concealed by the aging reference.
+          double acc = 0.0;
+          for (int j = 0; j < g; ++j) {
+            const double d = static_cast<double>(age + j);
+            acc += spec.inter(d);
+            distances.add(d);
+          }
+          gop_distortion = acc / static_cast<double>(g);
+          age = age + g > age_cap ? age_cap : age + g;
+        }
+      } else if (first_loss == 0) {
+        result.gop_state_pmf[0] += 1.0;
+        age = 1;
+      } else {
+        // Case 1: frames first_loss..G-1 freeze on the last good P-frame.
+        result.gop_state_pmf[static_cast<std::size_t>(first_loss)] += 1.0;
+        gop_distortion =
+            intra_gop_distortion(g, first_loss, spec.d_min, spec.d_max);
+        for (int k = 0; k < g - first_loss; ++k) {
+          distances.add(static_cast<double>(k + 1));
+        }
+        age = g - first_loss + 1;
+      }
+      flow_total += gop_distortion + spec.base_mse;
+    }
+
+    result.flow_mse.add(flow_total / static_cast<double>(spec.n_gops));
+    result.i_frame_success.add(static_cast<double>(i_ok) /
+                               static_cast<double>(spec.n_gops));
+    result.p_frame_success.add(
+        static_cast<double>(p_ok) /
+        static_cast<double>(spec.n_gops * (g - 1)));
+    if (distances.count() > 0) {
+      result.substitution_distance.add(distances.mean());
+    }
+    result.gops += static_cast<std::uint64_t>(spec.n_gops);
+    result.frames += static_cast<std::uint64_t>(spec.n_gops) *
+                     static_cast<std::uint64_t>(g);
+  }
+
+  for (double& p : result.gop_state_pmf) {
+    p /= static_cast<double>(result.gops);
+  }
+  return result;
+}
+
+}  // namespace tv::sim

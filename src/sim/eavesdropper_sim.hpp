@@ -1,0 +1,71 @@
+// Packet-level simulation of the eavesdropper's frame-recovery process
+// (Sections 4.3-4.3.4).
+//
+// The analytic chain composes three closed forms: per-packet decryption
+// rate p_d = (1 - q) p_s, per-frame success via the binomial tail of
+// eq. (20), and the GOP first-loss/reference-age chain of eqs. (21)-(27).
+// This simulator starts one level below all of them: it draws each packet's
+// capture (Bernoulli p_s) and encryption (Bernoulli q per the packet's
+// frame class), recovers frames by the literal header-plus-sensitivity rule,
+// walks GOPs maintaining the age of the last good reference frame, and
+// accumulates distortion from the fitted distance curve — so the empirical
+// frame success rates, first-loss occupancy and flow distortion jointly
+// cross-check the whole eqs. 20-28 pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "distortion/inter_gop.hpp"
+#include "util/stats.hpp"
+
+namespace tv::sim {
+
+struct EavesdropperSimSpec {
+  int gop_size = 30;              ///< G: frames per IPP...P GOP.
+  int n_gops = 10;                ///< N: GOPs per simulated flow.
+  int repetitions = 200;          ///< independent flows.
+  int i_packets_per_frame = 12;   ///< n for eq. (20), I-frames.
+  int p_packets_per_frame = 3;
+  double sensitivity_fraction = 0.6;  ///< s/(n-1), per motion level.
+  double packet_success_rate = 0.9;   ///< channel p_s.
+  double q_i = 0.0;  ///< fraction of I-frame packets encrypted (erasures).
+  double q_p = 0.0;
+  double base_mse = 0.0;           ///< coding distortion floor.
+  double null_reference_mse = 0.0; ///< Case-3 no-reference distortion.
+  double d_min = 0.0;              ///< intra-GOP endpoints of eq. (21).
+  double d_max = 0.0;
+  int age_cap_gops = 8;            ///< saturation cap on reference age.
+  distortion::DistanceDistortion inter;  ///< fitted D(d) (Fig. 2).
+  std::uint64_t seed = 1;
+
+  void validate() const;  ///< throws std::invalid_argument.
+};
+
+struct EavesdropperSimResult {
+  // Per-repetition empirical rates; their ci95 is honest (flows are iid).
+  util::RunningStats i_frame_success;
+  util::RunningStats p_frame_success;
+  util::RunningStats flow_mse;   ///< per-flow mean GOP distortion, eq. (27).
+  /// Reference-substitution distance of each concealed frame, averaged per
+  /// flow (Fig. 2's x-axis as the simulation actually exercises it).
+  util::RunningStats substitution_distance;
+
+  /// Empirical GOP-state occupancy: slot 0 = intact GOP, slot i (1..G-1) =
+  /// first unrecoverable P-frame is the i-th (eq. 22's events), slot G =
+  /// I-frame unrecoverable.  Normalized over all simulated GOPs.
+  std::vector<double> gop_state_pmf;
+
+  std::uint64_t gops = 0;
+  std::uint64_t frames = 0;
+
+  [[nodiscard]] double mean_psnr_db() const;  ///< from flow_mse.mean().
+};
+
+/// Run the eavesdropper simulation.  Deterministic in spec.seed; each
+/// repetition draws from its own derived RNG stream, so results are
+/// independent of repetition interleaving.
+[[nodiscard]] EavesdropperSimResult simulate_eavesdropper(
+    const EavesdropperSimSpec& spec);
+
+}  // namespace tv::sim

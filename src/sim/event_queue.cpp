@@ -1,0 +1,43 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tv::sim {
+
+EventId EventQueue::schedule_at(double time, std::function<void()> fn) {
+  if (time < now_) {
+    throw std::invalid_argument{"EventQueue: scheduling into the past"};
+  }
+  const EventId id = next_id_++;
+  heap_.push(Event{time, id, std::move(fn)});
+  alive_.insert(id);
+  return id;
+}
+
+EventId EventQueue::schedule_in(double delay, std::function<void()> fn) {
+  if (delay < 0.0) {
+    throw std::invalid_argument{"EventQueue: negative delay"};
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::cancel(EventId id) { return alive_.erase(id) > 0; }
+
+std::uint64_t EventQueue::run(std::uint64_t max_events) {
+  std::uint64_t ran = 0;
+  while (ran < max_events && !heap_.empty()) {
+    // priority_queue::top is const; move out via const_cast before pop,
+    // which is safe because the element is popped immediately after.
+    Event event = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    if (alive_.erase(event.id) == 0) continue;  // was cancelled.
+    now_ = event.time;
+    ++processed_;
+    ++ran;
+    event.fn();
+  }
+  return ran;
+}
+
+}  // namespace tv::sim

@@ -26,6 +26,15 @@ T parse_integral(const std::string& key, const std::string& value,
   return parsed;
 }
 
+// A whole token that strtod consumes entirely ("-5", "-.5", "-1e3"):
+// a negative numeric positional, not a mistyped flag.
+bool is_numeric_token(const std::string& arg) {
+  errno = 0;
+  char* end = nullptr;
+  (void)std::strtod(arg.c_str(), &end);
+  return end == arg.c_str() + arg.size() && errno == 0;
+}
+
 }  // namespace
 
 Flags Flags::parse(int argc, char** argv, int from) {
@@ -34,11 +43,22 @@ Flags Flags::parse(int argc, char** argv, int from) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       const auto eq = arg.find('=');
-      if (eq == std::string::npos) {
-        flags.options_[arg.substr(2)] = "1";
-      } else {
-        flags.options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      std::string key = eq == std::string::npos ? arg.substr(2)
+                                                : arg.substr(2, eq - 2);
+      std::string value =
+          eq == std::string::npos ? std::string{"1"} : arg.substr(eq + 1);
+      if (!flags.options_.emplace(std::move(key), std::move(value)).second) {
+        throw FlagError{"duplicate option " + arg.substr(0, eq) +
+                        " (each flag may be given once)"};
       }
+    } else if (arg.size() > 1 && arg.front() == '-' &&
+               !is_numeric_token(arg)) {
+      // "-threads" is almost certainly a mistyped "--threads"; rejecting it
+      // beats silently treating it as a positional.  Negative numbers stay
+      // positional.
+      throw FlagError{"unknown option '" + arg +
+                      "' (options are --key or --key=value; negative "
+                      "numbers are accepted as positional arguments)"};
     } else {
       flags.positional_.push_back(std::move(arg));
     }
@@ -116,6 +136,20 @@ std::vector<int> Flags::get_int_list(const std::string& key) const {
   for (const std::string& item : get_list(key)) {
     items.push_back(parse_integral<int>(key, item, "a comma-separated "
                                         "list of integers"));
+  }
+  return items;
+}
+
+std::vector<double> Flags::get_double_list(const std::string& key) const {
+  std::vector<double> items;
+  for (const std::string& item : get_list(key)) {
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(item.c_str(), &end);
+    if (item.empty() || end != item.c_str() + item.size() || errno != 0) {
+      bad_value(key, item, "a comma-separated list of numbers");
+    }
+    items.push_back(parsed);
   }
   return items;
 }

@@ -27,7 +27,11 @@ class FlagError : public std::runtime_error {
 class Flags {
  public:
   /// Parse argv[from..argc).  `--key=value` and `--key` (stored as "1")
-  /// become options; everything else is positional, in order.
+  /// become options; everything else is positional, in order.  Throws
+  /// FlagError on a repeated `--key` (a duplicated flag is always a typo or
+  /// a script bug, and silently keeping one of the two values hides it) and
+  /// on single-dash tokens that are not numbers ("-threads"); negative
+  /// numeric tokens ("-5", "-.5") stay positional.
   [[nodiscard]] static Flags parse(int argc, char** argv, int from = 1);
 
   [[nodiscard]] bool has(const std::string& key) const;
@@ -46,6 +50,9 @@ class Flags {
       const std::string& key) const;
   /// Comma-separated integer list; empty vector when the flag is absent.
   [[nodiscard]] std::vector<int> get_int_list(const std::string& key) const;
+  /// Comma-separated numeric list; empty vector when the flag is absent.
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& key) const;
 
   /// Throws FlagError naming the first option not in `known`.
   void check_known(std::initializer_list<std::string_view> known) const;

@@ -1,0 +1,99 @@
+// Property-based testing on top of GoogleTest.
+//
+// A property is an ordinary callable that draws random inputs from the
+// tv::util::Rng it is handed and makes EXPECT_*/ASSERT_* assertions about
+// them; proptest::check runs it over a bounded number of seeded cases.
+// Case seeds derive from the root seed via util::derive_seed, so the whole
+// run is reproducible, and when a case fails the harness re-emits the
+// case's assertion failures plus a summary naming the environment
+// overrides that replay exactly that case:
+//
+//     TV_PROPTEST_SEED=<root> TV_PROPTEST_CASES=<n> ctest -R <suite>
+//
+// TV_PROPTEST_SEED replaces the root seed and TV_PROPTEST_CASES the case
+// count of every Config::from_env in the process, so a failure found in a
+// long exploratory run (TV_PROPTEST_CASES=10000) replays in one case.
+#pragma once
+
+#include <gtest/gtest-spi.h>
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tv::proptest {
+
+/// Root seed and bounded case count for one property.
+struct Config {
+  std::uint64_t seed = 0x9e17;
+  int cases = 50;
+
+  /// Defaults overridden by TV_PROPTEST_SEED / TV_PROPTEST_CASES.
+  [[nodiscard]] static Config from_env(std::uint64_t default_seed,
+                                       int default_cases) {
+    Config config;
+    config.seed = default_seed;
+    config.cases = default_cases;
+    if (const char* s = std::getenv("TV_PROPTEST_SEED")) {
+      config.seed = std::strtoull(s, nullptr, 0);
+    }
+    if (const char* n = std::getenv("TV_PROPTEST_CASES")) {
+      config.cases = static_cast<int>(std::strtol(n, nullptr, 0));
+    }
+    return config;
+  }
+};
+
+/// Run `body(rng, case_seed)` for config.cases seeded cases.  The body's
+/// assertion failures are intercepted per case; the first failing case is
+/// re-reported with its reproduction seed and stops the property (later
+/// cases would only repeat the noise).
+template <typename Body>
+void check(const char* property, const Config& config, Body&& body) {
+  for (int i = 0; i < config.cases; ++i) {
+    const std::uint64_t case_seed =
+        util::derive_seed(config.seed, 0x9707e57, static_cast<std::uint64_t>(i));
+    util::Rng rng{case_seed};
+    ::testing::TestPartResultArray failures;
+    {
+      ::testing::ScopedFakeTestPartResultReporter reporter(
+          ::testing::ScopedFakeTestPartResultReporter::
+              INTERCEPT_ONLY_CURRENT_THREAD,
+          &failures);
+      body(rng, case_seed);
+    }
+    if (failures.size() == 0) continue;
+    for (int f = 0; f < failures.size(); ++f) {
+      const ::testing::TestPartResult& r = failures.GetTestPartResult(f);
+      ADD_FAILURE_AT(r.file_name() != nullptr ? r.file_name() : "<unknown>",
+                     r.line_number())
+          << r.message();
+    }
+    ADD_FAILURE() << "property '" << property << "' failed at case " << i
+                  << " of " << config.cases
+                  << " (case seed " << case_seed
+                  << "); reproduce with TV_PROPTEST_SEED=" << config.seed
+                  << " TV_PROPTEST_CASES=" << (i + 1);
+    return;
+  }
+}
+
+// --- Generators. -----------------------------------------------------------
+
+[[nodiscard]] inline std::vector<std::uint8_t> random_bytes(util::Rng& rng,
+                                                            std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+/// Uniform size in [lo, hi].
+[[nodiscard]] inline std::size_t random_size(util::Rng& rng, std::size_t lo,
+                                             std::size_t hi) {
+  return lo + static_cast<std::size_t>(rng.uniform_int(hi - lo + 1));
+}
+
+}  // namespace tv::proptest

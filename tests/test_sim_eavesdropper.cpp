@@ -1,0 +1,129 @@
+#include "sim/eavesdropper_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "distortion/frame_success.hpp"
+#include "distortion/gop_model.hpp"
+#include "util/polynomial.hpp"
+
+namespace tv::sim {
+namespace {
+
+EavesdropperSimSpec base_spec() {
+  EavesdropperSimSpec spec;
+  spec.gop_size = 30;
+  spec.n_gops = 10;
+  spec.repetitions = 300;
+  spec.i_packets_per_frame = 12;
+  spec.p_packets_per_frame = 3;
+  spec.sensitivity_fraction = 0.6;
+  spec.packet_success_rate = 0.9;
+  spec.base_mse = 4.0;
+  spec.null_reference_mse = 900.0;
+  spec.inter = distortion::DistanceDistortion{
+      util::Polynomial{{0.0, 14.0, -0.15}}, 30.0};
+  spec.d_min = spec.inter(1.0);
+  spec.d_max = spec.inter(static_cast<double>(spec.gop_size - 1));
+  spec.age_cap_gops = 8;
+  spec.seed = 11;
+  return spec;
+}
+
+TEST(EavesdropperSim, DeterministicInSeed) {
+  const EavesdropperSimSpec spec = base_spec();
+  const EavesdropperSimResult a = simulate_eavesdropper(spec);
+  const EavesdropperSimResult b = simulate_eavesdropper(spec);
+  EXPECT_EQ(a.flow_mse.mean(), b.flow_mse.mean());
+  EXPECT_EQ(a.gop_state_pmf, b.gop_state_pmf);
+
+  EavesdropperSimSpec other = spec;
+  other.seed = 12;
+  EXPECT_NE(simulate_eavesdropper(other).flow_mse.mean(), a.flow_mse.mean());
+}
+
+TEST(EavesdropperSim, PerfectChannelRecoversEverything) {
+  EavesdropperSimSpec spec = base_spec();
+  spec.packet_success_rate = 1.0;
+  const EavesdropperSimResult r = simulate_eavesdropper(spec);
+  EXPECT_DOUBLE_EQ(r.i_frame_success.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(r.p_frame_success.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(r.gop_state_pmf[0], 1.0);
+  // Every GOP intact: the flow distortion collapses to the coding floor.
+  EXPECT_DOUBLE_EQ(r.flow_mse.mean(), spec.base_mse);
+}
+
+TEST(EavesdropperSim, FullyEncryptedIFramesKillEveryGop) {
+  EavesdropperSimSpec spec = base_spec();
+  spec.packet_success_rate = 1.0;
+  spec.q_i = 1.0;
+  const EavesdropperSimResult r = simulate_eavesdropper(spec);
+  EXPECT_DOUBLE_EQ(r.i_frame_success.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(r.gop_state_pmf[static_cast<std::size_t>(spec.gop_size)],
+                   1.0);
+  // No reference frame is ever displayed, so every GOP is Case 3.
+  EXPECT_DOUBLE_EQ(r.flow_mse.mean(),
+                   spec.null_reference_mse + spec.base_mse);
+}
+
+TEST(EavesdropperSim, PmfIsNormalizedAndCountsAdd) {
+  const EavesdropperSimSpec spec = base_spec();
+  const EavesdropperSimResult r = simulate_eavesdropper(spec);
+  ASSERT_EQ(r.gop_state_pmf.size(),
+            static_cast<std::size_t>(spec.gop_size) + 1);
+  const double total = std::accumulate(r.gop_state_pmf.begin(),
+                                       r.gop_state_pmf.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(r.gops, static_cast<std::uint64_t>(spec.n_gops) *
+                        static_cast<std::uint64_t>(spec.repetitions));
+  EXPECT_EQ(r.frames, r.gops * static_cast<std::uint64_t>(spec.gop_size));
+}
+
+// Frame recovery is a pure binomial event, so the empirical success rates
+// must match the closed form of eq. (20) within the iid flow CI.
+TEST(EavesdropperSim, FrameSuccessMatchesBinomialTail) {
+  const EavesdropperSimSpec spec = base_spec();
+  const EavesdropperSimResult r = simulate_eavesdropper(spec);
+  const double p_d = spec.packet_success_rate;  // q = 0: all decryptable.
+  const double p_i = distortion::frame_success_probability(
+      spec.i_packets_per_frame,
+      distortion::sensitivity_from_fraction(spec.i_packets_per_frame,
+                                            spec.sensitivity_fraction),
+      p_d);
+  const double p_p = distortion::frame_success_probability(
+      spec.p_packets_per_frame,
+      distortion::sensitivity_from_fraction(spec.p_packets_per_frame,
+                                            spec.sensitivity_fraction),
+      p_d);
+  EXPECT_NEAR(r.i_frame_success.mean(), p_i,
+              4.0 * r.i_frame_success.stderr_mean() + 1e-3);
+  EXPECT_NEAR(r.p_frame_success.mean(), p_p,
+              4.0 * r.p_frame_success.stderr_mean() + 1e-3);
+
+  // The first-loss occupancy follows the geometric-style chain of eq. (22);
+  // check the fully-intact slot, whose analytic value is P_I * P_P^{G-1}.
+  const double intact = p_i * std::pow(p_p, spec.gop_size - 1);
+  const double sd = std::sqrt(intact * (1.0 - intact) /
+                              static_cast<double>(r.gops));
+  EXPECT_NEAR(r.gop_state_pmf[0], intact, 4.0 * sd + 2e-3);
+}
+
+TEST(EavesdropperSim, RejectsInvalidSpecs) {
+  EavesdropperSimSpec tiny = base_spec();
+  tiny.gop_size = 1;
+  EXPECT_THROW(tiny.validate(), std::invalid_argument);
+
+  EavesdropperSimSpec bad_prob = base_spec();
+  bad_prob.q_i = 1.5;
+  EXPECT_THROW(bad_prob.validate(), std::invalid_argument);
+
+  EavesdropperSimSpec bad_reps = base_spec();
+  bad_reps.repetitions = 0;
+  EXPECT_THROW((void)simulate_eavesdropper(bad_reps), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tv::sim

@@ -1,0 +1,91 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace tv::sim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, HandlersScheduleFurtherEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  // A self-perpetuating chain: each firing schedules the next.
+  std::function<void()> tick = [&] {
+    times.push_back(q.now());
+    if (times.size() < 4) q.schedule_in(0.5, tick);
+  };
+  q.schedule_at(1.0, tick);
+  q.run();
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times.back(), 2.5);
+}
+
+TEST(EventQueue, CancelSuppressesPendingEvent) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // already cancelled.
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelFromHandlerAndAfterRun) {
+  EventQueue q;
+  int fired = 0;
+  EventId later{};
+  later = q.schedule_at(2.0, [&] { ++fired; });
+  q.schedule_at(1.0, [&] { EXPECT_TRUE(q.cancel(later)); });
+  q.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(q.cancel(later));  // ran or cancelled events are gone.
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(0.5, [] {}), std::invalid_argument);
+  EXPECT_NO_THROW(q.schedule_at(1.0, [] {}));  // "now" is allowed.
+}
+
+TEST(EventQueue, MaxEventsBoundsTheRun) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(static_cast<double>(i + 1), [&] { ++fired; });
+  }
+  EXPECT_EQ(q.run(2), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.pending(), 3u);
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(q.processed(), 5u);
+}
+
+}  // namespace
+}  // namespace tv::sim

@@ -1,0 +1,88 @@
+// Golden-file regression for the sweep engine's JSONL output.
+//
+// The fixture tests/data/sweep_golden.jsonl pins the byte-exact output of a
+// small but representative sweep.  Because JsonlSink prints every statistic
+// at %.17g and the sweep's determinism contract makes results independent
+// of thread count, any byte difference is a real behaviour change — a
+// statistics change, a seed-derivation change, or a serialization change —
+// and must be reviewed, not absorbed.  After an intentional change,
+// regenerate with
+//
+//     TV_UPDATE_GOLDEN=1 ./build/tests/tv_validation_tests \
+//         --gtest_filter='SweepGolden.*'
+//
+// and inspect the fixture diff.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/sweep.hpp"
+
+#ifndef TV_TEST_DATA_DIR
+#error "TV_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace tv::core {
+namespace {
+
+// The pinned grid: both motion levels, two policies x two ciphers, one
+// lossy channel cell, quality evaluation on.  Do not edit casually — the
+// fixture encodes these exact axes.
+SweepSpec golden_spec() {
+  SweepSpec spec;
+  spec.motions = {video::MotionLevel::kLow, video::MotionLevel::kHigh};
+  spec.gop_sizes = {30};
+  spec.policies = {{policy::Mode::kNone, crypto::Algorithm::kAes256, 0.0},
+                   {policy::Mode::kIFrames, crypto::Algorithm::kAes256, 0.0}};
+  spec.algorithms = {crypto::Algorithm::kAes128,
+                     crypto::Algorithm::kTripleDes};
+  spec.frames = 60;
+  spec.repetitions = 3;
+  spec.seed = 97;
+  return spec;
+}
+
+std::string run_golden_sweep() {
+  std::ostringstream out;
+  JsonlSink sink{out};
+  SweepRunner runner;
+  (void)runner.run(golden_spec(), sink);
+  return out.str();
+}
+
+TEST(SweepGolden, JsonlOutputMatchesFixture) {
+  const std::string path = std::string{TV_TEST_DATA_DIR} +
+                           "/sweep_golden.jsonl";
+  const std::string actual = run_golden_sweep();
+  ASSERT_FALSE(actual.empty());
+
+  if (std::getenv("TV_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out{path, std::ios::binary};
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "fixture regenerated at " << path;
+  }
+
+  std::ifstream in{path, std::ios::binary};
+  ASSERT_TRUE(in) << "missing fixture " << path
+                  << "; regenerate with TV_UPDATE_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  if (actual == expected.str()) return;
+
+  // Narrow the report to the first diverging line.
+  std::istringstream a{actual}, e{expected.str()};
+  std::string al, el;
+  int line = 1;
+  while (std::getline(a, al) && std::getline(e, el) && al == el) ++line;
+  FAIL() << "sweep JSONL diverged from " << path << " at line " << line
+         << "\n  expected: " << el << "\n  actual:   " << al
+         << "\nIf the change is intentional, regenerate the fixture with "
+            "TV_UPDATE_GOLDEN=1 and review the diff.";
+}
+
+}  // namespace
+}  // namespace tv::core

@@ -76,6 +76,36 @@ TEST(Flags, ListsSplitOnCommas) {
   EXPECT_THROW((void)f.get_int_list("motions"), FlagError);
 }
 
+TEST(Flags, RejectsDuplicateOptions) {
+  try {
+    (void)parse({"--seed=1", "--seed=2"});
+    FAIL() << "expected FlagError";
+  } catch (const FlagError& e) {
+    EXPECT_NE(std::string(e.what()).find("--seed"), std::string::npos)
+        << e.what();
+  }
+  // Distinct keys are of course fine.
+  EXPECT_NO_THROW((void)parse({"--seed=1", "--reps=2"}));
+}
+
+TEST(Flags, NegativeNumbersAreValuesNotFlags) {
+  const auto f = parse({"--loss=-0.25", "-5", "-.5", "-0", "x"});
+  EXPECT_DOUBLE_EQ(f.get_double("loss", 0.0), -0.25);
+  // Single-dash numeric tokens are positionals, not malformed options.
+  EXPECT_EQ(f.positional(),
+            (std::vector<std::string>{"-5", "-.5", "-0", "x"}));
+  // A single-dash word is a typo'd option, not a positional.
+  EXPECT_THROW((void)parse({"-threads"}), FlagError);
+}
+
+TEST(Flags, DoubleListParsesAndValidates) {
+  const auto f = parse({"--lambdas=2400,160.5,-3", "--bad=1,x"});
+  EXPECT_EQ(f.get_double_list("lambdas"),
+            (std::vector<double>{2400.0, 160.5, -3.0}));
+  EXPECT_TRUE(f.get_double_list("absent").empty());
+  EXPECT_THROW((void)f.get_double_list("bad"), FlagError);
+}
+
 TEST(Flags, CheckKnownNamesTheOffender) {
   const auto f = parse({"--reps=3", "--typo=1"});
   try {

@@ -16,6 +16,18 @@
 //       resilience counters (retransmissions, deadline/outage drops,
 //       recorded failures) are reported after the metrics.
 //
+//   thriftyvid simulate --events=N [--warmup=N] [--batches=N] [--threads=N]
+//                       [--lambda1s=A,B] [--lambda2s=A,B]
+//                       [--policies=none,I,...] [--algs=AES256,3DES]
+//                       [--device=samsung|htc] [--gop=N] [--ngops=N]
+//                       [--eaves-reps=N] [--z=Z] [--format=table|jsonl]
+//                       [--out=FILE] [--seed=S]
+//       Model-validation mode (docs/validation.md): discrete-event
+//       simulations of the MMPP/G/1 sender and the eavesdropper's GOP
+//       recovery over a (lambda1, lambda2, policy, cipher) grid,
+//       cross-checked against eqs. 3-28.  Exit 0 iff every check passes;
+//       output is bit-identical for any --threads value.
+//
 //   thriftyvid sweep [--motions=low,high] [--gops=30,50]
 //                    [--policies=none,I,P,all] [--algs=AES256,3DES]
 //                    [--devices=samsung,htc] [--transports=udp,tcp]
@@ -50,6 +62,7 @@
 #include "core/experiment.hpp"
 #include "core/sweep.hpp"
 #include "net/pcap.hpp"
+#include "sim/validation.hpp"
 #include "util/flags.hpp"
 #include "util/thread_pool.hpp"
 #include "video/motion.hpp"
@@ -130,7 +143,89 @@ core::Workload workload_from(const Flags& args) {
       args.get_uint64("seed", 1));
 }
 
+// Validation mode of `simulate` (docs/validation.md): run the discrete-
+// event sender and eavesdropper simulators over a (lambda1, lambda2,
+// policy, cipher) grid and compare every statistic against the analytic
+// model.  Exit status 0 iff every check in every cell passed.
+int cmd_simulate_validation(const Flags& args) {
+  args.check_known({"events", "warmup", "batches", "threads", "seed",
+                    "lambda1s", "lambda2s", "policies", "algs", "device",
+                    "gop", "ngops", "eaves-reps", "z", "format", "out"});
+
+  sim::ValidationSpec spec;
+  if (args.has("lambda1s")) spec.lambda1s = args.get_double_list("lambda1s");
+  if (args.has("lambda2s")) spec.lambda2s = args.get_double_list("lambda2s");
+  if (args.has("algs")) {
+    spec.algorithms.clear();
+    for (const auto& a : args.get_list("algs")) {
+      spec.algorithms.push_back(crypto::algorithm_from_string(a));
+    }
+  }
+  if (args.has("policies")) {
+    spec.policies.clear();
+    for (const auto& p : args.get_list("policies")) {
+      spec.policies.push_back(
+          policy::policy_from_string(p, spec.algorithms.front()));
+    }
+  }
+  if (args.has("device")) {
+    spec.device = core::device_from_string(args.get("device", "samsung"));
+  }
+  spec.gop_size = args.get_int("gop", spec.gop_size);
+  spec.n_gops = args.get_int("ngops", spec.n_gops);
+  spec.eavesdropper_repetitions =
+      args.get_int("eaves-reps", spec.eavesdropper_repetitions);
+  spec.events = args.get_uint64("events", spec.events);
+  spec.warmup = args.get_uint64("warmup", spec.warmup);
+  spec.batches = args.get_uint64("batches", spec.batches);
+  spec.z = args.get_double("z", spec.z);
+  spec.seed = args.get_uint64("seed", spec.seed);
+
+  const int threads = args.get_int(
+      "threads", static_cast<int>(util::ThreadPool::default_thread_count()));
+  if (threads < 1) {
+    throw util::FlagError{"invalid value for --threads: must be >= 1"};
+  }
+
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  const std::string out_path = args.get("out", "");
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      throw util::FlagError{"cannot open --out file: " + out_path};
+    }
+    out = &file;
+  }
+
+  const std::string format = args.get("format", "table");
+  std::unique_ptr<sim::ValidationSink> sink;
+  if (format == "table") {
+    sink = std::make_unique<sim::ValidationTableSink>(*out);
+  } else if (format == "jsonl") {
+    sink = std::make_unique<sim::ValidationJsonlSink>(*out);
+  } else {
+    throw util::FlagError{"invalid value for --format: '" + format +
+                          "' (expected table or jsonl)"};
+  }
+
+  std::optional<util::ThreadPool> pool;
+  if (threads > 1) pool.emplace(static_cast<unsigned>(threads));
+  sim::ValidationRunner runner{pool ? &*pool : nullptr};
+  const sim::ValidationSummary summary = runner.run(spec, *sink);
+  out->flush();
+  std::fprintf(stderr,
+               "# validation: %zu/%zu cells passed, %zu failed check(s), "
+               "%u thread(s), %.2f s\n",
+               summary.passed_cells, summary.cells, summary.failed_checks,
+               summary.threads, summary.wall_s);
+  return summary.all_passed() ? 0 : 1;
+}
+
 int cmd_simulate(const Flags& args) {
+  // `--events` selects the model-validation grid (no pipeline, no clip):
+  // the discrete-event simulators against the closed forms.
+  if (args.has("events")) return cmd_simulate_validation(args);
   args.check_known({"motion", "gop", "frames", "policy", "alg", "device",
                     "transport", "reps", "seed", "loss", "burst", "outage"});
   const auto alg = crypto::algorithm_from_string(args.get("alg", "AES256"));
