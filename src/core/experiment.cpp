@@ -135,16 +135,27 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   };
   std::vector<RepOutcome> reps(static_cast<std::size_t>(spec.repetitions));
 
+  // Instrumented runs (tracing or stage aggregation) execute serially so
+  // the trace stream and the collector's contents are deterministic.
+  const bool instrumented = spec.trace != nullptr || spec.collect_stage_stats;
+  StageStatsCollector collector;
+
   auto run_rep = [&](std::size_t index) {
     RepOutcome& out = reps[index];
     const int rep = static_cast<int>(index);
+    std::optional<StampTraceSink> stamp;
+    if (instrumented) {
+      stamp.emplace(spec.trace,
+                    spec.collect_stage_stats ? &collector : nullptr, rep);
+    }
     // A repetition that dies on a degraded network is recorded as a
     // FailureEvent and skipped; the survivors still produce statistics.
     TransferResult transfer;
     try {
       transfer = simulate_transfer(
           pipeline, packets,
-          spec.seed * 7919 + static_cast<std::uint64_t>(rep));
+          spec.seed * 7919 + static_cast<std::uint64_t>(rep),
+          stamp ? &*stamp : nullptr);
     } catch (const std::exception&) {
       FailureEvent failure;
       failure.kind = FailureEvent::Kind::kException;
@@ -189,11 +200,12 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
     out.transfer = std::move(transfer);
   };
 
-  if (pool != nullptr && reps.size() > 1) {
+  if (pool != nullptr && reps.size() > 1 && !instrumented) {
     pool->parallel_for(reps.size(), run_rep);
   } else {
     for (std::size_t i = 0; i < reps.size(); ++i) run_rep(i);
   }
+  if (spec.collect_stage_stats) result.stage_stats = collector.stats;
 
   // Deterministic fold in repetition order.
   const TransferResult* first_transfer = nullptr;

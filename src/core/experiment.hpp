@@ -56,6 +56,16 @@ struct ExperimentSpec {
   /// Decoder sensitivity fraction used by the analytic distortion model;
   /// pick by motion level (fast content tolerates almost no loss).
   double sensitivity_fraction = 0.6;
+  /// Optional per-packet stage tracing: every stage of every repetition's
+  /// transfer emits TraceEvents (stamped with the repetition index) into
+  /// this sink.  Instrumented runs execute their repetitions serially so
+  /// the event stream is deterministic.
+  TraceSink* trace = nullptr;
+  /// Collect per-stage aggregates (event counts, time statistics,
+  /// histograms) into ExperimentResult::stage_stats.  Also serializes the
+  /// repetition loop.  Off by default: results and outputs are then
+  /// byte-identical to an uninstrumented build.
+  bool collect_stage_stats = false;
 };
 
 struct ExperimentResult {
@@ -88,6 +98,10 @@ struct ExperimentResult {
   DistortionPrediction predicted_receiver;
   DistortionPrediction predicted_eavesdropper;
   PowerPrediction predicted_power;
+
+  /// Per-stage aggregates over all completed repetitions; present only
+  /// when ExperimentSpec::collect_stage_stats was set.
+  std::optional<StageAggregates> stage_stats;
 };
 
 /// Run one experiment configuration against a prebuilt workload.

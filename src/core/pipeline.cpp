@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/pipeline_stages.hpp"
 #include "util/rng.hpp"
 
 namespace tv::core {
@@ -70,7 +71,7 @@ void validate(const PipelineConfig& config) {
 
 TransferResult simulate_transfer(const PipelineConfig& config,
                                  const std::vector<net::VideoPacket>& packets,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed, TraceSink* trace) {
   if (packets.empty()) {
     throw std::invalid_argument{"simulate_transfer: no packets"};
   }
@@ -83,80 +84,44 @@ TransferResult simulate_transfer(const PipelineConfig& config,
   result.eavesdropper_captured.assign(packets.size(), false);
   result.degraded_cleartext.assign(packets.size(), false);
 
-  // Bursty channel chains (opt-in): one per listener, seeded from the
-  // transfer seed so a given seed reproduces the identical loss trace.
-  std::optional<wifi::GilbertElliottChannel> rx_channel;
-  std::optional<wifi::GilbertElliottChannel> ev_channel;
-  if (config.channel) {
-    util::Rng channel_seeder{seed ^ 0x6a09e667f3bcc908ULL};
-    rx_channel.emplace(config.channel->receiver, channel_seeder());
-    ev_channel.emplace(config.channel->eavesdropper, channel_seeder());
-  }
+  // The transfer is the composition of the five stages; every random draw
+  // happens inside a stage, in the documented fixed order, from the single
+  // per-transfer RNG (plus the channel chains' own derived streams).
+  ProducerStage producer{config, trace};
+  PolicyGateStage gate{config, trace};
+  ServiceStage service{config, trace};
+  ChannelStage channel{config, seed, trace};
+  TransportStage transport{config, trace};
 
   // --- Producer: arrival times. -------------------------------------------
-  // Packets of frame f become available at f/fps; successive segments of
-  // the same frame are separated by their read latency (overhead + bytes).
-  {
-    double frame_cursor = 0.0;
-    int current_frame = -1;
-    for (std::size_t i = 0; i < packets.size(); ++i) {
-      const auto& p = packets[i];
-      if (p.frame_index != current_frame) {
-        current_frame = p.frame_index;
-        // The producer is sequential: it cannot start a frame before it has
-        // finished reading the previous one; each release also carries OS
-        // scheduling jitter.
-        const double jitter =
-            config.frame_jitter_mean_s > 0.0
-                ? rng.exponential(1.0 / config.frame_jitter_mean_s)
-                : 0.0;
-        frame_cursor = std::max(
-            frame_cursor,
-            static_cast<double>(p.frame_index) / config.fps + jitter);
-      }
-      const double read_time =
-          rng.exponential(1.0 / config.read_overhead_s) +
-          config.read_per_byte_s * static_cast<double>(p.payload.size());
-      frame_cursor += read_time;
-      result.timings[i].arrival = frame_cursor;
-    }
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    result.timings[i].arrival = producer.release(packets[i], i, rng);
   }
 
-  // --- Server: FIFO encrypt + backoff + transmit. --------------------------
-  const bool reliable = config.transport == Transport::kHttpTcp;
+  // --- Server: FIFO policy gate + service + channel + transport. ----------
   double server_free = 0.0;
   for (std::size_t i = 0; i < packets.size(); ++i) {
     const auto& p = packets[i];
     PacketTiming& t = result.timings[i];
     t.service_start = std::max(t.arrival, server_free);
 
-    // Graceful policy degradation: when the queue's sojourn exceeds the
-    // threshold, ship encrypted non-I packets in clear — the selective-
-    // encryption policy collapses to I-frame-only under pressure.
-    const bool degraded =
-        config.degrade_sojourn_s > 0.0 && p.encrypted && !p.is_i_frame &&
-        (t.service_start - t.arrival) > config.degrade_sojourn_s;
+    const bool degraded = gate.degrade(p, i, t.arrival, t.service_start);
     if (degraded) {
       result.degraded_cleartext[i] = true;
       ++result.degraded_packets;
     }
 
-    // T_e: encryption time with Gaussian jitter (eq. 15).
+    // T_e (eq. 15): only for packets the policy still wants encrypted.
     if (p.encrypted && !degraded) {
-      const double mean =
-          config.device.encryption_seconds(config.algorithm, p.payload.size());
-      const double jitter =
-          config.device.speed(config.algorithm).jitter_stddev_s;
-      t.encryption_s = std::max(0.0, rng.gaussian(mean, jitter));
+      t.encryption_s = service.encrypt(p, i, t.service_start, rng);
       result.encrypted_payload_bytes += p.payload.size();
     }
 
-    const double tx_mean =
-        wifi::transmission_time_s(config.phy, p.wire_bytes());
+    const double tx_mean = service.transmission_mean_s(p);
 
     bool receiver_got = false;
     bool eaves_got = false;
-    bool last_attempt_in_outage = false;
+    const char* terminal = "lost";
     int attempts = 0;
     double backoff_total = 0.0;
     double tx_total = 0.0;
@@ -164,84 +129,63 @@ TransferResult simulate_transfer(const PipelineConfig& config,
     double now = t.service_start + t.encryption_s;
     for (;;) {
       ++attempts;
-      // T_b: geometric number of collisions, exponential waits (eq. 6/7).
-      const std::uint64_t collisions =
-          rng.geometric_failures(config.mac_success_prob);
-      for (std::uint64_t c = 0; c < collisions; ++c) {
-        const double wait = rng.exponential(config.backoff_rate);
-        backoff_total += wait;
-        now += wait;
-      }
-      // T_t with jitter (eq. 16).
-      const double tx =
-          std::max(0.0, rng.gaussian(tx_mean, config.tx_jitter_stddev_s));
+      // T_b (eqs. 6-7): waits are folded into `now` and `backoff_total`
+      // per draw to keep the accumulation order byte-stable.
+      (void)service.backoff(i, &now, &backoff_total, rng);
+      // T_t (eq. 16).
+      const double tx = service.transmit(i, tx_mean, now, rng);
       tx_total += tx;
       now += tx;
-      // Channel outcome at each listener (independent positions).  A
-      // scheduled AP outage swallows the packet for everyone; otherwise
-      // the bursty chains (or the legacy i.i.d. draws) decide.
-      bool rx_ok;
-      if (config.channel) {
-        last_attempt_in_outage = wifi::in_outage(config.channel->outages, now);
-        if (last_attempt_in_outage) {
-          ++result.outage_drops;
-          rx_ok = false;
-        } else {
-          rx_ok = !rx_channel->lose_packet();
-          eaves_got = eaves_got || !ev_channel->lose_packet();
-        }
-      } else {
-        rx_ok = !rng.bernoulli(config.receiver_loss_prob);
-        eaves_got =
-            eaves_got || !rng.bernoulli(config.eavesdropper_loss_prob);
-      }
-      if (rx_ok) {
+      // Channel outcome at each listener (independent positions).
+      const ChannelStage::Outcome outcome =
+          channel.attempt(i, now, eaves_got, rng);
+      if (outcome.in_outage) ++result.outage_drops;
+      eaves_got = outcome.eavesdropper_heard;
+      if (outcome.receiver_ok) {
         receiver_got = true;
+        terminal = "deliver";
         break;
       }
-      if (!reliable) {
-        if (last_attempt_in_outage) {
+      if (!transport.reliable()) {
+        if (outcome.in_outage) {
+          terminal = "outage";
           result.failures.push_back({FailureEvent::Kind::kApOutage, now,
                                      static_cast<std::int64_t>(i), -1});
         }
         break;
       }
-      if (attempts >= config.tcp_max_attempts) {
+      const TransportStage::Decision decision =
+          transport.after_loss(i, attempts, now, t.arrival);
+      if (decision.verdict == TransportStage::Verdict::kMaxAttempts) {
+        terminal = "max_attempts";
         result.failures.push_back({FailureEvent::Kind::kMaxAttempts, now,
                                    static_cast<std::int64_t>(i), -1});
         break;
       }
-      // Loss recovery: the sender notices via dupacks/timeout and
-      // retries, waiting exponentially longer each round (capped).
-      double wait = config.tcp_retx_penalty_s;
-      for (int a = 1; a < attempts; ++a) wait *= config.tcp_backoff_multiplier;
-      if (config.tcp_backoff_max_s > 0.0) {
-        wait = std::min(wait, config.tcp_backoff_max_s);
-      }
-      if (config.packet_deadline_s > 0.0 &&
-          (now + wait) - t.arrival > config.packet_deadline_s) {
+      if (decision.verdict == TransportStage::Verdict::kDeadline) {
         // Give up instead of blocking the queue behind a doomed packet.
+        terminal = "deadline";
         ++result.deadline_drops;
         result.failures.push_back({FailureEvent::Kind::kDeadlineExpired, now,
                                    static_cast<std::int64_t>(i), -1});
         break;
       }
-      recovery_total += wait;
-      now += wait;
+      recovery_total += decision.wait_s;
+      now += decision.wait_s;
       ++result.retransmissions;
     }
 
     t.backoff_s = backoff_total;
     t.transmit_s = tx_total;
     t.attempts = attempts;
-    const double transport_overhead =
-        reliable ? config.tcp_per_packet_overhead_s : 0.0;
     t.completion = t.service_start + t.encryption_s + backoff_total +
-                   tx_total + recovery_total + transport_overhead;
+                   tx_total + recovery_total +
+                   transport.per_packet_overhead_s();
     server_free = t.completion;
     result.airtime_s += tx_total;
     result.receiver_delivered[i] = receiver_got;
     result.eavesdropper_captured[i] = eaves_got;
+    transport.finish(i, terminal, t.completion, t.delay());
   }
 
   const double first = result.timings.front().arrival;

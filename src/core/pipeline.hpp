@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/device_profile.hpp"
+#include "core/trace.hpp"
 #include "net/packetizer.hpp"
 #include "policy/policy.hpp"
 #include "wifi/channel.hpp"
@@ -161,8 +162,13 @@ void validate(const PipelineConfig& config);
 /// Simulate the transfer of an already policy-encrypted packet sequence.
 /// `encrypted[i]` mirrors packets[i].encrypted (passed separately so the
 /// caller can reuse one packetization across policies).
+///
+/// The transfer is composed from the stages in core/pipeline_stages.hpp
+/// (producer -> policy gate -> service -> channel -> transport).  When
+/// `trace` is non-null every stage emits TraceEvents into it; with it null
+/// (the default) the run is byte-identical to an untraced build.
 [[nodiscard]] TransferResult simulate_transfer(
     const PipelineConfig& config, const std::vector<net::VideoPacket>& packets,
-    std::uint64_t seed);
+    std::uint64_t seed, TraceSink* trace = nullptr);
 
 }  // namespace tv::core

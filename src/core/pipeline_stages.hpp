@@ -1,0 +1,185 @@
+// The sender transfer decomposed into composable stages (Fig. 3):
+//
+//   producer -> policy gate -> service (T_e + T_b + T_t) -> channel
+//                                   ^----- transport/ARQ retry loop ----'
+//
+// Each stage is a small object with explicit inputs and outputs so a new
+// transport or channel model plugs in without touching the others:
+//
+//   * ProducerStage     — release times: frame cadence, scheduling jitter,
+//                         per-segment read latency;
+//   * PolicyGateStage   — queue-pressure degradation (selective encryption
+//                         collapses to I-frame-only under pressure);
+//   * ServiceStage      — the eq. (3) service law, via the shared
+//                         core::ServiceModel (the only place T_e/T_b/T_t
+//                         are drawn);
+//   * ChannelStage      — per-attempt receiver/eavesdropper outcomes:
+//                         i.i.d. Bernoulli or Gilbert-Elliott chains plus
+//                         scheduled AP outages;
+//   * TransportStage    — the ARQ policy: fire-and-forget RTP/UDP or the
+//                         reliable HTTP/TCP stand-in with exponential
+//                         retransmission backoff and per-packet deadlines.
+//
+// Determinism contract: the stages draw from the RNGs handed to them in a
+// fixed order, so core::simulate_transfer composed from these stages is
+// byte-identical to the historical monolithic implementation (pinned by
+// the sweep golden file and the CLI byte-identity checks).  Every stage
+// takes an optional TraceSink; with the sink null the stages cost one
+// never-taken branch per event site and consume identical randomness.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/pipeline.hpp"
+#include "core/service_model.hpp"
+#include "core/trace.hpp"
+#include "util/rng.hpp"
+
+namespace tv::core {
+
+/// Producer: packets of frame f become available at f/fps; successive
+/// segments of the same frame are separated by their read latency
+/// (overhead + bytes), and each frame's release carries OS scheduling
+/// jitter.  The producer is sequential: it cannot start a frame before it
+/// has finished reading the previous one.
+class ProducerStage {
+ public:
+  ProducerStage(const PipelineConfig& config, TraceSink* trace)
+      : config_(config), trace_(trace) {}
+
+  /// Arrival time of the next packet.  Draws the frame-boundary jitter and
+  /// the per-segment read latency from `rng`.
+  [[nodiscard]] double release(const net::VideoPacket& packet,
+                               std::size_t index, util::Rng& rng);
+
+ private:
+  const PipelineConfig& config_;
+  TraceSink* trace_;
+  double frame_cursor_ = 0.0;
+  int current_frame_ = -1;
+};
+
+/// Policy gate: when a packet's queueing delay exceeds the configured
+/// sojourn threshold, encrypted non-I packets are shipped in clear — the
+/// selective-encryption policy degrades to I-frame-only under pressure.
+class PolicyGateStage {
+ public:
+  PolicyGateStage(const PipelineConfig& config, TraceSink* trace)
+      : config_(config), trace_(trace) {}
+
+  /// True when `packet` should be downgraded to cleartext.  Emits one
+  /// policy-gate event per packet (value: the queue wait that drove the
+  /// decision).
+  [[nodiscard]] bool degrade(const net::VideoPacket& packet,
+                             std::size_t index, double arrival_s,
+                             double service_start_s) const;
+
+ private:
+  const PipelineConfig& config_;
+  TraceSink* trace_;
+};
+
+/// Service: the per-packet T_e/T_b/T_t draws of eq. (3), delegated to the
+/// shared core::ServiceModel.
+class ServiceStage {
+ public:
+  ServiceStage(const PipelineConfig& config, TraceSink* trace);
+
+  [[nodiscard]] const ServiceModel& model() const { return model_; }
+
+  /// T_e for an encrypted packet (mean from the calibrated DeviceProfile).
+  [[nodiscard]] double encrypt(const net::VideoPacket& packet,
+                               std::size_t index, double now_s,
+                               util::Rng& rng) const;
+
+  /// PHY mean on-air time for this packet (computed once per packet; the
+  /// per-attempt draws jitter around it).
+  [[nodiscard]] double transmission_mean_s(
+      const net::VideoPacket& packet) const;
+
+  /// One MAC backoff round (T_b).  Each wait is added to *clock and
+  /// *total as drawn (see ServiceModel::draw_backoff).
+  double backoff(std::size_t index, double* clock, double* total,
+                 util::Rng& rng) const;
+
+  /// One on-air transmission draw (T_t).
+  [[nodiscard]] double transmit(std::size_t index, double mean_s,
+                                double now_s, util::Rng& rng) const;
+
+ private:
+  const PipelineConfig& config_;
+  TraceSink* trace_;
+  ServiceModel model_;
+};
+
+/// Channel: decides, per on-air attempt, whether the receiver and the
+/// eavesdropper each hear the packet.  With a ChannelModel configured the
+/// outcomes come from per-listener Gilbert-Elliott chains (seeded from the
+/// transfer seed) and scheduled AP outages; otherwise from the legacy
+/// i.i.d. Bernoulli draws on the transfer RNG.
+class ChannelStage {
+ public:
+  ChannelStage(const PipelineConfig& config, std::uint64_t transfer_seed,
+               TraceSink* trace);
+
+  struct Outcome {
+    bool receiver_ok = false;
+    bool eavesdropper_heard = false;
+    bool in_outage = false;
+  };
+
+  /// One attempt at time `now_s`.  The eavesdropper's draw is skipped once
+  /// it has already captured the packet (`eavesdropper_already`), exactly
+  /// mirroring the historical short-circuit, so chain states and RNG
+  /// consumption are unchanged.
+  [[nodiscard]] Outcome attempt(std::size_t index, double now_s,
+                                bool eavesdropper_already, util::Rng& rng);
+
+ private:
+  const PipelineConfig& config_;
+  TraceSink* trace_;
+  std::optional<wifi::GilbertElliottChannel> receiver_;
+  std::optional<wifi::GilbertElliottChannel> eavesdropper_;
+};
+
+/// Transport/ARQ: RTP/UDP fires and forgets; the HTTP/TCP stand-in
+/// retransmits with exponential backoff, capped waits, a retransmission
+/// budget, and an optional per-packet deadline.
+class TransportStage {
+ public:
+  TransportStage(const PipelineConfig& config, TraceSink* trace)
+      : config_(config), trace_(trace) {}
+
+  [[nodiscard]] bool reliable() const {
+    return config_.transport == Transport::kHttpTcp;
+  }
+  [[nodiscard]] double per_packet_overhead_s() const {
+    return reliable() ? config_.tcp_per_packet_overhead_s : 0.0;
+  }
+
+  enum class Verdict {
+    kRetry,        ///< wait `wait_s`, then retransmit.
+    kMaxAttempts,  ///< retransmission budget exhausted; give up.
+    kDeadline,     ///< the retry would blow the per-packet deadline.
+  };
+  struct Decision {
+    Verdict verdict = Verdict::kRetry;
+    double wait_s = 0.0;  ///< recovery wait before the next attempt.
+  };
+
+  /// Decide what to do after a failed attempt (`attempts` made so far).
+  [[nodiscard]] Decision after_loss(std::size_t index, int attempts,
+                                    double now_s, double arrival_s) const;
+
+  /// Emit the packet's terminal transport event ("deliver", "lost",
+  /// "deadline", "max_attempts", "outage"); value is the packet delay.
+  void finish(std::size_t index, const char* kind, double completion_s,
+              double delay_s) const;
+
+ private:
+  const PipelineConfig& config_;
+  TraceSink* trace_;
+};
+
+}  // namespace tv::core

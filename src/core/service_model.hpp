@@ -1,0 +1,73 @@
+// The single service law of eq. (3): T = T_e(P) + T_b + T_t.
+//
+// Every per-packet stage draw of the sender — encryption time T_e (eq. 15),
+// MAC backoff T_b as a geometric number of Exp(lambda_b) collision waits
+// (eqs. 6-7), and transmission time T_t (eq. 16) — lives here and nowhere
+// else.  Both implementations of the sender consume this model:
+//
+//   * core::simulate_transfer (the packet-faithful transfer pipeline) draws
+//     all three stages from its single per-transfer RNG;
+//   * sim::simulate_sender (the event-driven 2-MMPP/G/1 validator) draws
+//     each stage from its own derived RNG stream.
+//
+// The draw functions take the RNG as a parameter precisely so both stream
+// disciplines share one implementation: identical seeds and parameters
+// produce bit-identical stage draws (pinned by ServiceModelEquivalence
+// tests).  Any calibration or resilience change to the service law is made
+// here once and both simulators pick it up.
+#pragma once
+
+#include <cstdint>
+
+#include "core/device_profile.hpp"
+#include "util/rng.hpp"
+
+namespace tv::core {
+
+/// Owner of the per-packet T_e/T_b/T_t draws.  The MAC knobs (per-attempt
+/// success probability p_s and backoff wait rate lambda_b) are state; the
+/// Gaussian stages are parameterised per draw because their means depend on
+/// the packet (payload size, frame class) at each call site.
+struct ServiceModel {
+  double mac_success_prob = 0.78;  ///< p_s of eq. (6).
+  double backoff_rate = 420.0;     ///< lambda_b of eq. (7), 1/s.
+
+  /// One MAC backoff round: a geometric number of collisions, each followed
+  /// by an exponential wait.
+  struct BackoffDraw {
+    std::uint64_t collisions = 0;
+    double total_s = 0.0;  ///< sum of the collision waits, in draw order.
+  };
+
+  /// T_e (eq. 15): Gaussian around the per-packet mean, clamped at zero.
+  /// Consumes exactly one Gaussian variate from `rng`.  Callers skip the
+  /// call entirely for packets the policy leaves clear (the point mass at
+  /// T_e = 0).
+  [[nodiscard]] static double draw_encryption(util::Rng& rng, double mean_s,
+                                              double stddev_s);
+
+  /// T_e convenience: mean from the calibrated DeviceProfile's measured
+  /// per-byte encryption speed, jitter from the same calibration.
+  [[nodiscard]] static double draw_encryption(util::Rng& rng,
+                                              const DeviceProfile& device,
+                                              crypto::Algorithm algorithm,
+                                              std::size_t payload_bytes);
+
+  /// T_b (eqs. 6-7): draws the geometric collision count, then one
+  /// Exp(backoff_rate) wait per collision.  Each wait is added to every
+  /// non-null accumulator as it is drawn, preserving the caller's
+  /// floating-point accumulation order exactly (the transfer pipeline
+  /// advances both its virtual clock and the packet's running backoff
+  /// total per wait; summing first and adding once would change the
+  /// rounding and break byte-identical replays).
+  [[nodiscard]] BackoffDraw draw_backoff(util::Rng& rng,
+                                         double* clock = nullptr,
+                                         double* accumulator = nullptr) const;
+
+  /// T_t (eq. 16): Gaussian around the PHY transmission time, clamped at
+  /// zero.  Consumes exactly one Gaussian variate from `rng`.
+  [[nodiscard]] static double draw_transmission(util::Rng& rng, double mean_s,
+                                                double stddev_s);
+};
+
+}  // namespace tv::core

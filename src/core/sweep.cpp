@@ -46,6 +46,33 @@ std::string csv_stats(const util::RunningStats& s) {
   return fmt("%.10g,%.10g", s.mean(), s.ci95_halfwidth());
 }
 
+/// Stage aggregates as one JSON object keyed by stage; histograms are
+/// sparse [[bin, count], ...] pairs (bin edges are fixed, see
+/// TimeHistogram::bin_lower_s).
+std::string json_stage_stats(const StageAggregates& stages) {
+  std::string out = "{";
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    const StageAggregates::Entry& entry = stages.stages[s];
+    if (s != 0) out += ",";
+    out += fmt("\"%s\":{\"events\":%llu,\"time_s\":",
+               stage_key(static_cast<Stage>(s)),
+               static_cast<unsigned long long>(entry.events));
+    out += json_stats(entry.time_s);
+    out += ",\"hist\":[";
+    bool first = true;
+    for (int bin = 0; bin < TimeHistogram::kBins; ++bin) {
+      if (entry.histogram.count(bin) == 0) continue;
+      if (!first) out += ",";
+      first = false;
+      out += fmt("[%d,%llu]", bin,
+                 static_cast<unsigned long long>(entry.histogram.count(bin)));
+    }
+    out += "]}";
+  }
+  out += "}";
+  return out;
+}
+
 }  // namespace
 
 void SweepSpec::validate() const {
@@ -143,6 +170,16 @@ void TableSink::cell(const CellResult& r) {
                   e.completed_repetitions + e.failed_repetitions)
                   .c_str(),
               e.failures.size());
+  if (e.stage_stats) {
+    out_ << "     stages:";
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      const StageAggregates::Entry& entry = e.stage_stats->stages[s];
+      out_ << fmt(" %s n=%llu mean=%.3gms", stage_key(static_cast<Stage>(s)),
+                  static_cast<unsigned long long>(entry.events),
+                  entry.time_s.mean() * 1e3);
+    }
+    out_ << "\n";
+  }
 }
 
 void JsonlSink::cell(const CellResult& r) {
@@ -169,22 +206,33 @@ void JsonlSink::cell(const CellResult& r) {
        << ",\"receiver_psnr_db\":" << json_stats(e.receiver_psnr_db)
        << ",\"receiver_mos\":" << json_stats(e.receiver_mos)
        << ",\"eavesdropper_psnr_db\":" << json_stats(e.eavesdropper_psnr_db)
-       << ",\"eavesdropper_mos\":" << json_stats(e.eavesdropper_mos)
-       << fmt(",\"predicted\":{\"delay_ms\":%.17g,\"eavesdropper_psnr_db\":"
+       << ",\"eavesdropper_mos\":" << json_stats(e.eavesdropper_mos);
+  if (e.stage_stats) {
+    out_ << ",\"stages\":" << json_stage_stats(*e.stage_stats);
+  }
+  out_ << fmt(",\"predicted\":{\"delay_ms\":%.17g,\"eavesdropper_psnr_db\":"
               "%.17g,\"power_w\":%.17g}}\n",
               e.predicted_delay.mean_delay_ms,
               e.predicted_eavesdropper.psnr_db,
               e.predicted_power.mean_power_w);
 }
 
-void CsvSink::begin(const SweepSpec&) {
+void CsvSink::begin(const SweepSpec& spec) {
+  stage_stats_ = spec.collect_stage_stats;
   out_ << "cell,motion,gop,policy,algorithm,device,transport,seed,"
           "completed,failed,failures,retransmissions,deadline_drops,"
           "outage_drops,degraded_packets,delay_ms_mean,delay_ms_ci95,"
           "power_w_mean,power_w_ci95,receiver_psnr_db_mean,"
           "receiver_psnr_db_ci95,eavesdropper_psnr_db_mean,"
           "eavesdropper_psnr_db_ci95,predicted_delay_ms,"
-          "predicted_eavesdropper_psnr_db,predicted_power_w\n";
+          "predicted_eavesdropper_psnr_db,predicted_power_w";
+  if (stage_stats_) {
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      const char* key = stage_key(static_cast<Stage>(s));
+      out_ << fmt(",%s_events,%s_time_mean_s", key, key);
+    }
+  }
+  out_ << "\n";
 }
 
 void CsvSink::cell(const CellResult& r) {
@@ -204,8 +252,20 @@ void CsvSink::cell(const CellResult& r) {
        << csv_stats(e.eavesdropper_psnr_db) << ","
        << fmt("%.10g,%.10g,%.10g", e.predicted_delay.mean_delay_ms,
               e.predicted_eavesdropper.psnr_db,
-              e.predicted_power.mean_power_w)
-       << "\n";
+              e.predicted_power.mean_power_w);
+  if (stage_stats_) {
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      if (e.stage_stats) {
+        const StageAggregates::Entry& entry = e.stage_stats->stages[s];
+        out_ << fmt(",%llu,%.10g",
+                    static_cast<unsigned long long>(entry.events),
+                    entry.time_s.mean());
+      } else {
+        out_ << ",,";
+      }
+    }
+  }
+  out_ << "\n";
 }
 
 std::shared_ptr<const Workload> WorkloadCache::get(video::MotionLevel motion,
@@ -292,6 +352,7 @@ SweepSummary SweepRunner::run(const SweepSpec& spec, ResultSink& sink) {
     es.seed = cell.seed;
     es.evaluate_quality = spec.evaluate_quality;
     es.sensitivity_fraction = default_sensitivity(cell.motion);
+    es.collect_stage_stats = spec.collect_stage_stats;
     const std::shared_ptr<const Workload> workload =
         cache_.get(cell.motion, cell.gop_size, spec.frames, spec.seed,
                    spec.fps);

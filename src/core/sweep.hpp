@@ -47,6 +47,10 @@ struct SweepSpec {
   int repetitions = 20;
   double fps = 30.0;
   bool evaluate_quality = true;
+  /// Collect per-stage aggregates per cell (ExperimentResult::stage_stats);
+  /// the sinks then emit them as extra columns/fields.  Off by default so
+  /// existing sweep outputs (and the golden file) stay byte-identical.
+  bool collect_stage_stats = false;
   std::uint64_t seed = 1;  ///< root seed; also the workload seed.
 
   /// How per-cell experiment seeds derive from the root seed:
@@ -126,6 +130,7 @@ class CsvSink : public ResultSink {
 
  private:
   std::ostream& out_;
+  bool stage_stats_ = false;
 };
 
 /// In-memory sink for programmatic consumers (benches, tests).

@@ -1,0 +1,73 @@
+#include "core/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tv::core {
+
+const char* stage_key(Stage stage) {
+  switch (stage) {
+    case Stage::kProducer: return "producer";
+    case Stage::kPolicyGate: return "policy_gate";
+    case Stage::kService: return "service";
+    case Stage::kChannel: return "channel";
+    case Stage::kTransport: return "transport";
+  }
+  return "?";
+}
+
+void TimeHistogram::add(double seconds) {
+  int bin = 0;
+  if (seconds >= kFloorS) {
+    bin = 1 + static_cast<int>(std::floor(
+                  std::log10(seconds / kFloorS) *
+                  static_cast<double>(kBinsPerDecade)));
+    if (bin >= kBins) bin = kBins - 1;
+  }
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void TimeHistogram::merge(const TimeHistogram& other) {
+  for (int i = 0; i < kBins; ++i) {
+    counts_[static_cast<std::size_t>(i)] +=
+        other.counts_[static_cast<std::size_t>(i)];
+  }
+  total_ += other.total_;
+}
+
+double TimeHistogram::bin_lower_s(int bin) {
+  if (bin <= 0) return 0.0;
+  return kFloorS * std::pow(10.0, static_cast<double>(bin - 1) /
+                                      static_cast<double>(kBinsPerDecade));
+}
+
+void StageAggregates::Entry::add(double value_s) {
+  ++events;
+  time_s.add(value_s);
+  histogram.add(value_s);
+}
+
+void StageAggregates::Entry::merge(const Entry& other) {
+  events += other.events;
+  time_s.merge(other.time_s);
+  histogram.merge(other.histogram);
+}
+
+void StageAggregates::merge(const StageAggregates& other) {
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    stages[i].merge(other.stages[i]);
+  }
+}
+
+void JsonlTraceSink::event(const TraceEvent& e) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"rep\":%d,\"packet\":%lld,\"stage\":\"%s\","
+                "\"kind\":\"%s\",\"t\":%.17g,\"value_s\":%.17g}\n",
+                e.repetition, static_cast<long long>(e.packet),
+                stage_key(e.stage), e.kind, e.time_s, e.value_s);
+  out_ << buf;
+}
+
+}  // namespace tv::core

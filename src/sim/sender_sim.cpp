@@ -3,6 +3,7 @@
 #include <deque>
 #include <stdexcept>
 
+#include "core/service_model.hpp"
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 
@@ -29,6 +30,7 @@ struct Sim {
   const SenderSimSpec& spec;
   EventQueue queue;
   util::Rng chain_rng, arrival_rng, class_rng, enc_rng, backoff_rng, tx_rng;
+  core::ServiceModel service_model;
 
   SenderSimResult result;
   std::deque<PendingPacket> fifo;
@@ -57,7 +59,10 @@ struct Sim {
         class_rng(util::derive_seed(s.seed, kClass)),
         enc_rng(util::derive_seed(s.seed, kEncrypt)),
         backoff_rng(util::derive_seed(s.seed, kBackoff)),
-        tx_rng(util::derive_seed(s.seed, kTransmit)) {}
+        tx_rng(util::derive_seed(s.seed, kTransmit)) {
+    service_model.mac_success_prob = s.service.success_prob;
+    service_model.backoff_rate = s.service.backoff_rate;
+  }
 
   [[nodiscard]] double rate() const {
     return state == 1 ? spec.arrivals.lambda1 : spec.arrivals.lambda2;
@@ -66,25 +71,46 @@ struct Sim {
     return state == 1 ? spec.arrivals.r12 : spec.arrivals.r21;
   }
 
+  // The T_e/T_b/T_t stage draws all come from the shared core::ServiceModel
+  // — the same service law core::simulate_transfer composes — each stage
+  // consuming its own derived RNG stream.  Backoff waits are folded into
+  // total_s per draw (via the model's accumulator hook) so the sum's
+  // floating-point order is unchanged by the refactor.
   [[nodiscard]] double draw_service() {
     const auto& p = spec.service;
     const bool is_i = class_rng.bernoulli(p.p_i);
     const bool encrypted = class_rng.bernoulli(is_i ? p.q_i : p.q_p);
+    const auto packet = static_cast<std::int64_t>(started);
+    const double now = queue.now();
     double total_s = 0.0;
     if (encrypted) {
-      const double t_e = is_i
-          ? enc_rng.gaussian(p.enc_i_mean, p.enc_i_stddev)
-          : enc_rng.gaussian(p.enc_p_mean, p.enc_p_stddev);
-      total_s += t_e > 0.0 ? t_e : 0.0;
+      const double t_e =
+          is_i ? core::ServiceModel::draw_encryption(enc_rng, p.enc_i_mean,
+                                                     p.enc_i_stddev)
+               : core::ServiceModel::draw_encryption(enc_rng, p.enc_p_mean,
+                                                     p.enc_p_stddev);
+      total_s += t_e;
+      if (spec.trace != nullptr) {
+        spec.trace->event(
+            {core::Stage::kService, "encrypt", packet, -1, now, t_e});
+      }
     }
-    const std::uint64_t collisions =
-        backoff_rng.geometric_failures(p.success_prob);
-    for (std::uint64_t k = 0; k < collisions; ++k) {
-      total_s += backoff_rng.exponential(p.backoff_rate);
+    const core::ServiceModel::BackoffDraw backoff =
+        service_model.draw_backoff(backoff_rng, &total_s);
+    if (spec.trace != nullptr) {
+      spec.trace->event(
+          {core::Stage::kService, "backoff", packet, -1, now, backoff.total_s});
     }
-    const double t_t = is_i ? tx_rng.gaussian(p.tx_i_mean, p.tx_i_stddev)
-                            : tx_rng.gaussian(p.tx_p_mean, p.tx_p_stddev);
-    total_s += t_t > 0.0 ? t_t : 0.0;
+    const double t_t =
+        is_i ? core::ServiceModel::draw_transmission(tx_rng, p.tx_i_mean,
+                                                     p.tx_i_stddev)
+             : core::ServiceModel::draw_transmission(tx_rng, p.tx_p_mean,
+                                                     p.tx_p_stddev);
+    total_s += t_t;
+    if (spec.trace != nullptr) {
+      spec.trace->event(
+          {core::Stage::kService, "transmit", packet, -1, now, t_t});
+    }
     return total_s;
   }
 

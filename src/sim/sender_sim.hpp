@@ -26,6 +26,7 @@
 
 #include <cstdint>
 
+#include "core/trace.hpp"
 #include "queueing/mmpp.hpp"
 #include "queueing/service_time.hpp"
 #include "util/stats.hpp"
@@ -39,6 +40,11 @@ struct SenderSimSpec {
   std::uint64_t warmup = 40000;      ///< discarded transient packets.
   std::uint64_t batches = 200;       ///< batch count for batch-mean CIs.
   std::uint64_t seed = 1;
+  /// Optional per-packet stage instrumentation: the service stage emits
+  /// encrypt/backoff/transmit events (packet = 0-based served index,
+  /// time = service start).  Null (the default) costs nothing and leaves
+  /// every draw identical.
+  core::TraceSink* trace = nullptr;
 
   /// Throws std::invalid_argument on non-positive sizes or unstable load.
   void validate() const;

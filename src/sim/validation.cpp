@@ -195,7 +195,10 @@ ValidationCellResult run_validation_cell(const ValidationSpec& spec,
   const double z = spec.z;
 
   // --- Sender side: exact 2-MMPP/G/1 solution vs. event simulation. -------
-  const SenderSimSpec sender_spec = make_sender_spec(spec, cell);
+  SenderSimSpec sender_spec = make_sender_spec(spec, cell);
+  core::StampTraceSink stamp{spec.trace, nullptr,
+                             static_cast<int>(cell.index)};
+  if (spec.trace != nullptr) sender_spec.trace = &stamp;
   const queueing::ServiceTimeModel model =
       queueing::ServiceTimeModel::from_parameters(sender_spec.service);
   const queueing::MmppG1Solver solver{sender_spec.arrivals, model};
@@ -474,7 +477,8 @@ ValidationSummary ValidationRunner::run(const ValidationSpec& spec,
                                run_validation_cell(spec, cells[index])));
   };
 
-  if (pool_ != nullptr && cells.size() > 1) {
+  // Traced runs execute serially so the event stream arrives in cell order.
+  if (pool_ != nullptr && cells.size() > 1 && spec.trace == nullptr) {
     pool_->parallel_for(cells.size(), run_cell);
   } else {
     for (std::size_t i = 0; i < cells.size(); ++i) run_cell(i);

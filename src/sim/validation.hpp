@@ -90,6 +90,11 @@ struct ValidationSpec {
   /// correlation between batch means.
   double z = 3.0;
   std::uint64_t seed = 1;
+  /// Optional per-packet stage tracing for the sender simulator: service
+  /// events are stamped with the cell index (in the TraceEvent repetition
+  /// field) and forwarded to this sink.  A traced run executes its cells
+  /// serially so the event stream is deterministic.
+  core::TraceSink* trace = nullptr;
 
   /// Throws std::invalid_argument on empty axes or out-of-range knobs.
   void validate() const;

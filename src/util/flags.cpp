@@ -162,4 +162,49 @@ void Flags::check_known(std::initializer_list<std::string_view> known) const {
   }
 }
 
+FlagSet::FlagSet(std::string command, std::string summary)
+    : command_(std::move(command)), summary_(std::move(summary)) {}
+
+FlagSet& FlagSet::flag(std::string name, std::string value_hint,
+                       std::string help) {
+  entries_.push_back({std::move(name), std::move(value_hint),
+                      std::move(help)});
+  return *this;
+}
+
+std::string FlagSet::help_text() const {
+  const auto spelled = [](const Entry& e) {
+    return e.value_hint.empty() ? "--" + e.name
+                                : "--" + e.name + "=" + e.value_hint;
+  };
+  std::size_t width = sizeof("--help") - 1;
+  for (const Entry& e : entries_) width = std::max(width, spelled(e).size());
+
+  std::string out = "usage: " + command_;
+  if (!entries_.empty()) out += " [options]";
+  out += "\n\n  " + summary_ + "\n\noptions:\n";
+  const auto line = [&](const std::string& left, const std::string& help) {
+    out += "  " + left;
+    out.append(width - left.size() + 2, ' ');
+    out += help + "\n";
+  };
+  for (const Entry& e : entries_) line(spelled(e), e.help);
+  line("--help", "show this help");
+  return out;
+}
+
+void FlagSet::check(const Flags& flags) const {
+  const auto known = [&](const std::string& key) {
+    if (key == "help") return true;
+    return std::any_of(entries_.begin(), entries_.end(),
+                       [&](const Entry& e) { return e.name == key; });
+  };
+  for (const auto& [key, value] : flags.options()) {
+    if (!known(key)) {
+      throw FlagError{"unknown option --" + key + " (see " + command_ +
+                      " --help)"};
+    }
+  }
+}
+
 }  // namespace tv::util

@@ -61,9 +61,52 @@ class Flags {
     return positional_;
   }
 
+  /// All parsed `--key=value` options, keyed by name.
+  [[nodiscard]] const std::map<std::string, std::string>& options() const {
+    return options_;
+  }
+
  private:
   std::map<std::string, std::string> options_;
   std::vector<std::string> positional_;
+};
+
+/// Declarative flag registry for one (sub)command.  Each flag is registered
+/// once with a value hint and a help line; the same registration then both
+/// rejects unknown options (check) and generates the command's `--help`
+/// text, so the two can never drift apart.
+class FlagSet {
+ public:
+  /// `command` is the full invocation prefix ("thriftyvid sweep");
+  /// `summary` is the one-line description shown in the help output.
+  FlagSet(std::string command, std::string summary);
+
+  /// Register a flag.  `value_hint` names the expected value ("N",
+  /// "udp|tcp", "FILE"); empty marks a boolean switch.  Returns *this so
+  /// registrations chain.
+  FlagSet& flag(std::string name, std::string value_hint, std::string help);
+
+  [[nodiscard]] const std::string& command() const { return command_; }
+  [[nodiscard]] const std::string& summary() const { return summary_; }
+
+  /// Full generated help text: usage line, summary, one aligned line per
+  /// registered flag (plus the implicit --help).
+  [[nodiscard]] std::string help_text() const;
+
+  /// Throws FlagError naming the first parsed option not registered here.
+  /// `--help` is always accepted (front ends handle it before parsing
+  /// values).
+  void check(const Flags& flags) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string value_hint;
+    std::string help;
+  };
+  std::string command_;
+  std::string summary_;
+  std::vector<Entry> entries_;
 };
 
 }  // namespace tv::util

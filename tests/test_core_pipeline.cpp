@@ -162,6 +162,76 @@ TEST(Pipeline, ValidatesInputs) {
                std::invalid_argument);
 }
 
+TEST(PipelineValidate, RejectsEveryBadServiceKnob) {
+  const auto rejects = [](auto&& mutate) {
+    auto config = test_config();
+    mutate(config);
+    EXPECT_THROW(validate(config), std::invalid_argument);
+  };
+  rejects([](PipelineConfig& c) { c.mac_success_prob = 0.0; });
+  rejects([](PipelineConfig& c) { c.mac_success_prob = -0.1; });
+  rejects([](PipelineConfig& c) { c.mac_success_prob = 1.5; });
+  rejects([](PipelineConfig& c) { c.backoff_rate = 0.0; });
+  rejects([](PipelineConfig& c) { c.backoff_rate = -1.0; });
+  rejects([](PipelineConfig& c) { c.fps = 0.0; });
+  EXPECT_NO_THROW(validate(test_config()));
+}
+
+TEST(PipelineValidate, RejectsEveryBadResilienceKnob) {
+  const auto rejects = [](auto&& mutate) {
+    auto config = test_config();
+    mutate(config);
+    EXPECT_THROW(validate(config), std::invalid_argument);
+  };
+  rejects([](PipelineConfig& c) { c.tcp_backoff_multiplier = 0.99; });
+  rejects([](PipelineConfig& c) { c.tcp_backoff_max_s = -1e-3; });
+  rejects([](PipelineConfig& c) { c.packet_deadline_s = -0.5; });
+  rejects([](PipelineConfig& c) { c.degrade_sojourn_s = -0.1; });
+}
+
+TEST(PipelineValidate, RejectsBadChannelModels) {
+  auto config = test_config();
+  config.channel.emplace();
+  config.channel->receiver.mean_loss_prob = 1.5;  // not a probability.
+  EXPECT_THROW(validate(config), std::invalid_argument);
+
+  config = test_config();
+  config.channel.emplace();
+  config.channel->outages.push_back({-1.0, 0.5});
+  EXPECT_THROW(validate(config), std::invalid_argument);
+
+  config = test_config();
+  config.channel.emplace();
+  config.channel->outages.push_back({1.0, -0.5});
+  EXPECT_THROW(validate(config), std::invalid_argument);
+
+  config = test_config();
+  config.channel.emplace();
+  config.channel->outages.push_back({1.0, 0.5});
+  EXPECT_NO_THROW(validate(config));
+}
+
+TEST(Transport, StringRoundTripsCoverBothSpellings) {
+  EXPECT_STREQ(to_string(Transport::kRtpUdp), "RTP/UDP");
+  EXPECT_STREQ(to_string(Transport::kHttpTcp), "HTTP/TCP");
+  EXPECT_STREQ(transport_key(Transport::kRtpUdp), "udp");
+  EXPECT_STREQ(transport_key(Transport::kHttpTcp), "tcp");
+  for (const Transport t : {Transport::kRtpUdp, Transport::kHttpTcp}) {
+    EXPECT_EQ(transport_from_string(transport_key(t)), t);
+    EXPECT_EQ(transport_from_string(to_string(t)), t);
+  }
+  EXPECT_THROW((void)transport_from_string("sctp"), std::invalid_argument);
+  EXPECT_THROW((void)transport_from_string(""), std::invalid_argument);
+}
+
+TEST(FailureEvent, KindNamesAreStableAndDistinct) {
+  EXPECT_STREQ(to_string(FailureEvent::Kind::kApOutage), "ap-outage");
+  EXPECT_STREQ(to_string(FailureEvent::Kind::kDeadlineExpired),
+               "deadline-expired");
+  EXPECT_STREQ(to_string(FailureEvent::Kind::kMaxAttempts), "max-attempts");
+  EXPECT_STREQ(to_string(FailureEvent::Kind::kException), "exception");
+}
+
 TEST(DeviceProfile, EncryptionTimesScaleWithSizeAndAlgorithm) {
   const auto device = samsung_galaxy_s2();
   EXPECT_GT(device.encryption_seconds(crypto::Algorithm::kAes256, 1460),

@@ -1,0 +1,209 @@
+// The tracing subsystem: histogram binning, per-stage aggregation, the
+// JSONL event format, and the run_experiment plumbing (trace + stage-stats
+// collection, and the invariant that turning instrumentation on does not
+// change any statistic).
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace tv::core {
+namespace {
+
+TEST(TimeHistogram, BinsAreLogSpacedWithExplicitUnderAndOverflow) {
+  TimeHistogram h;
+  h.add(0.0);                          // exact zero -> underflow bin.
+  h.add(TimeHistogram::kFloorS / 2);   // below floor -> underflow bin.
+  h.add(TimeHistogram::kFloorS);       // exactly the floor -> first bin.
+  h.add(1e30);                         // far past the top -> overflow bin.
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(TimeHistogram::kBins - 1), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(TimeHistogram, EveryValueLandsInTheBinCoveringIt) {
+  TimeHistogram h;
+  const double values[] = {2e-7, 5e-6, 1.3e-4, 2.5e-3, 0.04, 0.7, 9.0};
+  for (const double v : values) h.add(v);
+  EXPECT_EQ(h.total(), 7u);
+  std::uint64_t total = 0;
+  for (int b = 0; b < TimeHistogram::kBins; ++b) {
+    for (std::uint64_t c = 0; c < h.count(b); ++c) ++total;
+    if (h.count(b) == 0) continue;
+    // A populated interior bin's lower edge must not exceed some value and
+    // the next bin's edge must exceed it.
+    if (b == 0 || b == TimeHistogram::kBins - 1) continue;
+    bool covered = false;
+    for (const double v : values) {
+      if (v >= TimeHistogram::bin_lower_s(b) &&
+          (b + 1 == TimeHistogram::kBins - 1 ||
+           v < TimeHistogram::bin_lower_s(b + 1))) {
+        covered = true;
+      }
+    }
+    EXPECT_TRUE(covered) << "bin " << b << " populated but covers no value";
+  }
+  EXPECT_EQ(total, 7u);
+}
+
+TEST(TimeHistogram, MergeAddsCounts) {
+  TimeHistogram a;
+  TimeHistogram b;
+  a.add(1e-3);
+  b.add(1e-3);
+  b.add(0.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.count(0), 1u);
+}
+
+TEST(StageStatsCollector, FoldsEventsIntoPerStageAggregates) {
+  StageStatsCollector collector;
+  collector.event({Stage::kService, "encrypt", 0, -1, 0.0, 2e-3});
+  collector.event({Stage::kService, "transmit", 0, -1, 0.0, 4e-3});
+  collector.event({Stage::kChannel, "deliver", 0, -1, 0.0, 0.0});
+  const auto& service = collector.stats[Stage::kService];
+  EXPECT_EQ(service.events, 2u);
+  EXPECT_DOUBLE_EQ(service.time_s.mean(), 3e-3);
+  EXPECT_EQ(service.histogram.total(), 2u);
+  EXPECT_EQ(collector.stats[Stage::kChannel].events, 1u);
+  EXPECT_EQ(collector.stats[Stage::kProducer].events, 0u);
+}
+
+TEST(StageAggregates, MergeCombinesCountsAndMoments) {
+  StageAggregates a;
+  StageAggregates b;
+  a[Stage::kTransport].add(1.0);
+  b[Stage::kTransport].add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a[Stage::kTransport].events, 2u);
+  EXPECT_DOUBLE_EQ(a[Stage::kTransport].time_s.mean(), 2.0);
+  EXPECT_EQ(a[Stage::kTransport].histogram.total(), 2u);
+}
+
+TEST(JsonlTraceSink, EmitsOneFullPrecisionObjectPerEvent) {
+  std::ostringstream out;
+  JsonlTraceSink sink{out};
+  // Dyadic values only: %.17g round-trips them as the shortest spelling.
+  sink.event({Stage::kService, "encrypt", 12, 3, 0.25, 0.03125});
+  sink.event({Stage::kChannel, "deliver", 12, 3, 0.5, 0.0});
+  const std::string text = out.str();
+  EXPECT_EQ(text,
+            "{\"rep\":3,\"packet\":12,\"stage\":\"service\","
+            "\"kind\":\"encrypt\",\"t\":0.25,\"value_s\":0.03125}\n"
+            "{\"rep\":3,\"packet\":12,\"stage\":\"channel\","
+            "\"kind\":\"deliver\",\"t\":0.5,\"value_s\":0}\n");
+}
+
+TEST(StampTraceSink, StampsRepetitionAndFansOut) {
+  StageStatsCollector first;
+  StageStatsCollector second;
+  std::ostringstream out;
+  JsonlTraceSink jsonl{out};
+  StampTraceSink stamp{&jsonl, &first, 4};
+  stamp.event({Stage::kProducer, "release", 0, -1, 0.0, 1e-3});
+  EXPECT_EQ(first.stats[Stage::kProducer].events, 1u);
+  EXPECT_NE(out.str().find("\"rep\":4"), std::string::npos);
+  // Null sinks are skipped.
+  StampTraceSink solo{&second, nullptr, 0};
+  solo.event({Stage::kProducer, "release", 0, -1, 0.0, 1e-3});
+  EXPECT_EQ(second.stats[Stage::kProducer].events, 1u);
+}
+
+// --- run_experiment plumbing. --------------------------------------------
+
+ExperimentSpec small_spec(const Workload& w) {
+  ExperimentSpec spec;
+  spec.policy = {policy::Mode::kIFrames, crypto::Algorithm::kAes256, 0.0};
+  spec.pipeline.device = samsung_galaxy_s2();
+  spec.repetitions = 2;
+  spec.seed = 17;
+  spec.sensitivity_fraction = default_sensitivity(w.motion);
+  spec.evaluate_quality = false;
+  return spec;
+}
+
+const Workload& trace_workload() {
+  static const Workload w =
+      build_workload(video::MotionLevel::kLow, 10, 20, 404);
+  return w;
+}
+
+TEST(ExperimentTrace, EmitsStampedValidJsonlPerPacketEvents) {
+  const auto& w = trace_workload();
+  std::ostringstream out;
+  JsonlTraceSink sink{out};
+  auto spec = small_spec(w);
+  spec.trace = &sink;
+  (void)run_experiment(spec, w);
+
+  std::istringstream lines{out.str()};
+  std::string line;
+  std::size_t count = 0;
+  bool saw_rep1 = false;
+  while (std::getline(lines, line)) {
+    ++count;
+    // Minimal JSONL validity: an object per line with the schema's keys.
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"rep\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"packet\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"stage\":\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"kind\":\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"t\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"value_s\":"), std::string::npos) << line;
+    if (line.find("\"rep\":1,") != std::string::npos) saw_rep1 = true;
+  }
+  // Both repetitions produced events; each packet emits at least producer,
+  // service and channel events.
+  EXPECT_TRUE(saw_rep1);
+  EXPECT_GE(count, 3u * w.packets.size());
+}
+
+TEST(ExperimentTrace, StageStatsCoverEveryStageAndMatchThePacketCount) {
+  const auto& w = trace_workload();
+  auto spec = small_spec(w);
+  spec.collect_stage_stats = true;
+  const auto r = run_experiment(spec, w);
+  ASSERT_TRUE(r.stage_stats.has_value());
+  const auto total_packets =
+      static_cast<std::uint64_t>(spec.repetitions) * w.packets.size();
+  // Producer releases and policy-gate verdicts are exactly one per packet
+  // per repetition; transport reports one terminal verdict per packet.
+  EXPECT_EQ((*r.stage_stats)[Stage::kProducer].events, total_packets);
+  EXPECT_EQ((*r.stage_stats)[Stage::kPolicyGate].events, total_packets);
+  EXPECT_EQ((*r.stage_stats)[Stage::kTransport].events, total_packets);
+  // Service draws at least backoff + transmit per packet; the channel sees
+  // at least one attempt outcome per packet.
+  EXPECT_GE((*r.stage_stats)[Stage::kService].events, 2 * total_packets);
+  EXPECT_GE((*r.stage_stats)[Stage::kChannel].events, total_packets);
+}
+
+TEST(ExperimentTrace, InstrumentationDoesNotChangeAnyStatistic) {
+  const auto& w = trace_workload();
+  auto plain = small_spec(w);
+  auto instrumented = small_spec(w);
+  instrumented.collect_stage_stats = true;
+  std::ostringstream out;
+  JsonlTraceSink sink{out};
+  instrumented.trace = &sink;
+
+  const auto a = run_experiment(plain, w);
+  const auto b = run_experiment(instrumented, w);
+  EXPECT_EQ(a.delay_ms.mean(), b.delay_ms.mean());
+  EXPECT_EQ(a.delay_ms.stddev(), b.delay_ms.stddev());
+  EXPECT_EQ(a.power_w.mean(), b.power_w.mean());
+  EXPECT_EQ(a.encryption.encrypted_packets, b.encryption.encrypted_packets);
+  EXPECT_FALSE(a.stage_stats.has_value());
+  EXPECT_TRUE(b.stage_stats.has_value());
+}
+
+}  // namespace
+}  // namespace tv::core

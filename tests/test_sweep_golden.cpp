@@ -8,8 +8,8 @@
 // and must be reviewed, not absorbed.  After an intentional change,
 // regenerate with
 //
-//     TV_UPDATE_GOLDEN=1 ./build/tests/tv_validation_tests \
-//         --gtest_filter='SweepGolden.*'
+//     TV_UPDATE_GOLDEN=1 ./build/tests/tv_validation_tests
+//         --gtest_filter='SweepGolden.*'   (one command line)
 //
 // and inspect the fixture diff.
 #include <gtest/gtest.h>

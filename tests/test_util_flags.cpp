@@ -117,5 +117,51 @@ TEST(Flags, CheckKnownNamesTheOffender) {
   EXPECT_NO_THROW(f.check_known({"reps", "typo"}));
 }
 
+TEST(FlagSet, HelpTextListsEveryRegisteredFlagAligned) {
+  FlagSet fs{"prog demo", "Demo command for the help generator."};
+  fs.flag("reps", "N", "repetition count")
+      .flag("format", "table|jsonl", "output format")
+      .flag("fast", "", "boolean switch");
+  const std::string help = fs.help_text();
+  EXPECT_NE(help.find("usage: prog demo [options]"), std::string::npos);
+  EXPECT_NE(help.find("Demo command for the help generator."),
+            std::string::npos);
+  EXPECT_NE(help.find("--reps=N"), std::string::npos);
+  EXPECT_NE(help.find("--format=table|jsonl"), std::string::npos);
+  // A boolean switch is spelled without a value hint.
+  EXPECT_NE(help.find("--fast "), std::string::npos);
+  EXPECT_EQ(help.find("--fast="), std::string::npos);
+  // The implicit --help line is always present and listed last.
+  const auto help_pos = help.find("--help");
+  ASSERT_NE(help_pos, std::string::npos);
+  EXPECT_GT(help_pos, help.find("--fast"));
+  // Help columns align: every flag line's description starts at the same
+  // column (two spaces past the widest spelling).
+  EXPECT_NE(help.find("--reps=N              repetition count"),
+            std::string::npos)
+      << help;
+}
+
+TEST(FlagSet, CheckAcceptsRegisteredFlagsAndImplicitHelp) {
+  FlagSet fs{"prog demo", "Demo."};
+  fs.flag("reps", "N", "repetition count");
+  EXPECT_NO_THROW(fs.check(parse({"--reps=3"})));
+  EXPECT_NO_THROW(fs.check(parse({"--help"})));
+  EXPECT_NO_THROW(fs.check(parse({})));
+}
+
+TEST(FlagSet, CheckNamesTheOffenderAndPointsAtHelp) {
+  FlagSet fs{"prog demo", "Demo."};
+  fs.flag("reps", "N", "repetition count");
+  try {
+    fs.check(parse({"--reps=3", "--typo=1"}));
+    FAIL() << "expected FlagError";
+  } catch (const FlagError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--typo"), std::string::npos);
+    EXPECT_NE(what.find("prog demo --help"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace tv::util

@@ -1,55 +1,15 @@
 // thriftyvid — command-line front end.
 //
-//   thriftyvid classify <clip.y4m>
-//       AForge-style motion classification of a YUV4MPEG2 clip.
+// Subcommands: classify, simulate, sweep, advise, export.  Every
+// subcommand's flags are registered in a util::FlagSet, which both rejects
+// unknown options and generates the command's `--help` text — run
+// `thriftyvid <command> --help` for the authoritative option list.
 //
-//   thriftyvid simulate [--motion=low|medium|high] [--gop=N] [--frames=N]
-//                       [--policy=none|I|P|all|I+<pct>P|<pct>I]
-//                       [--alg=AES128|AES256|3DES]
-//                       [--device=samsung|htc] [--transport=udp|tcp]
-//                       [--reps=N] [--seed=S]
-//                       [--loss=P] [--burst=L] [--outage=START:DURATION,...]
-//       Run the full Fig.-3 pipeline and print measured metrics with 95%
-//       CIs next to the analytic predictions.  --loss/--burst switch the
-//       link to a Gilbert-Elliott bursty channel (mean loss P, mean burst
-//       length L packets); --outage schedules AP blackout windows, and the
-//       resilience counters (retransmissions, deadline/outage drops,
-//       recorded failures) are reported after the metrics.
-//
-//   thriftyvid simulate --events=N [--warmup=N] [--batches=N] [--threads=N]
-//                       [--lambda1s=A,B] [--lambda2s=A,B]
-//                       [--policies=none,I,...] [--algs=AES256,3DES]
-//                       [--device=samsung|htc] [--gop=N] [--ngops=N]
-//                       [--eaves-reps=N] [--z=Z] [--format=table|jsonl]
-//                       [--out=FILE] [--seed=S]
-//       Model-validation mode (docs/validation.md): discrete-event
-//       simulations of the MMPP/G/1 sender and the eavesdropper's GOP
-//       recovery over a (lambda1, lambda2, policy, cipher) grid,
-//       cross-checked against eqs. 3-28.  Exit 0 iff every check passes;
-//       output is bit-identical for any --threads value.
-//
-//   thriftyvid sweep [--motions=low,high] [--gops=30,50]
-//                    [--policies=none,I,P,all] [--algs=AES256,3DES]
-//                    [--devices=samsung,htc] [--transports=udp,tcp]
-//                    [--frames=N] [--reps=N] [--seed=S] [--threads=N]
-//                    [--quality=on|off] [--format=table|jsonl|csv]
-//                    [--out=FILE] [--shared-seed]
-//                    [--loss=P] [--burst=L] [--outage=...]
-//       Run the cartesian grid over every listed axis value on a
-//       work-stealing thread pool (docs/sweeps.md).  Per-cell seeds are
-//       derived deterministically from --seed, so any --threads value
-//       produces bit-identical statistics; --shared-seed instead reuses
-//       the root seed in every cell (the figure benches' convention).
-//
-//   thriftyvid advise [--motion=...] [--ceiling=DB] [--objective=delay|power]
-//                     [--alg=...] [--device=...]
-//       The Fig.-1 workflow: calibrate on a probe transfer, evaluate the
-//       policy ladder analytically, recommend the cheapest confidential
-//       policy.
-//
-//   thriftyvid export [--motion=...] [--policy=...] [--outdir=DIR]
-//       Write original/receiver/eavesdropper .y4m files plus the
-//       eavesdropper's .pcap capture.
+// `simulate` has two modes: the default packet-faithful pipeline experiment
+// (Fig. 3), and — when `--events` is given — the model-validation grid
+// (docs/validation.md) that cross-checks the discrete-event simulators
+// against the closed forms.  Both accept `--trace=FILE` to stream
+// per-packet stage events as JSONL (schema in docs/architecture.md).
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -61,6 +21,7 @@
 #include "core/advisor.hpp"
 #include "core/experiment.hpp"
 #include "core/sweep.hpp"
+#include "core/trace.hpp"
 #include "net/pcap.hpp"
 #include "sim/validation.hpp"
 #include "util/flags.hpp"
@@ -70,12 +31,145 @@
 
 using namespace tv;
 using util::Flags;
+using util::FlagSet;
 
 namespace {
 
+// --- Flag registries (one per subcommand / mode). --------------------------
+// The registry is the single source of truth: check() rejects anything not
+// registered, help_text() renders the same list for --help.
+
+FlagSet classify_flagset() {
+  return FlagSet{"thriftyvid classify <clip.y4m>",
+                 "AForge-style motion classification of a YUV4MPEG2 clip."};
+}
+
+FlagSet simulate_flagset() {
+  FlagSet fs{"thriftyvid simulate",
+             "Run the full Fig.-3 pipeline and print measured metrics with "
+             "95% CIs next to the analytic predictions.  With --events=N "
+             "the command switches to the model-validation grid (see "
+             "'thriftyvid simulate --events=1 --help')."};
+  fs.flag("motion", "low|medium|high", "synthetic clip motion level")
+      .flag("gop", "N", "GOP size in frames (default 30)")
+      .flag("frames", "N", "clip length in frames (default 120)")
+      .flag("policy", "none|I|P|all|I+<pct>P|<pct>I",
+            "selective-encryption policy (default I)")
+      .flag("alg", "AES128|AES256|3DES", "cipher (default AES256)")
+      .flag("device", "samsung|htc", "calibrated device profile")
+      .flag("transport", "udp|tcp", "RTP/UDP or the reliable HTTP/TCP ARQ")
+      .flag("reps", "N", "experiment repetitions (default 5)")
+      .flag("seed", "S", "root RNG seed (default 1)")
+      .flag("loss", "P", "Gilbert-Elliott mean loss probability")
+      .flag("burst", "L", "Gilbert-Elliott mean burst length (packets)")
+      .flag("outage", "START:DUR,...", "scheduled AP blackout windows (s)")
+      .flag("trace", "FILE", "write per-packet stage events as JSONL")
+      .flag("stage-stats", "", "print per-stage counters and mean times");
+  return fs;
+}
+
+FlagSet simulate_validation_flagset() {
+  FlagSet fs{"thriftyvid simulate --events=N",
+             "Model-validation grid (docs/validation.md): discrete-event "
+             "simulations of the MMPP/G/1 sender and the eavesdropper's GOP "
+             "recovery, cross-checked against eqs. 3-28.  Exit 0 iff every "
+             "check passes; output is bit-identical for any --threads."};
+  fs.flag("events", "N", "measured sender packets per cell")
+      .flag("warmup", "N", "discarded transient packets (default 40000)")
+      .flag("batches", "N", "batch-mean batches for the E[W] CI")
+      .flag("threads", "N", "worker threads (default: hardware)")
+      .flag("lambda1s", "A,B", "I-burst arrival-rate axis (1/s)")
+      .flag("lambda2s", "A,B", "P-drain arrival-rate axis (1/s)")
+      .flag("policies", "none,I,...", "policy axis")
+      .flag("algs", "AES256,3DES", "cipher axis")
+      .flag("device", "samsung|htc", "calibrated device profile")
+      .flag("gop", "N", "GOP size for the eavesdropper model")
+      .flag("ngops", "N", "GOPs per simulated flow")
+      .flag("eaves-reps", "N", "simulated eavesdropper flows per cell")
+      .flag("z", "Z", "acceptance multiplier on CI halfwidths")
+      .flag("format", "table|jsonl", "output format (default table)")
+      .flag("out", "FILE", "write results to FILE instead of stdout")
+      .flag("seed", "S", "root RNG seed (default 1)")
+      .flag("trace", "FILE",
+            "write sender service-stage events as JSONL (serializes cells)");
+  return fs;
+}
+
+FlagSet sweep_flagset() {
+  FlagSet fs{"thriftyvid sweep",
+             "Run the cartesian experiment grid over every listed axis "
+             "value on a work-stealing thread pool (docs/sweeps.md).  "
+             "Per-cell seeds derive deterministically from --seed, so any "
+             "--threads value produces bit-identical output."};
+  fs.flag("motions", "low,high", "motion-level axis")
+      .flag("gops", "30,50", "GOP-size axis")
+      .flag("policies", "none,I,P,all", "policy axis")
+      .flag("algs", "AES256,3DES", "cipher axis")
+      .flag("devices", "samsung,htc", "device-profile axis")
+      .flag("transports", "udp,tcp", "transport axis")
+      .flag("frames", "N", "clip length in frames (default 120)")
+      .flag("reps", "N", "repetitions per cell (default 5)")
+      .flag("seed", "S", "root seed (also the workload seed)")
+      .flag("threads", "N", "worker threads (default: hardware)")
+      .flag("quality", "on|off", "decode at receiver + eavesdropper")
+      .flag("format", "table|jsonl|csv", "output format (default table)")
+      .flag("out", "FILE", "write results to FILE instead of stdout")
+      .flag("shared-seed", "",
+            "reuse the root seed in every cell (figure-bench convention)")
+      .flag("loss", "P", "Gilbert-Elliott mean loss probability")
+      .flag("burst", "L", "Gilbert-Elliott mean burst length (packets)")
+      .flag("outage", "START:DUR,...", "scheduled AP blackout windows (s)")
+      .flag("stage-stats", "",
+            "collect per-stage aggregates and emit them per cell");
+  return fs;
+}
+
+FlagSet advise_flagset() {
+  FlagSet fs{"thriftyvid advise",
+             "The Fig.-1 workflow: calibrate on a probe transfer, evaluate "
+             "the policy ladder analytically, recommend the cheapest "
+             "confidential policy."};
+  fs.flag("motion", "low|medium|high", "synthetic clip motion level")
+      .flag("gop", "N", "GOP size in frames (default 30)")
+      .flag("frames", "N", "clip length in frames (default 120)")
+      .flag("alg", "AES128|AES256|3DES", "cipher (default AES256)")
+      .flag("device", "samsung|htc", "calibrated device profile")
+      .flag("ceiling", "DB", "max acceptable eavesdropper PSNR (default 18)")
+      .flag("objective", "delay|power", "cost to minimize (default delay)")
+      .flag("seed", "S", "root RNG seed (default 1)");
+  return fs;
+}
+
+FlagSet export_flagset() {
+  FlagSet fs{"thriftyvid export",
+             "Write original/receiver/eavesdropper .y4m files plus the "
+             "eavesdropper's .pcap capture."};
+  fs.flag("motion", "low|medium|high", "synthetic clip motion level")
+      .flag("gop", "N", "GOP size in frames (default 30)")
+      .flag("frames", "N", "clip length in frames (default 120)")
+      .flag("policy", "none|I|P|all|I+<pct>P|<pct>I",
+            "selective-encryption policy (default I)")
+      .flag("alg", "AES128|AES256|3DES", "cipher (default AES256)")
+      .flag("device", "samsung|htc", "calibrated device profile")
+      .flag("outdir", "DIR", "output directory (default out)")
+      .flag("seed", "S", "root RNG seed (default 1)");
+  return fs;
+}
+
+/// --help handling shared by every subcommand: print the generated help to
+/// stdout and signal the caller to exit 0.
+bool wants_help(const Flags& args, const FlagSet& fs) {
+  if (!args.has("help")) return false;
+  std::fputs(fs.help_text().c_str(), stdout);
+  return true;
+}
+
 int cmd_classify(const Flags& args) {
+  const FlagSet fs = classify_flagset();
+  if (wants_help(args, fs)) return 0;
+  fs.check(args);
   if (args.positional().empty()) {
-    std::fprintf(stderr, "usage: thriftyvid classify <clip.y4m>\n");
+    std::fputs(fs.help_text().c_str(), stderr);
     return 2;
   }
   const auto clip = video::read_y4m_file(args.positional().front());
@@ -143,14 +237,32 @@ core::Workload workload_from(const Flags& args) {
       args.get_uint64("seed", 1));
 }
 
+/// Opens --trace=FILE (when present) as a JSONL trace sink.  The stream and
+/// the sink must outlive the run; the caller keeps both alive.
+struct TraceOutput {
+  std::ofstream file;
+  std::optional<core::JsonlTraceSink> sink;
+
+  [[nodiscard]] core::TraceSink* open(const Flags& args) {
+    const std::string path = args.get("trace", "");
+    if (path.empty()) return nullptr;
+    file.open(path);
+    if (!file) {
+      throw util::FlagError{"cannot open --trace file: " + path};
+    }
+    sink.emplace(file);
+    return &*sink;
+  }
+};
+
 // Validation mode of `simulate` (docs/validation.md): run the discrete-
 // event sender and eavesdropper simulators over a (lambda1, lambda2,
 // policy, cipher) grid and compare every statistic against the analytic
 // model.  Exit status 0 iff every check in every cell passed.
 int cmd_simulate_validation(const Flags& args) {
-  args.check_known({"events", "warmup", "batches", "threads", "seed",
-                    "lambda1s", "lambda2s", "policies", "algs", "device",
-                    "gop", "ngops", "eaves-reps", "z", "format", "out"});
+  const FlagSet fs = simulate_validation_flagset();
+  if (wants_help(args, fs)) return 0;
+  fs.check(args);
 
   sim::ValidationSpec spec;
   if (args.has("lambda1s")) spec.lambda1s = args.get_double_list("lambda1s");
@@ -180,6 +292,9 @@ int cmd_simulate_validation(const Flags& args) {
   spec.batches = args.get_uint64("batches", spec.batches);
   spec.z = args.get_double("z", spec.z);
   spec.seed = args.get_uint64("seed", spec.seed);
+
+  TraceOutput trace;
+  spec.trace = trace.open(args);
 
   const int threads = args.get_int(
       "threads", static_cast<int>(util::ThreadPool::default_thread_count()));
@@ -214,6 +329,7 @@ int cmd_simulate_validation(const Flags& args) {
   sim::ValidationRunner runner{pool ? &*pool : nullptr};
   const sim::ValidationSummary summary = runner.run(spec, *sink);
   out->flush();
+  trace.file.flush();
   std::fprintf(stderr,
                "# validation: %zu/%zu cells passed, %zu failed check(s), "
                "%u thread(s), %.2f s\n",
@@ -226,8 +342,9 @@ int cmd_simulate(const Flags& args) {
   // `--events` selects the model-validation grid (no pipeline, no clip):
   // the discrete-event simulators against the closed forms.
   if (args.has("events")) return cmd_simulate_validation(args);
-  args.check_known({"motion", "gop", "frames", "policy", "alg", "device",
-                    "transport", "reps", "seed", "loss", "burst", "outage"});
+  const FlagSet fs = simulate_flagset();
+  if (wants_help(args, fs)) return 0;
+  fs.check(args);
   const auto alg = crypto::algorithm_from_string(args.get("alg", "AES256"));
   const auto workload = workload_from(args);
   core::ExperimentSpec spec;
@@ -244,7 +361,12 @@ int cmd_simulate(const Flags& args) {
   // bad --loss/--burst as "0 completed" with all-zero statistics.
   core::validate(spec.pipeline);
 
+  TraceOutput trace;
+  spec.trace = trace.open(args);
+  spec.collect_stage_stats = args.get_bool("stage-stats", false);
+
   const auto r = core::run_experiment(spec, workload);
+  trace.file.flush();
   std::printf("workload: %s motion, GOP %d, %zu frames, I=%.0fB P=%.0fB\n",
               video::to_string(workload.motion), workload.codec.gop_size,
               workload.clip.size(), workload.stream.mean_i_bytes(),
@@ -266,6 +388,16 @@ int cmd_simulate(const Flags& args) {
               r.eavesdropper_mos.mean(), r.predicted_eavesdropper.psnr_db);
   std::printf("  power        %7.2f W           (model %.2f W)\n",
               r.power_w.mean(), r.predicted_power.mean_power_w);
+  if (r.stage_stats) {
+    std::printf("stage breakdown (all repetitions):\n");
+    for (std::size_t s = 0; s < core::kStageCount; ++s) {
+      const auto& entry = r.stage_stats->stages[s];
+      std::printf("  %-12s %10llu events   mean %9.4f ms   max %9.4f ms\n",
+                  core::stage_key(static_cast<core::Stage>(s)),
+                  static_cast<unsigned long long>(entry.events),
+                  entry.time_s.mean() * 1e3, entry.time_s.max() * 1e3);
+    }
+  }
   if (spec.pipeline.channel) {
     const auto& ch = *spec.pipeline.channel;
     std::printf("channel: Gilbert-Elliott loss %.0f%% burst %.1f, "
@@ -295,10 +427,9 @@ int cmd_simulate(const Flags& args) {
 }
 
 int cmd_sweep(const Flags& args) {
-  args.check_known({"motions", "gops", "policies", "algs", "devices",
-                    "transports", "frames", "reps", "seed", "threads",
-                    "quality", "format", "out", "shared-seed", "loss",
-                    "burst", "outage"});
+  const FlagSet fs = sweep_flagset();
+  if (wants_help(args, fs)) return 0;
+  fs.check(args);
 
   core::SweepSpec spec;
   spec.motions.clear();
@@ -345,6 +476,7 @@ int cmd_sweep(const Flags& args) {
   spec.repetitions = args.get_int("reps", 5);
   spec.seed = args.get_uint64("seed", 1);
   spec.evaluate_quality = args.get_bool("quality", true);
+  spec.collect_stage_stats = args.get_bool("stage-stats", false);
   if (args.get_bool("shared-seed", false)) {
     spec.seed_mode = core::SweepSpec::SeedMode::kShared;
   }
@@ -393,8 +525,9 @@ int cmd_sweep(const Flags& args) {
 }
 
 int cmd_advise(const Flags& args) {
-  args.check_known({"motion", "gop", "frames", "alg", "device", "ceiling",
-                    "objective", "seed"});
+  const FlagSet fs = advise_flagset();
+  if (wants_help(args, fs)) return 0;
+  fs.check(args);
   const auto alg = crypto::algorithm_from_string(args.get("alg", "AES256"));
   const auto workload = workload_from(args);
   core::PipelineConfig pipeline;
@@ -444,8 +577,9 @@ int cmd_advise(const Flags& args) {
 }
 
 int cmd_export(const Flags& args) {
-  args.check_known({"motion", "gop", "frames", "policy", "alg", "device",
-                    "outdir", "seed"});
+  const FlagSet fs = export_flagset();
+  if (wants_help(args, fs)) return 0;
+  fs.check(args);
   const auto alg = crypto::algorithm_from_string(args.get("alg", "AES256"));
   const auto workload = workload_from(args);
   const auto pol = policy::policy_from_string(args.get("policy", "I"), alg);
@@ -491,11 +625,27 @@ int cmd_export(const Flags& args) {
   return 0;
 }
 
+/// Top-level usage: one line per subcommand, generated from the same
+/// FlagSet registrations that produce the per-command --help.
+void print_usage(std::FILE* to) {
+  std::fprintf(to, "usage: thriftyvid <command> [options]\n\ncommands:\n");
+  const FlagSet sets[] = {classify_flagset(),  simulate_flagset(),
+                          simulate_validation_flagset(), sweep_flagset(),
+                          advise_flagset(),    export_flagset()};
+  for (const FlagSet& fs : sets) {
+    // Strip the "thriftyvid " prefix for the listing.
+    const std::string& cmd = fs.command();
+    const std::string name =
+        cmd.rfind("thriftyvid ", 0) == 0 ? cmd.substr(11) : cmd;
+    std::fprintf(to, "  %-28s %s\n", name.c_str(), fs.summary().c_str());
+  }
+  std::fprintf(to,
+               "\nrun 'thriftyvid <command> --help' for the command's "
+               "option list\n");
+}
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: thriftyvid <classify|simulate|sweep|advise|export> "
-               "[options]\n  (see the header of tools/thriftyvid_cli.cpp "
-               "for the full option list)\n");
+  print_usage(stderr);
   return 2;
 }
 
@@ -504,6 +654,10 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "help") {
+    print_usage(stdout);
+    return 0;
+  }
   try {
     const Flags args = Flags::parse(argc, argv, 2);
     if (cmd == "classify") return cmd_classify(args);
