@@ -3,7 +3,7 @@
 # then a ThreadSanitizer build running the concurrency-sensitive suites.
 #
 # Usage: ./run_checks.sh [--sanitize-only | --tsan-only | --validation-only
-#                         | --coverage | --tidy]
+#                         | --coverage | --tidy | --live-smoke]
 #
 # Test tiers are selected by ctest labels (see docs/validation.md):
 #   * default passes run everything except the `slow` label (the full-grid
@@ -13,7 +13,12 @@
 #   * --coverage builds with gcov instrumentation (build-cov/), runs the
 #     non-slow tests and prints per-directory line coverage for src/;
 #   * --tidy runs a pinned clang-tidy check set over src/ (skipped with a
-#     notice when clang-tidy is not installed).
+#     notice when clang-tidy is not installed);
+#   * --live-smoke runs the `live` label (real-socket loopback testbed)
+#     plus the loopback e2e binary under a hard timeout, in both the
+#     plain and the ASan+UBSan builds.  The timeout is the watchdog: the
+#     virtual-clock loop must terminate by going idle, never by waiting
+#     on the wall clock, so a hang is a bug, not slowness.
 #
 # Every build configures with -DTHRIFTYVID_WERROR=ON: the tree is expected
 # to be warning-clean under -Wall -Wextra, and promoting warnings to errors
@@ -33,13 +38,37 @@ jobs=$(nproc 2>/dev/null || echo 4)
 mode="${1:-}"
 
 case "${mode}" in
-  ""|--sanitize-only|--tsan-only|--validation-only|--coverage|--tidy) ;;
+  ""|--sanitize-only|--tsan-only|--validation-only|--coverage|--tidy|--live-smoke) ;;
   *)
     echo "usage: $0 [--sanitize-only | --tsan-only | --validation-only |" \
-         "--coverage | --tidy]" >&2
+         "--coverage | --tidy | --live-smoke]" >&2
     exit 2
     ;;
 esac
+
+if [[ "${mode}" == "--live-smoke" ]]; then
+  # The loopback run replays a deterministic transfer over real UDP
+  # sockets; `timeout` is a hard watchdog against event-loop hangs.
+  smoke_args=(live loopback --frames=32 --gop=16 --policy=I --seed=1)
+
+  echo "=== live smoke: plain build ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DTHRIFTYVID_WERROR=ON
+  cmake --build build -j "${jobs}"
+  ctest --test-dir build --output-on-failure -j "${jobs}" -L live
+  timeout 120 ./build/tools/thriftyvid "${smoke_args[@]}"
+
+  echo "=== live smoke: ASan + UBSan build ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTHRIFTYVID_SANITIZE=ON -DTHRIFTYVID_WERROR=ON
+  cmake --build build-asan -j "${jobs}"
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L live
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    timeout 300 ./build-asan/tools/thriftyvid "${smoke_args[@]}"
+
+  echo "=== live smoke passed ==="
+  exit 0
+fi
 
 if [[ "${mode}" == "--tidy" ]]; then
   # Static-analysis pass: a pinned check set so results stay stable across

@@ -1,0 +1,149 @@
+#include "live/event_loop.hpp"
+
+#include <poll.h>
+#include <time.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace tv::live {
+
+EventLoop::EventLoop(ClockMode mode) : mode_(mode) {
+  if (mode_ == ClockMode::kMonotonic) {
+    monotonic_origin_s_ = monotonic_now_s();
+  }
+}
+
+double EventLoop::monotonic_now_s() const {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+double EventLoop::now_s() const {
+  if (mode_ == ClockMode::kVirtual) return virtual_now_s_;
+  return monotonic_now_s() - monotonic_origin_s_;
+}
+
+void EventLoop::watch_readable(int fd, std::function<void()> on_readable) {
+  for (auto& [watched_fd, callback] : watchers_) {
+    if (watched_fd == fd) {
+      callback = std::move(on_readable);
+      return;
+    }
+  }
+  watchers_.emplace_back(fd, std::move(on_readable));
+}
+
+void EventLoop::unwatch(int fd) {
+  watchers_.erase(
+      std::remove_if(watchers_.begin(), watchers_.end(),
+                     [fd](const auto& w) { return w.first == fd; }),
+      watchers_.end());
+}
+
+EventLoop::TimerId EventLoop::schedule_at(double deadline_s,
+                                          std::function<void()> callback) {
+  const TimerId id = next_timer_id_++;
+  timers_.emplace(TimerKey{deadline_s, id}, std::move(callback));
+  return id;
+}
+
+EventLoop::TimerId EventLoop::schedule_after(double delay_s,
+                                             std::function<void()> callback) {
+  return schedule_at(now_s() + delay_s, std::move(callback));
+}
+
+void EventLoop::cancel(TimerId id) {
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->first.id == id) {
+      timers_.erase(it);
+      return;
+    }
+  }
+}
+
+std::size_t EventLoop::poll_once(int timeout_ms) {
+  if (watchers_.empty()) return 0;
+  std::vector<pollfd> fds;
+  fds.reserve(watchers_.size());
+  for (const auto& [fd, callback] : watchers_) {
+    fds.push_back(pollfd{fd, POLLIN, 0});
+  }
+  int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return 0;
+    throw std::runtime_error{std::string{"EventLoop: poll: "} +
+                             std::strerror(errno)};
+  }
+  std::size_t dispatched = 0;
+  for (const pollfd& p : fds) {
+    if ((p.revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+    // Re-find by fd: an earlier callback this round may have unwatched
+    // or replaced it.
+    for (const auto& [fd, callback] : watchers_) {
+      if (fd == p.fd) {
+        callback();
+        ++dispatched;
+        break;
+      }
+    }
+  }
+  return dispatched;
+}
+
+std::size_t EventLoop::pump() {
+  std::size_t total = 0;
+  for (;;) {
+    const std::size_t n = poll_once(0);
+    if (n == 0) return total;
+    total += n;
+  }
+}
+
+void EventLoop::run() {
+  stopped_ = false;
+  while (!stopped_) {
+    if (mode_ == ClockMode::kVirtual) {
+      // Drain I/O first so at most a handful of datagrams sit in kernel
+      // buffers between timer firings — that bound is what makes virtual
+      // runs immune to buffer overflow and hence deterministic.
+      if (poll_once(0) > 0) continue;
+      if (timers_.empty()) return;  // idle: nothing readable, no deadlines.
+      auto it = timers_.begin();
+      virtual_now_s_ = std::max(virtual_now_s_, it->first.deadline_s);
+      auto callback = std::move(it->second);
+      timers_.erase(it);
+      callback();
+      continue;
+    }
+
+    // Monotonic mode: block in poll until the earliest deadline.
+    int timeout_ms = -1;
+    if (!timers_.empty()) {
+      const double wait_s = timers_.begin()->first.deadline_s - now_s();
+      timeout_ms = wait_s <= 0.0
+                       ? 0
+                       : static_cast<int>(std::ceil(wait_s * 1e3));
+    } else if (watchers_.empty()) {
+      return;  // idle: no deadlines, nothing to watch.
+    }
+    poll_once(timeout_ms);
+    // Fire everything that has come due.
+    while (!stopped_ && !timers_.empty() &&
+           timers_.begin()->first.deadline_s <= now_s()) {
+      auto it = timers_.begin();
+      auto callback = std::move(it->second);
+      timers_.erase(it);
+      callback();
+    }
+  }
+}
+
+void EventLoop::stop() { stopped_ = true; }
+
+}  // namespace tv::live

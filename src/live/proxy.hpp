@@ -1,0 +1,94 @@
+// UDP impairment proxy: the testbed's "air".
+//
+// Sender → proxy → receiver, all real UDP.  Every datagram the proxy
+// hears is first offered to the eavesdropper tap (an attacker overhears
+// the transmission, not the delivery), then subjected to the receiver's
+// channel: a replayed per-packet delivery mask (deterministic loopback),
+// scheduled AP outages plus a Gilbert-Elliott fading chain, and/or a
+// net::FaultInjector plan (corruption, truncation, duplication) with a
+// proxy-side holdback queue for reordering.  Survivors are forwarded to
+// the receiver's endpoint.  Everything is driven by one seed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "live/eavesdropper.hpp"
+#include "live/event_loop.hpp"
+#include "live/stream_map.hpp"
+#include "live/udp.hpp"
+#include "net/fault_injector.hpp"
+#include "util/rng.hpp"
+#include "wifi/gilbert_elliott.hpp"
+
+namespace tv::live {
+
+struct ProxyConfig {
+  Endpoint forward_to;
+  /// Receiver-path impairments (all optional; replay mask wins if set).
+  std::optional<net::FaultPlan> faults;
+  std::optional<wifi::GilbertElliottParams> receiver_channel;
+  std::vector<wifi::OutageWindow> outages;
+  std::uint64_t seed = 1;
+  core::TraceSink* trace = nullptr;  ///< optional; zero overhead when null.
+  /// When > 0: after this long with no datagrams, release holdbacks,
+  /// unwatch, and let the loop wind down (real-time end of stream).
+  double idle_timeout_s = 0.0;
+};
+
+struct ProxyReport {
+  std::size_t heard = 0;      ///< datagrams in.
+  std::size_t forwarded = 0;  ///< datagrams out (incl. duplicates).
+  std::size_t dropped = 0;    ///< lost to mask/outage/channel/faults.
+  std::size_t duplicated = 0;
+  std::size_t reordered = 0;  ///< held back past a later datagram.
+  std::size_t send_failures = 0;
+};
+
+class ImpairmentProxy {
+ public:
+  /// `tap` may be null (no eavesdropper on this network).  The tap and
+  /// sockets must outlive the proxy.
+  ImpairmentProxy(EventLoop& loop, UdpSocket& in_socket,
+                  UdpSocket& out_socket, ProxyConfig config,
+                  EavesdropperTap* tap);
+
+  /// Replay mode: forward exactly the packets whose stream index is set
+  /// in `mask` (an in-memory transfer's receiver_delivered).  Overrides
+  /// outage/channel/fault impairments for matched packets.
+  void set_forward_mask(const StreamMap* map, std::vector<bool> mask);
+
+  /// Start watching the ingress socket (and arm the idle deadline).
+  void start();
+
+  /// Release any held-back datagrams (end of stream).
+  void flush();
+
+  [[nodiscard]] const ProxyReport& report() const { return report_; }
+
+ private:
+  void on_readable();
+  void handle(std::vector<std::uint8_t> datagram);
+  void forward(const std::vector<std::uint8_t>& datagram);
+  void arm_idle_deadline();
+
+  EventLoop& loop_;
+  UdpSocket& in_socket_;
+  UdpSocket& out_socket_;
+  ProxyConfig config_;
+  EavesdropperTap* tap_;
+  std::optional<net::FaultInjector> injector_;
+  std::optional<wifi::GilbertElliottChannel> channel_;
+  util::Rng reorder_rng_;
+  const StreamMap* mask_map_ = nullptr;
+  std::vector<bool> forward_mask_;
+  std::deque<std::vector<std::uint8_t>> held_;
+  ProxyReport report_;
+  double last_arrival_s_ = 0.0;
+  bool watching_ = false;
+};
+
+}  // namespace tv::live

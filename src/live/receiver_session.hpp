@@ -1,0 +1,59 @@
+// Live receiver session: datagrams off a UDP socket into net::Receiver.
+//
+// The receiver is the phone's peer from Fig. 3: it hears whatever the
+// channel (here, the impairment proxy) delivered, heals reordering and
+// duplicates, and — once the stream ends — reassembles frames, decrypting
+// every payload whose RTP marker bit says it was encrypted.  End of
+// stream is a rolling idle deadline (real-time runs) or loop quiescence
+// (virtual-clock runs); there is no in-band terminator, matching plain
+// RTP practice.
+#pragma once
+
+#include <vector>
+
+#include "core/trace.hpp"
+#include "live/event_loop.hpp"
+#include "live/udp.hpp"
+#include "net/receiver.hpp"
+
+namespace tv::live {
+
+struct ReceiverSessionConfig {
+  net::ReceiverConfig receiver;
+  core::TraceSink* trace = nullptr;  ///< optional; zero overhead when null.
+  /// When > 0: after this long with no datagrams, the session unwatches
+  /// its socket and stops the loop — the real-time end-of-stream signal.
+  double idle_timeout_s = 0.0;
+};
+
+class ReceiverSession {
+ public:
+  ReceiverSession(EventLoop& loop, UdpSocket& socket,
+                  ReceiverSessionConfig config);
+
+  /// Start watching the socket (and arm the idle deadline if configured).
+  void start();
+
+  /// End of stream: stop watching, flush the reorder buffer, and return
+  /// every accepted packet in stream order.
+  [[nodiscard]] std::vector<net::ReceivedPacket> finish();
+
+  [[nodiscard]] const net::ReceiverStats& stats() const {
+    return receiver_.stats();
+  }
+  [[nodiscard]] double last_arrival_s() const { return last_arrival_s_; }
+
+ private:
+  void on_readable();
+  void arm_idle_deadline();
+
+  EventLoop& loop_;
+  UdpSocket& socket_;
+  ReceiverSessionConfig config_;
+  net::Receiver receiver_;
+  std::vector<net::ReceivedPacket> received_;
+  double last_arrival_s_ = 0.0;
+  bool watching_ = false;
+};
+
+}  // namespace tv::live

@@ -1,0 +1,113 @@
+#include "live/sender.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/pipeline_stages.hpp"
+#include "net/rtp.hpp"
+#include "util/rng.hpp"
+
+namespace tv::live {
+
+std::vector<double> schedule_from_timings(
+    const std::vector<core::PacketTiming>& timings) {
+  std::vector<double> times;
+  times.reserve(timings.size());
+  for (const core::PacketTiming& t : timings) times.push_back(t.completion);
+  return times;
+}
+
+std::vector<double> schedule_from_service_model(
+    const core::PipelineConfig& config,
+    const std::vector<net::VideoPacket>& packets, std::uint64_t seed,
+    core::TraceSink* trace) {
+  util::Rng rng{seed};
+  core::ProducerStage producer{config, trace};
+  core::PolicyGateStage gate{config, trace};
+  core::ServiceStage service{config, trace};
+  std::vector<double> times;
+  times.reserve(packets.size());
+  double clock = 0.0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const net::VideoPacket& p = packets[i];
+    const double arrival = producer.release(p, i, rng);
+    clock = std::max(clock, arrival);
+    // The gate only affects whether T_e is paid here; live payloads keep
+    // whatever encryption the caller applied.
+    const bool degraded = gate.degrade(p, i, arrival, clock);
+    if (p.encrypted && !degraded) {
+      clock += service.encrypt(p, i, clock, rng);
+    }
+    double backoff_total = 0.0;
+    service.backoff(i, &clock, &backoff_total, rng);
+    clock += service.transmit(i, service.transmission_mean_s(p), clock, rng);
+    times.push_back(clock);
+  }
+  return times;
+}
+
+SenderSession::SenderSession(EventLoop& loop, UdpSocket& socket,
+                             SenderConfig config,
+                             const std::vector<net::VideoPacket>& packets,
+                             std::vector<double> send_times,
+                             std::function<void(const SenderReport&)> on_done)
+    : loop_(loop),
+      socket_(socket),
+      config_(config),
+      packets_(packets),
+      send_times_(std::move(send_times)),
+      on_done_(std::move(on_done)) {
+  if (send_times_.size() != packets_.size()) {
+    throw std::invalid_argument{"SenderSession: schedule size mismatch"};
+  }
+}
+
+void SenderSession::start() {
+  remaining_ = packets_.size();
+  if (remaining_ == 0) {
+    if (on_done_) on_done_(report_);
+    return;
+  }
+  for (std::size_t i = 0; i < packets_.size(); ++i) {
+    if (config_.trace != nullptr) {
+      config_.trace->event({core::Stage::kProducer, "release",
+                            static_cast<std::int64_t>(i), 0, send_times_[i], 0.0});
+    }
+    loop_.schedule_at(send_times_[i], [this, i] { send_packet(i); });
+  }
+}
+
+void SenderSession::send_packet(std::size_t index) {
+  const net::VideoPacket& p = packets_[index];
+  net::RtpHeader header;
+  header.marker = p.encrypted;
+  header.sequence_number = p.sequence;
+  header.timestamp = p.timestamp;
+  header.ssrc = config_.ssrc;
+  buffer_.resize(net::RtpHeader::kSize + p.payload.size());
+  (void)header.write_to(buffer_);
+  std::copy(p.payload.begin(), p.payload.end(),
+            buffer_.begin() + net::RtpHeader::kSize);
+  if (!socket_.send_to(config_.destination, buffer_)) {
+    // Kernel buffer full: retry shortly (a real pacer would also back
+    // off).  The retry is a timer, not a sleep, so virtual-clock runs
+    // stay deterministic.
+    ++report_.kernel_retries;
+    loop_.schedule_after(5e-4, [this, index] { send_packet(index); });
+    return;
+  }
+  const double now = loop_.now_s();
+  if (report_.packets_sent == 0) report_.first_send_s = now;
+  report_.last_send_s = now;
+  ++report_.packets_sent;
+  report_.datagram_bytes_sent += buffer_.size();
+  if (p.encrypted) ++report_.encrypted_packets;
+  if (config_.trace != nullptr) {
+    config_.trace->event({core::Stage::kTransport, "send",
+                          static_cast<std::int64_t>(index), 0, now,
+                          static_cast<double>(buffer_.size())});
+  }
+  if (--remaining_ == 0 && on_done_) on_done_(report_);
+}
+
+}  // namespace tv::live

@@ -1,0 +1,84 @@
+// Live sender session: paced RTP/UDP emission of a packetized stream.
+//
+// The sender owns nothing clever on the wire — a datagram is RTP header
+// (marker bit = "payload is encrypted", Section 5) plus the payload the
+// packetizer/policy produced.  What it does own is pacing: each packet
+// goes out at a scheduled send time derived from the 2-MMPP/G/1 service
+// law (T_e + T_b + T_t), either replayed from an in-memory transfer's
+// per-packet completion times or drawn fresh from core::ServiceModel.
+// Pacing is enforced with event-loop deadline timers — a token bucket
+// with one token per service completion — never with sleeps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/trace.hpp"
+#include "live/event_loop.hpp"
+#include "live/udp.hpp"
+#include "net/packetizer.hpp"
+
+namespace tv::live {
+
+/// Per-packet send times from an in-memory transfer: the completion time
+/// of each packet's service (encryption + backoff + air time), so the
+/// live flow reproduces the simulated pacing exactly.
+[[nodiscard]] std::vector<double> schedule_from_timings(
+    const std::vector<core::PacketTiming>& timings);
+
+/// Per-packet send times drawn fresh from the service model: producer
+/// release (frame cadence + read latency + jitter) followed by one
+/// encrypt/backoff/transmit service round per packet, no channel loss.
+/// This paces a standalone `live send` when no simulation ran first.
+[[nodiscard]] std::vector<double> schedule_from_service_model(
+    const core::PipelineConfig& config,
+    const std::vector<net::VideoPacket>& packets, std::uint64_t seed,
+    core::TraceSink* trace = nullptr);
+
+struct SenderConfig {
+  Endpoint destination;
+  std::uint32_t ssrc = 0x74561D01;
+  core::TraceSink* trace = nullptr;  ///< optional; zero overhead when null.
+};
+
+struct SenderReport {
+  std::size_t packets_sent = 0;
+  std::size_t datagram_bytes_sent = 0;  ///< RTP header + payload bytes.
+  std::size_t encrypted_packets = 0;
+  std::size_t kernel_retries = 0;  ///< transient sendto refusals, retried.
+  double first_send_s = 0.0;
+  double last_send_s = 0.0;
+};
+
+/// Streams `packets` to `destination` over `socket`, one timer per send
+/// time.  The packet list must outlive the session; the session is done
+/// (on_done fired) when every packet has been handed to the kernel.
+class SenderSession {
+ public:
+  SenderSession(EventLoop& loop, UdpSocket& socket, SenderConfig config,
+                const std::vector<net::VideoPacket>& packets,
+                std::vector<double> send_times,
+                std::function<void(const SenderReport&)> on_done = {});
+
+  /// Arm one deadline timer per packet.  Call once.
+  void start();
+
+  [[nodiscard]] const SenderReport& report() const { return report_; }
+
+ private:
+  void send_packet(std::size_t index);
+
+  EventLoop& loop_;
+  UdpSocket& socket_;
+  SenderConfig config_;
+  const std::vector<net::VideoPacket>& packets_;
+  std::vector<double> send_times_;
+  std::function<void(const SenderReport&)> on_done_;
+  std::vector<std::uint8_t> buffer_;  ///< reused per-datagram scratch.
+  SenderReport report_;
+  std::size_t remaining_ = 0;
+};
+
+}  // namespace tv::live

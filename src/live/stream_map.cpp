@@ -1,0 +1,100 @@
+#include "live/stream_map.hpp"
+
+#include <stdexcept>
+
+namespace tv::live {
+
+std::vector<std::uint8_t> flow_iv_for(const crypto::BlockCipher& cipher,
+                                      std::uint64_t seed) {
+  std::vector<std::uint8_t> iv(cipher.block_size());
+  std::uint64_t state = seed ^ 0x1234567890abcdefULL;
+  for (auto& b : iv) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    b = static_cast<std::uint8_t>(state >> 56);
+  }
+  return iv;
+}
+
+StreamMap StreamMap::of(const std::vector<net::VideoPacket>& packets,
+                        int frame_count) {
+  if (packets.empty()) {
+    throw std::invalid_argument{"StreamMap::of: empty stream"};
+  }
+  StreamMap map;
+  map.base_sequence_ = packets.front().sequence;
+  map.frame_count_ = frame_count;
+  map.slots_.reserve(packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const net::VideoPacket& p = packets[i];
+    const auto expected = static_cast<std::uint16_t>(
+        map.base_sequence_ + static_cast<std::uint16_t>(i));
+    if (p.sequence != expected) {
+      throw std::invalid_argument{"StreamMap::of: non-contiguous sequences"};
+    }
+    StreamSlot slot;
+    slot.timestamp = p.timestamp;
+    slot.frame_index = p.frame_index;
+    slot.fragment_index = p.fragment_index;
+    slot.fragment_count = p.fragment_count;
+    slot.byte_offset = p.byte_offset;
+    slot.payload_size = p.payload.size();
+    slot.is_i_frame = p.is_i_frame;
+    map.slots_.push_back(slot);
+  }
+  return map;
+}
+
+std::optional<std::size_t> StreamMap::index_of(
+    std::int64_t extended_sequence) const {
+  // net::Receiver's extended sequence is cycle*65536 + wire sequence with
+  // the first packet landing in cycle 0, so the stream occupies the
+  // contiguous range [base, base + count).
+  const auto base = static_cast<std::int64_t>(base_sequence_);
+  if (extended_sequence < base) return std::nullopt;
+  const auto offset = static_cast<std::uint64_t>(extended_sequence - base);
+  if (offset >= slots_.size()) return std::nullopt;
+  return static_cast<std::size_t>(offset);
+}
+
+std::vector<video::ReceivedFrameData> reassemble_wire(
+    const StreamMap& map, const std::vector<net::ReceivedPacket>& received,
+    const crypto::BlockCipher* cipher,
+    std::span<const std::uint8_t> flow_iv) {
+  // Build a full-geometry packet list so net::reassemble derives the same
+  // frame sizes as the sender; undelivered slots keep zeroed payloads of
+  // the right length and stay behind delivered=false.
+  std::vector<net::VideoPacket> packets(map.packet_count());
+  std::vector<bool> delivered(map.packet_count(), false);
+  for (std::size_t i = 0; i < map.packet_count(); ++i) {
+    const StreamSlot& slot = map.slot(i);
+    net::VideoPacket& p = packets[i];
+    p.sequence = static_cast<std::uint16_t>(0);  // filled for delivered ones.
+    p.timestamp = slot.timestamp;
+    p.frame_index = slot.frame_index;
+    p.fragment_index = slot.fragment_index;
+    p.fragment_count = slot.fragment_count;
+    p.byte_offset = slot.byte_offset;
+    p.is_i_frame = slot.is_i_frame;
+    p.encrypted = false;
+    p.payload.assign(slot.payload_size, 0);
+  }
+  for (const net::ReceivedPacket& rx : received) {
+    const auto index = map.index_of(rx.extended_sequence);
+    if (!index) continue;  // not part of this stream.
+    const StreamSlot& slot = map.slot(*index);
+    net::VideoPacket& p = packets[*index];
+    // Wire-faithful: bytes and marker from the datagram, geometry from
+    // the map.  Oversized payloads (a fault grew the datagram) truncate
+    // to the slot; short ones contribute only what arrived.
+    p.sequence = rx.header.sequence_number;
+    p.encrypted = rx.header.marker;
+    const std::size_t take = std::min(rx.payload.size(), slot.payload_size);
+    p.payload.assign(rx.payload.begin(),
+                     rx.payload.begin() + static_cast<std::ptrdiff_t>(take));
+    delivered[*index] = true;
+  }
+  return net::reassemble(packets, delivered, map.frame_count(), cipher,
+                         flow_iv);
+}
+
+}  // namespace tv::live

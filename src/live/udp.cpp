@@ -1,0 +1,153 @@
+#include "live/udp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace tv::live {
+
+namespace {
+
+sockaddr_in to_sockaddr(const Endpoint& endpoint) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(endpoint.ip);
+  addr.sin_port = htons(endpoint.port);
+  return addr;
+}
+
+Endpoint from_sockaddr(const sockaddr_in& addr) {
+  Endpoint endpoint;
+  endpoint.ip = ntohl(addr.sin_addr.s_addr);
+  endpoint.port = ntohs(addr.sin_port);
+  return endpoint;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error{what + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+std::string Endpoint::to_string() const {
+  return std::to_string((ip >> 24) & 0xff) + "." +
+         std::to_string((ip >> 16) & 0xff) + "." +
+         std::to_string((ip >> 8) & 0xff) + "." + std::to_string(ip & 0xff) +
+         ":" + std::to_string(port);
+}
+
+std::optional<Endpoint> parse_endpoint(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  const auto colon = text.rfind(':');
+  std::string host = colon == std::string::npos ? "" : text.substr(0, colon);
+  const std::string port_text =
+      colon == std::string::npos ? text : text.substr(colon + 1);
+  if (port_text.empty()) return std::nullopt;
+  for (char c : port_text) {
+    if (c < '0' || c > '9') return std::nullopt;
+  }
+  const unsigned long port = std::stoul(port_text);
+  if (port > 65535) return std::nullopt;
+
+  Endpoint endpoint;
+  endpoint.port = static_cast<std::uint16_t>(port);
+  if (!host.empty()) {
+    in_addr parsed{};
+    if (inet_pton(AF_INET, host.c_str(), &parsed) != 1) return std::nullopt;
+    endpoint.ip = ntohl(parsed.s_addr);
+  }
+  return endpoint;
+}
+
+UdpSocket::UdpSocket() {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw_errno("UdpSocket: socket");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("UdpSocket: O_NONBLOCK");
+  }
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void UdpSocket::bind(const Endpoint& endpoint) {
+  const sockaddr_in addr = to_sockaddr(endpoint);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    throw_errno("UdpSocket: bind " + endpoint.to_string());
+  }
+}
+
+Endpoint UdpSocket::local_endpoint() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("UdpSocket: getsockname");
+  }
+  return from_sockaddr(addr);
+}
+
+bool UdpSocket::send_to(const Endpoint& to,
+                        std::span<const std::uint8_t> payload) {
+  const sockaddr_in addr = to_sockaddr(to);
+  const ssize_t sent =
+      ::sendto(fd_, payload.data(), payload.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (sent < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) {
+      return false;
+    }
+    throw_errno("UdpSocket: sendto " + to.to_string());
+  }
+  return static_cast<std::size_t>(sent) == payload.size();
+}
+
+std::optional<Datagram> UdpSocket::receive() {
+  // 64 KiB covers any UDP datagram; reused stack buffer, one copy out.
+  std::uint8_t buffer[65536];
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  const ssize_t got = ::recvfrom(fd_, buffer, sizeof buffer, 0,
+                                 reinterpret_cast<sockaddr*>(&addr), &len);
+  if (got < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return std::nullopt;
+    }
+    throw_errno("UdpSocket: recvfrom");
+  }
+  Datagram datagram;
+  datagram.from = from_sockaddr(addr);
+  datagram.payload.assign(buffer, buffer + got);
+  return datagram;
+}
+
+void UdpSocket::set_receive_buffer(int bytes) {
+  // Best-effort: the loopback test needs headroom for bursts, but a
+  // kernel refusing the hint is not an error.
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof bytes);
+}
+
+}  // namespace tv::live

@@ -1,0 +1,77 @@
+// Minimal non-blocking IPv4 UDP sockets for the live subsystem.
+//
+// The live roles (sender, receiver, proxy, eavesdropper) exchange real
+// datagrams over the kernel's UDP stack — loopback in the pinned e2e
+// test, any LAN address in manual runs.  This wrapper is deliberately
+// thin: AF_INET only, always non-blocking, move-only RAII ownership of
+// the descriptor.  Everything above it (pacing, impairment, reassembly)
+// lives in the event loop and sessions, which is what the paper models.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tv::live {
+
+/// An IPv4 address + UDP port.  Host byte order throughout; conversion
+/// to sockaddr happens inside UdpSocket.
+struct Endpoint {
+  std::uint32_t ip = 0x7f000001;  ///< 127.0.0.1
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Parse "A.B.C.D:port" (or ":port" / "port" meaning loopback).
+/// Returns std::nullopt on malformed input.
+[[nodiscard]] std::optional<Endpoint> parse_endpoint(const std::string& text);
+
+/// A received datagram with its source address.
+struct Datagram {
+  Endpoint from;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Move-only owner of a non-blocking AF_INET/SOCK_DGRAM descriptor.
+class UdpSocket {
+ public:
+  /// Creates an unbound non-blocking UDP socket; throws std::runtime_error
+  /// if the kernel refuses.
+  UdpSocket();
+  ~UdpSocket();
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  /// Bind to an address; port 0 asks the kernel for an ephemeral port
+  /// (use local_endpoint() to learn it).  Throws on failure.
+  void bind(const Endpoint& endpoint);
+
+  /// The bound address (meaningful after bind).  Throws on failure.
+  [[nodiscard]] Endpoint local_endpoint() const;
+
+  /// Sends one datagram.  Returns true when the kernel accepted the
+  /// whole payload; false on transient refusal (full socket buffer).
+  /// Throws on non-transient errors.
+  bool send_to(const Endpoint& to, std::span<const std::uint8_t> payload);
+
+  /// Receives one datagram if available (non-blocking); std::nullopt
+  /// when nothing is queued.  Throws on non-transient errors.
+  [[nodiscard]] std::optional<Datagram> receive();
+
+  /// Grow the kernel receive buffer (best-effort; keeps burst arrivals
+  /// from overflowing between poll rounds).
+  void set_receive_buffer(int bytes);
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace tv::live

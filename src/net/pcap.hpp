@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,61 @@ struct CapturedPacket {
   double timestamp_s = 0.0;
   const VideoPacket* packet = nullptr;
 };
+
+/// Snap length declared in every capture this writer produces (tcpdump's
+/// classic default).  Frames longer than this are clamped on write — the
+/// captured prefix is kept, the original length recorded — and counted in
+/// the writer's return value instead of silently producing a record whose
+/// incl_len exceeds the declared snaplen (which readers may reject).
+inline constexpr std::uint32_t kPcapSnapLen = 65535;
+
+/// A raw overheard datagram (RTP header + payload as heard on the wire)
+/// with its capture timestamp — what the live impairment proxy's
+/// eavesdropper tap records before any reassembly.
+struct RawCapture {
+  double timestamp_s = 0.0;
+  std::vector<std::uint8_t> datagram;
+};
+
+/// One record read back from a capture file.
+struct PcapRecord {
+  double timestamp_s = 0.0;
+  std::uint32_t original_length = 0;  ///< orig_len field (pre-snap size).
+  std::vector<std::uint8_t> frame;    ///< captured bytes (<= snaplen).
+};
+
+/// A parsed capture file.  The reader accepts all four classic magics:
+/// little- and big-endian byte orders, microsecond (0xa1b2c3d4) and
+/// nanosecond (0xa1b23c4d) timestamp resolutions.
+struct PcapFile {
+  bool big_endian = false;
+  bool nanosecond_timestamps = false;
+  std::uint32_t link_type = 0;
+  std::uint32_t snaplen = 0;
+  /// Records whose incl_len exceeded the declared snaplen.  Clamp-and-warn:
+  /// the bytes are kept (the writer said they are there) and the count lets
+  /// callers flag the producing tool instead of failing the whole read.
+  std::size_t oversized_records = 0;
+  std::vector<PcapRecord> records;
+};
+
+/// Parse a classic pcap stream/file.  Throws std::runtime_error on an
+/// unknown magic, a truncated header or a truncated record body.
+[[nodiscard]] PcapFile read_pcap(std::istream& in);
+[[nodiscard]] PcapFile read_pcap_file(const std::string& path);
+
+/// One RTP packet recovered from a capture's UDP payloads.
+struct WireRtpPacket {
+  double timestamp_s = 0.0;
+  RtpHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Extract the RTP packets from an Ethernet/IPv4/UDP capture, skipping
+/// frames that are not UDP or whose payload does not parse as a fixed RTP
+/// header.  This is the offline half of the eavesdropper: score a capture
+/// produced by the live proxy (or tcpdump) without the sockets.
+[[nodiscard]] std::vector<WireRtpPacket> extract_rtp(const PcapFile& capture);
 
 /// Addressing used when synthesizing the Ethernet/IP/UDP envelope.
 struct CaptureEndpoints {
@@ -46,6 +103,18 @@ std::size_t write_pcap(std::ostream& out,
 std::size_t write_pcap_file(const std::string& path,
                             const std::vector<CapturedPacket>& packets,
                             const CaptureEndpoints& endpoints = {});
+
+/// Write a capture of raw overheard datagrams (each an RTP header +
+/// payload as heard on the wire), synthesizing the same Ethernet/IPv4/UDP
+/// envelope as write_pcap.  The IPv4 identification field reuses the RTP
+/// sequence number when the datagram parses, else a running counter.
+/// Same clamping contract (and return value) as write_pcap.
+std::size_t write_pcap_datagrams(std::ostream& out,
+                                 const std::vector<RawCapture>& captures,
+                                 const CaptureEndpoints& endpoints = {});
+std::size_t write_pcap_datagrams_file(const std::string& path,
+                                      const std::vector<RawCapture>& captures,
+                                      const CaptureEndpoints& endpoints = {});
 
 /// Build the capture list for a node from a transfer: every packet whose
 /// `captured[i]` flag is set, stamped with its completion time.

@@ -4,8 +4,8 @@
 
 namespace tv::net {
 
-std::vector<std::uint8_t> RtpHeader::serialize() const {
-  std::vector<std::uint8_t> out(kSize);
+bool RtpHeader::write_to(std::span<std::uint8_t> out) const noexcept {
+  if (out.size() < kSize) return false;
   out[0] = static_cast<std::uint8_t>(kVersion << 6);  // no padding/ext/CSRC.
   out[1] = static_cast<std::uint8_t>((marker ? 0x80 : 0x00) |
                                      (payload_type & 0x7f));
@@ -19,6 +19,12 @@ std::vector<std::uint8_t> RtpHeader::serialize() const {
   out[9] = static_cast<std::uint8_t>((ssrc >> 16) & 0xff);
   out[10] = static_cast<std::uint8_t>((ssrc >> 8) & 0xff);
   out[11] = static_cast<std::uint8_t>(ssrc & 0xff);
+  return true;
+}
+
+std::vector<std::uint8_t> RtpHeader::serialize() const {
+  std::vector<std::uint8_t> out(kSize);
+  (void)write_to(out);  // cannot fail: out is exactly kSize bytes.
   return out;
 }
 

@@ -27,6 +27,13 @@ struct RtpHeader {
 
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
 
+  /// Serialize into a caller-owned buffer without allocating — the live
+  /// sender's per-datagram path.  Writes exactly kSize bytes and returns
+  /// true; returns false (writing nothing) when the buffer is too small.
+  /// Symmetric with try_parse: write_to followed by try_parse of the same
+  /// span round-trips every representable header.
+  [[nodiscard]] bool write_to(std::span<std::uint8_t> out) const noexcept;
+
   /// Parse a header; throws std::invalid_argument on short input, a
   /// version mismatch, or header bits this fixed-header type cannot
   /// represent (a nonzero CSRC count or the extension flag).

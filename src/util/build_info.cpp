@@ -1,0 +1,21 @@
+#include "util/build_info.hpp"
+
+#ifndef TV_GIT_DESCRIBE
+#define TV_GIT_DESCRIBE "unknown"
+#endif
+#ifndef TV_BUILD_TYPE
+#define TV_BUILD_TYPE "unspecified"
+#endif
+
+namespace tv::util {
+
+const char* git_describe() { return TV_GIT_DESCRIBE; }
+
+const char* build_type() { return TV_BUILD_TYPE; }
+
+std::string build_info_line() {
+  return std::string{"thriftyvid "} + git_describe() + " (" + build_type() +
+         ")";
+}
+
+}  // namespace tv::util

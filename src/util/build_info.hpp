@@ -1,0 +1,23 @@
+// Build provenance for CLI banners and experiment logs.
+//
+// Experiment outputs are only reproducible claims when they name the
+// build that produced them; the CLI prints this line in --version and
+// its top-level help.  Values are baked in at configure time (git
+// describe + CMAKE_BUILD_TYPE) and fall back to "unknown" outside a git
+// checkout, so the library never shells out at runtime.
+#pragma once
+
+#include <string>
+
+namespace tv::util {
+
+/// `git describe --always --dirty` at configure time, or "unknown".
+[[nodiscard]] const char* git_describe();
+
+/// CMAKE_BUILD_TYPE at configure time, or "unspecified".
+[[nodiscard]] const char* build_type();
+
+/// One-line banner: "thriftyvid <describe> (<build type>)".
+[[nodiscard]] std::string build_info_line();
+
+}  // namespace tv::util

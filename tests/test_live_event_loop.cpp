@@ -1,0 +1,175 @@
+#include "live/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "live/udp.hpp"
+
+namespace tv::live {
+namespace {
+
+TEST(EventLoop, VirtualClockFiresTimersInDeadlineOrder) {
+  EventLoop loop{ClockMode::kVirtual};
+  std::vector<int> fired;
+  std::vector<double> at;
+  loop.schedule_at(0.3, [&] { fired.push_back(3); at.push_back(loop.now_s()); });
+  loop.schedule_at(0.1, [&] { fired.push_back(1); at.push_back(loop.now_s()); });
+  loop.schedule_at(0.2, [&] { fired.push_back(2); at.push_back(loop.now_s()); });
+  loop.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  // The virtual clock sat exactly on each deadline when it fired.
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_DOUBLE_EQ(at[0], 0.1);
+  EXPECT_DOUBLE_EQ(at[1], 0.2);
+  EXPECT_DOUBLE_EQ(at[2], 0.3);
+}
+
+TEST(EventLoop, EqualDeadlinesFireInSchedulingOrder) {
+  EventLoop loop{ClockMode::kVirtual};
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_at(1.0, [&fired, i] { fired.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, CancelPreventsFiring) {
+  EventLoop loop{ClockMode::kVirtual};
+  bool cancelled_ran = false;
+  bool kept_ran = false;
+  const auto id = loop.schedule_at(0.5, [&] { cancelled_ran = true; });
+  loop.schedule_at(0.6, [&] { kept_ran = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_FALSE(cancelled_ran);
+  EXPECT_TRUE(kept_ran);
+}
+
+TEST(EventLoop, IdleLoopReturnsImmediately) {
+  EventLoop loop{ClockMode::kVirtual};
+  loop.run();  // nothing scheduled, nothing watched: must not hang.
+  EXPECT_DOUBLE_EQ(loop.now_s(), 0.0);
+}
+
+TEST(EventLoop, PastDeadlinesNeverMoveTheClockBackwards) {
+  EventLoop loop{ClockMode::kVirtual};
+  std::vector<double> at;
+  loop.schedule_at(2.0, [&] {
+    at.push_back(loop.now_s());
+    // Scheduled in the past relative to the current virtual time.
+    loop.schedule_at(1.0, [&] { at.push_back(loop.now_s()); });
+  });
+  loop.run();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_DOUBLE_EQ(at[0], 2.0);
+  EXPECT_DOUBLE_EQ(at[1], 2.0);  // fired immediately, clock held.
+}
+
+TEST(EventLoop, StopReturnsBeforeRemainingTimers) {
+  EventLoop loop{ClockMode::kVirtual};
+  bool later_ran = false;
+  loop.schedule_at(0.1, [&] { loop.stop(); });
+  loop.schedule_at(0.2, [&] { later_ran = true; });
+  loop.run();
+  EXPECT_FALSE(later_ran);
+  // The pending timer survives a stop; a second run() picks it up.
+  loop.run();
+  EXPECT_TRUE(later_ran);
+}
+
+TEST(EventLoop, TimersDriveSocketsDeterministically) {
+  // A sender timer writes one datagram per deadline; the watcher reads it
+  // back with the virtual clock sitting exactly on the send time.
+  EventLoop loop{ClockMode::kVirtual};
+  UdpSocket tx;
+  tx.bind(Endpoint{});
+  UdpSocket rx;
+  rx.bind(Endpoint{});
+  const Endpoint to = rx.local_endpoint();
+
+  std::vector<std::pair<double, std::uint8_t>> received;
+  loop.watch_readable(rx.fd(), [&] {
+    while (auto d = rx.receive()) {
+      received.emplace_back(loop.now_s(), d->payload.at(0));
+    }
+    if (received.size() == 3) loop.unwatch(rx.fd());
+  });
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    loop.schedule_at(0.25 * (i + 1), [&tx, to, i] {
+      const std::uint8_t byte[] = {i};
+      ASSERT_TRUE(tx.send_to(to, byte));
+    });
+  }
+  loop.run();
+  ASSERT_EQ(received.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(received[i].second, i);
+    // I/O drains before the clock advances to the next deadline, so each
+    // datagram is read at its own send time.
+    EXPECT_DOUBLE_EQ(received[i].first, 0.25 * (i + 1));
+  }
+}
+
+TEST(EventLoop, PumpDrainsReadableWithoutAdvancingClock) {
+  EventLoop loop{ClockMode::kVirtual};
+  UdpSocket tx;
+  tx.bind(Endpoint{});
+  UdpSocket rx;
+  rx.bind(Endpoint{});
+  const std::uint8_t byte[] = {42};
+  ASSERT_TRUE(tx.send_to(rx.local_endpoint(), byte));
+
+  int reads = 0;
+  loop.watch_readable(rx.fd(), [&] {
+    while (rx.receive()) ++reads;
+  });
+  EXPECT_GE(loop.pump(), 1u);
+  EXPECT_EQ(reads, 1);
+  EXPECT_DOUBLE_EQ(loop.now_s(), 0.0);
+  EXPECT_EQ(loop.pump(), 0u);  // nothing left.
+}
+
+TEST(Udp, ParseEndpointAcceptsTheThreeForms) {
+  const auto full = parse_endpoint("192.168.1.2:5004");
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->ip, 0xC0A80102u);
+  EXPECT_EQ(full->port, 5004);
+  EXPECT_EQ(full->to_string(), "192.168.1.2:5004");
+
+  const auto port_only = parse_endpoint(":7000");
+  ASSERT_TRUE(port_only.has_value());
+  EXPECT_EQ(port_only->ip, 0x7f000001u);
+  EXPECT_EQ(port_only->port, 7000);
+
+  const auto bare = parse_endpoint("7000");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(*bare, *port_only);
+
+  EXPECT_FALSE(parse_endpoint(""));
+  EXPECT_FALSE(parse_endpoint("not-an-endpoint"));
+  EXPECT_FALSE(parse_endpoint("10.0.0.1:notaport"));
+  EXPECT_FALSE(parse_endpoint("10.0.0.1:99999"));
+}
+
+TEST(Udp, RoundTripsADatagramAndReportsSource) {
+  UdpSocket a;
+  a.bind(Endpoint{});
+  UdpSocket b;
+  b.bind(Endpoint{});
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(a.send_to(b.local_endpoint(), payload));
+  // Non-blocking: the loopback queue makes it visible immediately.
+  std::optional<Datagram> got;
+  for (int spins = 0; spins < 1000 && !got; ++spins) got = b.receive();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, payload);
+  EXPECT_EQ(got->from, a.local_endpoint());
+  EXPECT_FALSE(b.receive().has_value());  // queue drained.
+}
+
+}  // namespace
+}  // namespace tv::live

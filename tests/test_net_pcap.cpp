@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "net/rtp.hpp"
 
@@ -128,6 +132,190 @@ TEST(Pcap, ClampsNonMonotonicAndNegativeTimestamps) {
   std::ostringstream out2;
   EXPECT_EQ(write_pcap(out2, negative), 1u);  // clamped up to zero.
   EXPECT_EQ(static_cast<std::uint8_t>(out2.str()[24]), 0);
+}
+
+// --- reader: four classic magics, timestamp scaling, clamp-and-warn ------
+
+namespace reader {
+
+void put32(std::string& s, std::uint32_t v, bool big_endian) {
+  if (big_endian) {
+    s.push_back(static_cast<char>(v >> 24));
+    s.push_back(static_cast<char>((v >> 16) & 0xff));
+    s.push_back(static_cast<char>((v >> 8) & 0xff));
+    s.push_back(static_cast<char>(v & 0xff));
+  } else {
+    s.push_back(static_cast<char>(v & 0xff));
+    s.push_back(static_cast<char>((v >> 8) & 0xff));
+    s.push_back(static_cast<char>((v >> 16) & 0xff));
+    s.push_back(static_cast<char>(v >> 24));
+  }
+}
+
+void put16(std::string& s, std::uint16_t v, bool big_endian) {
+  if (big_endian) {
+    s.push_back(static_cast<char>(v >> 8));
+    s.push_back(static_cast<char>(v & 0xff));
+  } else {
+    s.push_back(static_cast<char>(v & 0xff));
+    s.push_back(static_cast<char>(v >> 8));
+  }
+}
+
+/// Synthesize a one-record capture in any of the four classic formats.
+std::string capture(std::uint32_t magic, bool big_endian,
+                    std::uint32_t frac, std::uint32_t snaplen,
+                    const std::vector<std::uint8_t>& frame,
+                    std::uint32_t incl_len_override = 0) {
+  std::string s;
+  put32(s, magic, big_endian);
+  put16(s, 2, big_endian);
+  put16(s, 4, big_endian);
+  put32(s, 0, big_endian);
+  put32(s, 0, big_endian);
+  put32(s, snaplen, big_endian);
+  put32(s, 1, big_endian);  // LINKTYPE_ETHERNET.
+  put32(s, 10, big_endian);  // ts_sec.
+  put32(s, frac, big_endian);
+  const auto incl = incl_len_override != 0
+                        ? incl_len_override
+                        : static_cast<std::uint32_t>(frame.size());
+  put32(s, incl, big_endian);
+  put32(s, static_cast<std::uint32_t>(frame.size()), big_endian);
+  s.append(frame.begin(), frame.end());
+  return s;
+}
+
+}  // namespace reader
+
+TEST(PcapReader, AcceptsAllFourClassicMagics) {
+  const std::vector<std::uint8_t> frame(40, 0xAB);
+  struct Case {
+    std::uint32_t magic;
+    bool big_endian;
+    bool nanosecond;
+  };
+  const Case cases[] = {{0xa1b2c3d4, false, false},
+                        {0xa1b2c3d4, true, false},
+                        {0xa1b23c4d, false, true},
+                        {0xa1b23c4d, true, true}};
+  for (const Case& c : cases) {
+    // usec captures carry 250000 us = 0.25 s; nsec ones 250000000 ns.
+    const std::uint32_t frac = c.nanosecond ? 250000000u : 250000u;
+    std::istringstream in{
+        reader::capture(c.magic, c.big_endian, frac, 65535, frame)};
+    const PcapFile file = read_pcap(in);
+    EXPECT_EQ(file.big_endian, c.big_endian);
+    EXPECT_EQ(file.nanosecond_timestamps, c.nanosecond);
+    EXPECT_EQ(file.link_type, 1u);
+    EXPECT_EQ(file.snaplen, 65535u);
+    ASSERT_EQ(file.records.size(), 1u);
+    EXPECT_NEAR(file.records[0].timestamp_s, 10.25, 1e-9);
+    EXPECT_EQ(file.records[0].frame, frame);
+    EXPECT_EQ(file.oversized_records, 0u);
+  }
+}
+
+TEST(PcapReader, RejectsUnknownMagicAndTruncation) {
+  std::istringstream bad_magic{std::string(24, '\0')};
+  EXPECT_THROW((void)read_pcap(bad_magic), std::runtime_error);
+
+  std::istringstream short_header{std::string("\xd4\xc3\xb2\xa1", 4)};
+  EXPECT_THROW((void)read_pcap(short_header), std::runtime_error);
+
+  // Record body shorter than its incl_len.
+  const std::vector<std::uint8_t> frame(40, 1);
+  std::string s = reader::capture(0xa1b2c3d4, false, 0, 65535, frame);
+  s.resize(s.size() - 10);
+  std::istringstream truncated{s};
+  EXPECT_THROW((void)read_pcap(truncated), std::runtime_error);
+}
+
+TEST(PcapReader, CountsOversizedRecordsInsteadOfFailing) {
+  // A record longer than the declared snaplen is a producer bug; the
+  // reader keeps the bytes and counts it (clamp-and-warn).
+  const std::vector<std::uint8_t> frame(64, 7);
+  std::istringstream in{reader::capture(0xa1b2c3d4, false, 0, 48, frame)};
+  const PcapFile file = read_pcap(in);
+  ASSERT_EQ(file.records.size(), 1u);
+  EXPECT_EQ(file.oversized_records, 1u);
+  EXPECT_EQ(file.records[0].frame.size(), 64u);
+}
+
+TEST(PcapReader, RejectsImplausibleRecordLength) {
+  std::istringstream in{reader::capture(0xa1b2c3d4, false, 0, 65535, {},
+                                        /*incl_len_override=*/0x40000000u)};
+  EXPECT_THROW((void)read_pcap(in), std::runtime_error);
+}
+
+TEST(PcapReader, WriterClampsOversizedFramesToSnapLen) {
+  // A raw "datagram" bigger than the snaplen: the writer must clamp
+  // incl_len, keep orig_len honest, and count the record.
+  std::vector<RawCapture> caps(1);
+  caps[0].timestamp_s = 1.0;
+  caps[0].datagram.assign(70000, 0x55);
+  std::ostringstream out;
+  EXPECT_EQ(write_pcap_datagrams(out, caps), 1u);
+  std::istringstream in{out.str()};
+  const PcapFile file = read_pcap(in);
+  ASSERT_EQ(file.records.size(), 1u);
+  EXPECT_EQ(file.records[0].frame.size(), kPcapSnapLen);
+  EXPECT_EQ(file.records[0].original_length, 70000u + 14u + 20u + 8u);
+  EXPECT_EQ(file.oversized_records, 0u);  // incl_len == snaplen is legal.
+}
+
+TEST(PcapReader, RoundTripsWriterOutputAndExtractsRtp) {
+  std::vector<VideoPacket> packets = {make_packet(0, false, 10),
+                                      make_packet(1, true, 20)};
+  std::vector<CapturedPacket> caps = {{1.5, &packets[0]},
+                                      {1.625, &packets[1]}};
+  std::ostringstream out;
+  write_pcap(out, caps);
+  std::istringstream in{out.str()};
+  const PcapFile file = read_pcap(in);
+  EXPECT_FALSE(file.big_endian);
+  EXPECT_FALSE(file.nanosecond_timestamps);
+  ASSERT_EQ(file.records.size(), 2u);
+  EXPECT_NEAR(file.records[1].timestamp_s, 1.625, 1e-6);
+
+  const auto rtp = extract_rtp(file);
+  ASSERT_EQ(rtp.size(), 2u);
+  EXPECT_EQ(rtp[0].header.sequence_number, 0);
+  EXPECT_FALSE(rtp[0].header.marker);
+  EXPECT_EQ(rtp[0].payload.size(), 10u);
+  EXPECT_TRUE(rtp[1].header.marker);
+  EXPECT_EQ(rtp[1].payload, packets[1].payload);
+}
+
+TEST(PcapReader, ExtractRtpSkipsNonRtpFrames) {
+  // An Ethernet frame that is not IPv4/UDP/RTP must be skipped, not
+  // mis-parsed.
+  PcapFile file;
+  PcapRecord junk;
+  junk.frame.assign(60, 0xFF);
+  file.records.push_back(junk);
+  EXPECT_TRUE(extract_rtp(file).empty());
+}
+
+TEST(PcapReader, DatagramWriterPreservesRtpAndUsesSequenceAsIpId) {
+  RtpHeader h;
+  h.marker = true;
+  h.sequence_number = 0x0A0B;
+  h.ssrc = 0x74561D01;
+  std::vector<std::uint8_t> datagram = h.serialize();
+  datagram.insert(datagram.end(), {1, 2, 3, 4});
+  std::ostringstream out;
+  EXPECT_EQ(write_pcap_datagrams(out, {{0.5, datagram}}), 0u);
+  std::istringstream in{out.str()};
+  const PcapFile file = read_pcap(in);
+  ASSERT_EQ(file.records.size(), 1u);
+  // IPv4 identification at frame offset 18 echoes the RTP sequence.
+  const auto& f = file.records[0].frame;
+  EXPECT_EQ((f[18] << 8) | f[19], 0x0A0B);
+  const auto rtp = extract_rtp(file);
+  ASSERT_EQ(rtp.size(), 1u);
+  EXPECT_TRUE(rtp[0].header.marker);
+  EXPECT_EQ(rtp[0].payload, (std::vector<std::uint8_t>{1, 2, 3, 4}));
 }
 
 }  // namespace

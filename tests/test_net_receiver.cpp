@@ -117,6 +117,38 @@ TEST(Receiver, DuplicateDetectedAcrossWraparound) {
   EXPECT_EQ(rx.stats().duplicates, 1u);
 }
 
+TEST(Receiver, MarkerBitAndDedupSurviveSequenceWraparound) {
+  // The marker bit carries the per-packet encryption flag (§5): it must
+  // ride the extended sequence line through the 16-bit wrap, and
+  // duplicates on either side of the seam must not resurrect it twice.
+  auto marked = [](std::uint16_t seq, bool marker) {
+    RtpHeader h;
+    h.marker = marker;
+    h.sequence_number = seq;
+    h.timestamp = 90000u + seq;
+    auto bytes = h.serialize();
+    bytes.insert(bytes.end(), 32, static_cast<std::uint8_t>(seq));
+    return bytes;
+  };
+  Receiver rx;
+  rx.push(marked(65534, true));   // encrypted, pre-wrap.
+  rx.push(marked(65535, false));
+  rx.push(marked(65534, true));   // duplicate of the pre-wrap packet.
+  rx.push(marked(0, true));       // encrypted, post-wrap.
+  rx.push(marked(0, true));       // duplicate of the post-wrap packet.
+  rx.push(marked(1, false));
+  const auto got = rx.flush();
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(sequences(got),
+            (std::vector<std::int64_t>{65534, 65535, 65536, 65537}));
+  EXPECT_TRUE(got[0].header.marker);
+  EXPECT_FALSE(got[1].header.marker);
+  EXPECT_TRUE(got[2].header.marker);   // 0 extends to 65536, still marked.
+  EXPECT_FALSE(got[3].header.marker);
+  EXPECT_EQ(rx.stats().duplicates, 2u);  // one on each side of the seam.
+  EXPECT_EQ(rx.stats().accepted, 4u);
+}
+
 TEST(Receiver, BoundedBufferGivesUpOnOldGaps) {
   Receiver rx{{.reorder_capacity = 4}};
   rx.push(datagram(0));

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 
+#include "proptest.hpp"
 #include "util/rng.hpp"
 
 namespace tv::net {
@@ -122,6 +124,52 @@ TEST(Rtp, FuzzTryParseNeverThrowsAndAgreesWithParse) {
     }
   }
   EXPECT_GT(accepted, 100u);  // the accept path really ran.
+}
+
+// write_to is the allocation-free twin of serialize(): identical bytes
+// into a caller-owned buffer, and try_parse inverts it for every
+// representable header.
+TEST(Rtp, WriteToMatchesSerializeAndRoundtrips) {
+  const auto config = proptest::Config::from_env(0x27b1107, 60);
+  proptest::check(
+      "write_to/try_parse round-trip", config,
+      [&](util::Rng& rng, std::uint64_t) {
+        RtpHeader h;
+        h.marker = rng.bernoulli(0.5);
+        h.payload_type = static_cast<std::uint8_t>(rng.uniform_int(128));
+        h.sequence_number =
+            static_cast<std::uint16_t>(rng.uniform_int(65536));
+        h.timestamp = static_cast<std::uint32_t>(rng());
+        h.ssrc = static_cast<std::uint32_t>(rng());
+
+        // Oversized buffer: only the first kSize bytes are written.
+        std::array<std::uint8_t, RtpHeader::kSize + 4> buffer;
+        buffer.fill(0xEE);
+        ASSERT_TRUE(h.write_to(buffer));
+        EXPECT_EQ(buffer[RtpHeader::kSize], 0xEE);  // tail untouched.
+
+        const auto allocated = h.serialize();
+        EXPECT_TRUE(std::equal(allocated.begin(), allocated.end(),
+                               buffer.begin()));
+
+        const auto back = RtpHeader::try_parse(
+            std::span<const std::uint8_t>{buffer.data(), RtpHeader::kSize});
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(back->marker, h.marker);
+        EXPECT_EQ(back->payload_type, h.payload_type);
+        EXPECT_EQ(back->sequence_number, h.sequence_number);
+        EXPECT_EQ(back->timestamp, h.timestamp);
+        EXPECT_EQ(back->ssrc, h.ssrc);
+      });
+}
+
+TEST(Rtp, WriteToRefusesShortBufferWithoutWriting) {
+  RtpHeader h;
+  h.sequence_number = 0x1234;
+  std::array<std::uint8_t, RtpHeader::kSize - 1> buffer;
+  buffer.fill(0xEE);
+  EXPECT_FALSE(h.write_to(buffer));
+  for (const std::uint8_t b : buffer) EXPECT_EQ(b, 0xEE);
 }
 
 TEST(Rtp, MaxPayloadAccountsForAllHeaders) {

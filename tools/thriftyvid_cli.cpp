@@ -22,8 +22,13 @@
 #include "core/experiment.hpp"
 #include "core/sweep.hpp"
 #include "core/trace.hpp"
+#include "live/event_loop.hpp"
+#include "live/loopback.hpp"
+#include "live/receiver_session.hpp"
+#include "live/sender.hpp"
 #include "net/pcap.hpp"
 #include "sim/validation.hpp"
+#include "util/build_info.hpp"
 #include "util/flags.hpp"
 #include "util/thread_pool.hpp"
 #include "video/motion.hpp"
@@ -625,13 +630,345 @@ int cmd_export(const Flags& args) {
   return 0;
 }
 
+// --- live subcommand (docs/live.md) ----------------------------------------
+// Real UDP sockets on a poll(2) event loop: `loopback` runs all three roles
+// in-process on a virtual clock (deterministic, the pinned e2e); `send`,
+// `recv` and `proxy` run one role each in real time for LAN experiments.
+
+FlagSet live_loopback_flagset() {
+  FlagSet fs{"thriftyvid live loopback",
+             "In-process live testbed: sender -> impairment proxy (+ "
+             "eavesdropper tap) -> receiver over real loopback UDP, paced "
+             "by the in-memory service law on a virtual clock.  Prints "
+             "live vs. in-memory vs. model PSNRs."};
+  fs.flag("motion", "low|medium|high", "synthetic clip motion level")
+      .flag("gop", "N", "GOP size in frames (default 16)")
+      .flag("frames", "N", "clip length in frames (default 48)")
+      .flag("policy", "none|I|P|all|I+<pct>P|<pct>I",
+            "selective-encryption policy (default I)")
+      .flag("alg", "AES128|AES256|3DES", "cipher (default AES128)")
+      .flag("device", "samsung|htc", "calibrated device profile")
+      .flag("seed", "S", "root RNG seed (default 1)")
+      .flag("stochastic", "",
+            "impair with the proxy's own channel/faults instead of "
+            "replaying the in-memory transfer's delivery masks")
+      .flag("loss", "P", "receiver-path GE mean loss (stochastic mode)")
+      .flag("burst", "L", "receiver-path GE mean burst length")
+      .flag("outage", "START:DUR,...", "scheduled AP blackout windows (s)")
+      .flag("fault-drop", "P", "proxy datagram drop probability")
+      .flag("fault-corrupt", "P", "proxy payload bit-flip probability")
+      .flag("fault-truncate", "P", "proxy truncation probability")
+      .flag("fault-dup", "P", "proxy duplication probability")
+      .flag("fault-reorder", "P", "proxy reordering probability")
+      .flag("pcap", "FILE", "write the eavesdropper's capture as pcap")
+      .flag("trace", "FILE", "write stage events of all roles as JSONL");
+  return fs;
+}
+
+FlagSet live_send_flagset() {
+  FlagSet fs{"thriftyvid live send",
+             "Stream the workload as RTP/UDP to a receiver or proxy, paced "
+             "by fresh service-law draws (T_e+T_b+T_t) in real time."};
+  fs.flag("to", "HOST:PORT", "destination endpoint (required)")
+      .flag("motion", "low|medium|high", "synthetic clip motion level")
+      .flag("gop", "N", "GOP size in frames (default 16)")
+      .flag("frames", "N", "clip length in frames (default 48)")
+      .flag("policy", "none|I|P|all|I+<pct>P|<pct>I",
+            "selective-encryption policy (default I)")
+      .flag("alg", "AES128|AES256|3DES", "cipher (default AES128)")
+      .flag("device", "samsung|htc", "calibrated device profile")
+      .flag("seed", "S", "root RNG seed (default 1)")
+      .flag("trace", "FILE", "write sender stage events as JSONL");
+  return fs;
+}
+
+FlagSet live_recv_flagset() {
+  FlagSet fs{"thriftyvid live recv",
+             "Receive a live stream, decrypt marked payloads, and report "
+             "PSNR against the (deterministically rebuilt) original clip.  "
+             "Workload flags and --seed must match the sender's."};
+  fs.flag("bind", "HOST:PORT", "listen endpoint (default 0.0.0.0:5004)")
+      .flag("idle-timeout", "S", "end of stream after S quiet seconds "
+                                 "(default 3)")
+      .flag("motion", "low|medium|high", "synthetic clip motion level")
+      .flag("gop", "N", "GOP size in frames (default 16)")
+      .flag("frames", "N", "clip length in frames (default 48)")
+      .flag("alg", "AES128|AES256|3DES", "cipher (default AES128)")
+      .flag("seed", "S", "root RNG seed (default 1)")
+      .flag("trace", "FILE", "write receive events as JSONL");
+  return fs;
+}
+
+FlagSet live_proxy_flagset() {
+  FlagSet fs{"thriftyvid live proxy",
+             "UDP impairment proxy with an eavesdropper tap: forward "
+             "datagrams through a Gilbert-Elliott channel, outages and a "
+             "fault plan; optionally write the tap's capture as pcap."};
+  fs.flag("bind", "HOST:PORT", "listen endpoint (default 0.0.0.0:5004)")
+      .flag("to", "HOST:PORT", "forward endpoint (required)")
+      .flag("idle-timeout", "S",
+            "exit after S quiet seconds (default: run until killed)")
+      .flag("loss", "P", "receiver-path GE mean loss probability")
+      .flag("burst", "L", "receiver-path GE mean burst length")
+      .flag("outage", "START:DUR,...", "scheduled AP blackout windows (s)")
+      .flag("fault-drop", "P", "datagram drop probability")
+      .flag("fault-corrupt", "P", "payload bit-flip probability")
+      .flag("fault-truncate", "P", "truncation probability")
+      .flag("fault-dup", "P", "duplication probability")
+      .flag("fault-reorder", "P", "reordering probability")
+      .flag("seed", "S", "impairment RNG seed (default 1)")
+      .flag("pcap", "FILE", "write the tap's capture as pcap on exit")
+      .flag("trace", "FILE", "write channel events as JSONL");
+  return fs;
+}
+
+/// Builds the proxy fault plan from the --fault-* flags; nullopt when
+/// none is set.
+std::optional<net::FaultPlan> faults_from(const Flags& args) {
+  net::FaultPlan plan;
+  plan.drop_prob = args.get_double("fault-drop", 0.0);
+  plan.corrupt_payload_prob = args.get_double("fault-corrupt", 0.0);
+  plan.truncate_prob = args.get_double("fault-truncate", 0.0);
+  plan.duplicate_prob = args.get_double("fault-dup", 0.0);
+  plan.reorder_prob = args.get_double("fault-reorder", 0.0);
+  if (plan.drop_prob == 0.0 && plan.corrupt_payload_prob == 0.0 &&
+      plan.truncate_prob == 0.0 && plan.duplicate_prob == 0.0 &&
+      plan.reorder_prob == 0.0) {
+    return std::nullopt;
+  }
+  plan.validate();
+  return plan;
+}
+
+live::Endpoint endpoint_from(const Flags& args, const std::string& flag,
+                             const std::string& fallback) {
+  const std::string text = args.get(flag, fallback);
+  if (text.empty()) {
+    throw util::FlagError{"--" + flag + " is required"};
+  }
+  const auto endpoint = live::parse_endpoint(text);
+  if (!endpoint) {
+    throw util::FlagError{"invalid value for --" + flag + ": '" + text +
+                          "' (expected HOST:PORT)"};
+  }
+  return *endpoint;
+}
+
+int cmd_live_loopback(const Flags& args) {
+  const FlagSet fs = live_loopback_flagset();
+  if (wants_help(args, fs)) return 0;
+  fs.check(args);
+
+  live::LoopbackConfig config;
+  config.motion = video::motion_from_string(args.get("motion", "low"));
+  config.gop_size = args.get_int("gop", 16);
+  config.frames = args.get_int("frames", 48);
+  const auto alg = crypto::algorithm_from_string(args.get("alg", "AES128"));
+  config.policy = policy::policy_from_string(args.get("policy", "I"), alg);
+  config.pipeline.device =
+      core::device_from_string(args.get("device", "samsung"));
+  config.pipeline.channel = channel_from_flags(args, config.pipeline);
+  config.seed = args.get_uint64("seed", 1);
+  config.stochastic = args.has("stochastic");
+  config.faults = faults_from(args);
+  config.pcap_path = args.get("pcap", "");
+
+  TraceOutput trace;
+  config.trace = trace.open(args);
+
+  const live::LoopbackReport r = live::run_loopback(config);
+  std::printf("live loopback: %zu packets, policy %s, %zu/%zu encrypted, "
+              "%s mode\n",
+              r.packet_count, config.policy.label().c_str(),
+              r.encryption.encrypted_packets, r.encryption.total_packets,
+              config.stochastic ? "stochastic" : "replay");
+  std::printf("%-24s %10s %10s %10s\n", "", "live", "in-memory", "model");
+  std::printf("%-24s %10.2f %10.2f %10.2f\n", "receiver PSNR (dB)",
+              r.live_receiver_psnr_db, r.memory_receiver_psnr_db,
+              r.predicted_receiver_psnr_db);
+  std::printf("%-24s %10.2f %10.2f %10.2f\n", "eavesdropper PSNR (dB)",
+              r.live_eavesdropper_psnr_db, r.memory_eavesdropper_psnr_db,
+              r.predicted_eavesdropper_psnr_db);
+  std::printf("sender: %zu sent (%zu encrypted) over %.2f s\n",
+              r.sender.packets_sent, r.sender.encrypted_packets,
+              r.duration_s);
+  std::printf("proxy: %zu heard, %zu forwarded, %zu dropped, %zu dup, "
+              "%zu reordered\n",
+              r.proxy.heard, r.proxy.forwarded, r.proxy.dropped,
+              r.proxy.duplicated, r.proxy.reordered);
+  std::printf("receiver: %zu accepted, %zu dup, %zu reordered, %zu invalid\n",
+              r.receiver.accepted, r.receiver.duplicates,
+              r.receiver.reordered, r.receiver.invalid);
+  std::printf("eavesdropper: heard %zu, captured %zu\n", r.tap.heard,
+              r.tap.captured);
+  if (!config.pcap_path.empty()) {
+    std::printf("pcap: %s (%zu clamped records)\n", config.pcap_path.c_str(),
+                r.pcap_clamped);
+  }
+  return 0;
+}
+
+int cmd_live_send(const Flags& args) {
+  const FlagSet fs = live_send_flagset();
+  if (wants_help(args, fs)) return 0;
+  fs.check(args);
+  const live::Endpoint to = endpoint_from(args, "to", "");
+
+  core::Workload workload = core::build_workload(
+      video::motion_from_string(args.get("motion", "low")),
+      args.get_int("gop", 16), args.get_int("frames", 48),
+      args.get_uint64("seed", 1));
+  const auto alg = crypto::algorithm_from_string(args.get("alg", "AES128"));
+  const auto pol = policy::policy_from_string(args.get("policy", "I"), alg);
+  const std::uint64_t seed = args.get_uint64("seed", 1);
+  std::vector<net::VideoPacket> packets = workload.packets;
+  const auto selected = pol.select(packets);
+  const auto cipher = crypto::make_cipher_from_seed(alg, seed);
+  const auto flow_iv = live::flow_iv_for(*cipher, seed);
+  net::encrypt_selected(packets, selected, *cipher, flow_iv);
+
+  core::PipelineConfig pipeline;
+  pipeline.device = core::device_from_string(args.get("device", "samsung"));
+  pipeline.algorithm = alg;
+
+  TraceOutput trace;
+  core::TraceSink* sink = trace.open(args);
+
+  live::EventLoop loop{live::ClockMode::kMonotonic};
+  live::UdpSocket socket;
+  socket.bind(live::Endpoint{0x7f000001, 0});
+  live::SenderSession sender{
+      loop, socket,
+      live::SenderConfig{to, 0x74561D01, sink}, packets,
+      live::schedule_from_service_model(pipeline, packets, seed, sink)};
+  sender.start();
+  loop.run();
+  const live::SenderReport& r = sender.report();
+  std::printf("sent %zu packets (%zu encrypted, %zu bytes) to %s over "
+              "%.2f s, %zu kernel retries\n",
+              r.packets_sent, r.encrypted_packets, r.datagram_bytes_sent,
+              to.to_string().c_str(), r.last_send_s - r.first_send_s,
+              r.kernel_retries);
+  return 0;
+}
+
+int cmd_live_recv(const Flags& args) {
+  const FlagSet fs = live_recv_flagset();
+  if (wants_help(args, fs)) return 0;
+  fs.check(args);
+
+  core::Workload workload = core::build_workload(
+      video::motion_from_string(args.get("motion", "low")),
+      args.get_int("gop", 16), args.get_int("frames", 48),
+      args.get_uint64("seed", 1));
+  const auto alg = crypto::algorithm_from_string(args.get("alg", "AES128"));
+  const std::uint64_t seed = args.get_uint64("seed", 1);
+  const auto cipher = crypto::make_cipher_from_seed(alg, seed);
+  const auto flow_iv = live::flow_iv_for(*cipher, seed);
+  const int frame_count = static_cast<int>(workload.stream.frames.size());
+  const live::StreamMap map = live::StreamMap::of(workload.packets,
+                                                  frame_count);
+
+  TraceOutput trace;
+  live::ReceiverSessionConfig config;
+  config.trace = trace.open(args);
+  config.idle_timeout_s = args.get_double("idle-timeout", 3.0);
+
+  live::EventLoop loop{live::ClockMode::kMonotonic};
+  live::UdpSocket socket;
+  socket.bind(endpoint_from(args, "bind", "0.0.0.0:5004"));
+  live::ReceiverSession session{loop, socket, config};
+  session.start();
+  loop.run();
+
+  const auto received = session.finish();
+  const net::ReceiverStats& stats = session.stats();
+  std::printf("received %zu packets (%zu datagrams, %zu dup, %zu reordered, "
+              "%zu invalid)\n",
+              received.size(), stats.datagrams, stats.duplicates,
+              stats.reordered, stats.invalid);
+  const video::Decoder decoder{workload.codec};
+  const auto decoded = decoder.decode_stream(
+      workload.stream.width, workload.stream.height,
+      live::reassemble_wire(map, received, cipher.get(), flow_iv));
+  std::printf("receiver PSNR: %.2f dB\n",
+              video::sequence_psnr(workload.clip, decoded));
+  return 0;
+}
+
+int cmd_live_proxy(const Flags& args) {
+  const FlagSet fs = live_proxy_flagset();
+  if (wants_help(args, fs)) return 0;
+  fs.check(args);
+
+  TraceOutput trace;
+  live::ProxyConfig config;
+  config.forward_to = endpoint_from(args, "to", "");
+  config.faults = faults_from(args);
+  if (args.has("loss") || args.has("burst")) {
+    wifi::GilbertElliottParams channel;
+    channel.mean_loss_prob = args.get_double("loss", 0.0);
+    channel.mean_burst_length = args.get_double("burst", 1.0);
+    config.receiver_channel = channel;
+  }
+  config.outages = parse_outages(args);
+  config.seed = args.get_uint64("seed", 1);
+  config.trace = trace.open(args);
+  config.idle_timeout_s = args.get_double("idle-timeout", 0.0);
+
+  live::EventLoop loop{live::ClockMode::kMonotonic};
+  live::UdpSocket socket;
+  socket.bind(endpoint_from(args, "bind", "0.0.0.0:5004"));
+  live::EavesdropperTap tap{config.trace};
+  live::ImpairmentProxy proxy{loop, socket, socket, config, &tap};
+  proxy.start();
+  std::printf("proxy: %s -> %s\n",
+              socket.local_endpoint().to_string().c_str(),
+              config.forward_to.to_string().c_str());
+  loop.run();
+  proxy.flush();
+  const live::ProxyReport& r = proxy.report();
+  std::printf("proxy: %zu heard, %zu forwarded, %zu dropped, %zu dup, "
+              "%zu reordered; tap captured %zu\n",
+              r.heard, r.forwarded, r.dropped, r.duplicated, r.reordered,
+              tap.report().captured);
+  const std::string pcap_path = args.get("pcap", "");
+  if (!pcap_path.empty()) {
+    const std::size_t clamped =
+        net::write_pcap_datagrams_file(pcap_path, tap.captures());
+    std::printf("pcap: %s (%zu clamped records)\n", pcap_path.c_str(),
+                clamped);
+  }
+  return 0;
+}
+
+int cmd_live(int argc, char** argv) {
+  static const char* const kRoles =
+      "usage: thriftyvid live <loopback|send|recv|proxy> [options]\n";
+  if (argc < 3) {
+    std::fputs(kRoles, stderr);
+    return 2;
+  }
+  const std::string role = argv[2];
+  const Flags args = Flags::parse(argc, argv, 3);
+  if (role == "loopback") return cmd_live_loopback(args);
+  if (role == "send") return cmd_live_send(args);
+  if (role == "recv") return cmd_live_recv(args);
+  if (role == "proxy") return cmd_live_proxy(args);
+  std::fputs(kRoles, stderr);
+  return 2;
+}
+
 /// Top-level usage: one line per subcommand, generated from the same
 /// FlagSet registrations that produce the per-command --help.
 void print_usage(std::FILE* to) {
-  std::fprintf(to, "usage: thriftyvid <command> [options]\n\ncommands:\n");
+  std::fprintf(to, "%s\nusage: thriftyvid <command> [options]\n\ncommands:\n",
+               util::build_info_line().c_str());
   const FlagSet sets[] = {classify_flagset(),  simulate_flagset(),
                           simulate_validation_flagset(), sweep_flagset(),
-                          advise_flagset(),    export_flagset()};
+                          advise_flagset(),    export_flagset(),
+                          live_loopback_flagset(), live_send_flagset(),
+                          live_recv_flagset(), live_proxy_flagset()};
   for (const FlagSet& fs : sets) {
     // Strip the "thriftyvid " prefix for the listing.
     const std::string& cmd = fs.command();
@@ -658,7 +995,12 @@ int main(int argc, char** argv) {
     print_usage(stdout);
     return 0;
   }
+  if (cmd == "--version" || cmd == "version") {
+    std::printf("%s\n", util::build_info_line().c_str());
+    return 0;
+  }
   try {
+    if (cmd == "live") return cmd_live(argc, argv);
     const Flags args = Flags::parse(argc, argv, 2);
     if (cmd == "classify") return cmd_classify(args);
     if (cmd == "simulate") return cmd_simulate(args);
