@@ -3,7 +3,7 @@
 # then a ThreadSanitizer build running the concurrency-sensitive suites.
 #
 # Usage: ./run_checks.sh [--sanitize-only | --tsan-only | --validation-only
-#                         | --coverage | --tidy | --live-smoke]
+#                         | --coverage | --tidy | --live-smoke | --chaos-smoke]
 #
 # Test tiers are selected by ctest labels (see docs/validation.md):
 #   * default passes run everything except the `slow` label (the full-grid
@@ -18,7 +18,11 @@
 #     plus the loopback e2e binary under a hard timeout, in both the
 #     plain and the ASan+UBSan builds.  The timeout is the watchdog: the
 #     virtual-clock loop must terminate by going idle, never by waiting
-#     on the wall clock, so a hang is a bug, not slowness.
+#     on the wall clock, so a hang is a bug, not slowness;
+#   * --chaos-smoke runs the `chaos` label (supervised multi-session
+#     server + seeded fault injection) plus a 200-session `live load`
+#     chaos run, in both the plain and the ASan+UBSan builds, each under
+#     a hard timeout.  Same watchdog rationale as --live-smoke.
 #
 # Every build configures with -DTHRIFTYVID_WERROR=ON: the tree is expected
 # to be warning-clean under -Wall -Wextra, and promoting warnings to errors
@@ -38,13 +42,41 @@ jobs=$(nproc 2>/dev/null || echo 4)
 mode="${1:-}"
 
 case "${mode}" in
-  ""|--sanitize-only|--tsan-only|--validation-only|--coverage|--tidy|--live-smoke) ;;
+  ""|--sanitize-only|--tsan-only|--validation-only|--coverage|--tidy|--live-smoke|--chaos-smoke) ;;
   *)
     echo "usage: $0 [--sanitize-only | --tsan-only | --validation-only |" \
-         "--coverage | --tidy | --live-smoke]" >&2
+         "--coverage | --tidy | --live-smoke | --chaos-smoke]" >&2
     exit 2
     ;;
 esac
+
+if [[ "${mode}" == "--chaos-smoke" ]]; then
+  # A 200-session fleet under a composite chaos plan: EAGAIN storms,
+  # short writes, bursty loss, dropped control replies, mid-stream kills
+  # and a receiver stall.  The run is deterministic in --seed and must
+  # terminate by the loop going idle; `timeout` is the hang watchdog.
+  smoke_args=(live load --sessions=200 --ramp=20 --seed=1
+              --idle-timeout=8 --stall-timeout=8
+              --chaos=eagain=0.2,short=0.05,loss=0.05,burst=3,ctrl-drop=0.2,kill=0.1,stall=4:2)
+
+  echo "=== chaos smoke: plain build ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DTHRIFTYVID_WERROR=ON
+  cmake --build build -j "${jobs}"
+  ctest --test-dir build --output-on-failure -j "${jobs}" -L chaos
+  timeout 120 ./build/tools/thriftyvid "${smoke_args[@]}"
+
+  echo "=== chaos smoke: ASan + UBSan build ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTHRIFTYVID_SANITIZE=ON -DTHRIFTYVID_WERROR=ON
+  cmake --build build-asan -j "${jobs}"
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L chaos
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    timeout 300 ./build-asan/tools/thriftyvid "${smoke_args[@]}"
+
+  echo "=== chaos smoke passed ==="
+  exit 0
+fi
 
 if [[ "${mode}" == "--live-smoke" ]]; then
   # The loopback run replays a deterministic transfer over real UDP

@@ -1,0 +1,211 @@
+#include "live/chaos.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tv::live {
+
+namespace {
+
+void check_prob(double value, const char* name) {
+  if (value < 0.0 || value > 1.0) {
+    throw std::invalid_argument{std::string{"ChaosPlan: "} + name +
+                                " outside [0,1]"};
+  }
+}
+
+double parse_number(const std::string& text, const std::string& key) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size()) {
+    throw std::invalid_argument{"chaos spec: bad value for '" + key +
+                                "': " + text};
+  }
+  return value;
+}
+
+/// "START:DUR;START:DUR;..." -> outage windows.
+std::vector<wifi::OutageWindow> parse_windows(const std::string& text,
+                                              const std::string& key) {
+  std::vector<wifi::OutageWindow> windows;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t semi = text.find(';', pos);
+    const std::string item = text.substr(
+        pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument{"chaos spec: '" + key +
+                                  "' wants START:DURATION, got: " + item};
+    }
+    wifi::OutageWindow window;
+    window.start_s = parse_number(item.substr(0, colon), key);
+    window.duration_s = parse_number(item.substr(colon + 1), key);
+    if (window.start_s < 0.0 || window.duration_s <= 0.0) {
+      throw std::invalid_argument{"chaos spec: '" + key +
+                                  "' window must have start >= 0, "
+                                  "duration > 0"};
+    }
+    windows.push_back(window);
+    if (semi == std::string::npos) break;
+    pos = semi + 1;
+  }
+  return windows;
+}
+
+}  // namespace
+
+void ChaosPlan::validate() const {
+  check_prob(eagain_prob, "eagain_prob");
+  check_prob(short_send_prob, "short_send_prob");
+  check_prob(spurious_wakeup_prob, "spurious_wakeup_prob");
+  check_prob(ctrl_drop_prob, "ctrl_drop_prob");
+  check_prob(kill_prob, "kill_prob");
+  if (faults) faults->validate();
+  if (channel) channel->validate();
+}
+
+ChaosPlan chaos_plan_from_string(const std::string& spec) {
+  ChaosPlan plan;
+  net::FaultPlan faults;
+  bool have_faults = false;
+  wifi::GilbertElliottParams channel;
+  bool have_channel = false;
+
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument{"chaos spec: want key=value, got: " + item};
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "eagain") {
+      plan.eagain_prob = parse_number(value, key);
+    } else if (key == "short") {
+      plan.short_send_prob = parse_number(value, key);
+    } else if (key == "spurious" || key == "eintr") {
+      plan.spurious_wakeup_prob = parse_number(value, key);
+    } else if (key == "drop") {
+      faults.drop_prob = parse_number(value, key);
+      have_faults = true;
+    } else if (key == "corrupt") {
+      faults.corrupt_payload_prob = parse_number(value, key);
+      have_faults = true;
+    } else if (key == "truncate") {
+      faults.truncate_prob = parse_number(value, key);
+      have_faults = true;
+    } else if (key == "dup") {
+      faults.duplicate_prob = parse_number(value, key);
+      have_faults = true;
+    } else if (key == "loss") {
+      channel.mean_loss_prob = parse_number(value, key);
+      have_channel = true;
+    } else if (key == "burst") {
+      channel.mean_burst_length = parse_number(value, key);
+      have_channel = true;
+    } else if (key == "ctrl-drop") {
+      plan.ctrl_drop_prob = parse_number(value, key);
+    } else if (key == "kill") {
+      plan.kill_prob = parse_number(value, key);
+    } else if (key == "outage") {
+      plan.outages = parse_windows(value, key);
+    } else if (key == "stall") {
+      plan.stalls = parse_windows(value, key);
+    } else {
+      throw std::invalid_argument{"chaos spec: unknown key: " + key};
+    }
+  }
+  if (have_faults) plan.faults = faults;
+  if (have_channel) plan.channel = channel;
+  plan.validate();
+  return plan;
+}
+
+ChaosSocket::ChaosSocket(EventLoop& loop, UdpSocket& socket,
+                         const ChaosPlan& plan, std::uint64_t seed)
+    : loop_(loop),
+      socket_(socket),
+      plan_(plan),
+      egress_rng_{util::derive_seed(seed, 0xc4a05, 1, 0)},
+      ingress_rng_{util::derive_seed(seed, 0xc4a05, 2, 0)} {
+  plan_.validate();
+  if (plan_.channel) {
+    channel_.emplace(*plan_.channel, util::derive_seed(seed, 0xc4a05, 3, 0));
+  }
+  if (plan_.faults) {
+    injector_.emplace(*plan_.faults, util::derive_seed(seed, 0xc4a05, 4, 0));
+  }
+}
+
+SendOutcome ChaosSocket::send_to(const Endpoint& to,
+                                 std::span<const std::uint8_t> payload) {
+  ++stats_.sends;
+  // fd-level faults come first: the kernel never saw the datagram, so
+  // the caller must treat it exactly like a real EAGAIN / short write.
+  if (plan_.eagain_prob > 0.0 && egress_rng_.bernoulli(plan_.eagain_prob)) {
+    ++stats_.eagain_injected;
+    return SendOutcome::kAgain;
+  }
+  if (plan_.short_send_prob > 0.0 &&
+      egress_rng_.bernoulli(plan_.short_send_prob) && payload.size() > 1) {
+    // Half the datagram reaches the wire — the receiver sees a runt.
+    ++stats_.short_sends_injected;
+    (void)socket_.send_to(to, payload.subspan(0, payload.size() / 2));
+    return SendOutcome::kShort;
+  }
+  // Channel faults: the send succeeded as far as the sender knows.
+  if (wifi::in_outage(plan_.outages, loop_.now_s())) {
+    ++stats_.dropped;
+    return SendOutcome::kSent;
+  }
+  if (channel_ && channel_->lose_packet()) {
+    ++stats_.dropped;
+    return SendOutcome::kSent;
+  }
+  if (injector_) {
+    std::vector<std::vector<std::uint8_t>> one;
+    one.emplace_back(payload.begin(), payload.end());
+    net::InjectionResult result = injector_->apply_raw(std::move(one));
+    if (result.datagrams.empty()) {
+      ++stats_.dropped;
+      return SendOutcome::kSent;
+    }
+    if (result.datagrams.size() > 1) {
+      stats_.duplicated += result.datagrams.size() - 1;
+    }
+    for (const net::InjectedFault& fault : result.faults) {
+      if (fault.kind == net::FaultKind::kCorruptHeader ||
+          fault.kind == net::FaultKind::kCorruptPayload ||
+          fault.kind == net::FaultKind::kTruncate) {
+        ++stats_.damaged;
+      }
+    }
+    SendOutcome outcome = SendOutcome::kSent;
+    for (const auto& datagram : result.datagrams) {
+      const SendOutcome o = socket_.send_to(to, datagram);
+      if (o != SendOutcome::kSent) outcome = o;
+    }
+    return outcome;
+  }
+  return socket_.send_to(to, payload);
+}
+
+std::optional<Datagram> ChaosSocket::receive() {
+  if (plan_.spurious_wakeup_prob > 0.0 &&
+      ingress_rng_.bernoulli(plan_.spurious_wakeup_prob)) {
+    // An EINTR storm ends the drain early.  The data is still queued and
+    // the loop is level-triggered, so nothing is lost — only delayed —
+    // which is exactly the failure mode worth surviving.
+    ++stats_.spurious_wakeups;
+    return std::nullopt;
+  }
+  return socket_.receive();
+}
+
+}  // namespace tv::live

@@ -2,6 +2,11 @@
 
 #include <poll.h>
 #include <time.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
 
 #include <algorithm>
 #include <cerrno>
@@ -11,10 +16,31 @@
 
 namespace tv::live {
 
-EventLoop::EventLoop(ClockMode mode) : mode_(mode) {
+EventLoop::EventLoop(ClockMode mode, PollBackend backend) : mode_(mode) {
   if (mode_ == ClockMode::kMonotonic) {
     monotonic_origin_s_ = monotonic_now_s();
   }
+#ifdef __linux__
+  if (backend != PollBackend::kPoll) {
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ < 0 && backend == PollBackend::kEpoll) {
+      throw std::runtime_error{std::string{"EventLoop: epoll_create1: "} +
+                               std::strerror(errno)};
+    }
+  }
+#else
+  if (backend == PollBackend::kEpoll) {
+    throw std::runtime_error{"EventLoop: epoll backend unsupported here"};
+  }
+#endif
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+PollBackend EventLoop::backend() const {
+  return epoll_fd_ >= 0 ? PollBackend::kEpoll : PollBackend::kPoll;
 }
 
 double EventLoop::monotonic_now_s() const {
@@ -32,18 +58,37 @@ double EventLoop::now_s() const {
 void EventLoop::watch_readable(int fd, std::function<void()> on_readable) {
   for (auto& [watched_fd, callback] : watchers_) {
     if (watched_fd == fd) {
+      // Same descriptor, new callback: the epoll registration stands.
       callback = std::move(on_readable);
       return;
     }
   }
   watchers_.emplace_back(fd, std::move(on_readable));
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) < 0) {
+      watchers_.pop_back();
+      throw std::runtime_error{std::string{"EventLoop: epoll_ctl add: "} +
+                               std::strerror(errno)};
+    }
+  }
+#endif
 }
 
 void EventLoop::unwatch(int fd) {
-  watchers_.erase(
-      std::remove_if(watchers_.begin(), watchers_.end(),
-                     [fd](const auto& w) { return w.first == fd; }),
-      watchers_.end());
+  const auto end = std::remove_if(watchers_.begin(), watchers_.end(),
+                                  [fd](const auto& w) { return w.first == fd; });
+  if (end == watchers_.end()) return;
+  watchers_.erase(end, watchers_.end());
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    // The descriptor may already be closed; deregistration is best-effort.
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
 }
 
 EventLoop::TimerId EventLoop::schedule_at(double deadline_s,
@@ -67,14 +112,54 @@ void EventLoop::cancel(TimerId id) {
   }
 }
 
+std::size_t EventLoop::dispatch_fd(int fd) {
+  // Re-find by fd: an earlier callback this round may have unwatched or
+  // replaced it.
+  for (const auto& [watched_fd, callback] : watchers_) {
+    if (watched_fd == fd) {
+      callback();
+      return 1;
+    }
+  }
+  return 0;
+}
+
 std::size_t EventLoop::poll_once(int timeout_ms) {
-  if (watchers_.empty()) return 0;
+  ++poll_rounds_;
+  if (watchers_.empty()) {
+    // Nothing to watch, but the timeout must still be honoured: a
+    // monotonic loop whose only pending work is a future timer sleeps to
+    // the deadline here instead of spinning.  poll(2) with zero fds is a
+    // portable sleep.
+    if (timeout_ms != 0) (void)::poll(nullptr, 0, timeout_ms);
+    return 0;
+  }
+
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    epoll_event events[64];
+    const int ready = ::epoll_wait(epoll_fd_, events,
+                                   static_cast<int>(std::size(events)),
+                                   timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) return 0;
+      throw std::runtime_error{std::string{"EventLoop: epoll_wait: "} +
+                               std::strerror(errno)};
+    }
+    std::size_t dispatched = 0;
+    for (int i = 0; i < ready; ++i) {
+      dispatched += dispatch_fd(events[i].data.fd);
+    }
+    return dispatched;
+  }
+#endif
+
   std::vector<pollfd> fds;
   fds.reserve(watchers_.size());
   for (const auto& [fd, callback] : watchers_) {
     fds.push_back(pollfd{fd, POLLIN, 0});
   }
-  int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
   if (ready < 0) {
     if (errno == EINTR) return 0;
     throw std::runtime_error{std::string{"EventLoop: poll: "} +
@@ -83,15 +168,7 @@ std::size_t EventLoop::poll_once(int timeout_ms) {
   std::size_t dispatched = 0;
   for (const pollfd& p : fds) {
     if ((p.revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
-    // Re-find by fd: an earlier callback this round may have unwatched
-    // or replaced it.
-    for (const auto& [fd, callback] : watchers_) {
-      if (fd == p.fd) {
-        callback();
-        ++dispatched;
-        break;
-      }
-    }
+    dispatched += dispatch_fd(p.fd);
   }
   return dispatched;
 }
@@ -111,7 +188,9 @@ void EventLoop::run() {
     if (mode_ == ClockMode::kVirtual) {
       // Drain I/O first so at most a handful of datagrams sit in kernel
       // buffers between timer firings — that bound is what makes virtual
-      // runs immune to buffer overflow and hence deterministic.
+      // runs immune to buffer overflow and hence deterministic.  The
+      // drain happens before *every* jump, including to zero-delay and
+      // already-past deadlines.
       if (poll_once(0) > 0) continue;
       if (timers_.empty()) return;  // idle: nothing readable, no deadlines.
       auto it = timers_.begin();
@@ -122,7 +201,9 @@ void EventLoop::run() {
       continue;
     }
 
-    // Monotonic mode: block in poll until the earliest deadline.
+    // Monotonic mode: block in the kernel wait until the earliest
+    // deadline.  A deadline already in the past yields a zero timeout —
+    // one non-blocking drain, then the timer fires on this iteration.
     int timeout_ms = -1;
     if (!timers_.empty()) {
       const double wait_s = timers_.begin()->first.deadline_s - now_s();
@@ -133,7 +214,9 @@ void EventLoop::run() {
       return;  // idle: no deadlines, nothing to watch.
     }
     poll_once(timeout_ms);
-    // Fire everything that has come due.
+    // Fire everything that has come due.  The map is re-read after every
+    // callback so a timer cancelled by an earlier one in the same due
+    // batch never fires.
     while (!stopped_ && !timers_.empty() &&
            timers_.begin()->first.deadline_s <= now_s()) {
       auto it = timers_.begin();

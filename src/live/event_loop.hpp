@@ -1,14 +1,22 @@
-// Single-threaded poll(2) event loop with deadline timers and two clock
-// modes.
+// Single-threaded event loop with deadline timers, two clock modes and
+// two poll backends.
 //
 // Every live role runs inside one of these: readable-fd callbacks drive
 // datagram handling, deadline timers drive pacing and idle detection.
 // There are no sleeps anywhere.  In monotonic mode the loop blocks in
-// poll() until the earliest deadline — real-time behaviour for LAN runs.
-// In virtual mode the clock is a number the loop advances to the next
-// deadline whenever no descriptor is readable — the pinned loopback e2e
-// test runs milliseconds of wall time for minutes of simulated transfer
-// and is bit-reproducible because nothing ever waits on the wall clock.
+// the kernel wait until the earliest deadline — real-time behaviour for
+// LAN runs.  In virtual mode the clock is a number the loop advances to
+// the next deadline whenever no descriptor is readable — the pinned
+// loopback e2e test runs milliseconds of wall time for minutes of
+// simulated transfer and is bit-reproducible because nothing ever waits
+// on the wall clock.
+//
+// The kernel wait is epoll(7) where available (the multi-session server
+// watches one descriptor per client session, and poll(2)'s O(n) scan per
+// round is the wrong shape for hundreds of flows); poll(2) remains as a
+// portable fallback and is selectable for tests.  Both backends are
+// level-triggered and dispatch identically, so runs are byte-identical
+// across backends.
 #pragma once
 
 #include <cstdint>
@@ -19,15 +27,27 @@
 namespace tv::live {
 
 enum class ClockMode {
-  kVirtual,    ///< clock jumps to the next deadline; poll never blocks.
-  kMonotonic,  ///< CLOCK_MONOTONIC; poll blocks until the next deadline.
+  kVirtual,    ///< clock jumps to the next deadline; the wait never blocks.
+  kMonotonic,  ///< CLOCK_MONOTONIC; the wait blocks until the next deadline.
+};
+
+enum class PollBackend {
+  kAuto,   ///< epoll on Linux, poll elsewhere.
+  kPoll,   ///< portable poll(2).
+  kEpoll,  ///< epoll(7); construction throws where unsupported.
 };
 
 class EventLoop {
  public:
   using TimerId = std::uint64_t;
 
-  explicit EventLoop(ClockMode mode);
+  explicit EventLoop(ClockMode mode, PollBackend backend = PollBackend::kAuto);
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// The backend actually in use (kAuto resolved at construction).
+  [[nodiscard]] PollBackend backend() const;
 
   /// Current time in seconds.  Virtual mode starts at 0; monotonic mode
   /// is relative to loop construction.
@@ -39,7 +59,7 @@ class EventLoop {
 
   /// Schedule `callback` at an absolute loop time (seconds).  Timers at
   /// equal deadlines fire in scheduling order.  Past deadlines fire on
-  /// the next iteration.
+  /// the next iteration without busy-waiting.
   TimerId schedule_at(double deadline_s, std::function<void()> callback);
   TimerId schedule_after(double delay_s, std::function<void()> callback);
   void cancel(TimerId id);
@@ -55,6 +75,11 @@ class EventLoop {
   /// firing timers.  Returns the number of callbacks dispatched.
   std::size_t pump();
 
+  /// Number of kernel waits performed so far.  A monotonic run that
+  /// sleeps to its deadlines performs a handful; a busy-spinning one
+  /// performs thousands — the regression tests pin the former.
+  [[nodiscard]] std::size_t poll_rounds() const { return poll_rounds_; }
+
  private:
   struct TimerKey {
     double deadline_s;
@@ -67,9 +92,12 @@ class EventLoop {
     }
   };
 
-  /// Poll all watched fds and dispatch ready callbacks.  `timeout_ms` < 0
-  /// blocks indefinitely.  Returns the number of callbacks dispatched.
+  /// Wait for watched fds (via the active backend) and dispatch ready
+  /// callbacks.  `timeout_ms` < 0 blocks indefinitely.  With no watchers
+  /// the call still honours the timeout as a plain sleep.  Returns the
+  /// number of callbacks dispatched.
   std::size_t poll_once(int timeout_ms);
+  std::size_t dispatch_fd(int fd);
 
   [[nodiscard]] double monotonic_now_s() const;
 
@@ -78,6 +106,8 @@ class EventLoop {
   double monotonic_origin_s_ = 0.0;
   bool stopped_ = false;
   TimerId next_timer_id_ = 1;
+  std::size_t poll_rounds_ = 0;
+  int epoll_fd_ = -1;  ///< -1 when the poll(2) backend is active.
   std::map<TimerKey, std::function<void()>> timers_;
   std::vector<std::pair<int, std::function<void()>>> watchers_;
 };

@@ -1,0 +1,92 @@
+// Multi-session load generator: hundreds of supervised uploaders against
+// one live::Server on a single virtual-clock event loop.
+//
+// This is the chaos harness's driver and the overload experiment in one:
+// every session is a ClientSession streaming the same policy-encrypted
+// workload on its own seeded pacing, through its own seeded ChaosSocket,
+// into one Server with admission control.  Everything runs in-process on
+// the virtual clock, so a 200-session run with kills, stalls and EAGAIN
+// storms finishes in wall-milliseconds and is deterministic in the root
+// seed: same seed, same per-session outcomes, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "core/trace.hpp"
+#include "live/chaos.hpp"
+#include "live/server.hpp"
+#include "live/supervisor.hpp"
+#include "policy/policy.hpp"
+#include "video/scene.hpp"
+
+namespace tv::live {
+
+struct LoadConfig {
+  int sessions = 8;
+  /// Admission budget; 0 means "no contention" (budget = sessions).
+  std::size_t max_sessions = 0;
+
+  // Workload shared by every session (built once).
+  video::MotionLevel motion = video::MotionLevel::kLow;
+  int gop_size = 8;
+  int frames = 16;
+  policy::EncryptionPolicy policy;
+  core::PipelineConfig pipeline;  ///< paces each session's schedule.
+
+  std::uint64_t seed = 1;
+  double ramp_s = 2.0;  ///< session HELLOs spread evenly over this window.
+
+  SupervisorConfig supervisor;
+  ChaosPlan chaos;
+
+  // Server knobs surfaced for the overload experiment.
+  double server_idle_timeout_s = 5.0;
+  std::size_t overload_high = 4096;
+  std::size_t overload_low = 1024;
+
+  /// Decode each admitted session's delivery into a PSNR (costly; off by
+  /// default — delivery fractions are free either way).
+  bool evaluate_psnr = false;
+
+  core::TraceSink* trace = nullptr;
+};
+
+/// One row of the per-session table.
+struct SessionSummary {
+  int index = 0;
+  std::uint32_t ssrc = 0;
+  ClientStats client;
+  ChaosStats chaos;
+  SessionState server_state = SessionState::kConnecting;
+  SessionOutcome server_outcome = SessionOutcome::kPending;
+  std::size_t delivered = 0;  ///< packets accepted server-side.
+  double delivered_fraction = 0.0;
+  double psnr_db = 0.0;  ///< 0 unless evaluate_psnr and admitted.
+};
+
+struct LoadReport {
+  std::size_t packet_count = 0;  ///< per session.
+  std::vector<SessionSummary> sessions;
+
+  // Outcome tallies (client-side classification; sums to `sessions`).
+  std::size_t completed = 0;
+  std::size_t recovered = 0;
+  std::size_t shed = 0;
+  std::size_t watchdog_killed = 0;
+
+  std::size_t total_send_retries = 0;
+  std::size_t total_packets_shed = 0;
+  std::size_t total_packets_degraded = 0;
+  std::size_t max_client_queue_depth = 0;
+
+  ServerReport server;
+  double duration_s = 0.0;  ///< virtual seconds until the loop idled.
+};
+
+/// Run the whole fleet to completion.  Deterministic in config.seed.
+[[nodiscard]] LoadReport run_load(const LoadConfig& config);
+
+}  // namespace tv::live

@@ -112,7 +112,8 @@ void ImpairmentProxy::handle(std::vector<std::uint8_t> datagram) {
 }
 
 void ImpairmentProxy::forward(const std::vector<std::uint8_t>& datagram) {
-  if (!out_socket_.send_to(config_.forward_to, datagram)) {
+  if (out_socket_.send_to(config_.forward_to, datagram) !=
+      SendOutcome::kSent) {
     ++report_.send_failures;
     return;
   }

@@ -17,7 +17,7 @@ std::vector<double> schedule_from_timings(
   return times;
 }
 
-std::vector<double> schedule_from_service_model(
+PacedSchedule paced_schedule_from_service_model(
     const core::PipelineConfig& config,
     const std::vector<net::VideoPacket>& packets, std::uint64_t seed,
     core::TraceSink* trace) {
@@ -25,8 +25,9 @@ std::vector<double> schedule_from_service_model(
   core::ProducerStage producer{config, trace};
   core::PolicyGateStage gate{config, trace};
   core::ServiceStage service{config, trace};
-  std::vector<double> times;
-  times.reserve(packets.size());
+  PacedSchedule schedule;
+  schedule.arrival_s.reserve(packets.size());
+  schedule.send_s.reserve(packets.size());
   double clock = 0.0;
   for (std::size_t i = 0; i < packets.size(); ++i) {
     const net::VideoPacket& p = packets[i];
@@ -41,9 +42,18 @@ std::vector<double> schedule_from_service_model(
     double backoff_total = 0.0;
     service.backoff(i, &clock, &backoff_total, rng);
     clock += service.transmit(i, service.transmission_mean_s(p), clock, rng);
-    times.push_back(clock);
+    schedule.arrival_s.push_back(arrival);
+    schedule.send_s.push_back(clock);
   }
-  return times;
+  return schedule;
+}
+
+std::vector<double> schedule_from_service_model(
+    const core::PipelineConfig& config,
+    const std::vector<net::VideoPacket>& packets, std::uint64_t seed,
+    core::TraceSink* trace) {
+  return paced_schedule_from_service_model(config, packets, seed, trace)
+      .send_s;
 }
 
 SenderSession::SenderSession(EventLoop& loop, UdpSocket& socket,
@@ -88,10 +98,10 @@ void SenderSession::send_packet(std::size_t index) {
   (void)header.write_to(buffer_);
   std::copy(p.payload.begin(), p.payload.end(),
             buffer_.begin() + net::RtpHeader::kSize);
-  if (!socket_.send_to(config_.destination, buffer_)) {
-    // Kernel buffer full: retry shortly (a real pacer would also back
-    // off).  The retry is a timer, not a sleep, so virtual-clock runs
-    // stay deterministic.
+  if (socket_.send_to(config_.destination, buffer_) != SendOutcome::kSent) {
+    // Kernel buffer full, short write, or a queued ICMP refusal: retry
+    // shortly (a real pacer would also back off).  The retry is a timer,
+    // not a sleep, so virtual-clock runs stay deterministic.
     ++report_.kernel_retries;
     loop_.schedule_after(5e-4, [this, index] { send_packet(index); });
     return;

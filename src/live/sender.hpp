@@ -37,6 +37,21 @@ namespace tv::live {
     const std::vector<net::VideoPacket>& packets, std::uint64_t seed,
     core::TraceSink* trace = nullptr);
 
+/// Release and send instants for a supervised client session: packet i
+/// enters the session's send queue at `arrival_s[i]` (producer release)
+/// and completes service — goes on the air — at `send_s[i]`.  The gap
+/// between the two is the queue pressure the supervisor's shedding and
+/// degradation hooks act on.
+struct PacedSchedule {
+  std::vector<double> arrival_s;
+  std::vector<double> send_s;
+};
+
+[[nodiscard]] PacedSchedule paced_schedule_from_service_model(
+    const core::PipelineConfig& config,
+    const std::vector<net::VideoPacket>& packets, std::uint64_t seed,
+    core::TraceSink* trace = nullptr);
+
 struct SenderConfig {
   Endpoint destination;
   std::uint32_t ssrc = 0x74561D01;

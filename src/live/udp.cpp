@@ -35,6 +35,20 @@ Endpoint from_sockaddr(const sockaddr_in& addr) {
 
 }  // namespace
 
+const char* to_string(SendOutcome outcome) {
+  switch (outcome) {
+    case SendOutcome::kSent:
+      return "sent";
+    case SendOutcome::kAgain:
+      return "again";
+    case SendOutcome::kRefused:
+      return "refused";
+    case SendOutcome::kShort:
+      return "short";
+  }
+  return "?";
+}
+
 std::string Endpoint::to_string() const {
   return std::to_string((ip >> 24) & 0xff) + "." +
          std::to_string((ip >> 16) & 0xff) + "." +
@@ -110,38 +124,69 @@ Endpoint UdpSocket::local_endpoint() const {
   return from_sockaddr(addr);
 }
 
-bool UdpSocket::send_to(const Endpoint& to,
-                        std::span<const std::uint8_t> payload) {
-  const sockaddr_in addr = to_sockaddr(to);
-  const ssize_t sent =
-      ::sendto(fd_, payload.data(), payload.size(), 0,
-               reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
-  if (sent < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) {
-      return false;
-    }
-    throw_errno("UdpSocket: sendto " + to.to_string());
+void UdpSocket::connect(const Endpoint& peer) {
+  const sockaddr_in addr = to_sockaddr(peer);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    throw_errno("UdpSocket: connect " + peer.to_string());
   }
-  return static_cast<std::size_t>(sent) == payload.size();
+}
+
+SendOutcome UdpSocket::send_to(const Endpoint& to,
+                               std::span<const std::uint8_t> payload) {
+  const sockaddr_in addr = to_sockaddr(to);
+  for (;;) {
+    const ssize_t sent =
+        ::sendto(fd_, payload.data(), payload.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+    if (sent < 0) {
+      if (errno == EINTR) continue;  // signal mid-call: the datagram is
+                                     // still ours, just try again.
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) {
+        return SendOutcome::kAgain;
+      }
+      if (errno == ECONNREFUSED) {
+        // A previous datagram to a connected peer drew an ICMP
+        // port-unreachable; the kernel reports it here and did not send
+        // this one.  The session layer decides whether to retry.
+        ++refusals_;
+        return SendOutcome::kRefused;
+      }
+      throw_errno("UdpSocket: sendto " + to.to_string());
+    }
+    return static_cast<std::size_t>(sent) == payload.size()
+               ? SendOutcome::kSent
+               : SendOutcome::kShort;
+  }
 }
 
 std::optional<Datagram> UdpSocket::receive() {
   // 64 KiB covers any UDP datagram; reused stack buffer, one copy out.
   std::uint8_t buffer[65536];
-  sockaddr_in addr{};
-  socklen_t len = sizeof addr;
-  const ssize_t got = ::recvfrom(fd_, buffer, sizeof buffer, 0,
-                                 reinterpret_cast<sockaddr*>(&addr), &len);
-  if (got < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
-      return std::nullopt;
+  for (;;) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof addr;
+    const ssize_t got = ::recvfrom(fd_, buffer, sizeof buffer, 0,
+                                   reinterpret_cast<sockaddr*>(&addr), &len);
+    if (got < 0) {
+      if (errno == EINTR) continue;  // retry: a nullopt here would end the
+                                     // caller's drain loop early.
+      if (errno == ECONNREFUSED) {
+        // Queued ICMP error on a connected socket.  Consume and count it,
+        // then retry — real datagrams may sit behind it.
+        ++refusals_;
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return std::nullopt;
+      }
+      throw_errno("UdpSocket: recvfrom");
     }
-    throw_errno("UdpSocket: recvfrom");
+    Datagram datagram;
+    datagram.from = from_sockaddr(addr);
+    datagram.payload.assign(buffer, buffer + got);
+    return datagram;
   }
-  Datagram datagram;
-  datagram.from = from_sockaddr(addr);
-  datagram.payload.assign(buffer, buffer + got);
-  return datagram;
 }
 
 void UdpSocket::set_receive_buffer(int bytes) {

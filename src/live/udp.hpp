@@ -8,6 +8,7 @@
 // lives in the event loop and sessions, which is what the paper models.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -36,6 +37,19 @@ struct Datagram {
   std::vector<std::uint8_t> payload;
 };
 
+/// What happened to a datagram handed to the kernel.  Only kSent means
+/// the peer can possibly see the whole payload; everything else is a
+/// per-packet condition the session layer must decide about (retry,
+/// shed, or fail the session) instead of the old silent bool.
+enum class SendOutcome {
+  kSent,     ///< whole payload accepted by the kernel.
+  kAgain,    ///< transient refusal (EAGAIN/ENOBUFS): retry later.
+  kRefused,  ///< ECONNREFUSED via ICMP on a connected socket: peer gone.
+  kShort,    ///< kernel accepted a short write: datagram truncated.
+};
+
+[[nodiscard]] const char* to_string(SendOutcome outcome);
+
 /// Move-only owner of a non-blocking AF_INET/SOCK_DGRAM descriptor.
 class UdpSocket {
  public:
@@ -55,14 +69,25 @@ class UdpSocket {
   /// The bound address (meaningful after bind).  Throws on failure.
   [[nodiscard]] Endpoint local_endpoint() const;
 
-  /// Sends one datagram.  Returns true when the kernel accepted the
-  /// whole payload; false on transient refusal (full socket buffer).
-  /// Throws on non-transient errors.
-  bool send_to(const Endpoint& to, std::span<const std::uint8_t> payload);
+  /// Associate the socket with a default peer.  The kernel then reports
+  /// ICMP port-unreachable back as ECONNREFUSED on later sends/receives,
+  /// which send_to()/receive() surface without aborting.  Throws on
+  /// failure.
+  void connect(const Endpoint& peer);
+
+  /// Sends one datagram, retrying EINTR internally.  See SendOutcome for
+  /// the per-packet conditions; throws only on non-transient errors.
+  SendOutcome send_to(const Endpoint& to, std::span<const std::uint8_t> payload);
 
   /// Receives one datagram if available (non-blocking); std::nullopt
-  /// when nothing is queued.  Throws on non-transient errors.
+  /// when nothing is queued.  EINTR is retried internally and a pending
+  /// ECONNREFUSED (connected sockets) is consumed and counted rather
+  /// than thrown, so a drain loop never ends early on either.  Throws on
+  /// non-transient errors.
   [[nodiscard]] std::optional<Datagram> receive();
+
+  /// ECONNREFUSED indications consumed by send_to()/receive().
+  [[nodiscard]] std::size_t refusals() const noexcept { return refusals_; }
 
   /// Grow the kernel receive buffer (best-effort; keeps burst arrivals
   /// from overflowing between poll rounds).
@@ -72,6 +97,7 @@ class UdpSocket {
 
  private:
   int fd_ = -1;
+  std::size_t refusals_ = 0;
 };
 
 }  // namespace tv::live

@@ -61,6 +61,12 @@ class Receiver {
 
   [[nodiscard]] const ReceiverStats& stats() const { return stats_; }
 
+  /// Packets currently held (reorder buffer + released-but-undrained).
+  /// The live server's overload detector sums this across sessions.
+  [[nodiscard]] std::size_t buffered() const {
+    return buffer_.size() + ready_.size();
+  }
+
  private:
   /// Map a 16-bit wire sequence onto the 64-bit extended sequence line,
   /// choosing the cycle that lands nearest the highest sequence seen

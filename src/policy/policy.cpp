@@ -161,6 +161,32 @@ double EncryptionPolicy::p_packet_fraction() const {
   return 0.0;
 }
 
+EncryptionPolicy degrade_step(const EncryptionPolicy& policy) {
+  EncryptionPolicy next = policy;
+  switch (policy.mode) {
+    case Mode::kNone:
+    case Mode::kIFrames:
+      break;  // ladder floor.
+    case Mode::kAll:
+      next.mode = Mode::kIPlusFractionP;
+      next.fraction = 0.5;
+      break;
+    case Mode::kIPlusFractionP:
+      next.fraction = policy.fraction / 2.0;
+      if (next.fraction < 0.05) {
+        next.mode = Mode::kIFrames;
+        next.fraction = 0.0;
+      }
+      break;
+    case Mode::kPFrames:
+    case Mode::kFractionI:
+      next.mode = Mode::kNone;
+      next.fraction = 0.0;
+      break;
+  }
+  return next;
+}
+
 EncryptionPolicy policy_from_string(std::string_view spec,
                                     crypto::Algorithm algorithm) {
   if (spec == "none") return {Mode::kNone, algorithm, 0.0};

@@ -58,6 +58,19 @@ struct EncryptionPolicy {
 [[nodiscard]] std::vector<EncryptionPolicy> headline_policies(
     crypto::Algorithm algorithm);
 
+/// One rung down the graceful-degradation ladder the live supervisor
+/// walks under queue pressure: the encrypted share of P packets halves
+/// each step until only I-frames remain — the confidentiality floor the
+/// paper keeps (I-frame encryption already denies the eavesdropper a
+/// usable picture), while each step sheds encryption work.
+///
+///   all -> I+50%P -> I+25%P -> ... -> I        (fractions < 5% snap to I)
+///   P   -> none    (no I coverage to preserve)
+///   <pct>I -> none (partial-I was found inadequate; dropping it costs
+///                   nothing the paper values)
+///   I, none -> unchanged (ladder floor).
+[[nodiscard]] EncryptionPolicy degrade_step(const EncryptionPolicy& policy);
+
 /// Parse a policy spec for `algorithm`.  Accepted grammar:
 ///   none | I | P | all | I+<pct>P (e.g. I+20P) | <pct>I (e.g. 50I)
 /// Percentages may be fractional ("I+12.5P").  Throws std::invalid_argument

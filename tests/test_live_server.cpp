@@ -1,0 +1,233 @@
+// Admission control, overload shedding and the run_load harness:
+// fleet-level properties of the multi-session server — token budgets,
+// the overload latch, outcome classification, determinism, and the
+// quality bound under contention.
+#include "live/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "live/load.hpp"
+
+namespace tv::live {
+namespace {
+
+LoadConfig small_fleet(int sessions) {
+  LoadConfig config;
+  config.sessions = sessions;
+  config.frames = 8;
+  config.gop_size = 4;
+  config.seed = 11;
+  return config;
+}
+
+TEST(Server, RejectsConfigNonsense) {
+  EventLoop loop{ClockMode::kVirtual};
+  ServerConfig config;
+  config.max_sessions = 0;
+  EXPECT_THROW((void)Server(loop, config), std::invalid_argument);
+  config = {};
+  config.overload_low = 10;
+  config.overload_high = 5;
+  EXPECT_THROW((void)Server(loop, config), std::invalid_argument);
+}
+
+TEST(RunLoad, CleanFleetAllComplete) {
+  LoadConfig config = small_fleet(6);
+  const LoadReport report = run_load(config);
+
+  EXPECT_EQ(report.completed, 6u);
+  EXPECT_EQ(report.recovered + report.shed + report.watchdog_killed, 0u);
+  EXPECT_EQ(report.server.admitted, 6u);
+  EXPECT_EQ(report.server.rejected, 0u);
+  EXPECT_EQ(report.server.closed, 6u);
+  ASSERT_EQ(report.sessions.size(), 6u);
+  for (const auto& s : report.sessions) {
+    EXPECT_EQ(s.client.outcome, SessionOutcome::kCompleted);
+    EXPECT_DOUBLE_EQ(s.delivered_fraction, 1.0);
+    EXPECT_EQ(s.delivered, report.packet_count);
+  }
+}
+
+TEST(RunLoad, AdmissionRejectsBeyondTheTokenBudget) {
+  // Everyone HELLOs at t=0 against a budget of 2: exactly two stream,
+  // the rest are shed by admission control and classify as such.
+  LoadConfig config = small_fleet(5);
+  config.max_sessions = 2;
+  config.ramp_s = 0.0;
+  const LoadReport report = run_load(config);
+
+  EXPECT_EQ(report.completed, 2u);
+  EXPECT_EQ(report.shed, 3u);
+  EXPECT_EQ(report.watchdog_killed, 0u);
+  EXPECT_EQ(report.server.admitted, 2u);
+  EXPECT_EQ(report.server.rejected, 3u);
+  // Session start order decides who wins the tokens.
+  EXPECT_EQ(report.sessions[0].client.outcome, SessionOutcome::kCompleted);
+  EXPECT_EQ(report.sessions[1].client.outcome, SessionOutcome::kCompleted);
+  for (std::size_t i = 2; i < 5; ++i) {
+    EXPECT_EQ(report.sessions[i].client.outcome, SessionOutcome::kShed);
+    EXPECT_EQ(report.sessions[i].delivered, 0u);
+  }
+}
+
+TEST(RunLoad, TokensComeBackWhenSessionsClose) {
+  // Budget of 1, but the ramp spaces the three sessions far apart: each
+  // finds the token free because the previous session closed and
+  // released it.  No rejections, three completions.
+  LoadConfig config = small_fleet(3);
+  config.max_sessions = 1;
+  config.ramp_s = 60.0;  // starts at 0 s, 20 s, 40 s; sessions last ~1 s.
+  const LoadReport report = run_load(config);
+
+  EXPECT_EQ(report.completed, 3u);
+  EXPECT_EQ(report.shed, 0u);
+  EXPECT_EQ(report.server.admitted, 3u);
+  EXPECT_EQ(report.server.rejected, 0u);
+}
+
+TEST(RunLoad, EverySessionLandsInExactlyOneOutcomeBucket) {
+  LoadConfig config = small_fleet(24);
+  config.max_sessions = 16;
+  config.ramp_s = 0.5;
+  config.chaos.eagain_prob = 0.2;
+  config.chaos.kill_prob = 0.25;
+  config.chaos.ctrl_drop_prob = 0.2;
+  config.server_idle_timeout_s = 1.0;
+  const LoadReport report = run_load(config);
+
+  EXPECT_EQ(report.completed + report.recovered + report.shed +
+                report.watchdog_killed,
+            24u);
+  for (const auto& s : report.sessions) {
+    EXPECT_NE(s.client.outcome, SessionOutcome::kPending)
+        << "session " << s.index << " was never classified";
+  }
+  // The chaos knobs actually bit: something was killed or retried.
+  EXPECT_GE(report.watchdog_killed + report.recovered, 1u);
+}
+
+TEST(RunLoad, SameSeedSameFleetOutcomeByteForByte) {
+  LoadConfig config = small_fleet(16);
+  config.max_sessions = 12;
+  config.ramp_s = 0.5;
+  config.chaos.eagain_prob = 0.3;
+  config.chaos.short_send_prob = 0.05;
+  config.chaos.kill_prob = 0.2;
+  config.chaos.ctrl_drop_prob = 0.3;
+  config.server_idle_timeout_s = 1.0;
+
+  const LoadReport a = run_load(config);
+  const LoadReport b = run_load(config);
+
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.watchdog_killed, b.watchdog_killed);
+  EXPECT_EQ(a.total_send_retries, b.total_send_retries);
+  EXPECT_EQ(a.total_packets_shed, b.total_packets_shed);
+  EXPECT_DOUBLE_EQ(a.duration_s, b.duration_s);
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    EXPECT_EQ(a.sessions[i].client.outcome, b.sessions[i].client.outcome)
+        << "session " << i;
+    EXPECT_EQ(a.sessions[i].delivered, b.sessions[i].delivered);
+    EXPECT_EQ(a.sessions[i].client.send_retries,
+              b.sessions[i].client.send_retries);
+    EXPECT_EQ(a.sessions[i].chaos.eagain_injected,
+              b.sessions[i].chaos.eagain_injected);
+  }
+
+  // And the seed is load-bearing: a different one changes the fleet.
+  LoadConfig other = config;
+  other.seed = config.seed + 1;
+  const LoadReport c = run_load(other);
+  EXPECT_NE(a.total_send_retries, c.total_send_retries);
+}
+
+TEST(RunLoad, RollingWatchdogsNeverLivelockOnExactDeadlines) {
+  // Regression: the virtual clock jumps to exactly
+  // `last_heard + idle_timeout`, and floating-point `(a + b) - a` can
+  // round below `b`.  The idle watchdog used to re-arm at that
+  // already-past deadline and spin the loop forever at a frozen virtual
+  // time.  This seed/fleet combination hit the rounding edge; the run
+  // terminating at all (ctest's timeout is the watchdog) plus every
+  // session classifying is the assertion.
+  LoadConfig config;
+  config.sessions = 6;
+  config.seed = 1;
+  config.policy =
+      policy::policy_from_string("I", crypto::Algorithm::kAes128);
+  config.pipeline.algorithm = crypto::Algorithm::kAes128;
+  config.chaos.kill_prob = 0.3;
+  config.server_idle_timeout_s = 2.0;
+  const LoadReport report = run_load(config);
+
+  EXPECT_EQ(report.completed + report.recovered + report.shed +
+                report.watchdog_killed,
+            6u);
+  EXPECT_GE(report.watchdog_killed, 1u);  // the kill coin actually landed.
+  EXPECT_EQ(report.server.watchdog_killed,
+            report.watchdog_killed);  // server reaped every silent client.
+  EXPECT_LT(report.duration_s, 60.0);  // loop idled, virtual time bounded.
+}
+
+TEST(RunLoad, ReceiverStallDefersProcessingAndTripsTheOverloadLatch) {
+  // The server's receive path wedges for two virtual seconds while the
+  // fleet keeps uploading.  Backlog must cross the (tiny) high
+  // watermark, latch overload, reject the HELLOs that arrive during the
+  // stall, and drain back below the low watermark afterwards.
+  LoadConfig config = small_fleet(8);
+  config.ramp_s = 1.8;
+  config.chaos.stalls = {{0.2, 2.0}};
+  config.overload_high = 40;
+  config.overload_low = 4;
+  config.server_idle_timeout_s = 6.0;
+  config.supervisor.stall_timeout_s = 8.0;
+  const LoadReport report = run_load(config);
+
+  EXPECT_GE(report.server.stall_deferred, 1u);
+  EXPECT_GE(report.server.max_backlog, 40u);
+  EXPECT_GE(report.server.overload_entries, 1u);
+  // rejected counts REJECT messages — a client whose HELLOs piled up
+  // during the stall is rejected once per retransmission — so it bounds
+  // the shed *session* count from above.
+  EXPECT_GE(report.shed, 1u);
+  EXPECT_GE(report.server.rejected, report.shed);
+  // Whoever was admitted still finished cleanly once the stall lifted.
+  EXPECT_EQ(report.completed + report.recovered, 8u - report.shed);
+}
+
+TEST(RunLoad, ContentionCostsAtMostHalfADecibel) {
+  // The acceptance experiment: an uncontended fleet vs the same fleet
+  // squeezed through half the admission slots.  Admitted sessions keep
+  // bounded queues and land within 0.5 dB of the uncontended PSNR.
+  LoadConfig uncontended = small_fleet(3);
+  uncontended.evaluate_psnr = true;
+  const LoadReport base = run_load(uncontended);
+  ASSERT_EQ(base.completed, 3u);
+  double base_psnr = 0.0;
+  for (const auto& s : base.sessions) base_psnr += s.psnr_db;
+  base_psnr /= 3.0;
+  ASSERT_GT(base_psnr, 20.0);  // sanity: decodable video.
+
+  LoadConfig contended = small_fleet(6);
+  contended.max_sessions = 3;
+  contended.ramp_s = 0.0;
+  contended.evaluate_psnr = true;
+  const LoadReport report = run_load(contended);
+  EXPECT_EQ(report.shed, 3u);
+
+  for (const auto& s : report.sessions) {
+    if (s.client.outcome == SessionOutcome::kShed) continue;
+    EXPECT_LE(s.client.max_queue_depth,
+              contended.supervisor.queue_cap);  // bounded, not growing.
+    EXPECT_NEAR(s.psnr_db, base_psnr, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace tv::live

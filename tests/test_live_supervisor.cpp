@@ -1,0 +1,393 @@
+// Session supervision: the control protocol, the backoff/degradation
+// maths, and the client state machine driven against a real Server on
+// the virtual clock with seeded chaos.
+#include "live/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "live/event_loop.hpp"
+#include "live/server.hpp"
+#include "policy/policy.hpp"
+#include "util/rng.hpp"
+
+namespace tv::live {
+namespace {
+
+TEST(ControlMsg, RoundTripsEveryType) {
+  for (const auto type :
+       {ControlMsg::Type::kHello, ControlMsg::Type::kAccept,
+        ControlMsg::Type::kReject, ControlMsg::Type::kBye,
+        ControlMsg::Type::kByeAck}) {
+    ControlMsg msg;
+    msg.type = type;
+    msg.ssrc = 0xDEADBEEF;
+    msg.aux = 12345;
+    const auto bytes = msg.serialize();
+    ASSERT_EQ(bytes.size(), ControlMsg::kSize);
+    // The magic's first byte must be distinguishable from RTP version 2,
+    // whose first byte is always 0x80 — that is the whole demux story.
+    EXPECT_EQ(bytes[0], 'T');
+    EXPECT_NE(bytes[0] & 0xC0, 0x80);
+    const auto parsed = ControlMsg::try_parse(bytes);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->type, type);
+    EXPECT_EQ(parsed->ssrc, 0xDEADBEEFu);
+    EXPECT_EQ(parsed->aux, 12345u);
+  }
+}
+
+TEST(ControlMsg, RejectsForeignDatagrams) {
+  ControlMsg msg;
+  auto bytes = msg.serialize();
+  bytes[2] = 'X';  // wrong magic.
+  EXPECT_FALSE(ControlMsg::try_parse(bytes).has_value());
+
+  bytes = msg.serialize();
+  bytes[4] = 99;  // unknown type.
+  EXPECT_FALSE(ControlMsg::try_parse(bytes).has_value());
+
+  bytes = msg.serialize();
+  bytes.push_back(0);  // wrong size.
+  EXPECT_FALSE(ControlMsg::try_parse(bytes).has_value());
+  EXPECT_FALSE(ControlMsg::try_parse({}).has_value());
+}
+
+TEST(Backoff, GrowsExponentiallyAndCaps) {
+  SupervisorConfig config;
+  config.backoff_base_s = 0.05;
+  config.backoff_multiplier = 2.0;
+  config.backoff_max_s = 0.4;
+  config.backoff_jitter = 0.0;
+  util::Rng rng{1};
+  EXPECT_DOUBLE_EQ(backoff_wait_s(config, 0, rng), 0.05);
+  EXPECT_DOUBLE_EQ(backoff_wait_s(config, 1, rng), 0.10);
+  EXPECT_DOUBLE_EQ(backoff_wait_s(config, 2, rng), 0.20);
+  EXPECT_DOUBLE_EQ(backoff_wait_s(config, 3, rng), 0.40);
+  EXPECT_DOUBLE_EQ(backoff_wait_s(config, 9, rng), 0.40);  // capped.
+}
+
+TEST(Backoff, JitterStaysWithinTheBand) {
+  SupervisorConfig config;
+  config.backoff_jitter = 0.25;
+  util::Rng rng{7};
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const double nominal =
+        std::min(config.backoff_base_s *
+                     std::pow(config.backoff_multiplier, attempt),
+                 config.backoff_max_s);
+    for (int draw = 0; draw < 32; ++draw) {
+      const double wait = backoff_wait_s(config, attempt, rng);
+      EXPECT_GE(wait, nominal * 0.75);
+      EXPECT_LE(wait, nominal * 1.25);
+    }
+  }
+}
+
+TEST(Degrade, LadderWalksDownToIFramesAndStops) {
+  using policy::Mode;
+  policy::EncryptionPolicy p;
+  p.mode = Mode::kAll;
+  p = policy::degrade_step(p);
+  EXPECT_EQ(p.mode, Mode::kIPlusFractionP);
+  EXPECT_DOUBLE_EQ(p.fraction, 0.5);
+  p = policy::degrade_step(p);
+  EXPECT_DOUBLE_EQ(p.fraction, 0.25);
+  p = policy::degrade_step(p);
+  EXPECT_DOUBLE_EQ(p.fraction, 0.125);
+  p = policy::degrade_step(p);
+  EXPECT_DOUBLE_EQ(p.fraction, 0.0625);
+  p = policy::degrade_step(p);  // 0.03125 < 5% snaps to the I floor.
+  EXPECT_EQ(p.mode, Mode::kIFrames);
+  p = policy::degrade_step(p);  // floor: unchanged forever.
+  EXPECT_EQ(p.mode, Mode::kIFrames);
+
+  policy::EncryptionPolicy pframes;
+  pframes.mode = Mode::kPFrames;
+  EXPECT_EQ(policy::degrade_step(pframes).mode, Mode::kNone);
+  policy::EncryptionPolicy partial;
+  partial.mode = Mode::kFractionI;
+  partial.fraction = 0.5;
+  EXPECT_EQ(policy::degrade_step(partial).mode, Mode::kNone);
+  policy::EncryptionPolicy none;
+  EXPECT_EQ(policy::degrade_step(none).mode, Mode::kNone);
+}
+
+TEST(SupervisorConfig, ValidateRejectsNonsense) {
+  SupervisorConfig config;
+  config.queue_cap = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.backoff_multiplier = 0.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.backoff_jitter = 1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  EXPECT_NO_THROW(config.validate());
+}
+
+// ---- Client-vs-server state machine scenarios -----------------------------
+
+std::vector<net::VideoPacket> make_packets(int count) {
+  std::vector<net::VideoPacket> packets;
+  for (int i = 0; i < count; ++i) {
+    net::VideoPacket p;
+    p.sequence = static_cast<std::uint16_t>(i);
+    p.timestamp = 90000u + static_cast<std::uint32_t>(i);
+    p.payload.assign(48, static_cast<std::uint8_t>(i));
+    packets.push_back(std::move(p));
+  }
+  return packets;
+}
+
+PacedSchedule steady_schedule(int count, double spacing_s,
+                              double send_offset_s = 0.0) {
+  PacedSchedule schedule;
+  for (int i = 0; i < count; ++i) {
+    schedule.arrival_s.push_back(spacing_s * i);
+    schedule.send_s.push_back(spacing_s * i + send_offset_s);
+  }
+  return schedule;
+}
+
+struct Scenario {
+  EventLoop loop{ClockMode::kVirtual};
+  std::vector<net::VideoPacket> packets;
+  std::unique_ptr<Server> server;
+  std::unique_ptr<ClientSession> client;
+
+  Scenario(int count, ServerConfig server_config, ClientConfig client_config,
+           PacedSchedule schedule)
+      : packets(make_packets(count)) {
+    server = std::make_unique<Server>(loop, std::move(server_config));
+    server->start();
+    client_config.server = server->endpoint();
+    client = std::make_unique<ClientSession>(loop, std::move(client_config),
+                                             packets, packets,
+                                             std::move(schedule));
+  }
+
+  void run() {
+    client->start();
+    loop.run();
+  }
+};
+
+TEST(ClientSession, CleanRunCompletesAndDeliversEverything) {
+  ClientConfig config;
+  config.ssrc = 0x1111;
+  Scenario s{12, ServerConfig{}, config, steady_schedule(12, 0.01)};
+  s.run();
+
+  const ClientStats& stats = s.client->stats();
+  EXPECT_EQ(stats.outcome, SessionOutcome::kCompleted);
+  EXPECT_EQ(stats.state, SessionState::kClosed);
+  EXPECT_TRUE(stats.bye_acked);
+  EXPECT_EQ(stats.packets_sent, 12u);
+  EXPECT_EQ(stats.packets_shed, 0u);
+  EXPECT_EQ(stats.send_retries, 0u);
+
+  const auto sessions = s.server->finish();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].ssrc, 0x1111u);
+  EXPECT_EQ(sessions[0].state, SessionState::kClosed);
+  EXPECT_EQ(sessions[0].outcome, SessionOutcome::kCompleted);
+  EXPECT_EQ(sessions[0].expected_packets, 12u);
+  EXPECT_EQ(sessions[0].reported_sent, 12u);
+  EXPECT_EQ(sessions[0].packets.size(), 12u);
+}
+
+TEST(ClientSession, LostAcceptsAreRetriedUntilAdmitted) {
+  ServerConfig server_config;
+  server_config.ctrl_drop_prob = 0.5;  // every other reply vanishes.
+  server_config.seed = 3;
+  ClientConfig config;
+  config.ssrc = 0x2222;
+  config.supervisor.backoff_jitter = 0.0;
+  Scenario s{6, server_config, config, steady_schedule(6, 0.01)};
+  s.run();
+
+  const ClientStats& stats = s.client->stats();
+  // The session got through, but only via the retry ladder.
+  EXPECT_EQ(stats.outcome, SessionOutcome::kRecovered);
+  EXPECT_GE(stats.handshake_retries + stats.bye_retries, 1u);
+  EXPECT_TRUE(s.server->report().ctrl_drops >= 1u);
+  const auto sessions = s.server->finish();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].packets.size(), 6u);  // data path unaffected.
+}
+
+TEST(ClientSession, HandshakeExhaustionKillsClientAndServerReapsTheSlot) {
+  ServerConfig server_config;
+  server_config.ctrl_drop_prob = 1.0;  // the server's voice never arrives.
+  server_config.idle_timeout_s = 0.5;
+  ClientConfig config;
+  config.ssrc = 0x3333;
+  config.supervisor.max_handshake_retries = 3;
+  Scenario s{4, server_config, config, steady_schedule(4, 0.01)};
+  s.run();
+
+  const ClientStats& stats = s.client->stats();
+  EXPECT_EQ(stats.outcome, SessionOutcome::kWatchdogKilled);
+  EXPECT_EQ(stats.state, SessionState::kFailed);
+  EXPECT_EQ(stats.handshake_retries, 3u);
+  EXPECT_EQ(stats.packets_sent, 0u);
+
+  // The server admitted the SSRC on the first HELLO and must reap the
+  // silent slot through its own watchdog, releasing the token.
+  const auto sessions = s.server->finish();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].outcome, SessionOutcome::kWatchdogKilled);
+  EXPECT_EQ(s.server->report().watchdog_killed, 1u);
+  EXPECT_EQ(s.server->active_sessions(), 0u);
+}
+
+TEST(ClientSession, ChaosKillGoesSilentAndBothSidesClassifyIt) {
+  ServerConfig server_config;
+  server_config.idle_timeout_s = 0.5;
+  ClientConfig config;
+  config.ssrc = 0x4444;
+  Scenario s{20, server_config, config, steady_schedule(20, 0.05)};
+  s.loop.schedule_at(0.42, [&s] { s.client->chaos_kill(); });
+  s.run();
+
+  const ClientStats& stats = s.client->stats();
+  EXPECT_TRUE(stats.chaos_killed);
+  EXPECT_EQ(stats.outcome, SessionOutcome::kWatchdogKilled);
+  EXPECT_LT(stats.packets_sent, 20u);
+
+  const auto sessions = s.server->finish();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].outcome, SessionOutcome::kWatchdogKilled);
+  EXPECT_LT(sessions[0].packets.size(), 20u);
+  EXPECT_EQ(s.server->report().watchdog_killed, 1u);
+}
+
+TEST(ClientSession, QueueCapShedsOldestUnderBurstArrivals) {
+  // Every packet is released immediately but none may be sent before
+  // t=1: the queue must fill, cap, and shed oldest-first.
+  ClientConfig config;
+  config.ssrc = 0x5555;
+  config.supervisor.queue_cap = 8;
+  config.supervisor.degrade_depth = 1000;  // isolate the shedding path.
+  Scenario s{20, ServerConfig{}, config,
+             steady_schedule(20, 0.001, /*send_offset_s=*/1.0)};
+  s.run();
+
+  const ClientStats& stats = s.client->stats();
+  EXPECT_EQ(stats.outcome, SessionOutcome::kRecovered);
+  EXPECT_EQ(stats.packets_shed, 12u);  // 20 released, cap 8.
+  EXPECT_EQ(stats.packets_sent, 8u);
+  EXPECT_LE(stats.max_queue_depth, config.supervisor.queue_cap + 1);
+
+  const auto sessions = s.server->finish();
+  ASSERT_EQ(sessions.size(), 1u);
+  // The survivors are the *newest* 12..19; oldest were shed.
+  ASSERT_EQ(sessions[0].packets.size(), 8u);
+  EXPECT_EQ(sessions[0].packets.front().header.sequence_number, 12u);
+}
+
+TEST(ClientSession, QueuePressureStepsThePolicyDown) {
+  auto packets = make_packets(24);
+  for (int i = 0; i < 24; ++i) {
+    packets[i].is_i_frame = i % 4 == 0;
+    packets[i].encrypted = true;  // policy "all" encrypted the lot.
+  }
+  EventLoop loop{ClockMode::kVirtual};
+  Server server{loop, ServerConfig{}};
+  server.start();
+  ClientConfig config;
+  config.server = server.endpoint();
+  config.ssrc = 0x6666;
+  config.policy.mode = policy::Mode::kAll;
+  config.supervisor.degrade_depth = 4;
+  config.supervisor.queue_cap = 1000;
+  ClientSession client{loop, std::move(config), packets, packets,
+                       steady_schedule(24, 0.001, /*send_offset_s=*/1.0)};
+  client.start();
+  loop.run();
+
+  const ClientStats& stats = client.stats();
+  EXPECT_EQ(stats.outcome, SessionOutcome::kRecovered);
+  EXPECT_GE(stats.degrade_steps, 1);
+  EXPECT_GE(stats.packets_degraded, 1u);  // shipped clear under pressure.
+  EXPECT_EQ(stats.packets_sent, 24u);     // nothing lost, only downgraded.
+  EXPECT_EQ(stats.packets_shed, 0u);
+}
+
+TEST(ClientSession, UnackedByeDegradesToRecoveredNeverFailure) {
+  // An egress outage opens just after the handshake: data and BYEs are
+  // silently swallowed.  The BYE ladder must exhaust into kRecovered —
+  // the client cannot know what was delivered — while the server reaps
+  // the silent session.
+  ServerConfig server_config;
+  server_config.idle_timeout_s = 1.0;
+  ClientConfig config;
+  config.ssrc = 0x7777;
+  config.chaos.outages = {{0.025, 600.0}};
+  config.supervisor.max_bye_retries = 2;
+  config.supervisor.backoff_jitter = 0.0;
+  Scenario s{5, server_config, config, steady_schedule(5, 0.01)};
+  s.run();
+
+  const ClientStats& stats = s.client->stats();
+  EXPECT_EQ(stats.outcome, SessionOutcome::kRecovered);
+  EXPECT_FALSE(stats.bye_acked);
+  EXPECT_EQ(stats.bye_retries, 2u);
+  const auto sessions = s.server->finish();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].outcome, SessionOutcome::kWatchdogKilled);
+}
+
+TEST(ClientSession, TotalEagainStormBlackholesEvenTheHandshake) {
+  // sendto() fails every single time: not even the HELLO escapes the
+  // process.  The handshake ladder must exhaust into watchdog-killed and
+  // the server must never have heard of the session.
+  ClientConfig config;
+  config.ssrc = 0x8888;
+  config.chaos.eagain_prob = 1.0;
+  config.supervisor.max_handshake_retries = 3;
+  ServerConfig server_config;
+  server_config.idle_timeout_s = 0.5;
+  Scenario s{6, server_config, config, steady_schedule(6, 0.01)};
+  s.run();
+
+  const ClientStats& stats = s.client->stats();
+  EXPECT_EQ(stats.outcome, SessionOutcome::kWatchdogKilled);
+  EXPECT_EQ(stats.handshake_retries, 3u);
+  EXPECT_EQ(stats.packets_sent, 0u);
+  EXPECT_GE(s.client->chaos_stats().eagain_injected, 4u);
+  EXPECT_EQ(s.server->report().hellos, 0u);
+  EXPECT_TRUE(s.server->finish().empty());
+}
+
+TEST(ClientSession, IntermittentEagainIsAbsorbedByTheRetryLadder) {
+  // A bursty EAGAIN storm (well under the retry budget): every packet
+  // must eventually make it to the wire and the run must classify as
+  // recovered, not completed — recovery actions were needed.
+  ClientConfig config;
+  config.ssrc = 0x9999;
+  config.seed = 5;
+  config.chaos.eagain_prob = 0.4;
+  config.supervisor.send_retry_base_s = 1e-4;
+  Scenario s{16, ServerConfig{}, config, steady_schedule(16, 0.01)};
+  s.run();
+
+  const ClientStats& stats = s.client->stats();
+  EXPECT_EQ(stats.outcome, SessionOutcome::kRecovered);
+  EXPECT_EQ(stats.packets_sent, 16u);
+  EXPECT_EQ(stats.packets_shed, 0u);
+  EXPECT_GE(stats.send_retries, 1u);
+  EXPECT_GE(s.client->chaos_stats().eagain_injected, 1u);
+  const auto sessions = s.server->finish();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].packets.size(), 16u);
+}
+
+}  // namespace
+}  // namespace tv::live

@@ -267,6 +267,26 @@ TEST(FaultInjector, ReceiverSurvivesHeavyFaultLoadAndKeepsOrder) {
   }
 }
 
+TEST(Receiver, CorruptedThenCleanCopyOfSameSequenceDedupsOnFirstArrival) {
+  // The channel can deliver a bit-damaged copy of a packet and then a
+  // clean retransmission of the same sequence number.  Dedup is by
+  // sequence (RTP has no payload checksum), so the first-arrived —
+  // corrupted — copy wins and the clean one counts as a duplicate.  The
+  // invariant under test: the same wire sequence never yields two
+  // packets downstream.
+  Receiver rx;
+  rx.push(datagram(0));
+  rx.push(datagram(1, /*fill=*/0x00));  // corrupted payload arrives first.
+  rx.push(datagram(1, /*fill=*/0xAB));  // clean copy arrives second.
+  rx.push(datagram(2));
+  const auto got = rx.flush();
+  ASSERT_EQ(sequences(got), (std::vector<std::int64_t>{0, 1, 2}));
+  EXPECT_EQ(rx.stats().duplicates, 1u);
+  // First arrival wins: the payload is the corrupted fill.
+  EXPECT_EQ(got[1].payload.front(), 0x00);
+  EXPECT_EQ(got[1].payload.back(), 0x00);
+}
+
 TEST(FaultInjector, ValidatesPlan) {
   FaultPlan plan;
   plan.drop_prob = 1.5;

@@ -22,7 +22,9 @@
 #include "core/experiment.hpp"
 #include "core/sweep.hpp"
 #include "core/trace.hpp"
+#include "live/chaos.hpp"
 #include "live/event_loop.hpp"
+#include "live/load.hpp"
 #include "live/loopback.hpp"
 #include "live/receiver_session.hpp"
 #include "live/sender.hpp"
@@ -631,9 +633,11 @@ int cmd_export(const Flags& args) {
 }
 
 // --- live subcommand (docs/live.md) ----------------------------------------
-// Real UDP sockets on a poll(2) event loop: `loopback` runs all three roles
-// in-process on a virtual clock (deterministic, the pinned e2e); `send`,
-// `recv` and `proxy` run one role each in real time for LAN experiments.
+// Real UDP sockets on an epoll/poll event loop: `loopback` runs all three
+// roles in-process on a virtual clock (deterministic, the pinned e2e);
+// `send`, `recv` and `proxy` run one role each in real time for LAN
+// experiments; `load` drives N supervised sessions against the multi-session
+// server under a seeded chaos plan (docs/resilience.md).
 
 FlagSet live_loopback_flagset() {
   FlagSet fs{"thriftyvid live loopback",
@@ -719,6 +723,41 @@ FlagSet live_proxy_flagset() {
       .flag("seed", "S", "impairment RNG seed (default 1)")
       .flag("pcap", "FILE", "write the tap's capture as pcap on exit")
       .flag("trace", "FILE", "write channel events as JSONL");
+  return fs;
+}
+
+FlagSet live_load_flagset() {
+  FlagSet fs{"thriftyvid live load",
+             "Multi-session chaos/load harness: N supervised uploaders "
+             "stream the same workload into one live server with admission "
+             "control, all in-process on a virtual clock.  Deterministic in "
+             "--seed; prints per-outcome session tallies."};
+  fs.flag("sessions", "N", "concurrent uploader sessions (default 8)")
+      .flag("max-sessions", "N",
+            "server admission budget (default: --sessions, no contention)")
+      .flag("motion", "low|medium|high", "synthetic clip motion level")
+      .flag("gop", "N", "GOP size in frames (default 8)")
+      .flag("frames", "N", "clip length in frames (default 16)")
+      .flag("policy", "none|I|P|all|I+<pct>P|<pct>I",
+            "selective-encryption policy (default I)")
+      .flag("alg", "AES128|AES256|3DES", "cipher (default AES128)")
+      .flag("device", "samsung|htc", "calibrated device profile")
+      .flag("seed", "S", "root RNG seed (default 1)")
+      .flag("ramp", "S", "spread session starts over S seconds (default 2)")
+      .flag("chaos", "K=V,...",
+            "chaos spec: eagain,short,spurious,drop,corrupt,truncate,dup,"
+            "loss,burst,ctrl-drop,kill,outage=S:D;...,stall=S:D;...")
+      .flag("queue-cap", "N", "per-session send-queue cap (default 64)")
+      .flag("degrade-depth", "N",
+            "queue depth that steps the policy down (default 32)")
+      .flag("stall-timeout", "S", "client stall watchdog (default 5)")
+      .flag("idle-timeout", "S", "server idle watchdog (default 5)")
+      .flag("retry-max", "N", "per-packet send retries (default 8)")
+      .flag("overload-high", "N", "overload latch entry backlog (default 4096)")
+      .flag("overload-low", "N", "overload latch exit backlog (default 1024)")
+      .flag("psnr", "", "decode each delivered session and report PSNR")
+      .flag("per-session", "", "print the per-session outcome table")
+      .flag("trace", "FILE", "write supervision events of all sessions");
   return fs;
 }
 
@@ -942,9 +981,110 @@ int cmd_live_proxy(const Flags& args) {
   return 0;
 }
 
+int cmd_live_load(const Flags& args) {
+  const FlagSet fs = live_load_flagset();
+  if (wants_help(args, fs)) return 0;
+  fs.check(args);
+
+  live::LoadConfig config;
+  config.sessions = args.get_int("sessions", 8);
+  config.max_sessions =
+      static_cast<std::size_t>(args.get_int("max-sessions", 0));
+  config.motion = video::motion_from_string(args.get("motion", "low"));
+  config.gop_size = args.get_int("gop", 8);
+  config.frames = args.get_int("frames", 16);
+  const auto alg = crypto::algorithm_from_string(args.get("alg", "AES128"));
+  config.policy = policy::policy_from_string(args.get("policy", "I"), alg);
+  config.pipeline.device = core::device_from_string(args.get("device",
+                                                             "samsung"));
+  config.pipeline.algorithm = alg;
+  config.seed = args.get_uint64("seed", 1);
+  config.ramp_s = args.get_double("ramp", 2.0);
+  if (args.has("chaos")) {
+    config.chaos = live::chaos_plan_from_string(args.get("chaos", ""));
+  }
+  config.supervisor.queue_cap =
+      static_cast<std::size_t>(args.get_int("queue-cap", 64));
+  config.supervisor.degrade_depth =
+      static_cast<std::size_t>(args.get_int("degrade-depth", 32));
+  config.supervisor.stall_timeout_s = args.get_double("stall-timeout", 5.0);
+  config.supervisor.max_send_retries = args.get_int("retry-max", 8);
+  config.server_idle_timeout_s = args.get_double("idle-timeout", 5.0);
+  config.overload_high =
+      static_cast<std::size_t>(args.get_int("overload-high", 4096));
+  config.overload_low =
+      static_cast<std::size_t>(args.get_int("overload-low", 1024));
+  config.evaluate_psnr = args.has("psnr");
+
+  TraceOutput trace;
+  config.trace = trace.open(args);
+
+  const live::LoadReport r = live::run_load(config);
+
+  std::printf("live load: %d sessions x %zu packets, policy %s, chaos %s\n",
+              config.sessions, r.packet_count,
+              config.policy.label().c_str(),
+              args.has("chaos") ? args.get("chaos", "").c_str() : "off");
+  std::printf("outcomes: %zu completed, %zu retried-recovered, %zu shed, "
+              "%zu watchdog-killed\n",
+              r.completed, r.recovered, r.shed, r.watchdog_killed);
+  std::printf("clients: %zu send retries, %zu packets shed, %zu degraded, "
+              "max queue depth %zu\n",
+              r.total_send_retries, r.total_packets_shed,
+              r.total_packets_degraded, r.max_client_queue_depth);
+  std::printf("server: %zu hellos, %zu admitted, %zu rejected, %zu closed, "
+              "%zu watchdog-killed, %zu ctrl drops\n",
+              r.server.hellos, r.server.admitted, r.server.rejected,
+              r.server.closed, r.server.watchdog_killed, r.server.ctrl_drops);
+  std::printf("server backlog: max %zu, %zu overload entries, "
+              "%zu stall-deferred (%zu dropped)\n",
+              r.server.max_backlog, r.server.overload_entries,
+              r.server.stall_deferred, r.server.stall_dropped);
+
+  double delivered_sum = 0.0, psnr_sum = 0.0;
+  std::size_t delivered_n = 0, psnr_n = 0;
+  for (const auto& s : r.sessions) {
+    if (s.server_outcome == live::SessionOutcome::kPending) continue;
+    delivered_sum += s.delivered_fraction;
+    ++delivered_n;
+    if (config.evaluate_psnr && s.psnr_db > 0.0) {
+      psnr_sum += s.psnr_db;
+      ++psnr_n;
+    }
+  }
+  if (delivered_n > 0) {
+    std::printf("delivery: %.1f%% mean over %zu admitted sessions",
+                100.0 * delivered_sum / static_cast<double>(delivered_n),
+                delivered_n);
+    if (psnr_n > 0) {
+      std::printf(", mean PSNR %.2f dB",
+                  psnr_sum / static_cast<double>(psnr_n));
+    }
+    std::printf("\n");
+  }
+  std::printf("duration: %.2f virtual seconds\n", r.duration_s);
+
+  if (args.has("per-session")) {
+    std::printf("\n%-5s %-10s %-18s %8s %8s %6s %6s %s\n", "sess",
+                "ssrc", "outcome", "deliv%", "retries", "shed",
+                "degr", config.evaluate_psnr ? "  psnr" : "");
+    for (const auto& s : r.sessions) {
+      std::printf("%-5d 0x%08x %-18s %7.1f%% %8zu %6zu %6zu",
+                  s.index, s.ssrc, to_string(s.client.outcome),
+                  100.0 * s.delivered_fraction, s.client.send_retries,
+                  s.client.packets_shed, s.client.packets_degraded);
+      if (config.evaluate_psnr && s.psnr_db > 0.0) {
+        std::printf(" %.2f", s.psnr_db);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
 int cmd_live(int argc, char** argv) {
   static const char* const kRoles =
-      "usage: thriftyvid live <loopback|send|recv|proxy> [options]\n";
+      "usage: thriftyvid live <loopback|send|recv|proxy|load> [options]\n";
   if (argc < 3) {
     std::fputs(kRoles, stderr);
     return 2;
@@ -955,6 +1095,7 @@ int cmd_live(int argc, char** argv) {
   if (role == "send") return cmd_live_send(args);
   if (role == "recv") return cmd_live_recv(args);
   if (role == "proxy") return cmd_live_proxy(args);
+  if (role == "load") return cmd_live_load(args);
   std::fputs(kRoles, stderr);
   return 2;
 }
@@ -968,7 +1109,8 @@ void print_usage(std::FILE* to) {
                           simulate_validation_flagset(), sweep_flagset(),
                           advise_flagset(),    export_flagset(),
                           live_loopback_flagset(), live_send_flagset(),
-                          live_recv_flagset(), live_proxy_flagset()};
+                          live_recv_flagset(), live_proxy_flagset(),
+                          live_load_flagset()};
   for (const FlagSet& fs : sets) {
     // Strip the "thriftyvid " prefix for the listing.
     const std::string& cmd = fs.command();
