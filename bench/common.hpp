@@ -17,6 +17,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <string>
@@ -31,25 +33,50 @@
 
 namespace tv::bench {
 
-/// Command-line knobs shared by all figure benches.
+/// Command-line knobs shared by all figure benches.  Parsing runs through
+/// a util::FlagSet registry, so every bench rejects the same unknown
+/// options and prints the same generated --help text.
 struct BenchOptions {
   int frames = 300;     ///< clip length (paper: 300 frames at 30 fps).
   int quality_reps = 5; ///< repetitions when decoding is involved.
   int delay_reps = 20;  ///< repetitions for timing-only experiments.
   std::uint64_t seed = 2013;
   unsigned threads = util::ThreadPool::default_thread_count();
+  std::string json_path;  ///< --json=FILE: machine-readable sweep cells.
+  bool csv = false;       ///< --csv: CSV sweep cells on stdout.
+  bool quick = false;     ///< --quick preset was requested.
+
+  /// The shared flag registry; benches with extra flags chain more
+  /// registrations onto the returned set before calling parse_with().
+  static util::FlagSet flag_set(const char* command) {
+    util::FlagSet fs{command, "paper-figure reproduction bench"};
+    fs.flag("frames", "N", "clip length in frames (default 300)")
+        .flag("reps", "N", "repetitions for every experiment class")
+        .flag("seed", "S", "root RNG seed (default 2013)")
+        .flag("threads", "N", "worker threads for sweep grids")
+        .flag("quick", "", "smaller frames/reps preset for smoke runs")
+        .flag("json", "FILE", "write sweep cells as JSONL to FILE")
+        .flag("csv", "", "print sweep cells as CSV after each table");
+    return fs;
+  }
 
   static BenchOptions parse(int argc, char** argv) {
+    return parse_with(flag_set(argc > 0 ? argv[0] : "bench"), argc, argv);
+  }
+
+  /// Parse against a caller-extended registry (shared flags still apply).
+  static BenchOptions parse_with(const util::FlagSet& fs, int argc,
+                                 char** argv) {
     BenchOptions o;
     try {
       const auto args = util::Flags::parse(argc, argv);
-      args.check_known({"frames", "reps", "seed", "threads", "quick", "help"});
+      fs.check(args);
       if (args.get_bool("help", false)) {
-        std::printf(
-            "options: --frames=N --reps=N --seed=S --threads=N --quick\n");
+        std::fputs(fs.help_text().c_str(), stdout);
         std::exit(0);
       }
       if (args.get_bool("quick", false)) {
+        o.quick = true;
         o.frames = 120;
         o.quality_reps = 2;
         o.delay_reps = 5;
@@ -64,11 +91,11 @@ struct BenchOptions {
                                        static_cast<int>(o.threads));
       if (threads < 1) throw util::FlagError{"--threads must be >= 1"};
       o.threads = static_cast<unsigned>(threads);
+      o.json_path = args.get("json", "");
+      o.csv = args.get_bool("csv", false);
     } catch (const util::FlagError& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
-      std::fprintf(stderr,
-                   "options: --frames=N --reps=N --seed=S --threads=N "
-                   "--quick\n");
+      std::fputs(fs.help_text().c_str(), stderr);
       std::exit(2);
     }
     return o;
@@ -117,8 +144,31 @@ inline core::SweepSpec base_spec(const BenchOptions& options, bool quality) {
   return spec;
 }
 
+/// Fans sweep results out to several sinks; the runner still sees a single
+/// ResultSink and keeps its deterministic in-order delivery.
+class TeeSink : public core::ResultSink {
+ public:
+  void add(core::ResultSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+  void begin(const core::SweepSpec& spec) override {
+    for (auto* s : sinks_) s->begin(spec);
+  }
+  void cell(const core::CellResult& result) override {
+    for (auto* s : sinks_) s->cell(result);
+  }
+  void end() override {
+    for (auto* s : sinks_) s->end();
+  }
+
+ private:
+  std::vector<core::ResultSink*> sinks_;
+};
+
 /// Executes figure grids on the shared thread pool and accumulates a small
-/// cells/wall-time tally for the end-of-run summary line.
+/// cells/wall-time tally for the end-of-run summary line.  With
+/// --json=FILE / --csv the engine tees every cell into machine-readable
+/// sinks alongside the in-memory results the figure printers consume.
 class BenchEngine {
  public:
   explicit BenchEngine(const BenchOptions& options)
@@ -126,15 +176,32 @@ class BenchEngine {
         pool_(options.threads > 1
                   ? std::make_unique<util::ThreadPool>(options.threads)
                   : nullptr),
-        runner_(pool_.get()) {}
+        runner_(pool_.get()) {
+    if (!options.json_path.empty()) {
+      json_out_.open(options.json_path);
+      if (!json_out_) {
+        std::fprintf(stderr, "error: cannot open --json file '%s'\n",
+                     options.json_path.c_str());
+        std::exit(2);
+      }
+      json_sink_ = std::make_unique<core::JsonlSink>(json_out_);
+    }
+    if (options.csv) {
+      csv_sink_ = std::make_unique<core::CsvSink>(std::cout);
+    }
+  }
 
   /// Runs the grid and returns results in row-major cell order.
   std::vector<core::CellResult> run(const core::SweepSpec& spec) {
-    core::CollectSink sink;
-    const auto summary = runner_.run(spec, sink);
+    core::CollectSink collect;
+    TeeSink tee;
+    tee.add(&collect);
+    tee.add(json_sink_.get());
+    tee.add(csv_sink_.get());
+    const auto summary = runner_.run(spec, tee);
     cells_ += summary.cells;
     wall_s_ += summary.wall_s;
-    return std::move(sink.results);
+    return std::move(collect.results);
   }
 
   [[nodiscard]] util::ThreadPool* pool() { return pool_.get(); }
@@ -150,6 +217,9 @@ class BenchEngine {
   BenchOptions options_;
   std::unique_ptr<util::ThreadPool> pool_;
   core::SweepRunner runner_;
+  std::ofstream json_out_;
+  std::unique_ptr<core::JsonlSink> json_sink_;
+  std::unique_ptr<core::CsvSink> csv_sink_;
   std::size_t cells_ = 0;
   double wall_s_ = 0.0;
 };

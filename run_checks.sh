@@ -3,7 +3,8 @@
 # then a ThreadSanitizer build running the concurrency-sensitive suites.
 #
 # Usage: ./run_checks.sh [--sanitize-only | --tsan-only | --validation-only
-#                         | --coverage | --tidy | --live-smoke | --chaos-smoke]
+#                         | --coverage | --tidy | --live-smoke | --chaos-smoke
+#                         | --bench-smoke]
 #
 # Test tiers are selected by ctest labels (see docs/validation.md):
 #   * default passes run everything except the `slow` label (the full-grid
@@ -23,6 +24,11 @@
 #     server + seeded fault injection) plus a 200-session `live load`
 #     chaos run, in both the plain and the ASan+UBSan builds, each under
 #     a hard timeout.  Same watchdog rationale as --live-smoke.
+#   * --bench-smoke builds Release, runs the hot-path micro-suite with
+#     --quick --json under a hard timeout, and validates the emitted
+#     JSON against the tv-bench-hotpath-v1 schema (keys present, numbers
+#     finite; docs/benchmarks.md).  Values are machine-specific and are
+#     deliberately not asserted.
 #
 # Every build configures with -DTHRIFTYVID_WERROR=ON: the tree is expected
 # to be warning-clean under -Wall -Wextra, and promoting warnings to errors
@@ -42,13 +48,88 @@ jobs=$(nproc 2>/dev/null || echo 4)
 mode="${1:-}"
 
 case "${mode}" in
-  ""|--sanitize-only|--tsan-only|--validation-only|--coverage|--tidy|--live-smoke|--chaos-smoke) ;;
+  ""|--sanitize-only|--tsan-only|--validation-only|--coverage|--tidy|--live-smoke|--chaos-smoke|--bench-smoke) ;;
   *)
     echo "usage: $0 [--sanitize-only | --tsan-only | --validation-only |" \
-         "--coverage | --tidy | --live-smoke | --chaos-smoke]" >&2
+         "--coverage | --tidy | --live-smoke | --chaos-smoke |" \
+         "--bench-smoke]" >&2
     exit 2
     ;;
 esac
+
+if [[ "${mode}" == "--bench-smoke" ]]; then
+  # The bench must complete quickly and emit schema-valid JSON; `timeout`
+  # is the watchdog against a wedged measurement loop.
+  echo "=== bench smoke: plain build ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DTHRIFTYVID_WERROR=ON
+  cmake --build build -j "${jobs}" --target bench_hotpath
+  out=build/bench_smoke_hotpath.json
+  rm -f "${out}"
+  timeout 300 ./build/bench/bench_hotpath --quick --json="${out}"
+
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "=== bench smoke: python3 not installed; skipping JSON validation ==="
+    exit 0
+  fi
+  python3 - "${out}" <<'PY'
+import json, math, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def fail(msg):
+    sys.exit(f"bench smoke: schema violation: {msg}")
+
+def finite(value, where):
+    # null is the documented encoding for "not measurable on this host".
+    if value is None:
+        return
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(f"{where} is {value!r}, expected a number or null")
+    if not math.isfinite(value):
+        fail(f"{where} is not finite: {value!r}")
+
+if doc.get("schema") != "tv-bench-hotpath-v1":
+    fail(f"schema is {doc.get('schema')!r}")
+for key in ("quick", "cycle_clock_available", "aes_ni_available"):
+    if not isinstance(doc.get(key), bool):
+        fail(f"{key} missing or not a bool")
+finite(doc.get("tsc_ghz"), "tsc_ghz")
+
+for section in ("ciphers", "ofb"):
+    points = doc.get(section)
+    if not isinstance(points, list) or not points:
+        fail(f"{section} missing or empty")
+    for p in points:
+        for key in ("algorithm", "backend", "path"):
+            if not isinstance(p.get(key), str):
+                fail(f"{section}[].{key} missing")
+        for key in ("mb_s", "cycles_per_byte"):
+            if key not in p:
+                fail(f"{section}[].{key} missing")
+            finite(p[key], f"{section}[].{key}")
+        if p["mb_s"] is None:
+            fail(f"{section} mb_s must be measured, got null")
+
+for key in ("forward_blocks_per_s", "roundtrip_blocks_per_s"):
+    finite(doc.get("dct", {}).get(key), f"dct.{key}")
+    if doc.get("dct", {}).get(key) is None:
+        fail(f"dct.{key} must be measured, got null")
+transfer = doc.get("transfer", {})
+if not isinstance(transfer.get("packets"), int) or transfer["packets"] <= 0:
+    fail("transfer.packets missing or non-positive")
+finite(transfer.get("packets_per_s"), "transfer.packets_per_s")
+for key in ("aes128_batch_over_block", "aes128_aesni_over_block"):
+    if key not in doc.get("speedups", {}):
+        fail(f"speedups.{key} missing")
+    finite(doc["speedups"][key], f"speedups.{key}")
+
+print(f"bench smoke: {sys.argv[1]} is schema-valid "
+      f"({len(doc['ciphers'])} cipher points, {len(doc['ofb'])} ofb points)")
+PY
+  echo "=== bench smoke passed ==="
+  exit 0
+fi
 
 if [[ "${mode}" == "--chaos-smoke" ]]; then
   # A 200-session fleet under a composite chaos plan: EAGAIN storms,

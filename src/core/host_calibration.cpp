@@ -1,0 +1,98 @@
+#include "core/host_calibration.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <vector>
+
+#include "crypto/ofb.hpp"
+#include "util/stats.hpp"
+
+namespace tv::core {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double seconds_since(clock::time_point t0) {
+  return std::chrono::duration<double>(clock::now() - t0).count();
+}
+
+/// Typical RTP payload the sender encrypts per segment.
+constexpr std::size_t kSegmentBytes = 1460;
+
+}  // namespace
+
+HostCryptoMeasurement measure_host_crypto(crypto::Algorithm a,
+                                          crypto::CipherBackend backend,
+                                          std::size_t sample_bytes) {
+  HostCryptoMeasurement m;
+  m.algorithm = a;
+  m.backend = backend;
+  if (backend == crypto::CipherBackend::kAuto) {
+    m.backend = crypto::aes_ni_selected(a) ? crypto::CipherBackend::kAesNi
+                                           : crypto::CipherBackend::kScalar;
+  }
+  const auto cipher =
+      crypto::make_cipher_from_seed(a, 0x7eedfacecafef00dULL, backend);
+  std::vector<std::uint8_t> iv(cipher->block_size(),
+                               static_cast<std::uint8_t>(0x3c));
+  crypto::OfbStream stream{*cipher};
+
+  // Bulk throughput: best-of-3 over a large buffer (best-of suppresses
+  // scheduler noise; the cipher is deterministic so every pass does the
+  // same work).
+  std::vector<std::uint8_t> bulk(std::max<std::size_t>(sample_bytes, 4096),
+                                 static_cast<std::uint8_t>(0xa5));
+  double best_s = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    stream.reset(iv);
+    const auto t0 = clock::now();
+    stream.apply(bulk);
+    best_s = std::min(best_s, seconds_since(t0));
+  }
+  m.throughput_mb_s = static_cast<double>(bulk.size()) / best_s / 1e6;
+
+  // Per-segment path: exactly what net::encrypt_selected runs per packet.
+  std::vector<std::uint8_t> segment(kSegmentBytes,
+                                    static_cast<std::uint8_t>(0x5a));
+  const std::span<std::uint8_t> iv_span{iv.data(), iv.size()};
+  util::RunningStats per_segment;
+  for (std::uint64_t seq = 0; seq < 256; ++seq) {
+    const auto t0 = clock::now();
+    crypto::segment_iv(*cipher, iv_span, seq, iv_span);
+    stream.reset(iv_span);
+    stream.apply(segment);
+    per_segment.add(seconds_since(t0));
+  }
+  const double bulk_share =
+      static_cast<double>(kSegmentBytes) / (m.throughput_mb_s * 1e6);
+  m.per_packet_overhead_s = std::max(0.0, per_segment.mean() - bulk_share);
+  // Same clamp as calibrate_service(): the Gaussian term models minor
+  // variation around the mean, not timer outliers.
+  m.jitter_stddev_s =
+      std::min(per_segment.stddev(), 0.25 * per_segment.mean());
+  return m;
+}
+
+DeviceProfile calibrated_host_profile(crypto::CipherBackend backend) {
+  DeviceProfile d = samsung_galaxy_s2();
+  d.name = "Host (calibrated)";
+  d.key = "host";
+  const auto speed_of = [](crypto::Algorithm a, crypto::CipherBackend b) {
+    const HostCryptoMeasurement m = measure_host_crypto(a, b, 1 << 18);
+    return CryptoSpeed{m.throughput_mb_s, m.per_packet_overhead_s,
+                       m.jitter_stddev_s};
+  };
+  d.aes128 = speed_of(crypto::Algorithm::kAes128, backend);
+  d.aes256 = speed_of(crypto::Algorithm::kAes256, backend);
+  // 3DES has no AES-NI backend; a kAesNi request still calibrates its
+  // scalar path rather than failing the whole profile.
+  d.triple_des = speed_of(crypto::Algorithm::kTripleDes,
+                          backend == crypto::CipherBackend::kAesNi
+                              ? crypto::CipherBackend::kScalar
+                              : backend);
+  return d;
+}
+
+}  // namespace tv::core

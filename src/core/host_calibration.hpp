@@ -1,0 +1,53 @@
+// Host crypto calibration: measure what *this* machine's cipher hot path
+// actually costs and feed it into the service model.
+//
+// The built-in DeviceProfiles carry constants tuned to the paper's two
+// handsets (Table 1).  When the simulator instead models the machine it is
+// running on — e.g. the live testbed sender, or a bench tracking the
+// batched/AES-NI hot paths — the encryption term of eq. (15) should come
+// from measurement, not folklore.  measure_host_crypto() times the real
+// OfbStream segment path (segment IV derivation + reset + apply, exactly
+// what the packetizer runs) and calibrated_host_profile() packages the
+// three algorithms into a DeviceProfile whose encryption_seconds() then
+// drives ServiceModel::draw_encryption for pipeline and sweep runs.
+#pragma once
+
+#include <cstddef>
+
+#include "core/device_profile.hpp"
+#include "crypto/suite.hpp"
+
+namespace tv::core {
+
+/// One algorithm's measured hot-path cost on the host CPU.
+struct HostCryptoMeasurement {
+  crypto::Algorithm algorithm = crypto::Algorithm::kAes128;
+  /// Backend that actually ran (kAuto resolves to kAesNi or kScalar).
+  crypto::CipherBackend backend = crypto::CipherBackend::kScalar;
+  /// Sustained bulk throughput over a large buffer, MB/s.
+  double throughput_mb_s = 0.0;
+  /// Mean per-segment overhead beyond bulk throughput (IV derivation,
+  /// stream reset, call path), seconds.
+  double per_packet_overhead_s = 0.0;
+  /// Spread of per-segment times, the Gaussian jitter of eq. (15).
+  double jitter_stddev_s = 0.0;
+};
+
+/// Time the OFB segment path for `a` on this host.  `sample_bytes` sizes
+/// the bulk-throughput buffer; the per-packet pass always uses MTU-sized
+/// segments.  Deterministic key/IV, best-of-N timing: results are stable
+/// enough for calibration but are still wall-clock measurements — do not
+/// golden-pin them.
+[[nodiscard]] HostCryptoMeasurement measure_host_crypto(
+    crypto::Algorithm a,
+    crypto::CipherBackend backend = crypto::CipherBackend::kAuto,
+    std::size_t sample_bytes = 1 << 20);
+
+/// A DeviceProfile for the host: the three CryptoSpeed entries are
+/// measured with measure_host_crypto(); the power-side coefficients are
+/// inherited from the Samsung profile (this hook calibrates *time*, not
+/// the paper's handset power model — see docs/benchmarks.md).
+[[nodiscard]] DeviceProfile calibrated_host_profile(
+    crypto::CipherBackend backend = crypto::CipherBackend::kAuto);
+
+}  // namespace tv::core

@@ -120,19 +120,20 @@ void add_round_key(State& s, const std::uint8_t* rk) {
 
 }  // namespace
 
-Aes::Aes(std::span<const std::uint8_t> key) : key_bytes_(key.size()) {
+AesKeySchedule AesKeySchedule::expand(std::span<const std::uint8_t> key) {
   if (key.size() != 16 && key.size() != 24 && key.size() != 32) {
     throw std::invalid_argument{"Aes: key must be 16, 24 or 32 bytes"};
   }
+  AesKeySchedule ks;
+  ks.key_bytes = key.size();
   const int nk = static_cast<int>(key.size() / 4);
-  rounds_ = nk + 6;
-  const int total_words = 4 * (rounds_ + 1);
-  round_keys_.resize(static_cast<std::size_t>(total_words) * 4);
-  std::memcpy(round_keys_.data(), key.data(), key.size());
+  ks.rounds = nk + 6;
+  const int total_words = 4 * (ks.rounds + 1);
+  std::memcpy(ks.round_keys.data(), key.data(), key.size());
   std::uint8_t rcon = 0x01;
   for (int w = nk; w < total_words; ++w) {
     std::uint8_t temp[4];
-    std::memcpy(temp, &round_keys_[static_cast<std::size_t>(w - 1) * 4], 4);
+    std::memcpy(temp, &ks.round_keys[static_cast<std::size_t>(w - 1) * 4], 4);
     if (w % nk == 0) {
       // RotWord + SubWord + Rcon.
       const std::uint8_t t0 = temp[0];
@@ -145,12 +146,35 @@ Aes::Aes(std::span<const std::uint8_t> key) : key_bytes_(key.size()) {
       for (auto& b : temp) b = kSbox[b];
     }
     for (int i = 0; i < 4; ++i) {
-      round_keys_[static_cast<std::size_t>(w) * 4 + static_cast<std::size_t>(i)] =
-          round_keys_[static_cast<std::size_t>(w - nk) * 4 +
-                      static_cast<std::size_t>(i)] ^
+      ks.round_keys[static_cast<std::size_t>(w) * 4 +
+                    static_cast<std::size_t>(i)] =
+          ks.round_keys[static_cast<std::size_t>(w - nk) * 4 +
+                        static_cast<std::size_t>(i)] ^
           temp[i];
     }
   }
+  return ks;
+}
+
+Aes::Aes(std::span<const std::uint8_t> key)
+    : schedule_(AesKeySchedule::expand(key)) {}
+
+void Aes::encrypt_one(const std::uint8_t* in, std::uint8_t* out) const {
+  State s;
+  std::memcpy(s.data(), in, 16);
+  add_round_key(s, schedule_.round_keys.data());
+  for (int round = 1; round < schedule_.rounds; ++round) {
+    sub_bytes(s);
+    shift_rows(s);
+    mix_columns(s);
+    add_round_key(s,
+                  &schedule_.round_keys[static_cast<std::size_t>(round) * 16]);
+  }
+  sub_bytes(s);
+  shift_rows(s);
+  add_round_key(
+      s, &schedule_.round_keys[static_cast<std::size_t>(schedule_.rounds) * 16]);
+  std::memcpy(out, s.data(), 16);
 }
 
 void Aes::encrypt_block(std::span<const std::uint8_t> in,
@@ -158,19 +182,30 @@ void Aes::encrypt_block(std::span<const std::uint8_t> in,
   if (in.size() != 16 || out.size() != 16) {
     throw std::invalid_argument{"Aes::encrypt_block: need 16-byte buffers"};
   }
-  State s;
-  std::memcpy(s.data(), in.data(), 16);
-  add_round_key(s, round_keys_.data());
-  for (int round = 1; round < rounds_; ++round) {
-    sub_bytes(s);
-    shift_rows(s);
-    mix_columns(s);
-    add_round_key(s, &round_keys_[static_cast<std::size_t>(round) * 16]);
+  encrypt_one(in.data(), out.data());
+}
+
+void Aes::encrypt_blocks(std::span<const std::uint8_t> in,
+                         std::span<std::uint8_t> out, std::size_t n) const {
+  check_batch_args(in.size(), out.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    encrypt_one(in.data() + i * 16, out.data() + i * 16);
   }
-  sub_bytes(s);
-  shift_rows(s);
-  add_round_key(s, &round_keys_[static_cast<std::size_t>(rounds_) * 16]);
-  std::memcpy(out.data(), s.data(), 16);
+}
+
+void Aes::ofb_keystream(std::span<std::uint8_t> feedback,
+                        std::span<std::uint8_t> out, std::size_t n) const {
+  if (feedback.size() < 16) {
+    throw std::invalid_argument{"Aes::ofb_keystream: feedback too small"};
+  }
+  check_batch_args(out.size(), out.size(), n);
+  const std::uint8_t* prev = feedback.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t* slot = out.data() + i * 16;
+    encrypt_one(prev, slot);
+    prev = slot;
+  }
+  if (n > 0) std::memcpy(feedback.data(), prev, 16);
 }
 
 void Aes::decrypt_block(std::span<const std::uint8_t> in,
@@ -180,16 +215,18 @@ void Aes::decrypt_block(std::span<const std::uint8_t> in,
   }
   State s;
   std::memcpy(s.data(), in.data(), 16);
-  add_round_key(s, &round_keys_[static_cast<std::size_t>(rounds_) * 16]);
-  for (int round = rounds_ - 1; round >= 1; --round) {
+  add_round_key(
+      s, &schedule_.round_keys[static_cast<std::size_t>(schedule_.rounds) * 16]);
+  for (int round = schedule_.rounds - 1; round >= 1; --round) {
     inv_shift_rows(s);
     inv_sub_bytes(s);
-    add_round_key(s, &round_keys_[static_cast<std::size_t>(round) * 16]);
+    add_round_key(s,
+                  &schedule_.round_keys[static_cast<std::size_t>(round) * 16]);
     inv_mix_columns(s);
   }
   inv_shift_rows(s);
   inv_sub_bytes(s);
-  add_round_key(s, round_keys_.data());
+  add_round_key(s, schedule_.round_keys.data());
   std::memcpy(out.data(), s.data(), 16);
 }
 

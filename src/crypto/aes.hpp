@@ -4,17 +4,37 @@
 // plus xtime() for MixColumns.  Not constant-time and not meant to be; the
 // repository uses it to reproduce the computational *cost structure* of the
 // paper's encryption policies and to produce real ciphertext for the
-// eavesdropper-distortion experiments.
+// eavesdropper-distortion experiments.  On x86 CPUs with AES-NI,
+// suite::make_cipher selects the byte-identical hardware backend in
+// aes_ni.hpp instead; this class remains the portable reference.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <span>
-#include <vector>
 
 #include "crypto/block_cipher.hpp"
 
 namespace tv::crypto {
+
+/// Expanded AES round keys, shared by the scalar and AES-NI backends so
+/// both run the exact FIPS-197 key schedule.
+struct AesKeySchedule {
+  std::size_t key_bytes = 0;
+  int rounds = 0;
+  /// 4 * (rounds + 1) 32-bit words stored as bytes; sized for AES-256.
+  std::array<std::uint8_t, 16 * 15> round_keys{};
+
+  /// key must be 16, 24 or 32 bytes.  Throws std::invalid_argument
+  /// otherwise.
+  [[nodiscard]] static AesKeySchedule expand(
+      std::span<const std::uint8_t> key);
+
+  [[nodiscard]] std::string_view name() const {
+    return key_bytes == 16 ? "AES128"
+                           : (key_bytes == 24 ? "AES192" : "AES256");
+  }
+};
 
 /// AES with a 128-, 192- or 256-bit key (the paper uses 128 and 256).
 class Aes final : public BlockCipher {
@@ -23,9 +43,11 @@ class Aes final : public BlockCipher {
   explicit Aes(std::span<const std::uint8_t> key);
 
   [[nodiscard]] std::size_t block_size() const override { return 16; }
-  [[nodiscard]] std::size_t key_size() const override { return key_bytes_; }
+  [[nodiscard]] std::size_t key_size() const override {
+    return schedule_.key_bytes;
+  }
   [[nodiscard]] std::string_view name() const override {
-    return key_bytes_ == 16 ? "AES128" : (key_bytes_ == 24 ? "AES192" : "AES256");
+    return schedule_.name();
   }
 
   void encrypt_block(std::span<const std::uint8_t> in,
@@ -33,11 +55,18 @@ class Aes final : public BlockCipher {
   void decrypt_block(std::span<const std::uint8_t> in,
                      std::span<std::uint8_t> out) const override;
 
+  /// Batched hot paths: one virtual call, dispatch-free inner loop.
+  void encrypt_blocks(std::span<const std::uint8_t> in,
+                      std::span<std::uint8_t> out,
+                      std::size_t n) const override;
+  void ofb_keystream(std::span<std::uint8_t> feedback,
+                     std::span<std::uint8_t> out,
+                     std::size_t n) const override;
+
  private:
-  std::size_t key_bytes_ = 0;
-  int rounds_ = 0;
-  // Expanded round keys, 4 * (rounds_ + 1) 32-bit words stored as bytes.
-  std::vector<std::uint8_t> round_keys_;
+  void encrypt_one(const std::uint8_t* in, std::uint8_t* out) const;
+
+  AesKeySchedule schedule_;
 };
 
 }  // namespace tv::crypto

@@ -1,0 +1,35 @@
+// Hardware AES backend (x86 AES-NI).
+//
+// Byte-identical to the scalar crypto::Aes — it runs the same FIPS-197
+// key schedule (AesKeySchedule) and the AESENC/AESDEC instruction
+// semantics are exactly the standard round functions — but one block costs
+// ~10 instructions instead of hundreds of S-box lookups.  The translation
+// unit is compiled with -maes only on x86 builds; everywhere else the
+// factory below reports the backend unavailable and make_cipher falls
+// back to the scalar implementation.
+//
+// Availability is a *runtime* property (cpuid), not just a compile-time
+// one: a binary built with AES-NI support still runs on a CPU without it
+// by taking the scalar path, which is why suite::make_cipher consults
+// aes_ni_available() per construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "crypto/block_cipher.hpp"
+
+namespace tv::crypto {
+
+/// True when this build has the AES-NI backend compiled in *and* the CPU
+/// executing right now advertises the AES instruction set.
+[[nodiscard]] bool aes_ni_available();
+
+/// Construct the hardware AES cipher (key 16, 24 or 32 bytes).  Throws
+/// std::runtime_error when aes_ni_available() is false and
+/// std::invalid_argument on a bad key size.
+[[nodiscard]] std::unique_ptr<BlockCipher> make_aes_ni(
+    std::span<const std::uint8_t> key);
+
+}  // namespace tv::crypto

@@ -1,0 +1,43 @@
+#include "crypto/block_cipher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tv::crypto {
+
+void BlockCipher::check_batch_args(std::size_t in_size, std::size_t out_size,
+                                   std::size_t n) const {
+  const std::size_t need = n * block_size();
+  if (in_size < need || out_size < need) {
+    throw std::invalid_argument{
+        "BlockCipher: batch spans must hold n * block_size() bytes"};
+  }
+}
+
+void BlockCipher::encrypt_blocks(std::span<const std::uint8_t> in,
+                                 std::span<std::uint8_t> out,
+                                 std::size_t n) const {
+  check_batch_args(in.size(), out.size(), n);
+  const std::size_t block = block_size();
+  for (std::size_t i = 0; i < n; ++i) {
+    encrypt_block(in.subspan(i * block, block), out.subspan(i * block, block));
+  }
+}
+
+void BlockCipher::ofb_keystream(std::span<std::uint8_t> feedback,
+                                std::span<std::uint8_t> out,
+                                std::size_t n) const {
+  const std::size_t block = block_size();
+  if (feedback.size() < block) {
+    throw std::invalid_argument{
+        "BlockCipher::ofb_keystream: feedback smaller than block"};
+  }
+  check_batch_args(out.size(), out.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::span<std::uint8_t> slot = out.subspan(i * block, block);
+    encrypt_block(feedback.first(block), slot);
+    std::copy(slot.begin(), slot.end(), feedback.begin());
+  }
+}
+
+}  // namespace tv::crypto

@@ -5,6 +5,14 @@
 // uses the forward (encrypt) transform, but the ciphers implement both
 // directions so they can be validated against the full standard test
 // vectors.
+//
+// The hot path is batched: encrypt_blocks() transforms n independent
+// blocks per virtual call and ofb_keystream() advances the OFB feedback
+// chain n blocks per virtual call, so the per-block cost of concrete
+// ciphers (and their SIMD backends) is not dominated by virtual dispatch.
+// Both have loop fallbacks over the one-block primitives, so a new cipher
+// only has to implement encrypt_block()/decrypt_block() to be correct and
+// can add batched overrides purely as an optimization.
 #pragma once
 
 #include <cstddef>
@@ -14,7 +22,7 @@
 
 namespace tv::crypto {
 
-/// A block cipher with a fixed block size, operating on exactly one block.
+/// A block cipher with a fixed block size.
 class BlockCipher {
  public:
   virtual ~BlockCipher() = default;
@@ -35,6 +43,32 @@ class BlockCipher {
   /// Decrypt exactly one block.
   virtual void decrypt_block(std::span<const std::uint8_t> in,
                              std::span<std::uint8_t> out) const = 0;
+
+  /// Encrypt `n` independent blocks (ECB-style batch): in and out must
+  /// each hold at least n * block_size() bytes.  in and out may alias
+  /// exactly (in.data() == out.data()) but must not otherwise overlap.
+  /// The default loops over encrypt_block(); concrete ciphers override it
+  /// with a dispatch-free (and possibly SIMD) inner loop.
+  virtual void encrypt_blocks(std::span<const std::uint8_t> in,
+                              std::span<std::uint8_t> out,
+                              std::size_t n) const;
+
+  /// Advance the OFB chain `n` blocks: starting from the block_size()
+  /// bytes in `feedback`, repeatedly encrypt the feedback block, append
+  /// each result to `out` (n * block_size() bytes of keystream) and leave
+  /// the final block in `feedback` for the next call.  The chain is
+  /// inherently serial — O_i = E_K(O_{i-1}) — so batching here amortizes
+  /// the virtual call and lets backends keep the feedback block in a
+  /// register across iterations.
+  virtual void ofb_keystream(std::span<std::uint8_t> feedback,
+                             std::span<std::uint8_t> out,
+                             std::size_t n) const;
+
+ protected:
+  /// Shared argument validation for the batched entry points; throws
+  /// std::invalid_argument on undersized spans.
+  void check_batch_args(std::size_t in_size, std::size_t out_size,
+                        std::size_t n) const;
 };
 
 }  // namespace tv::crypto

@@ -182,6 +182,29 @@ void Des::decrypt_block(std::span<const std::uint8_t> in,
   store_be64(decrypt64(load_be64(in)), out);
 }
 
+void Des::encrypt_blocks(std::span<const std::uint8_t> in,
+                         std::span<std::uint8_t> out, std::size_t n) const {
+  check_batch_args(in.size(), out.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    store_be64(encrypt64(load_be64(in.subspan(i * 8, 8))),
+               out.subspan(i * 8, 8));
+  }
+}
+
+void Des::ofb_keystream(std::span<std::uint8_t> feedback,
+                        std::span<std::uint8_t> out, std::size_t n) const {
+  if (feedback.size() < 8) {
+    throw std::invalid_argument{"Des::ofb_keystream: feedback too small"};
+  }
+  check_batch_args(out.size(), out.size(), n);
+  std::uint64_t fb = load_be64(feedback.first(8));
+  for (std::size_t i = 0; i < n; ++i) {
+    fb = encrypt64(fb);
+    store_be64(fb, out.subspan(i * 8, 8));
+  }
+  store_be64(fb, feedback.first(8));
+}
+
 TripleDes::TripleDes(std::span<const std::uint8_t> key)
     : k1_(key.size() == 24 ? key.subspan(0, 8) : key),
       k2_(key.size() == 24 ? key.subspan(8, 8) : key),
@@ -196,7 +219,31 @@ void TripleDes::encrypt_block(std::span<const std::uint8_t> in,
   if (in.size() != 8 || out.size() != 8) {
     throw std::invalid_argument{"TripleDes::encrypt_block: need 8-byte buffers"};
   }
-  store_be64(k3_.encrypt64(k2_.decrypt64(k1_.encrypt64(load_be64(in)))), out);
+  store_be64(ede64(load_be64(in)), out);
+}
+
+void TripleDes::encrypt_blocks(std::span<const std::uint8_t> in,
+                               std::span<std::uint8_t> out,
+                               std::size_t n) const {
+  check_batch_args(in.size(), out.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    store_be64(ede64(load_be64(in.subspan(i * 8, 8))), out.subspan(i * 8, 8));
+  }
+}
+
+void TripleDes::ofb_keystream(std::span<std::uint8_t> feedback,
+                              std::span<std::uint8_t> out,
+                              std::size_t n) const {
+  if (feedback.size() < 8) {
+    throw std::invalid_argument{"TripleDes::ofb_keystream: feedback too small"};
+  }
+  check_batch_args(out.size(), out.size(), n);
+  std::uint64_t fb = load_be64(feedback.first(8));
+  for (std::size_t i = 0; i < n; ++i) {
+    fb = ede64(fb);
+    store_be64(fb, out.subspan(i * 8, 8));
+  }
+  store_be64(fb, feedback.first(8));
 }
 
 void TripleDes::decrypt_block(std::span<const std::uint8_t> in,

@@ -27,6 +27,12 @@ class Des final : public BlockCipher {
                      std::span<std::uint8_t> out) const override;
   void decrypt_block(std::span<const std::uint8_t> in,
                      std::span<std::uint8_t> out) const override;
+  void encrypt_blocks(std::span<const std::uint8_t> in,
+                      std::span<std::uint8_t> out,
+                      std::size_t n) const override;
+  void ofb_keystream(std::span<std::uint8_t> feedback,
+                     std::span<std::uint8_t> out,
+                     std::size_t n) const override;
 
   /// Raw 64-bit block transforms used by TripleDes.
   [[nodiscard]] std::uint64_t encrypt64(std::uint64_t block) const;
@@ -51,8 +57,18 @@ class TripleDes final : public BlockCipher {
                      std::span<std::uint8_t> out) const override;
   void decrypt_block(std::span<const std::uint8_t> in,
                      std::span<std::uint8_t> out) const override;
+  void encrypt_blocks(std::span<const std::uint8_t> in,
+                      std::span<std::uint8_t> out,
+                      std::size_t n) const override;
+  void ofb_keystream(std::span<std::uint8_t> feedback,
+                     std::span<std::uint8_t> out,
+                     std::size_t n) const override;
 
  private:
+  [[nodiscard]] std::uint64_t ede64(std::uint64_t block) const {
+    return k3_.encrypt64(k2_.decrypt64(k1_.encrypt64(block)));
+  }
+
   Des k1_;
   Des k2_;
   Des k3_;

@@ -5,8 +5,14 @@
 // following segments".  OFB turns any block cipher into a synchronous
 // stream cipher: O_0 = IV, O_i = E_K(O_{i-1}), C_i = P_i xor O_i.
 // Encryption and decryption are the same operation.
+//
+// The implementation is batched: keystream is produced through the
+// cipher's ofb_keystream() hot path (one virtual call per refill, not per
+// block) and XORed into the payload word-at-a-time, so per-segment cost
+// is dominated by the cipher core, not by dispatch or byte loops.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -15,9 +21,16 @@
 
 namespace tv::crypto {
 
-/// One-shot OFB transform of `data` under `cipher` with `iv`
-/// (iv.size() == cipher.block_size()).  Returns the transformed bytes;
-/// applying the function twice with the same iv restores the input.
+/// One-shot OFB transform writing into `out` (out.size() == data.size();
+/// in-place allowed when out.data() == data.data()).  Applying the
+/// transform twice with the same iv restores the input.
+void ofb_transform(const BlockCipher& cipher, std::span<const std::uint8_t> iv,
+                   std::span<const std::uint8_t> data,
+                   std::span<std::uint8_t> out);
+
+/// Deprecated one-shot returning a fresh vector; prefer the span-out
+/// overload (or ofb_transform_inplace) which does not allocate per call.
+/// Kept as a thin wrapper for tests and exploratory code.
 [[nodiscard]] std::vector<std::uint8_t> ofb_transform(
     const BlockCipher& cipher, std::span<const std::uint8_t> iv,
     std::span<const std::uint8_t> data);
@@ -27,23 +40,47 @@ void ofb_transform_inplace(const BlockCipher& cipher,
                            std::span<const std::uint8_t> iv,
                            std::span<std::uint8_t> data);
 
-/// Incremental OFB keystream, for callers that encrypt a segment in chunks.
+/// Incremental OFB keystream, for callers that encrypt a segment in chunks
+/// — and, via reset(), for callers that encrypt many segments in sequence
+/// with one stream object (no per-segment buffer churn).
 class OfbStream {
  public:
+  /// Unseeded stream bound to a cipher: reset(iv) must be called before
+  /// the first apply().  This is the constructor for per-segment reuse.
+  explicit OfbStream(const BlockCipher& cipher);
+
   OfbStream(const BlockCipher& cipher, std::span<const std::uint8_t> iv);
+
+  /// Restart the keystream from a fresh IV (iv.size() == block size),
+  /// discarding any unconsumed keystream.  The internal buffers are
+  /// reused, so resetting per segment costs no allocation.
+  void reset(std::span<const std::uint8_t> iv);
 
   /// XOR the next keystream bytes into `data`.
   void apply(std::span<std::uint8_t> data);
 
  private:
+  void refill(std::size_t want_bytes);
+
   const BlockCipher& cipher_;
-  std::vector<std::uint8_t> feedback_;
-  std::size_t used_ = 0;  // bytes of `feedback_` already consumed.
+  std::size_t block_size_;
+  bool seeded_ = false;
+  /// OFB feedback register O_i; ciphers have block size <= 16.
+  std::array<std::uint8_t, 16> feedback_{};
+  /// Buffered keystream bytes [used_, filled_) not yet consumed.
+  std::vector<std::uint8_t> keystream_;
+  std::size_t used_ = 0;
+  std::size_t filled_ = 0;
 };
 
 /// Derive a deterministic per-segment IV from a flow IV and a segment
 /// sequence number, as the sender and receiver must agree on one without
-/// shipping it per packet.
+/// shipping it per packet.  Writes cipher.block_size() bytes into `out`.
+void segment_iv(const BlockCipher& cipher,
+                std::span<const std::uint8_t> flow_iv,
+                std::uint64_t sequence_number, std::span<std::uint8_t> out);
+
+/// Allocating convenience wrapper around the span-out overload.
 [[nodiscard]] std::vector<std::uint8_t> segment_iv(
     const BlockCipher& cipher, std::span<const std::uint8_t> flow_iv,
     std::uint64_t sequence_number);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "crypto/aes.hpp"
+#include "crypto/aes_ni.hpp"
 #include "crypto/des.hpp"
 
 namespace tv::crypto {
@@ -33,23 +34,45 @@ std::size_t key_size(Algorithm a) {
   throw std::invalid_argument{"key_size: bad Algorithm"};
 }
 
+std::string_view to_string(CipherBackend b) {
+  switch (b) {
+    case CipherBackend::kAuto: return "auto";
+    case CipherBackend::kScalar: return "scalar";
+    case CipherBackend::kAesNi: return "aes-ni";
+  }
+  throw std::invalid_argument{"to_string: bad CipherBackend"};
+}
+
+bool aes_ni_selected(Algorithm a) {
+  return a != Algorithm::kTripleDes && aes_ni_available();
+}
+
 std::unique_ptr<BlockCipher> make_cipher(Algorithm a,
-                                         std::span<const std::uint8_t> key) {
+                                         std::span<const std::uint8_t> key,
+                                         CipherBackend backend) {
   if (key.size() != key_size(a)) {
     throw std::invalid_argument{"make_cipher: wrong key size"};
   }
   switch (a) {
     case Algorithm::kAes128:
     case Algorithm::kAes256:
+      if (backend == CipherBackend::kAesNi ||
+          (backend == CipherBackend::kAuto && aes_ni_available())) {
+        return make_aes_ni(key);  // throws when explicitly requested but absent.
+      }
       return std::make_unique<Aes>(key);
     case Algorithm::kTripleDes:
+      if (backend == CipherBackend::kAesNi) {
+        throw std::runtime_error{"make_cipher: no hardware backend for 3DES"};
+      }
       return std::make_unique<TripleDes>(key);
   }
   throw std::invalid_argument{"make_cipher: bad Algorithm"};
 }
 
 std::unique_ptr<BlockCipher> make_cipher_from_seed(Algorithm a,
-                                                   std::uint64_t seed) {
+                                                   std::uint64_t seed,
+                                                   CipherBackend backend) {
   // SplitMix64 expansion of the seed into key material.
   std::vector<std::uint8_t> key(key_size(a));
   std::uint64_t state = seed;
@@ -63,7 +86,7 @@ std::unique_ptr<BlockCipher> make_cipher_from_seed(Algorithm a,
     }
     key[i] = static_cast<std::uint8_t>((state >> (8 * (i % 8))) & 0xff);
   }
-  return make_cipher(a, key);
+  return make_cipher(a, key, backend);
 }
 
 double relative_cost_per_byte(Algorithm a) {

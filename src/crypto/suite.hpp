@@ -24,14 +24,35 @@ enum class Algorithm { kAes128, kAes256, kTripleDes };
 /// Key size in bytes for the given algorithm.
 [[nodiscard]] std::size_t key_size(Algorithm a);
 
+/// Which concrete implementation backs a cipher instance.  All backends
+/// are byte-identical (pinned against the NIST vectors and each other by
+/// the property tests); they differ only in speed.
+enum class CipherBackend {
+  kAuto,    ///< fastest available: AES-NI for AES when the CPU has it.
+  kScalar,  ///< the portable software implementation.
+  kAesNi,   ///< hardware AES; make_cipher throws when unavailable.
+};
+
+[[nodiscard]] std::string_view to_string(CipherBackend b);
+
+/// True when make_cipher(kAuto) would pick the hardware AES path.
+[[nodiscard]] bool aes_ni_selected(Algorithm a);
+
 /// Construct a cipher instance; key.size() must equal key_size(a).
+/// With kAuto (the default and what every production call site uses),
+/// AES128/AES256 get the runtime-detected AES-NI backend when the CPU
+/// supports it and the scalar implementation otherwise; 3DES is always
+/// scalar.  Requesting kAesNi explicitly throws std::runtime_error when
+/// the backend is missing (non-x86 build or a CPU without the extension).
 [[nodiscard]] std::unique_ptr<BlockCipher> make_cipher(
-    Algorithm a, std::span<const std::uint8_t> key);
+    Algorithm a, std::span<const std::uint8_t> key,
+    CipherBackend backend = CipherBackend::kAuto);
 
 /// Convenience: derive a key of the right size from a 64-bit seed (for
 /// experiments, where key agreement is out of scope per Section 3).
 [[nodiscard]] std::unique_ptr<BlockCipher> make_cipher_from_seed(
-    Algorithm a, std::uint64_t seed);
+    Algorithm a, std::uint64_t seed,
+    CipherBackend backend = CipherBackend::kAuto);
 
 /// Relative per-byte software cost of the algorithm, normalized to
 /// AES128 == 1.  Used by device profiles to scale encryption-time

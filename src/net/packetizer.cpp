@@ -1,5 +1,7 @@
 #include "net/packetizer.hpp"
 
+#include <array>
+#include <optional>
 #include <stdexcept>
 
 #include "crypto/ofb.hpp"
@@ -45,11 +47,18 @@ void encrypt_selected(std::vector<VideoPacket>& packets,
   if (selected.size() != packets.size()) {
     throw std::invalid_argument{"encrypt_selected: selection size mismatch"};
   }
+  // One stream object for the whole pass: each segment re-seeds it with
+  // its derived IV (OFB is per-segment by design, Section 5) without
+  // reallocating the feedback/keystream buffers per packet.
+  crypto::OfbStream stream{cipher};
+  std::array<std::uint8_t, 16> iv{};
+  const std::span<std::uint8_t> iv_span{iv.data(), cipher.block_size()};
   for (std::size_t i = 0; i < packets.size(); ++i) {
     if (!selected[i]) continue;
     VideoPacket& p = packets[i];
-    const auto iv = crypto::segment_iv(cipher, flow_iv, p.sequence);
-    crypto::ofb_transform_inplace(cipher, iv, p.payload);
+    crypto::segment_iv(cipher, flow_iv, p.sequence, iv_span);
+    stream.reset(iv_span);
+    stream.apply(p.payload);
     p.encrypted = true;
   }
 }
@@ -92,14 +101,20 @@ std::vector<video::ReceivedFrameData> reassemble(
     frames.push_back(video::ReceivedFrameData::lost(
         frame_sizes[static_cast<std::size_t>(i)]));
   }
+  std::optional<crypto::OfbStream> stream;
+  std::array<std::uint8_t, 16> iv{};
+  if (cipher != nullptr) stream.emplace(*cipher);
+  std::vector<std::uint8_t> payload;
   for (std::size_t i = 0; i < packets.size(); ++i) {
     if (!delivered[i]) continue;
     const VideoPacket& p = packets[i];
     if (p.encrypted && cipher == nullptr) continue;  // erasure for snooper.
-    std::vector<std::uint8_t> payload = p.payload;
+    payload = p.payload;
     if (p.encrypted) {
-      const auto iv = crypto::segment_iv(*cipher, flow_iv, p.sequence);
-      crypto::ofb_transform_inplace(*cipher, iv, payload);
+      const std::span<std::uint8_t> iv_span{iv.data(), cipher->block_size()};
+      crypto::segment_iv(*cipher, flow_iv, p.sequence, iv_span);
+      stream->reset(iv_span);
+      stream->apply(payload);
     }
     auto& frame = frames[static_cast<std::size_t>(p.frame_index)];
     for (std::size_t b = 0; b < payload.size(); ++b) {

@@ -1,0 +1,73 @@
+#include "util/cycle_clock.hpp"
+
+#include <chrono>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#define TV_HAVE_RDTSC 1
+#endif
+
+namespace tv::util {
+
+bool cycle_clock_available() {
+#if defined(TV_HAVE_RDTSC)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::uint64_t cycle_now() {
+#if defined(TV_HAVE_RDTSC)
+  return __rdtsc();
+#else
+  return 0;
+#endif
+}
+
+namespace {
+
+#if defined(TV_HAVE_RDTSC)
+double calibrate_tsc_ghz() {
+  using clock = std::chrono::steady_clock;
+  // ~20 ms spin: long enough that steady_clock granularity is noise,
+  // short enough not to matter at process start.  Two passes, keep the
+  // second (the first warms the core out of any idle state).
+  double ghz = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto t0 = clock::now();
+    const std::uint64_t c0 = __rdtsc();
+    for (;;) {
+      const auto t1 = clock::now();
+      const auto ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count();
+      if (ns >= 20'000'000) {
+        const std::uint64_t c1 = __rdtsc();
+        ghz = static_cast<double>(c1 - c0) / static_cast<double>(ns);
+        break;
+      }
+    }
+  }
+  return ghz;
+}
+#endif
+
+}  // namespace
+
+double tsc_ghz() {
+#if defined(TV_HAVE_RDTSC)
+  static const double ghz = calibrate_tsc_ghz();
+  return ghz;
+#else
+  return 0.0;
+#endif
+}
+
+double cycles_to_seconds(std::uint64_t cycles) {
+  const double ghz = tsc_ghz();
+  if (ghz <= 0.0) return 0.0;
+  return static_cast<double>(cycles) / (ghz * 1e9);
+}
+
+}  // namespace tv::util

@@ -1,0 +1,30 @@
+// CPU cycle counter for microbenchmarks.
+//
+// Wraps rdtsc on x86 with a one-time steady_clock calibration of the TSC
+// frequency, so benches can report cycles/byte.  On targets without an
+// invariant TSC equivalent the API degrades gracefully:
+// cycle_clock_available() returns false and callers fall back to
+// wall-clock-only metrics (tests skip, benches emit nulls).
+#pragma once
+
+#include <cstdint>
+
+namespace tv::util {
+
+/// True when cycle_now() returns a real, monotonically increasing cycle
+/// count on this build/CPU.
+[[nodiscard]] bool cycle_clock_available();
+
+/// Current cycle count (rdtsc).  Returns 0 when unavailable.
+[[nodiscard]] std::uint64_t cycle_now();
+
+/// Calibrated TSC frequency in GHz (cycles per nanosecond), measured once
+/// against std::chrono::steady_clock and cached.  Returns 0.0 when the
+/// cycle clock is unavailable.
+[[nodiscard]] double tsc_ghz();
+
+/// Convert a cycle delta to seconds using the calibrated frequency.
+/// Returns 0.0 when the cycle clock is unavailable.
+[[nodiscard]] double cycles_to_seconds(std::uint64_t cycles);
+
+}  // namespace tv::util

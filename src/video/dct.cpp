@@ -7,14 +7,24 @@ namespace tv::video {
 
 namespace {
 
-// Precomputed cosine basis: kCos[u][x] = c(u) * cos((2x+1) u pi / 16).
+// Precomputed cosine basis: table[u][x] = c(u) * cos((2x+1) u pi / 16),
+// plus its transpose.  The transform loops below are written in
+// independent-accumulator form: the reduction index is the *outer* loop
+// and all 8 outputs accumulate in the inner loop.  Each output still sums
+// its products in exactly the same order as the classic dot-product
+// formulation — bit-identical results, pinned by the golden sweeps — but
+// the inner loop is now 8 independent contiguous lanes, which the
+// autovectorizer turns into packed-double adds/muls instead of a serial
+// reduction it is not allowed to reassociate.
 struct Basis {
   double table[8][8];
+  double transposed[8][8];  // transposed[x][u] == table[u][x].
   Basis() {
     for (int u = 0; u < 8; ++u) {
       const double cu = u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
       for (int x = 0; x < 8; ++x) {
         table[u][x] = cu * std::cos((2.0 * x + 1.0) * u * std::numbers::pi / 16.0);
+        transposed[x][u] = table[u][x];
       }
     }
   }
@@ -22,55 +32,67 @@ struct Basis {
 
 const Basis kBasis;
 
+// out[k][u] (+)= Σ_j in[k][j] * basis[j][u] for all 8 rows: the shared
+// 8x8 matrix product of both passes of both transforms.  `basis` selects
+// table (inverse direction) or transposed (forward direction); row-major
+// vs. column-major access of `in`/`out` is handled by the callers via the
+// stride arguments.
+inline void mat8_accumulate(const double* in, std::size_t in_stride,
+                            const double (&basis)[8][8], double* out,
+                            std::size_t out_stride) {
+  for (int k = 0; k < 8; ++k) {
+    double acc[8] = {};
+    const double* row = in + static_cast<std::size_t>(k) * in_stride;
+    for (int j = 0; j < 8; ++j) {
+      const double s = row[static_cast<std::size_t>(j)];
+      const double* b = basis[j];
+      for (int u = 0; u < 8; ++u) acc[u] += s * b[u];
+    }
+    double* orow = out + static_cast<std::size_t>(k) * out_stride;
+    for (int u = 0; u < 8; ++u) orow[static_cast<std::size_t>(u)] = acc[u];
+  }
+}
+
+// Transpose an 8x8 block (rows <-> columns), so the column passes can run
+// the same contiguous row kernel.
+inline void transpose8(const Block8x8& in, Block8x8& out) {
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      out[static_cast<std::size_t>(c * 8 + r)] =
+          in[static_cast<std::size_t>(r * 8 + c)];
+    }
+  }
+}
+
 }  // namespace
 
 Block8x8 forward_dct(const Block8x8& spatial) {
-  // Separable: rows then columns.
+  // Separable: rows then columns.  tmp[r][u] = Σ_x s[r][x] * B[u][x].
   Block8x8 tmp{};
-  for (int r = 0; r < 8; ++r) {
-    for (int u = 0; u < 8; ++u) {
-      double acc = 0.0;
-      for (int x = 0; x < 8; ++x) {
-        acc += spatial[static_cast<std::size_t>(r * 8 + x)] * kBasis.table[u][x];
-      }
-      tmp[static_cast<std::size_t>(r * 8 + u)] = acc;
-    }
-  }
+  mat8_accumulate(spatial.data(), 8, kBasis.transposed, tmp.data(), 8);
+  // out[v][c] = Σ_y tmp[y][c] * B[v][y]: transpose, row kernel, transpose
+  // back — the kernel then reads and writes contiguous lanes.
+  Block8x8 tmp_t{};
+  transpose8(tmp, tmp_t);
+  Block8x8 out_t{};
+  mat8_accumulate(tmp_t.data(), 8, kBasis.transposed, out_t.data(), 8);
   Block8x8 out{};
-  for (int c = 0; c < 8; ++c) {
-    for (int v = 0; v < 8; ++v) {
-      double acc = 0.0;
-      for (int y = 0; y < 8; ++y) {
-        acc += tmp[static_cast<std::size_t>(y * 8 + c)] * kBasis.table[v][y];
-      }
-      out[static_cast<std::size_t>(v * 8 + c)] = acc;
-    }
-  }
+  transpose8(out_t, out);
   return out;
 }
 
 Block8x8 inverse_dct(const Block8x8& coefficients) {
+  // Columns first (mirrors the forward transform's historical order):
+  // tmp[y][c] = Σ_v C[v][c] * B[v][y].
+  Block8x8 coeff_t{};
+  transpose8(coefficients, coeff_t);
+  Block8x8 tmp_t{};
+  mat8_accumulate(coeff_t.data(), 8, kBasis.table, tmp_t.data(), 8);
   Block8x8 tmp{};
-  for (int c = 0; c < 8; ++c) {
-    for (int y = 0; y < 8; ++y) {
-      double acc = 0.0;
-      for (int v = 0; v < 8; ++v) {
-        acc += coefficients[static_cast<std::size_t>(v * 8 + c)] *
-               kBasis.table[v][y];
-      }
-      tmp[static_cast<std::size_t>(y * 8 + c)] = acc;
-    }
-  }
+  transpose8(tmp_t, tmp);
+  // Rows: out[r][x] = Σ_u tmp[r][u] * B[u][x].
   Block8x8 out{};
-  for (int r = 0; r < 8; ++r) {
-    for (int x = 0; x < 8; ++x) {
-      double acc = 0.0;
-      for (int u = 0; u < 8; ++u) {
-        acc += tmp[static_cast<std::size_t>(r * 8 + u)] * kBasis.table[u][x];
-      }
-      out[static_cast<std::size_t>(r * 8 + x)] = acc;
-    }
-  }
+  mat8_accumulate(tmp.data(), 8, kBasis.table, out.data(), 8);
   return out;
 }
 
