@@ -4,13 +4,14 @@
 #
 # Usage: ./run_checks.sh [--sanitize-only | --tsan-only | --validation-only
 #                         | --coverage | --tidy | --live-smoke | --chaos-smoke
-#                         | --bench-smoke]
+#                         | --bench-smoke | --cell-smoke]
 #
 # Test tiers are selected by ctest labels (see docs/validation.md):
 #   * default passes run everything except the `slow` label (the full-grid
 #     convergence test, minutes of simulation under sanitizers);
-#   * --validation-only runs the `validation` label — the simulator,
-#     property-based and golden-file suites, including the slow grid;
+#   * --validation-only runs the `validation` and `cell` labels — the
+#     simulator, property-based, golden-file and fixed-point-vs-DES
+#     cross-check suites, including the slow grid;
 #   * --coverage builds with gcov instrumentation (build-cov/), runs the
 #     non-slow tests and prints per-directory line coverage for src/;
 #   * --tidy runs a pinned clang-tidy check set over src/ (skipped with a
@@ -29,6 +30,10 @@
 #     JSON against the tv-bench-hotpath-v1 schema (keys present, numbers
 #     finite; docs/benchmarks.md).  Values are machine-specific and are
 #     deliberately not asserted.
+#   * --cell-smoke runs the `cell` label (the multi-flow contention
+#     engine, docs/cell.md) plus the `thriftyvid cell --validate`
+#     cross-check grid and a 100-flow capacity cell, in both the plain
+#     and the ASan+UBSan builds, each under a hard timeout.
 #
 # Every build configures with -DTHRIFTYVID_WERROR=ON: the tree is expected
 # to be warning-clean under -Wall -Wextra, and promoting warnings to errors
@@ -48,11 +53,11 @@ jobs=$(nproc 2>/dev/null || echo 4)
 mode="${1:-}"
 
 case "${mode}" in
-  ""|--sanitize-only|--tsan-only|--validation-only|--coverage|--tidy|--live-smoke|--chaos-smoke|--bench-smoke) ;;
+  ""|--sanitize-only|--tsan-only|--validation-only|--coverage|--tidy|--live-smoke|--chaos-smoke|--bench-smoke|--cell-smoke) ;;
   *)
     echo "usage: $0 [--sanitize-only | --tsan-only | --validation-only |" \
          "--coverage | --tidy | --live-smoke | --chaos-smoke |" \
-         "--bench-smoke]" >&2
+         "--bench-smoke | --cell-smoke]" >&2
     exit 2
     ;;
 esac
@@ -128,6 +133,38 @@ print(f"bench smoke: {sys.argv[1]} is schema-valid "
       f"({len(doc['ciphers'])} cipher points, {len(doc['ofb'])} ofb points)")
 PY
   echo "=== bench smoke passed ==="
+  exit 0
+fi
+
+if [[ "${mode}" == "--cell-smoke" ]]; then
+  # The CI gate for the cell engine: the fixed-point-vs-DES cross-check
+  # grid must hold every acceptance band (the CLI exits non-zero
+  # otherwise), and a 100-flow capacity cell with background traffic must
+  # complete under a hard timeout — both deterministic in --seed, so
+  # `timeout` is purely the hang watchdog.
+  validate_args=(cell --validate)
+  sweep_args=(cell --flows=100 --background=5 --frames=16 --gops=8
+              --reps=1 --deadlines=20 --quality=off --format=csv --seed=1)
+
+  echo "=== cell smoke: plain build ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DTHRIFTYVID_WERROR=ON
+  cmake --build build -j "${jobs}"
+  ctest --test-dir build --output-on-failure -j "${jobs}" -L cell
+  timeout 120 ./build/tools/thriftyvid "${validate_args[@]}"
+  timeout 300 ./build/tools/thriftyvid "${sweep_args[@]}" >/dev/null
+
+  echo "=== cell smoke: ASan + UBSan build ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTHRIFTYVID_SANITIZE=ON -DTHRIFTYVID_WERROR=ON
+  cmake --build build-asan -j "${jobs}"
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L cell
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    timeout 300 ./build-asan/tools/thriftyvid "${validate_args[@]}"
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    timeout 600 ./build-asan/tools/thriftyvid "${sweep_args[@]}" >/dev/null
+
+  echo "=== cell smoke passed ==="
   exit 0
 fi
 
@@ -211,7 +248,7 @@ if [[ "${mode}" == "--validation-only" ]]; then
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DTHRIFTYVID_WERROR=ON
   cmake --build build -j "${jobs}"
   ctest --test-dir build --output-on-failure -j "${jobs}" \
-        -L 'validation|slow'
+        -L 'validation|slow|cell'
   echo "=== validation tier passed ==="
   exit 0
 fi

@@ -1,0 +1,83 @@
+#include "cell/contention.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace tv::cell {
+
+void ContentionConfig::validate() const {
+  if (video.stations < 1 || video.cw_min < 1 || video.backoff_stages < 0) {
+    throw std::invalid_argument{"ContentionConfig: bad video class"};
+  }
+  if (background.stations < 0 || background.cw_min < 1 ||
+      background.backoff_stages < 0) {
+    throw std::invalid_argument{"ContentionConfig: bad background class"};
+  }
+  if (mean_wire_bytes <= 0.0) {
+    throw std::invalid_argument{"ContentionConfig: mean_wire_bytes <= 0"};
+  }
+  if (channel_error_prob < 0.0 || channel_error_prob >= 1.0) {
+    throw std::invalid_argument{
+        "ContentionConfig: channel_error_prob outside [0, 1)"};
+  }
+  if (phy.data_rate_mbps <= 0.0 || phy.control_rate_mbps <= 0.0 ||
+      phy.slot_time_s <= 0.0) {
+    throw std::invalid_argument{"ContentionConfig: bad PHY"};
+  }
+}
+
+ContentionSolution solve_contention(const ContentionConfig& config) {
+  config.validate();
+
+  std::vector<wifi::DcfClass> classes{config.video};
+  if (config.background.stations > 0) classes.push_back(config.background);
+
+  ContentionSolution sol;
+  sol.dcf = wifi::solve_dcf_classes(classes);
+  sol.contenders = config.video.stations + config.background.stations;
+  sol.collision_prob = sol.dcf.collision_probability[0];
+  sol.mac_success_prob =
+      (1.0 - sol.collision_prob) * (1.0 - config.channel_error_prob);
+
+  // Virtual-slot durations (Bianchi's throughput analysis): an idle slot
+  // lasts sigma, a success the full data + SIFS + ACK exchange plus DIFS,
+  // and a collision the data burst plus DIFS — the colliders never get an
+  // ACK, so the SIFS + ACK tail is dropped (EIFS deferral is folded into
+  // the DIFS term; the approximation is well inside the validation bands).
+  const std::size_t wire =
+      static_cast<std::size_t>(std::max(1.0, config.mean_wire_bytes));
+  const double t_success =
+      wifi::transmission_time_s(config.phy, wire) + config.phy.difs_s;
+  const double ack_time =
+      config.phy.plcp_preamble_s +
+      8.0 * static_cast<double>(config.phy.ack_bytes) /
+          (config.phy.control_rate_mbps * 1e6);
+  const double t_collision = t_success - config.phy.sifs_s - ack_time;
+  const double p_idle = sol.dcf.idle_prob;
+  const double p_succ = sol.dcf.success_prob;
+  const double p_coll = sol.dcf.any_transmission_prob - p_succ;
+  sol.mean_slot_s = p_idle * config.phy.slot_time_s + p_succ * t_success +
+                    p_coll * t_collision;
+
+  // lambda_b: the pipeline charges one Exp(1/lambda_b) wait per lost MAC
+  // attempt (eq. 7).  We set its mean to the first-retry cost: the wasted
+  // collision burst plus the mean stage-1 backoff count, each counter tick
+  // worth one mean virtual slot.  Collisions are geometric in p, so in the
+  // admissible operating region the first retry dominates the ladder.
+  const int first_stage = std::min(1, config.video.backoff_stages);
+  const double retry_window =
+      static_cast<double>(config.video.cw_min << first_stage);
+  const double mean_retry_wait =
+      t_collision + 0.5 * (retry_window - 1.0) * sol.mean_slot_s;
+  sol.backoff_rate = 1.0 / mean_retry_wait;
+
+  // One uploader's saturation share: its success probability per virtual
+  // slot times the payload it lands, over the mean slot duration.
+  sol.per_flow_throughput_mbps = sol.dcf.per_station_success_prob[0] *
+                                 config.mean_wire_bytes * 8.0 /
+                                 sol.mean_slot_s / 1e6;
+  return sol;
+}
+
+}  // namespace tv::cell

@@ -1,0 +1,58 @@
+// Bianchi <-> ServiceModel coupling: from a cell population to the MAC
+// knobs each flow's transfer pipeline consumes.
+//
+// The single-flow pipeline (core::simulate_transfer) models the MAC as two
+// scalars: the per-attempt success probability p_s (eq. 6) and the backoff
+// wait rate lambda_b (eq. 7).  In a shared cell both are functions of who
+// else is contending.  This module solves the heterogeneous n-station
+// Bianchi fixed point (wifi::solve_dcf_classes) for a population of video
+// uploaders plus background cross-traffic stations and maps the solution
+// onto those two knobs plus the per-flow saturation throughput — the
+// quantities the cell engine (cell.hpp) injects into every flow's
+// PipelineConfig.  See docs/cell.md for the mapping derivation.
+#pragma once
+
+#include "wifi/channel.hpp"
+#include "wifi/dcf_model.hpp"
+
+namespace tv::cell {
+
+/// Who shares the AP and on what PHY.
+struct ContentionConfig {
+  /// Saturated video uploaders (class 0 of the fixed point).
+  wifi::DcfClass video{.stations = 1, .cw_min = 16, .backoff_stages = 6};
+  /// Background cross-traffic stations (class 1; 0 disables the class).
+  wifi::DcfClass background{.stations = 0, .cw_min = 32, .backoff_stages = 6};
+  /// PHY timings for the virtual-slot durations and throughput.
+  wifi::PhyParameters phy{.data_rate_mbps = 4.0};
+  /// Mean on-air bytes of one video packet (payload + RTP/UDP/IP).
+  double mean_wire_bytes = 1200.0;
+  /// Flat per-attempt channel error probability composed into p_s.
+  double channel_error_prob = 0.0;
+
+  void validate() const;
+};
+
+/// The fixed-point solution mapped onto the pipeline's MAC knobs.
+struct ContentionSolution {
+  wifi::MultiDcfSolution dcf;   ///< class 0 = video, class 1 = background.
+  int contenders = 0;           ///< total stations in the cell.
+  double collision_prob = 0.0;  ///< p_c of the video class.
+  /// p_s = (1 - p_c)(1 - p_err): PipelineConfig::mac_success_prob.
+  double mac_success_prob = 1.0;
+  /// lambda_b (1/s): PipelineConfig::backoff_rate.  Derived from the mean
+  /// first-retry backoff window counted in mean virtual slots.
+  double backoff_rate = 0.0;
+  /// E[virtual slot] (s): idle sigma / success T_s / collision T_c mix.
+  double mean_slot_s = 0.0;
+  /// One video station's saturation throughput share (Mbit/s).
+  double per_flow_throughput_mbps = 0.0;
+};
+
+/// Solve the cell's fixed point and derive the pipeline knobs.  Pure.
+/// Throws std::invalid_argument on an unusable configuration (no video
+/// stations, non-positive payload, error probability outside [0, 1)).
+[[nodiscard]] ContentionSolution solve_contention(
+    const ContentionConfig& config);
+
+}  // namespace tv::cell

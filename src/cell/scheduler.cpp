@@ -1,0 +1,120 @@
+#include "cell/scheduler.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "wifi/dcf_model.hpp"
+
+namespace tv::cell {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+bool same_policy(const policy::EncryptionPolicy& a,
+                 const policy::EncryptionPolicy& b) {
+  return a.mode == b.mode && a.fraction == b.fraction;
+}
+
+}  // namespace
+
+double DeadlineScheduler::predict_completion(
+    const FlowDemand& demand, const policy::EncryptionPolicy& policy,
+    const ContentionSolution& solution) {
+  const double encrypted_share =
+      policy.i_packet_fraction() * demand.i_packet_share +
+      policy.p_packet_fraction() * (1.0 - demand.i_packet_share);
+  // E[T] = T_e + T_b + T_t (eq. 3): the encryption share of the policy,
+  // the geometric retry count each paying one mean backoff wait (eqs. 6-7),
+  // and the physical transmission time.
+  const double mean_backoff =
+      wifi::mean_collisions(solution.mac_success_prob) /
+      solution.backoff_rate;
+  const double per_packet = encrypted_share * demand.encryption_mean_s +
+                            mean_backoff + demand.transmission_mean_s;
+  const double service_total =
+      static_cast<double>(demand.packet_count) * per_packet;
+  return service_total > demand.clip_duration_s ? service_total
+                                                : demand.clip_duration_s;
+}
+
+ScheduleResult DeadlineScheduler::schedule(
+    const std::vector<FlowDemand>& demands,
+    ContentionConfig contention) const {
+  if (demands.empty()) {
+    throw std::invalid_argument{"DeadlineScheduler: no demands"};
+  }
+
+  ScheduleResult result;
+  result.flows.resize(demands.size());
+  for (std::size_t f = 0; f < demands.size(); ++f) {
+    result.flows[f].policy = demands[f].policy;
+  }
+
+  auto admitted_count = [&] {
+    int n = 0;
+    for (const FlowDecision& d : result.flows) n += d.admitted ? 1 : 0;
+    return n;
+  };
+
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    contention.video.stations = admitted_count();
+    result.contention = solve_contention(contention);
+    result.iterations = iter + 1;
+
+    // Slack under the current population; find the tightest flow.
+    std::size_t worst = demands.size();
+    double worst_slack = 0.0;
+    for (std::size_t f = 0; f < demands.size(); ++f) {
+      FlowDecision& d = result.flows[f];
+      if (!d.admitted) continue;
+      d.predicted_completion_s =
+          predict_completion(demands[f], d.policy, result.contention);
+      d.slack_s = demands[f].deadline_s > 0.0
+                      ? demands[f].deadline_s - d.predicted_completion_s
+                      : kInfinity;
+      if (d.slack_s < 0.0 &&
+          (worst == demands.size() || d.slack_s < worst_slack)) {
+        worst = f;
+        worst_slack = d.slack_s;
+      }
+    }
+    if (worst == demands.size()) break;  // everyone admitted is feasible.
+
+    FlowDecision& d = result.flows[worst];
+    if (config_.allow_degrade && d.degrade_steps < config_.max_degrade_steps) {
+      const policy::EncryptionPolicy next = policy::degrade_step(d.policy);
+      if (!same_policy(next, d.policy)) {
+        d.policy = next;
+        ++d.degrade_steps;
+        ++result.total_degrade_steps;
+        continue;
+      }
+    }
+    // Past the ladder floor: defer the flow — unless it is the last one
+    // standing, which just misses its deadline (shedding it buys nobody
+    // anything).
+    if (config_.allow_shedding && admitted_count() > 1) {
+      d.admitted = false;
+      continue;
+    }
+    break;  // infeasible but no remaining lever.
+  }
+
+  // Report deferred flows' hypothetical numbers under the final cell, so
+  // sinks can show what they would have faced.
+  for (std::size_t f = 0; f < demands.size(); ++f) {
+    FlowDecision& d = result.flows[f];
+    if (d.admitted) continue;
+    d.predicted_completion_s =
+        predict_completion(demands[f], d.policy, result.contention);
+    d.slack_s = demands[f].deadline_s > 0.0
+                    ? demands[f].deadline_s - d.predicted_completion_s
+                    : kInfinity;
+  }
+  result.admitted = admitted_count();
+  result.deferred = static_cast<int>(demands.size()) - result.admitted;
+  return result;
+}
+
+}  // namespace tv::cell

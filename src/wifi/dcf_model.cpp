@@ -49,6 +49,106 @@ DcfSolution solve_dcf(const DcfParameters& params, double tolerance,
   throw std::runtime_error{"solve_dcf: fixed point did not converge"};
 }
 
+MultiDcfSolution solve_dcf_classes(const std::vector<DcfClass>& classes,
+                                   double tolerance, int max_iterations) {
+  if (classes.empty()) {
+    throw std::invalid_argument{"solve_dcf_classes: no classes"};
+  }
+  int total_stations = 0;
+  for (const DcfClass& c : classes) {
+    if (c.stations < 1 || c.cw_min < 1 || c.backoff_stages < 0) {
+      throw std::invalid_argument{"solve_dcf_classes: bad class parameters"};
+    }
+    total_stations += c.stations;
+  }
+  const std::size_t k = classes.size();
+
+  MultiDcfSolution s;
+  s.attempt_probability.assign(k, 0.0);
+  s.collision_probability.assign(k, 0.0);
+  s.class_success_prob.assign(k, 0.0);
+  s.per_station_success_prob.assign(k, 0.0);
+
+  // Derived per-slot event probabilities, shared by both exits below.
+  auto finish = [&](const std::vector<double>& tau) {
+    double idle = 1.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      idle *= std::pow(1.0 - tau[c], static_cast<double>(classes[c].stations));
+    }
+    s.idle_prob = idle;
+    s.any_transmission_prob = 1.0 - idle;
+    double success = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double n_c = classes[c].stations;
+      double others = 1.0;
+      for (std::size_t d = 0; d < k; ++d) {
+        if (d == c) continue;
+        others *= std::pow(1.0 - tau[d],
+                           static_cast<double>(classes[d].stations));
+      }
+      s.class_success_prob[c] =
+          n_c * tau[c] * std::pow(1.0 - tau[c], n_c - 1.0) * others;
+      s.per_station_success_prob[c] = s.class_success_prob[c] / n_c;
+      success += s.class_success_prob[c];
+    }
+    s.success_prob = success;
+  };
+
+  if (total_stations == 1) {
+    // The lone station never collides; mirror solve_dcf's degenerate exit.
+    const double w = classes[0].cw_min;
+    s.attempt_probability[0] = 2.0 / (w + 1.0);
+    s.collision_probability[0] = 0.0;
+    s.iterations = 0;
+    finish(s.attempt_probability);
+    return s;
+  }
+
+  // Jacobi-style damped iteration: every class's update reads only the
+  // previous iterate, so the solution is invariant (bitwise, up to index
+  // permutation) under reordering of the class list — and with one class
+  // the arithmetic below reduces term by term to solve_dcf's loop.
+  std::vector<double> p(k, 0.1);  // initial collision probability guesses.
+  std::vector<double> tau(k, 0.0);
+  std::vector<double> p_new(k, 0.0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    for (std::size_t c = 0; c < k; ++c) {
+      const double w = classes[c].cw_min;
+      const int m = classes[c].backoff_stages;
+      const double two_p = 2.0 * p[c];
+      double geometric;  // (1 - (2p)^m) / (1 - 2p), handling 2p -> 1.
+      if (std::abs(1.0 - two_p) < 1e-9) {
+        geometric = m;
+      } else {
+        geometric = (1.0 - std::pow(two_p, m)) / (1.0 - two_p);
+      }
+      tau[c] = 2.0 / (1.0 + w + p[c] * w * geometric);
+    }
+    double max_delta = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double n_c = classes[c].stations;
+      double others = 1.0;
+      for (std::size_t d = 0; d < k; ++d) {
+        if (d == c) continue;
+        others *= std::pow(1.0 - tau[d],
+                           static_cast<double>(classes[d].stations));
+      }
+      const double p_next = 1.0 - std::pow(1.0 - tau[c], n_c - 1.0) * others;
+      p_new[c] = 0.5 * (p[c] + p_next);  // damping.
+      max_delta = std::max(max_delta, std::abs(p_new[c] - p[c]));
+    }
+    s.attempt_probability = tau;
+    s.iterations = iter + 1;
+    if (max_delta < tolerance) {
+      s.collision_probability = p_new;
+      finish(tau);
+      return s;
+    }
+    p = p_new;
+  }
+  throw std::runtime_error{"solve_dcf_classes: fixed point did not converge"};
+}
+
 double packet_success_rate(const DcfParameters& params,
                            double channel_error_probability) {
   if (channel_error_probability < 0.0 || channel_error_probability > 1.0) {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 namespace tv::wifi {
 
@@ -38,6 +39,48 @@ struct DcfSolution {
 [[nodiscard]] DcfSolution solve_dcf(const DcfParameters& params,
                                     double tolerance = 1e-12,
                                     int max_iterations = 100000);
+
+/// One class of stations sharing identical MAC parameters inside a
+/// heterogeneous cell — e.g. the video uploaders vs. the cafe's background
+/// cross-traffic.  The cell is described by a list of classes.
+struct DcfClass {
+  int stations = 1;       ///< n_c: stations of this class (>= 1).
+  int cw_min = 16;        ///< W_c: minimum contention window (slots).
+  int backoff_stages = 6; ///< m_c: CWmax = 2^m * CWmin.
+};
+
+/// Outputs of the heterogeneous n-station fixed point.  All vectors are
+/// indexed by class, in the caller's class order.
+struct MultiDcfSolution {
+  std::vector<double> attempt_probability;    ///< tau_c per class.
+  std::vector<double> collision_probability;  ///< p_c per class.
+  /// P_succ,c: probability a virtual slot carries exactly one transmission
+  /// and it belongs to class c.
+  std::vector<double> class_success_prob;
+  /// P_succ,c / n_c: one station's share — the per-flow saturation
+  /// throughput factor.  Non-increasing in the total station count.
+  std::vector<double> per_station_success_prob;
+  double idle_prob = 0.0;             ///< no station transmits in a slot.
+  double any_transmission_prob = 0.0; ///< P_tr = 1 - idle_prob.
+  double success_prob = 0.0;          ///< exactly one station transmits.
+  int iterations = 0;                 ///< fixed-point iterations used.
+};
+
+/// Solve the coupled per-class fixed point
+///
+///   tau_c = 2 (1 - 2 p_c) / [ (1-2p_c)(W_c+1) + p_c W_c (1-(2p_c)^m_c) ]
+///   p_c   = 1 - (1 - tau_c)^(n_c - 1) * prod_{d != c} (1 - tau_d)^(n_d)
+///
+/// by the same damped iteration as solve_dcf.  With a single class the
+/// cross-class product is empty (== 1.0), the update sequence is the exact
+/// floating-point sequence of solve_dcf, and the outputs match it bit for
+/// bit — including the degenerate one-station cell (tau = 2/(W+1), p = 0).
+/// Throws std::invalid_argument on an empty class list or a class with
+/// stations < 1 / cw_min < 1 / backoff_stages < 0, and std::runtime_error
+/// if the iteration fails to converge.
+[[nodiscard]] MultiDcfSolution solve_dcf_classes(
+    const std::vector<DcfClass>& classes, double tolerance = 1e-12,
+    int max_iterations = 100000);
 
 /// Per-attempt packet success rate p_s combining MAC collisions with a
 /// channel error probability for the packet's length:

@@ -7,30 +7,47 @@
 
 namespace tv::wifi {
 
-DcfSimResult simulate_dcf(const DcfParameters& params, std::uint64_t slots,
-                          std::uint64_t seed) {
-  if (params.contenders < 1) {
-    throw std::invalid_argument{"simulate_dcf: need at least one station"};
+MultiDcfSimResult simulate_dcf_classes(const std::vector<DcfClass>& classes,
+                                       std::uint64_t slots,
+                                       std::uint64_t warmup_slots,
+                                       std::uint64_t seed) {
+  if (classes.empty()) {
+    throw std::invalid_argument{"simulate_dcf_classes: no classes"};
+  }
+  for (const DcfClass& c : classes) {
+    if (c.stations < 1 || c.cw_min < 1 || c.backoff_stages < 0) {
+      throw std::invalid_argument{"simulate_dcf_classes: bad class"};
+    }
   }
   util::Rng rng{seed};
-  const std::size_t n = static_cast<std::size_t>(params.contenders);
 
   struct Station {
+    std::size_t cls = 0;
     int stage = 0;
     std::uint64_t counter = 0;
   };
-  std::vector<Station> stations(n);
+  std::vector<Station> stations;
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    for (int i = 0; i < classes[c].stations; ++i) {
+      stations.push_back(Station{c, 0, 0});
+    }
+  }
 
-  auto draw_backoff = [&](int stage) {
+  auto draw_backoff = [&](std::size_t cls, int stage) {
     const std::uint64_t window =
-        static_cast<std::uint64_t>(params.cw_min) << stage;
+        static_cast<std::uint64_t>(classes[cls].cw_min) << stage;
     return rng.uniform_int(window);
   };
-  for (auto& st : stations) st.counter = draw_backoff(0);
+  // Initial stage-0 draws in station order — the documented RNG sequence.
+  for (auto& st : stations) st.counter = draw_backoff(st.cls, 0);
 
-  DcfSimResult result;
+  MultiDcfSimResult result;
   result.slots = slots;
-  for (std::uint64_t slot = 0; slot < slots; ++slot) {
+  result.transmissions.assign(classes.size(), 0);
+  result.collisions.assign(classes.size(), 0);
+  const std::uint64_t total = warmup_slots + slots;
+  for (std::uint64_t slot = 0; slot < total; ++slot) {
+    const bool measured = slot >= warmup_slots;
     // Stations whose counter hit zero transmit in this slot.
     std::size_t transmitting = 0;
     for (const auto& st : stations) {
@@ -41,6 +58,10 @@ DcfSimResult simulate_dcf(const DcfParameters& params, std::uint64_t slots,
       continue;
     }
     const bool collision = transmitting > 1;
+    if (measured) {
+      ++result.busy_slots;
+      if (!collision) ++result.success_slots;
+    }
     for (auto& st : stations) {
       if (st.counter != 0) {
         // In the slotted (Bianchi) abstraction the whole busy period is one
@@ -48,26 +69,48 @@ DcfSimResult simulate_dcf(const DcfParameters& params, std::uint64_t slots,
         --st.counter;
         continue;
       }
-      ++result.transmissions;
+      if (measured) ++result.transmissions[st.cls];
       if (collision) {
-        ++result.collisions;
-        if (st.stage < params.backoff_stages) ++st.stage;
+        if (measured) ++result.collisions[st.cls];
+        if (st.stage < classes[st.cls].backoff_stages) ++st.stage;
       } else {
         st.stage = 0;
       }
-      st.counter = draw_backoff(st.stage);
+      st.counter = draw_backoff(st.cls, st.stage);
     }
   }
 
-  const double station_slots =
-      static_cast<double>(result.slots) * static_cast<double>(n);
-  result.attempt_probability =
-      static_cast<double>(result.transmissions) / station_slots;
-  result.collision_probability =
-      result.transmissions > 0
-          ? static_cast<double>(result.collisions) /
-                static_cast<double>(result.transmissions)
-          : 0.0;
+  result.attempt_probability.assign(classes.size(), 0.0);
+  result.collision_probability.assign(classes.size(), 0.0);
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const double station_slots = static_cast<double>(result.slots) *
+                                 static_cast<double>(classes[c].stations);
+    result.attempt_probability[c] =
+        static_cast<double>(result.transmissions[c]) / station_slots;
+    result.collision_probability[c] =
+        result.transmissions[c] > 0
+            ? static_cast<double>(result.collisions[c]) /
+                  static_cast<double>(result.transmissions[c])
+            : 0.0;
+  }
+  return result;
+}
+
+DcfSimResult simulate_dcf(const DcfParameters& params, std::uint64_t slots,
+                          std::uint64_t seed) {
+  if (params.contenders < 1) {
+    throw std::invalid_argument{"simulate_dcf: need at least one station"};
+  }
+  const std::vector<DcfClass> one_class{
+      {params.contenders, params.cw_min, params.backoff_stages}};
+  const MultiDcfSimResult multi =
+      simulate_dcf_classes(one_class, slots, /*warmup_slots=*/0, seed);
+  DcfSimResult result;
+  result.slots = multi.slots;
+  result.transmissions = multi.transmissions[0];
+  result.collisions = multi.collisions[0];
+  result.attempt_probability = multi.attempt_probability[0];
+  result.collision_probability = multi.collision_probability[0];
   return result;
 }
 

@@ -4,9 +4,39 @@
 // dcf_model.hpp is validated (the paper validates its model [13] against a
 // testbed; we validate against an event-accurate MAC, see
 // bench_ablation_models and the wifi tests).
+// Multi-station collision / tie-break semantics (shared by both entry
+// points below):
+//  * Time advances in virtual slots (the Bianchi abstraction): an idle
+//    slot, a success and a collision each occupy one loop step.
+//  * Every station whose backoff counter is zero at a slot boundary
+//    transmits in that slot.  Two or more simultaneous transmitters all
+//    collide — there is no capture effect and no tie-break winner.
+//  * Every colliding station escalates its backoff stage (capped at its
+//    class's m) and redraws its counter from the widened window;
+//    a lone successful transmitter resets to stage 0 and redraws.
+//  * Stations that did not transmit decrement their counter at the end of
+//    the (possibly busy) slot — counters freeze during the busy period
+//    itself, which is what makes the slotted clock equivalent to DCF's
+//    frozen-backoff rule.
+//  * Backoff draws come from one shared RNG, consumed in station order
+//    (classes in list order, stations within a class in index order):
+//    first one initial stage-0 draw per station, then per slot one redraw
+//    per transmitter.  simulate_dcf's single-class stream is the exact
+//    prefix-compatible special case of this sequence.
+//
+// Historical note: the original simulate_dcf was written (and only
+// exercised) with a homogeneous station population and reported aggregate
+// statistics only, so per-class behaviour in a heterogeneous cell was
+// unobservable, and every run started all stations cold at backoff stage
+// 0.  A lone station never leaves stage 0, so the cold start is invisible
+// at n = 1 — but with contention it biases the measured collision
+// probability low until the stage distribution mixes.  The multi-class
+// entry point therefore takes an explicit warmup: those initial slots are
+// simulated but excluded from the measured statistics.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "wifi/dcf_model.hpp"
 
@@ -22,8 +52,32 @@ struct DcfSimResult {
 
 /// Simulate `slots` backoff slots of `params.contenders` saturated stations
 /// using binary exponential backoff (CWmin = cw_min, m = backoff_stages).
+/// Equivalent to simulate_dcf_classes with one class and no warmup; kept
+/// for the single-class callers and the historical aggregate result shape.
 [[nodiscard]] DcfSimResult simulate_dcf(const DcfParameters& params,
                                         std::uint64_t slots,
                                         std::uint64_t seed);
+
+/// Per-class measured statistics of a heterogeneous cell.  Vectors are
+/// indexed by class in the caller's class order, matching
+/// wifi::solve_dcf_classes.
+struct MultiDcfSimResult {
+  std::vector<double> attempt_probability;    ///< measured tau_c.
+  std::vector<double> collision_probability;  ///< measured conditional p_c.
+  std::vector<std::uint64_t> transmissions;   ///< per class.
+  std::vector<std::uint64_t> collisions;      ///< per class.
+  std::uint64_t success_slots = 0;  ///< slots with exactly one transmitter.
+  std::uint64_t busy_slots = 0;     ///< slots with >= 1 transmitter.
+  std::uint64_t slots = 0;          ///< measured slots (warmup excluded).
+};
+
+/// Simulate `warmup_slots + slots` backoff slots of a heterogeneous
+/// saturated cell and measure per-class statistics over the final `slots`
+/// only (see the warmup note above).  The RNG stream is consumed exactly
+/// as documented in the semantics block, so a single-class call with
+/// warmup 0 reproduces simulate_dcf's raw counters bit for bit.
+[[nodiscard]] MultiDcfSimResult simulate_dcf_classes(
+    const std::vector<DcfClass>& classes, std::uint64_t slots,
+    std::uint64_t warmup_slots, std::uint64_t seed);
 
 }  // namespace tv::wifi

@@ -1,0 +1,139 @@
+// Property-based invariants of the heterogeneous n-station Bianchi solver
+// over randomized (n, CWmin, retry-limit) populations, via
+// tests/proptest.hpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "proptest.hpp"
+#include "wifi/dcf_model.hpp"
+
+namespace tv::wifi {
+namespace {
+
+DcfClass random_class(util::Rng& rng) {
+  DcfClass c;
+  c.stations = 1 + static_cast<int>(rng.uniform_int(40));
+  c.cw_min = 2 + static_cast<int>(rng.uniform_int(255));
+  c.backoff_stages = static_cast<int>(rng.uniform_int(9));
+  return c;
+}
+
+// The damped iteration converges for every practical population, and the
+// converged solution is a valid probability assignment: everything in
+// [0, 1], the slot-event probabilities partition, and the success mass
+// decomposes over classes.
+TEST(MultiDcfProperty, SolverConvergesToValidProbabilities) {
+  const auto config = proptest::Config::from_env(0xb1a7c41, 80);
+  proptest::check(
+      "multi-class fixed point converges", config,
+      [&](util::Rng& rng, std::uint64_t) {
+        std::vector<DcfClass> classes{random_class(rng)};
+        if (rng.uniform_int(2) == 1) classes.push_back(random_class(rng));
+
+        MultiDcfSolution s;
+        ASSERT_NO_THROW(s = solve_dcf_classes(classes));
+        double success_sum = 0.0;
+        for (std::size_t c = 0; c < classes.size(); ++c) {
+          EXPECT_GT(s.attempt_probability[c], 0.0);
+          EXPECT_LE(s.attempt_probability[c], 1.0);
+          EXPECT_GE(s.collision_probability[c], 0.0);
+          EXPECT_LT(s.collision_probability[c], 1.0);
+          EXPECT_GE(s.class_success_prob[c], 0.0);
+          EXPECT_LE(s.class_success_prob[c], 1.0);
+          EXPECT_NEAR(s.per_station_success_prob[c],
+                      s.class_success_prob[c] / classes[c].stations, 1e-15);
+          success_sum += s.class_success_prob[c];
+        }
+        EXPECT_NEAR(s.idle_prob + s.any_transmission_prob, 1.0, 1e-12);
+        EXPECT_NEAR(s.success_prob, success_sum, 1e-12);
+        EXPECT_LE(s.success_prob, s.any_transmission_prob + 1e-12);
+      });
+}
+
+// A single class must reproduce solve_dcf bit for bit at any random
+// geometry — the degeneracy contract the cell engine's n=1 acceptance
+// criterion builds on.  (The aggregate success probability is NOT monotone
+// in n — it rises from n=1 to n=2 — which is why the throughput-share
+// property below is stated per station.)
+TEST(MultiDcfProperty, SingleClassIsBitwiseSolveDcf) {
+  const auto config = proptest::Config::from_env(0xb1a7c42, 120);
+  proptest::check(
+      "single class degenerates to solve_dcf", config,
+      [&](util::Rng& rng, std::uint64_t) {
+        const DcfClass c = random_class(rng);
+        const DcfSolution scalar =
+            solve_dcf({c.stations, c.cw_min, c.backoff_stages});
+        const MultiDcfSolution multi = solve_dcf_classes({c});
+        EXPECT_EQ(multi.attempt_probability[0], scalar.attempt_probability);
+        EXPECT_EQ(multi.collision_probability[0],
+                  scalar.collision_probability);
+        EXPECT_EQ(multi.iterations, scalar.iterations);
+      });
+}
+
+// One station's saturation throughput share never improves when another
+// station joins the cell: per_station_success_prob is non-increasing in n
+// at any fixed window geometry.
+TEST(MultiDcfProperty, PerStationShareNonIncreasingInPopulation) {
+  const auto config = proptest::Config::from_env(0xb1a7c43, 60);
+  proptest::check(
+      "per-station share monotone in n", config,
+      [&](util::Rng& rng, std::uint64_t) {
+        const int w = 2 + static_cast<int>(rng.uniform_int(255));
+        const int m = static_cast<int>(rng.uniform_int(9));
+        double previous = 2.0;  // above any probability.
+        for (int n = 1; n <= 12; ++n) {
+          const MultiDcfSolution s = solve_dcf_classes({{n, w, m}});
+          EXPECT_LE(s.per_station_success_prob[0], previous + 1e-12)
+              << "n=" << n << " W=" << w << " m=" << m;
+          previous = s.per_station_success_prob[0];
+        }
+      });
+}
+
+// Relabeling the classes permutes the solution without changing it: the
+// Jacobi update reads only the previous iterate, so a two-class cell is
+// order-invariant bitwise (every cross-class product has one factor).
+TEST(MultiDcfProperty, TwoClassPermutationSymmetry) {
+  const auto config = proptest::Config::from_env(0xb1a7c44, 60);
+  proptest::check(
+      "class order invariance", config,
+      [&](util::Rng& rng, std::uint64_t) {
+        const DcfClass a = random_class(rng);
+        const DcfClass b = random_class(rng);
+        const MultiDcfSolution ab = solve_dcf_classes({a, b});
+        const MultiDcfSolution ba = solve_dcf_classes({b, a});
+        EXPECT_EQ(ab.attempt_probability[0], ba.attempt_probability[1]);
+        EXPECT_EQ(ab.attempt_probability[1], ba.attempt_probability[0]);
+        EXPECT_EQ(ab.collision_probability[0], ba.collision_probability[1]);
+        EXPECT_EQ(ab.collision_probability[1], ba.collision_probability[0]);
+        EXPECT_EQ(ab.per_station_success_prob[0],
+                  ba.per_station_success_prob[1]);
+        EXPECT_EQ(ab.idle_prob, ba.idle_prob);
+        EXPECT_EQ(ab.iterations, ba.iterations);
+      });
+}
+
+// Adding background stations can only hurt the video class: its collision
+// probability rises and its throughput share falls.
+TEST(MultiDcfProperty, BackgroundTrafficNeverHelps) {
+  const auto config = proptest::Config::from_env(0xb1a7c45, 60);
+  proptest::check(
+      "background monotonicity", config,
+      [&](util::Rng& rng, std::uint64_t) {
+        const DcfClass video = random_class(rng);
+        DcfClass background = random_class(rng);
+        const MultiDcfSolution alone = solve_dcf_classes({video});
+        const MultiDcfSolution shared =
+            solve_dcf_classes({video, background});
+        EXPECT_GT(shared.collision_probability[0],
+                  alone.collision_probability[0] - 1e-12);
+        EXPECT_LE(shared.per_station_success_prob[0],
+                  alone.per_station_success_prob[0] + 1e-12);
+      });
+}
+
+}  // namespace
+}  // namespace tv::wifi

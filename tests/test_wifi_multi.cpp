@@ -1,0 +1,234 @@
+// Heterogeneous multi-class DCF: the n-station fixed point
+// (wifi::solve_dcf_classes) and the multi-station slotted DES
+// (wifi::simulate_dcf_classes), including the single-class degeneracy
+// contracts both document and pinned 2-/3-station Bianchi regressions.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "wifi/dcf_model.hpp"
+#include "wifi/dcf_sim.hpp"
+
+namespace tv::wifi {
+namespace {
+
+// --- Fixed point. ----------------------------------------------------------
+
+TEST(MultiDcf, RejectsBadClasses) {
+  EXPECT_THROW((void)solve_dcf_classes({}), std::invalid_argument);
+  EXPECT_THROW((void)solve_dcf_classes({{0, 16, 6}}), std::invalid_argument);
+  EXPECT_THROW((void)solve_dcf_classes({{2, 0, 6}}), std::invalid_argument);
+  EXPECT_THROW((void)solve_dcf_classes({{2, 16, -1}}), std::invalid_argument);
+  EXPECT_THROW((void)solve_dcf_classes({{2, 16, 6}, {1, 0, 6}}),
+               std::invalid_argument);
+}
+
+// With one class the update sequence is solve_dcf's exact floating-point
+// sequence (the cross-class product is empty == 1.0), so every output —
+// including the iteration count — matches bit for bit.  This is the
+// contract the cell engine's n=1 acceptance criterion rests on.
+TEST(MultiDcf, SingleClassMatchesScalarSolverBitwise) {
+  const int ns[] = {1, 2, 3, 5, 10, 25};
+  const int ws[] = {8, 16, 32, 128};
+  const int ms[] = {0, 1, 3, 6};
+  for (int n : ns) {
+    for (int w : ws) {
+      for (int m : ms) {
+        const DcfSolution scalar = solve_dcf({n, w, m});
+        const MultiDcfSolution multi = solve_dcf_classes({{n, w, m}});
+        ASSERT_EQ(multi.attempt_probability.size(), 1u);
+        EXPECT_EQ(multi.attempt_probability[0], scalar.attempt_probability)
+            << "n=" << n << " W=" << w << " m=" << m;
+        EXPECT_EQ(multi.collision_probability[0],
+                  scalar.collision_probability)
+            << "n=" << n << " W=" << w << " m=" << m;
+        EXPECT_EQ(multi.iterations, scalar.iterations)
+            << "n=" << n << " W=" << w << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(MultiDcf, OneStationCellIsDegenerate) {
+  const MultiDcfSolution s = solve_dcf_classes({{1, 16, 6}});
+  EXPECT_EQ(s.attempt_probability[0], 2.0 / 17.0);
+  EXPECT_EQ(s.collision_probability[0], 0.0);
+  EXPECT_EQ(s.iterations, 0);
+  // The lone station's slot is idle or a success, never a collision.
+  EXPECT_DOUBLE_EQ(s.idle_prob + s.success_prob, 1.0);
+  EXPECT_DOUBLE_EQ(s.per_station_success_prob[0], s.success_prob);
+}
+
+// Splitting a homogeneous population into two identical classes must not
+// change the physics, only the bookkeeping granularity.
+TEST(MultiDcf, SymmetricSplitMatchesPooledPopulation) {
+  const MultiDcfSolution pooled = solve_dcf_classes({{4, 16, 6}});
+  const MultiDcfSolution split = solve_dcf_classes({{2, 16, 6}, {2, 16, 6}});
+  EXPECT_NEAR(split.attempt_probability[0], pooled.attempt_probability[0],
+              1e-12);
+  EXPECT_NEAR(split.attempt_probability[1], pooled.attempt_probability[0],
+              1e-12);
+  EXPECT_NEAR(split.collision_probability[0], pooled.collision_probability[0],
+              1e-12);
+  EXPECT_NEAR(split.success_prob, pooled.success_prob, 1e-12);
+  EXPECT_NEAR(split.class_success_prob[0] + split.class_success_prob[1],
+              pooled.class_success_prob[0], 1e-12);
+}
+
+// The Jacobi iteration reads only the previous iterate, so a two-class
+// cell solved in either order yields the same solution (for two classes
+// even bitwise: every cross-class product has a single factor).
+TEST(MultiDcf, TwoClassOrderInvariance) {
+  const std::vector<DcfClass> ab{{3, 16, 4}, {5, 64, 6}};
+  const std::vector<DcfClass> ba{{5, 64, 6}, {3, 16, 4}};
+  const MultiDcfSolution s_ab = solve_dcf_classes(ab);
+  const MultiDcfSolution s_ba = solve_dcf_classes(ba);
+  EXPECT_EQ(s_ab.attempt_probability[0], s_ba.attempt_probability[1]);
+  EXPECT_EQ(s_ab.attempt_probability[1], s_ba.attempt_probability[0]);
+  EXPECT_EQ(s_ab.collision_probability[0], s_ba.collision_probability[1]);
+  EXPECT_EQ(s_ab.collision_probability[1], s_ba.collision_probability[0]);
+  EXPECT_EQ(s_ab.idle_prob, s_ba.idle_prob);
+  EXPECT_EQ(s_ab.success_prob, s_ba.success_prob);
+}
+
+TEST(MultiDcf, BackgroundTrafficRaisesVideoCollisionProbability) {
+  const MultiDcfSolution alone = solve_dcf_classes({{4, 16, 6}});
+  const MultiDcfSolution shared =
+      solve_dcf_classes({{4, 16, 6}, {5, 32, 6}});
+  EXPECT_GT(shared.collision_probability[0], alone.collision_probability[0]);
+  // A wider background window attempts less often than the video class.
+  EXPECT_LT(shared.attempt_probability[1], shared.attempt_probability[0]);
+  EXPECT_LT(shared.per_station_success_prob[0],
+            alone.per_station_success_prob[0]);
+}
+
+TEST(MultiDcf, SlotEventProbabilitiesAreConsistent) {
+  const MultiDcfSolution s = solve_dcf_classes({{3, 16, 5}, {4, 32, 6}});
+  EXPECT_DOUBLE_EQ(s.idle_prob + s.any_transmission_prob, 1.0);
+  EXPECT_NEAR(s.success_prob,
+              s.class_success_prob[0] + s.class_success_prob[1], 1e-15);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_GT(s.attempt_probability[c], 0.0);
+    EXPECT_LT(s.attempt_probability[c], 1.0);
+    EXPECT_GT(s.collision_probability[c], 0.0);
+    EXPECT_LT(s.collision_probability[c], 1.0);
+    EXPECT_GT(s.class_success_prob[c], 0.0);
+  }
+  EXPECT_LE(s.success_prob, s.any_transmission_prob);
+}
+
+// In a homogeneous two-station cell the fixed point collapses to a closed
+// relation: a station collides iff the other one transmits, so p == tau.
+TEST(MultiDcf, TwoStationCollisionEqualsAttemptProbability) {
+  for (int w : {8, 16, 32, 64}) {
+    const MultiDcfSolution s = solve_dcf_classes({{2, w, 6}});
+    EXPECT_NEAR(s.collision_probability[0], s.attempt_probability[0], 1e-11)
+        << "W=" << w;
+  }
+}
+
+// Pinned regression values (7 significant digits, from the tracked
+// validation grid): a silent solver change must trip these.
+TEST(MultiDcf, PinnedBianchiRegressionValues) {
+  const MultiDcfSolution two = solve_dcf_classes({{2, 16, 3}});
+  EXPECT_NEAR(two.attempt_probability[0], 0.1047133, 1e-6);
+  EXPECT_NEAR(two.collision_probability[0], 0.1047133, 1e-6);
+
+  const MultiDcfSolution three = solve_dcf_classes({{3, 32, 6}});
+  EXPECT_NEAR(three.attempt_probability[0], 0.0537201, 1e-6);
+  EXPECT_NEAR(three.collision_probability[0], 0.1045544, 1e-6);
+
+  const MultiDcfSolution eight = solve_dcf_classes({{8, 32, 6}});
+  EXPECT_NEAR(eight.attempt_probability[0], 0.0407546, 1e-6);
+  EXPECT_NEAR(eight.collision_probability[0], 0.2526776, 1e-6);
+}
+
+// --- Discrete-event simulator. ---------------------------------------------
+
+// simulate_dcf is documented as the single-class, zero-warmup special case
+// of simulate_dcf_classes with a prefix-compatible RNG stream; the raw
+// counters must agree bit for bit.
+TEST(MultiDcfSim, SingleClassDelegationIsBitwise) {
+  for (int n : {1, 2, 4, 9}) {
+    const DcfParameters params{n, 16, 6};
+    const DcfSimResult single = simulate_dcf(params, 20000, 42);
+    const MultiDcfSimResult multi =
+        simulate_dcf_classes({{n, 16, 6}}, 20000, 0, 42);
+    EXPECT_EQ(multi.transmissions[0], single.transmissions) << "n=" << n;
+    EXPECT_EQ(multi.collisions[0], single.collisions) << "n=" << n;
+    EXPECT_EQ(multi.slots, single.slots) << "n=" << n;
+    EXPECT_EQ(multi.attempt_probability[0], single.attempt_probability);
+    EXPECT_EQ(multi.collision_probability[0], single.collision_probability);
+  }
+}
+
+// Degenerate-window tie-break: with W = 1 every draw is 0, so both
+// stations transmit in every slot and — no capture effect — every slot is
+// a collision.  Pins the all-transmitters-collide semantics documented in
+// dcf_sim.hpp.
+TEST(MultiDcfSim, DegenerateWindowAlwaysCollides) {
+  const MultiDcfSimResult r = simulate_dcf_classes({{2, 1, 0}}, 5000, 0, 7);
+  EXPECT_EQ(r.slots, 5000u);
+  EXPECT_EQ(r.busy_slots, 5000u);
+  EXPECT_EQ(r.success_slots, 0u);
+  EXPECT_EQ(r.transmissions[0], 10000u);
+  EXPECT_EQ(r.collisions[0], 10000u);
+  EXPECT_EQ(r.attempt_probability[0], 1.0);
+  EXPECT_EQ(r.collision_probability[0], 1.0);
+}
+
+TEST(MultiDcfSim, WarmupSlotsAreExcludedFromMeasurement) {
+  const MultiDcfSimResult r =
+      simulate_dcf_classes({{3, 16, 6}}, 8000, 2000, 11);
+  EXPECT_EQ(r.slots, 8000u);
+  EXPECT_LE(r.success_slots, r.busy_slots);
+  EXPECT_LE(r.busy_slots, r.slots);
+  // The same population measured with and without warmup must differ: the
+  // cold start (all stations at stage 0) inflates early attempt rates.
+  const MultiDcfSimResult cold =
+      simulate_dcf_classes({{3, 16, 6}}, 8000, 0, 11);
+  EXPECT_NE(r.transmissions[0], cold.transmissions[0]);
+}
+
+// Measured 2- and 3-station statistics against the fixed point — the
+// regression the historical one-station-only usage never exercised.
+TEST(MultiDcfSim, TwoAndThreeStationBianchiRegression) {
+  {
+    const std::vector<DcfClass> cell{{2, 16, 3}};
+    const MultiDcfSolution model = solve_dcf_classes(cell);
+    const MultiDcfSimResult sim =
+        simulate_dcf_classes(cell, 200000, 10000, 1234);
+    EXPECT_NEAR(sim.attempt_probability[0], model.attempt_probability[0],
+                0.01);
+    EXPECT_NEAR(sim.collision_probability[0], model.collision_probability[0],
+                0.02);
+  }
+  {
+    const std::vector<DcfClass> cell{{3, 32, 6}};
+    const MultiDcfSolution model = solve_dcf_classes(cell);
+    const MultiDcfSimResult sim =
+        simulate_dcf_classes(cell, 200000, 10000, 99);
+    EXPECT_NEAR(sim.attempt_probability[0], model.attempt_probability[0],
+                0.01);
+    EXPECT_NEAR(sim.collision_probability[0], model.collision_probability[0],
+                0.02);
+  }
+}
+
+// Per-class accounting in a heterogeneous cell: the wider background
+// window must measurably attempt less often than the video class.
+TEST(MultiDcfSim, HeterogeneousClassesAreMeasuredSeparately) {
+  const std::vector<DcfClass> cell{{3, 16, 6}, {3, 64, 6}};
+  const MultiDcfSimResult r = simulate_dcf_classes(cell, 100000, 5000, 5);
+  ASSERT_EQ(r.attempt_probability.size(), 2u);
+  EXPECT_GT(r.transmissions[0], r.transmissions[1]);
+  EXPECT_GT(r.attempt_probability[0], r.attempt_probability[1]);
+  EXPECT_LE(r.collisions[0], r.transmissions[0]);
+  EXPECT_LE(r.collisions[1], r.transmissions[1]);
+  EXPECT_LE(r.success_slots, r.busy_slots);
+  EXPECT_LE(r.busy_slots, r.slots);
+}
+
+}  // namespace
+}  // namespace tv::wifi

@@ -1,6 +1,7 @@
 // thriftyvid — command-line front end.
 //
-// Subcommands: classify, simulate, sweep, advise, export.  Every
+// Subcommands: classify, simulate, sweep, cell, advise, export, live.
+// Every
 // subcommand's flags are registered in a util::FlagSet, which both rejects
 // unknown options and generates the command's `--help` text — run
 // `thriftyvid <command> --help` for the authoritative option list.
@@ -18,6 +19,8 @@
 #include <optional>
 #include <string>
 
+#include "cell/cell.hpp"
+#include "cell/validation.hpp"
 #include "core/advisor.hpp"
 #include "core/experiment.hpp"
 #include "core/sweep.hpp"
@@ -128,6 +131,70 @@ FlagSet sweep_flagset() {
       .flag("outage", "START:DUR,...", "scheduled AP blackout windows (s)")
       .flag("stage-stats", "",
             "collect per-stage aggregates and emit them per cell");
+  return fs;
+}
+
+FlagSet cell_flagset() {
+  FlagSet fs{"thriftyvid cell",
+             "Capacity sweep of a shared cell (docs/cell.md): N "
+             "heterogeneous uploaders contend for one AP through the "
+             "Bianchi fixed point; a deadline scheduler admits, degrades "
+             "or defers flows; every admitted flow runs the full transfer "
+             "pipeline.  With --validate the command switches to the "
+             "fixed-point-vs-DES cross-check grid (see 'thriftyvid cell "
+             "--validate --help')."};
+  fs.flag("flows", "1,2,4,8", "population-size axis (uploaders per cell)")
+      .flag("background", "N", "background cross-traffic stations")
+      .flag("motions", "low,high", "per-flow motion levels (round-robin)")
+      .flag("gops", "15,30", "per-flow GOP sizes (round-robin)")
+      .flag("policies", "none,I,all", "per-flow policies (round-robin)")
+      .flag("algs", "AES256,3DES", "per-flow ciphers (round-robin)")
+      .flag("devices", "samsung,htc", "per-flow device profiles")
+      .flag("deadlines", "4.0,8.0", "per-flow upload deadlines (s; 0=none)")
+      .flag("frames", "N", "clip length in frames (default 90)")
+      .flag("reps", "N", "repetitions per flow (default 5)")
+      .flag("seed", "S", "root seed (also the workload seed)")
+      .flag("threads", "N", "worker threads (default: hardware)")
+      .flag("quality", "on|off", "decode at receiver + eavesdropper")
+      .flag("cw-min", "W", "uploader CWmin (default 16)")
+      .flag("stages", "M", "uploader backoff stages (default 6)")
+      .flag("bg-cw-min", "W", "background CWmin (default 32)")
+      .flag("bg-stages", "M", "background backoff stages (default 6)")
+      .flag("channel-error", "P", "flat per-attempt channel error prob")
+      .flag("fade-prob", "P", "stationary deep-fade probability per block")
+      .flag("fade-burst", "L", "mean consecutive faded blocks (default 1)")
+      .flag("fade-error", "P", "extra error probability inside a fade")
+      .flag("no-degrade", "", "disable the policy degradation ladder")
+      .flag("no-shed", "", "never defer flows (they just miss deadlines)")
+      .flag("format", "table|jsonl|csv", "output format (default table)")
+      .flag("out", "FILE", "write results to FILE instead of stdout")
+      .flag("trace", "FILE",
+            "write per-packet stage events as JSONL (serializes flows)")
+      .flag("validate", "", "run the fixed-point-vs-DES cross-check grid");
+  return fs;
+}
+
+FlagSet cell_validate_flagset() {
+  FlagSet fs{"thriftyvid cell --validate",
+             "Cross-check the heterogeneous Bianchi fixed point against "
+             "the multi-station DCF simulator over an (n, CWmin, stages) "
+             "grid with z*CI acceptance bands (docs/cell.md).  Exit 0 iff "
+             "every check passes; output is bit-identical for any "
+             "--threads."};
+  fs.flag("validate", "", "selects this mode")
+      .flag("ns", "2,3,5,8", "contender-count axis")
+      .flag("cws", "16,32", "CWmin axis")
+      .flag("stages", "3,6", "backoff-stage axis")
+      .flag("background", "N", "background stations in every cell")
+      .flag("bg-cw-min", "W", "background CWmin (default 32)")
+      .flag("bg-stages", "M", "background backoff stages (default 6)")
+      .flag("slots", "N", "measured slots per cell (default 300000)")
+      .flag("warmup", "N", "discarded cold-start slots (default 20000)")
+      .flag("z", "Z", "acceptance multiplier on the SE estimate")
+      .flag("threads", "N", "worker threads (default: hardware)")
+      .flag("format", "table|jsonl", "output format (default table)")
+      .flag("out", "FILE", "write results to FILE instead of stdout")
+      .flag("seed", "S", "root RNG seed (default 1)");
   return fs;
 }
 
@@ -527,6 +594,181 @@ int cmd_sweep(const Flags& args) {
                "# sweep: %zu cells x %d reps, %zu workload(s), "
                "%u thread(s), %.2f s\n",
                summary.cells, spec.repetitions, summary.workloads,
+               summary.threads, summary.wall_s);
+  return 0;
+}
+
+// Validation mode of `cell` (docs/cell.md): solve the heterogeneous
+// Bianchi fixed point and simulate the same population with the
+// multi-station DCF simulator, comparing per-class statistics under z*CI
+// acceptance bands.  Exit status 0 iff every check in every cell passed.
+int cmd_cell_validate(const Flags& args) {
+  const FlagSet fs = cell_validate_flagset();
+  if (wants_help(args, fs)) return 0;
+  fs.check(args);
+
+  cell::CellValidationSpec spec;
+  if (args.has("ns")) spec.contenders = args.get_int_list("ns");
+  if (args.has("cws")) spec.cw_mins = args.get_int_list("cws");
+  if (args.has("stages")) spec.stage_counts = args.get_int_list("stages");
+  spec.background_stations =
+      args.get_int("background", spec.background_stations);
+  spec.background_cw_min = args.get_int("bg-cw-min", spec.background_cw_min);
+  spec.background_stages = args.get_int("bg-stages", spec.background_stages);
+  spec.slots = args.get_uint64("slots", spec.slots);
+  spec.warmup = args.get_uint64("warmup", spec.warmup);
+  spec.z = args.get_double("z", spec.z);
+  spec.seed = args.get_uint64("seed", spec.seed);
+
+  const int threads = args.get_int(
+      "threads", static_cast<int>(util::ThreadPool::default_thread_count()));
+  if (threads < 1) {
+    throw util::FlagError{"invalid value for --threads: must be >= 1"};
+  }
+
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  const std::string out_path = args.get("out", "");
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      throw util::FlagError{"cannot open --out file: " + out_path};
+    }
+    out = &file;
+  }
+
+  const std::string format = args.get("format", "table");
+  std::unique_ptr<cell::CellValidationSink> sink;
+  if (format == "table") {
+    sink = std::make_unique<cell::CellValidationTableSink>(*out);
+  } else if (format == "jsonl") {
+    sink = std::make_unique<cell::CellValidationJsonlSink>(*out);
+  } else {
+    throw util::FlagError{"invalid value for --format: '" + format +
+                          "' (expected table or jsonl)"};
+  }
+
+  std::optional<util::ThreadPool> pool;
+  if (threads > 1) pool.emplace(static_cast<unsigned>(threads));
+  cell::CellValidationRunner runner{pool ? &*pool : nullptr};
+  const cell::CellValidationSummary summary = runner.run(spec, *sink);
+  out->flush();
+  std::fprintf(stderr,
+               "# cell validation: %zu/%zu cells passed, %zu failed "
+               "check(s), %u thread(s), %.2f s\n",
+               summary.passed_cells, summary.cells, summary.failed_checks,
+               summary.threads, summary.wall_s);
+  return summary.all_passed() ? 0 : 1;
+}
+
+int cmd_cell(const Flags& args) {
+  // `--validate` selects the fixed-point-vs-DES cross-check grid.
+  if (args.has("validate")) return cmd_cell_validate(args);
+
+  const FlagSet fs = cell_flagset();
+  if (wants_help(args, fs)) return 0;
+  fs.check(args);
+
+  cell::CapacitySpec spec;
+  if (args.has("flows")) spec.flow_counts = args.get_int_list("flows");
+
+  cell::CellSpec& base = spec.base;
+  base.background_stations = args.get_int("background", 0);
+
+  base.motions.clear();
+  for (const auto& m : args.get_list("motions")) {
+    base.motions.push_back(video::motion_from_string(m));
+  }
+  if (base.motions.empty()) base.motions = {video::MotionLevel::kLow};
+
+  if (args.has("gops")) base.gop_sizes = args.get_int_list("gops");
+
+  base.algorithms.clear();
+  for (const auto& a : args.get_list("algs")) {
+    base.algorithms.push_back(crypto::algorithm_from_string(a));
+  }
+  if (base.algorithms.empty()) {
+    base.algorithms = {crypto::Algorithm::kAes256};
+  }
+
+  base.policies.clear();
+  for (const auto& p : args.get_list("policies")) {
+    base.policies.push_back(
+        policy::policy_from_string(p, base.algorithms.front()));
+  }
+  if (base.policies.empty()) {
+    base.policies = {{policy::Mode::kIFrames, base.algorithms.front(), 0.0}};
+  }
+
+  base.devices.clear();
+  for (const auto& d : args.get_list("devices")) {
+    base.devices.push_back(core::device_from_string(d));
+  }
+  if (base.devices.empty()) base.devices = {core::samsung_galaxy_s2()};
+
+  if (args.has("deadlines")) {
+    base.deadlines_s = args.get_double_list("deadlines");
+  }
+
+  base.frames = args.get_int("frames", 90);
+  base.repetitions = args.get_int("reps", 5);
+  base.seed = args.get_uint64("seed", 1);
+  base.evaluate_quality = args.get_bool("quality", true);
+  base.cw_min = args.get_int("cw-min", base.cw_min);
+  base.backoff_stages = args.get_int("stages", base.backoff_stages);
+  base.background_cw_min = args.get_int("bg-cw-min", base.background_cw_min);
+  base.background_stages = args.get_int("bg-stages", base.background_stages);
+  base.channel_error_prob =
+      args.get_double("channel-error", base.channel_error_prob);
+  base.fade_prob = args.get_double("fade-prob", base.fade_prob);
+  base.mean_fade_reps = args.get_double("fade-burst", base.mean_fade_reps);
+  base.fade_error_prob = args.get_double("fade-error", base.fade_error_prob);
+  base.scheduler.allow_degrade = !args.get_bool("no-degrade", false);
+  base.scheduler.allow_shedding = !args.get_bool("no-shed", false);
+
+  TraceOutput trace;
+  base.trace = trace.open(args);
+
+  const int threads = args.get_int(
+      "threads", static_cast<int>(util::ThreadPool::default_thread_count()));
+  if (threads < 1) {
+    throw util::FlagError{"invalid value for --threads: must be >= 1"};
+  }
+
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  const std::string out_path = args.get("out", "");
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      throw util::FlagError{"cannot open --out file: " + out_path};
+    }
+    out = &file;
+  }
+
+  const std::string format = args.get("format", "table");
+  std::unique_ptr<cell::CellSink> sink;
+  if (format == "table") {
+    sink = std::make_unique<cell::CellTableSink>(*out);
+  } else if (format == "jsonl") {
+    sink = std::make_unique<cell::CellJsonlSink>(*out);
+  } else if (format == "csv") {
+    sink = std::make_unique<cell::CellCsvSink>(*out);
+  } else {
+    throw util::FlagError{"invalid value for --format: '" + format +
+                          "' (expected table, jsonl or csv)"};
+  }
+
+  std::optional<util::ThreadPool> pool;
+  if (threads > 1) pool.emplace(static_cast<unsigned>(threads));
+  cell::CellRunner runner{pool ? &*pool : nullptr};
+  const cell::CellSweepSummary summary = runner.run(spec, *sink);
+  out->flush();
+  trace.file.flush();
+  std::fprintf(stderr,
+               "# cell: %zu point(s) x %d reps, %zu workload(s), "
+               "%u thread(s), %.2f s\n",
+               summary.points, base.repetitions, summary.workloads,
                summary.threads, summary.wall_s);
   return 0;
 }
@@ -1107,6 +1349,7 @@ void print_usage(std::FILE* to) {
                util::build_info_line().c_str());
   const FlagSet sets[] = {classify_flagset(),  simulate_flagset(),
                           simulate_validation_flagset(), sweep_flagset(),
+                          cell_flagset(),      cell_validate_flagset(),
                           advise_flagset(),    export_flagset(),
                           live_loopback_flagset(), live_send_flagset(),
                           live_recv_flagset(), live_proxy_flagset(),
@@ -1147,6 +1390,7 @@ int main(int argc, char** argv) {
     if (cmd == "classify") return cmd_classify(args);
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "cell") return cmd_cell(args);
     if (cmd == "advise") return cmd_advise(args);
     if (cmd == "export") return cmd_export(args);
   } catch (const std::exception& e) {
