@@ -6,6 +6,7 @@
 
 #include "bench/common.hpp"
 #include "video/quality.hpp"
+#include "util/arena.hpp"
 
 using namespace tv;
 
@@ -41,7 +42,9 @@ int main(int argc, char** argv) {
     for (const auto& pol :
          policy::headline_policies(crypto::Algorithm::kAes256)) {
       // Rebuild the eavesdropper's decode for this policy.
-      std::vector<net::VideoPacket> packets = workload.packets;
+      util::Arena arena;
+      std::vector<net::VideoPacket> packets =
+          net::clone_packets(workload.packets, arena);
       const auto selected = pol.select(packets);
       const auto cipher =
           crypto::make_cipher_from_seed(pol.algorithm, options.seed);

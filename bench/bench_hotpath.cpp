@@ -16,7 +16,10 @@
 // cycle counter those fields are null and MB/s stands alone.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <new>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
@@ -33,6 +36,29 @@
 #include "net/packetizer.hpp"
 #include "util/cycle_clock.hpp"
 #include "video/dct.hpp"
+#include "util/arena.hpp"
+
+namespace {
+
+/// Process-wide allocation counter behind the v2 `allocations_per_packet`
+/// field.  The shim routes through std::malloc, so it composes with
+/// sanitizer builds; only deltas around the timed region are read.
+std::atomic<std::uint64_t> g_heap_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -220,7 +246,8 @@ int main(int argc, char** argv) {
   const int frames = options.quick ? 60 : 120;
   const auto workload = tv::core::build_workload(
       tv::video::MotionLevel::kLow, 30, frames, options.seed);
-  auto packets = workload.packets;
+  tv::util::Arena arena;
+  auto packets = tv::net::clone_packets(workload.packets, arena);
   const auto cipher = tv::crypto::make_cipher_from_seed(
       Algorithm::kAes128, key_seed, CipherBackend::kAuto);
   const std::vector<std::uint8_t> flow_iv(cipher->block_size(),
@@ -238,8 +265,29 @@ int main(int argc, char** argv) {
       },
       std::max(1, reps - 2));
   const double packets_per_s = static_cast<double>(packets.size()) / sim_s;
-  std::printf("transfer: %zu packets simulated at %.0f packets/s (host)\n",
-              packets.size(), packets_per_s);
+  // Steady-state heap traffic of one transfer (the loop above warmed every
+  // lazy path): with arena-backed packets this is the handful of result
+  // vectors, so per-packet it sits at ~0.
+  const std::uint64_t allocs_before =
+      g_heap_allocations.load(std::memory_order_relaxed);
+  {
+    const auto result = tv::core::simulate_transfer(config, packets,
+                                                    options.seed);
+    g_sinkd = result.duration_s;
+  }
+  const std::uint64_t transfer_allocs =
+      g_heap_allocations.load(std::memory_order_relaxed) - allocs_before;
+  const double allocs_per_packet =
+      static_cast<double>(transfer_allocs) /
+      static_cast<double>(packets.size());
+  std::printf(
+      "transfer: %zu packets simulated at %.0f packets/s (host), "
+      "%.4f heap allocations/packet (%" PRIu64 " per transfer)\n",
+      packets.size(), packets_per_s, allocs_per_packet, transfer_allocs);
+  std::printf(
+      "arena: %zu payload bytes in %" PRIu64 " chunk(s), %" PRIu64
+      " arena allocation(s)\n",
+      arena.bytes_in_use(), arena.chunk_count(), arena.allocation_count());
 
   // --- speedups the acceptance gate reads -------------------------------
   const auto find_point = [&](std::string_view alg, std::string_view backend,
@@ -272,7 +320,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << "{\n";
-    out << "  \"schema\": \"tv-bench-hotpath-v1\",\n";
+    out << "  \"schema\": \"tv-bench-hotpath-v2\",\n";
     out << "  \"quick\": " << (options.quick ? "true" : "false") << ",\n";
     out << "  \"buffer_bytes\": " << bulk_bytes << ",\n";
     out << "  \"tsc_ghz\": " << json_number(tv::util::tsc_ghz()) << ",\n";
@@ -302,7 +350,12 @@ int main(int argc, char** argv) {
         << ", \"roundtrip_blocks_per_s\": " << json_number(round_blocks_s)
         << "},\n";
     out << "  \"transfer\": {\"packets\": " << packets.size()
-        << ", \"packets_per_s\": " << json_number(packets_per_s) << "},\n";
+        << ", \"packets_per_s\": " << json_number(packets_per_s)
+        << ", \"allocations_per_packet\": " << json_number(allocs_per_packet)
+        << ", \"allocations_per_transfer\": " << transfer_allocs << "},\n";
+    out << "  \"arena\": {\"payload_bytes\": " << arena.bytes_in_use()
+        << ", \"chunks\": " << arena.chunk_count()
+        << ", \"allocations\": " << arena.allocation_count() << "},\n";
     out << "  \"speedups\": {\"aes128_batch_over_block\": "
         << json_number(batch_speedup)
         << ", \"aes128_aesni_over_block\": " << json_number(ni_speedup)

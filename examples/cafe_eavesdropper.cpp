@@ -7,6 +7,7 @@
 
 #include "core/experiment.hpp"
 #include "video/quality.hpp"
+#include "util/arena.hpp"
 
 using namespace tv;
 
@@ -35,7 +36,9 @@ int main() {
         {policy::Mode::kIPlusFractionP, crypto::Algorithm::kAes256, 0.20},
     };
     for (const auto& pol : policies) {
-      std::vector<net::VideoPacket> packets = workload.packets;
+      util::Arena arena;
+      std::vector<net::VideoPacket> packets =
+          net::clone_packets(workload.packets, arena);
       const auto selected = pol.select(packets);
       const auto cipher = crypto::make_cipher_from_seed(pol.algorithm, 99);
       std::vector<std::uint8_t> iv(cipher->block_size(), 0x17);

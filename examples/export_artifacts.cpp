@@ -12,6 +12,7 @@
 #include "core/experiment.hpp"
 #include "net/pcap.hpp"
 #include "video/y4m.hpp"
+#include "util/arena.hpp"
 
 using namespace tv;
 
@@ -22,7 +23,9 @@ int main() {
                                              120, 8);
   policy::EncryptionPolicy pol{policy::Mode::kIFrames,
                                crypto::Algorithm::kAes256, 0.0};
-  std::vector<net::VideoPacket> packets = workload.packets;
+  tv::util::Arena arena;
+  std::vector<net::VideoPacket> packets =
+      net::clone_packets(workload.packets, arena);
   const auto selected = pol.select(packets);
   const auto cipher = crypto::make_cipher_from_seed(pol.algorithm, 4242);
   std::vector<std::uint8_t> iv(cipher->block_size(), 0x5c);

@@ -4,7 +4,7 @@
 #
 # Usage: ./run_checks.sh [--sanitize-only | --tsan-only | --validation-only
 #                         | --coverage | --tidy | --live-smoke | --chaos-smoke
-#                         | --bench-smoke | --cell-smoke]
+#                         | --bench-smoke | --cell-smoke | --alloc-smoke]
 #
 # Test tiers are selected by ctest labels (see docs/validation.md):
 #   * default passes run everything except the `slow` label (the full-grid
@@ -53,11 +53,11 @@ jobs=$(nproc 2>/dev/null || echo 4)
 mode="${1:-}"
 
 case "${mode}" in
-  ""|--sanitize-only|--tsan-only|--validation-only|--coverage|--tidy|--live-smoke|--chaos-smoke|--bench-smoke|--cell-smoke) ;;
+  ""|--sanitize-only|--tsan-only|--validation-only|--coverage|--tidy|--live-smoke|--chaos-smoke|--bench-smoke|--cell-smoke|--alloc-smoke) ;;
   *)
     echo "usage: $0 [--sanitize-only | --tsan-only | --validation-only |" \
          "--coverage | --tidy | --live-smoke | --chaos-smoke |" \
-         "--bench-smoke | --cell-smoke]" >&2
+         "--bench-smoke | --cell-smoke | --alloc-smoke]" >&2
     exit 2
     ;;
 esac
@@ -94,7 +94,7 @@ def finite(value, where):
     if not math.isfinite(value):
         fail(f"{where} is not finite: {value!r}")
 
-if doc.get("schema") != "tv-bench-hotpath-v1":
+if doc.get("schema") != "tv-bench-hotpath-v2":
     fail(f"schema is {doc.get('schema')!r}")
 for key in ("quick", "cycle_clock_available", "aes_ni_available"):
     if not isinstance(doc.get(key), bool):
@@ -124,6 +124,20 @@ transfer = doc.get("transfer", {})
 if not isinstance(transfer.get("packets"), int) or transfer["packets"] <= 0:
     fail("transfer.packets missing or non-positive")
 finite(transfer.get("packets_per_s"), "transfer.packets_per_s")
+# v2: steady-state heap traffic of the zero-copy packet path.
+finite(transfer.get("allocations_per_packet"),
+       "transfer.allocations_per_packet")
+if transfer.get("allocations_per_packet") is None:
+    fail("transfer.allocations_per_packet must be measured, got null")
+if transfer["allocations_per_packet"] > 0.5:
+    fail("transfer.allocations_per_packet regressed: "
+         f"{transfer['allocations_per_packet']} (expected ~0)")
+if not isinstance(transfer.get("allocations_per_transfer"), int):
+    fail("transfer.allocations_per_transfer missing or not an int")
+arena = doc.get("arena", {})
+for key in ("payload_bytes", "chunks", "allocations"):
+    if not isinstance(arena.get(key), int) or arena[key] <= 0:
+        fail(f"arena.{key} missing or non-positive")
 for key in ("aes128_batch_over_block", "aes128_aesni_over_block"):
     if key not in doc.get("speedups", {}):
         fail(f"speedups.{key} missing")
@@ -133,6 +147,26 @@ print(f"bench smoke: {sys.argv[1]} is schema-valid "
       f"({len(doc['ciphers'])} cipher points, {len(doc['ofb'])} ofb points)")
 PY
   echo "=== bench smoke passed ==="
+  exit 0
+fi
+
+if [[ "${mode}" == "--alloc-smoke" ]]; then
+  # The allocation-regression gate: the counting-operator-new suite must
+  # hold steady-state allocations/packet at ~0 through simulate_transfer,
+  # and it must stay clean under ASan (the shim routes through malloc, so
+  # the sanitizer still tracks every allocation).
+  echo "=== alloc smoke: plain build ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DTHRIFTYVID_WERROR=ON
+  cmake --build build -j "${jobs}" --target tv_alloc_tests
+  timeout 300 ./build/tests/tv_alloc_tests
+
+  echo "=== alloc smoke: ASan + UBSan build ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTHRIFTYVID_SANITIZE=ON -DTHRIFTYVID_WERROR=ON
+  cmake --build build-asan -j "${jobs}" --target tv_alloc_tests
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    timeout 600 ./build-asan/tests/tv_alloc_tests
+  echo "=== alloc smoke passed ==="
   exit 0
 fi
 

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "crypto/suite.hpp"
+#include "util/arena.hpp"
 #include "energy/energy_model.hpp"
 #include "util/thread_pool.hpp"
 #include "video/quality.hpp"
@@ -240,7 +241,11 @@ CellResult run_cell(const CellSpec& spec, core::WorkloadCache& cache,
     if (!decision.admitted) return;  // deferred: no airtime, no statistics.
 
     const core::Workload& w = *workloads[f];
-    std::vector<net::VideoPacket> packets = w.packets;
+    // Per-flow arena: one bump-allocated clone of the shared plaintext
+    // packets, encrypted in place for this flow only, dropped wholesale
+    // when the task ends.  Keeps 10k-flow sweeps off the global heap.
+    util::Arena arena;
+    std::vector<net::VideoPacket> packets = net::clone_packets(w.packets, arena);
     const std::vector<bool> selected = out.policy.select(packets);
     const std::uint64_t cipher_seed =
         util::derive_seed(spec.seed, kCipherStream, f);

@@ -51,34 +51,58 @@ ScheduleResult DeadlineScheduler::schedule(
     result.flows[f].policy = demands[f].policy;
   }
 
-  auto admitted_count = [&] {
-    int n = 0;
-    for (const FlowDecision& d : result.flows) n += d.admitted ? 1 : 0;
-    return n;
-  };
+  // <= 0: size the round budget to the population — every flow can walk
+  // its full degrade ladder and then be deferred, plus the terminal
+  // feasible/no-lever round.  Every loop iteration below either takes one
+  // of those actions or breaks, so this bound is never the binding exit
+  // on a converging schedule.
+  const long max_iterations =
+      config_.max_iterations > 0
+          ? config_.max_iterations
+          : static_cast<long>(config_.max_degrade_steps + 1) *
+                    static_cast<long>(demands.size()) +
+                1;
 
-  for (int iter = 0; iter < config_.max_iterations; ++iter) {
-    contention.video.stations = admitted_count();
-    result.contention = solve_contention(contention);
-    result.iterations = iter + 1;
+  // One admitted count and one contention solve per *population change*,
+  // not per round: solve_contention and predict_completion are pure, so
+  // reusing their outputs while the admitted set and a flow's policy are
+  // unchanged reproduces the recompute-everything loop bit for bit — a
+  // degrade-heavy 10k-flow schedule pays ~10k solves instead of ~90k.
+  int admitted = static_cast<int>(demands.size());
+  int solved_stations = -1;
+  std::size_t repredict_one = demands.size();  // policy changed last round.
 
-    // Slack under the current population; find the tightest flow.
+  for (long iter = 0; iter < max_iterations; ++iter) {
+    const bool resolve = admitted != solved_stations;
+    if (resolve) {
+      contention.video.stations = admitted;
+      result.contention = solve_contention(contention);
+      solved_stations = admitted;
+    }
+    result.iterations = static_cast<int>(iter) + 1;
+
+    // Slack under the current population; find the tightest flow.  Only
+    // stale predictions are refreshed: all of them after a population
+    // change, just the degraded flow's otherwise.
     std::size_t worst = demands.size();
     double worst_slack = 0.0;
     for (std::size_t f = 0; f < demands.size(); ++f) {
       FlowDecision& d = result.flows[f];
       if (!d.admitted) continue;
-      d.predicted_completion_s =
-          predict_completion(demands[f], d.policy, result.contention);
-      d.slack_s = demands[f].deadline_s > 0.0
-                      ? demands[f].deadline_s - d.predicted_completion_s
-                      : kInfinity;
+      if (resolve || f == repredict_one) {
+        d.predicted_completion_s =
+            predict_completion(demands[f], d.policy, result.contention);
+        d.slack_s = demands[f].deadline_s > 0.0
+                        ? demands[f].deadline_s - d.predicted_completion_s
+                        : kInfinity;
+      }
       if (d.slack_s < 0.0 &&
           (worst == demands.size() || d.slack_s < worst_slack)) {
         worst = f;
         worst_slack = d.slack_s;
       }
     }
+    repredict_one = demands.size();
     if (worst == demands.size()) break;  // everyone admitted is feasible.
 
     FlowDecision& d = result.flows[worst];
@@ -88,14 +112,16 @@ ScheduleResult DeadlineScheduler::schedule(
         d.policy = next;
         ++d.degrade_steps;
         ++result.total_degrade_steps;
+        repredict_one = worst;
         continue;
       }
     }
     // Past the ladder floor: defer the flow — unless it is the last one
     // standing, which just misses its deadline (shedding it buys nobody
     // anything).
-    if (config_.allow_shedding && admitted_count() > 1) {
+    if (config_.allow_shedding && admitted > 1) {
       d.admitted = false;
+      --admitted;
       continue;
     }
     break;  // infeasible but no remaining lever.
@@ -112,7 +138,7 @@ ScheduleResult DeadlineScheduler::schedule(
                     ? demands[f].deadline_s - d.predicted_completion_s
                     : kInfinity;
   }
-  result.admitted = admitted_count();
+  result.admitted = admitted;
   result.deferred = static_cast<int>(demands.size()) - result.admitted;
   return result;
 }

@@ -25,8 +25,13 @@ struct SchedulerConfig {
   bool allow_shedding = true; ///< defer flows past the degradation floor.
   /// Ladder budget per flow before deferring it.
   int max_degrade_steps = 8;
-  /// Safety bound on solve/degrade/shed rounds.
-  int max_iterations = 256;
+  /// Safety bound on solve/degrade/shed rounds.  <= 0 (the default) sizes
+  /// the bound to the population — (max_degrade_steps + 1) * flows + 1,
+  /// enough for every flow to walk its full ladder and be deferred — so
+  /// a 10k-flow overload sheds to feasibility instead of stopping with
+  /// thousands of infeasible flows still admitted (whose near-zero MAC
+  /// success probability would make the per-flow pipelines intractable).
+  int max_iterations = 0;
 };
 
 /// What the scheduler needs to know about one flow.  The encryption and

@@ -1,0 +1,18 @@
+// Core-layer aliases for the zero-copy buffer types (docs/architecture.md
+// "Buffer ownership").  The definitions live downstream of their
+// dependencies — Arena and ByteView in util (no deps), PacketBuf in net
+// (knows the RTP wire layout) — but the pipeline-facing names are spelled
+// core::, matching the layer that orchestrates packet lifetimes.
+#pragma once
+
+#include "net/packet_buf.hpp"
+#include "util/arena.hpp"
+#include "util/bytes.hpp"
+
+namespace tv::core {
+
+using Arena = util::Arena;
+using ByteView = util::ByteView;
+using PacketBuf = net::PacketBuf;
+
+}  // namespace tv::core

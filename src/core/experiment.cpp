@@ -59,7 +59,7 @@ Workload build_workload(video::MotionLevel motion, int gop_size, int frames,
 
   const video::Encoder encoder{w.codec};
   w.stream = encoder.encode(w.clip);
-  w.packets = net::packetize(w.stream, net::kDefaultMtu, fps);
+  w.packets = net::packetize(w.stream, w.arena, net::kDefaultMtu, fps);
 
   // Coding distortion floor: decode the intact stream and compare.
   {
@@ -106,8 +106,11 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   ExperimentResult result;
   result.label = spec.policy.label();
 
-  // Apply the policy's packet selection and encrypt for real.
-  std::vector<net::VideoPacket> packets = workload.packets;
+  // Apply the policy's packet selection and encrypt for real — on a
+  // private clone so the shared workload's plaintext bytes stay intact.
+  util::Arena arena;
+  std::vector<net::VideoPacket> packets =
+      net::clone_packets(workload.packets, arena);
   const std::vector<bool> selected = spec.policy.select(packets);
   const auto cipher =
       crypto::make_cipher_from_seed(spec.policy.algorithm, spec.seed);

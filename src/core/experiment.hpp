@@ -16,6 +16,7 @@
 #include "core/pipeline.hpp"
 #include "core/predictor.hpp"
 #include "policy/policy.hpp"
+#include "util/arena.hpp"
 #include "util/stats.hpp"
 #include "video/codec.hpp"
 #include "video/scene.hpp"
@@ -27,12 +28,17 @@ class ThreadPool;
 namespace tv::core {
 
 /// A reusable, deterministic video workload.
+///
+/// Move-only: `arena` owns the wire bytes of `packets`, which are views
+/// (net::PacketBuf) into it.  Experiments never mutate the workload's
+/// packets — they clone_packets() into their own arena before encrypting.
 struct Workload {
   video::MotionLevel motion = video::MotionLevel::kLow;
   video::CodecConfig codec;
   double fps = 30.0;
   video::FrameSequence clip;            ///< original YUV frames.
   video::EncodedStream stream;          ///< compressed IPP...P stream.
+  util::Arena arena;                    ///< owns the packets' wire bytes.
   std::vector<net::VideoPacket> packets;  ///< plaintext packetization.
   double base_mse = 0.0;  ///< coding distortion of a lossless decode.
   double null_mse = 0.0;  ///< content MSE vs. a blank (gray) decode.

@@ -1,89 +1,15 @@
 #include "core/pipeline_stages.hpp"
 
-#include <algorithm>
-
 namespace tv::core {
 
-double ProducerStage::release(const net::VideoPacket& packet,
-                              std::size_t index, util::Rng& rng) {
-  if (packet.frame_index != current_frame_) {
-    current_frame_ = packet.frame_index;
-    const double jitter =
-        config_.frame_jitter_mean_s > 0.0
-            ? rng.exponential(1.0 / config_.frame_jitter_mean_s)
-            : 0.0;
-    frame_cursor_ = std::max(
-        frame_cursor_,
-        static_cast<double>(packet.frame_index) / config_.fps + jitter);
-  }
-  const double read_time =
-      rng.exponential(1.0 / config_.read_overhead_s) +
-      config_.read_per_byte_s * static_cast<double>(packet.payload.size());
-  frame_cursor_ += read_time;
-  if (trace_ != nullptr) {
-    trace_->event({Stage::kProducer, "release",
-                   static_cast<std::int64_t>(index), -1, frame_cursor_,
-                   read_time});
-  }
-  return frame_cursor_;
-}
-
-bool PolicyGateStage::degrade(const net::VideoPacket& packet,
-                              std::size_t index, double arrival_s,
-                              double service_start_s) const {
-  const double queue_wait = service_start_s - arrival_s;
-  const bool degraded = config_.degrade_sojourn_s > 0.0 && packet.encrypted &&
-                        !packet.is_i_frame &&
-                        queue_wait > config_.degrade_sojourn_s;
-  if (trace_ != nullptr) {
-    trace_->event({Stage::kPolicyGate, degraded ? "degrade" : "pass",
-                   static_cast<std::int64_t>(index), -1, service_start_s,
-                   queue_wait});
-  }
-  return degraded;
-}
-
 ServiceStage::ServiceStage(const PipelineConfig& config, TraceSink* trace)
-    : config_(config), trace_(trace) {
+    : config_(config),
+      trace_(trace),
+      // The jitter sigma is per-algorithm, not per-packet; load it once so
+      // the per-packet draw skips the profile lookup.
+      enc_jitter_stddev_s_(config.device.speed(config.algorithm).jitter_stddev_s) {
   model_.mac_success_prob = config.mac_success_prob;
   model_.backoff_rate = config.backoff_rate;
-}
-
-double ServiceStage::encrypt(const net::VideoPacket& packet, std::size_t index,
-                             double now_s, util::Rng& rng) const {
-  const double t_e = ServiceModel::draw_encryption(
-      rng, config_.device, config_.algorithm, packet.payload.size());
-  if (trace_ != nullptr) {
-    trace_->event({Stage::kService, "encrypt",
-                   static_cast<std::int64_t>(index), -1, now_s, t_e});
-  }
-  return t_e;
-}
-
-double ServiceStage::transmission_mean_s(const net::VideoPacket& packet) const {
-  return wifi::transmission_time_s(config_.phy, packet.wire_bytes());
-}
-
-double ServiceStage::backoff(std::size_t index, double* clock, double* total,
-                             util::Rng& rng) const {
-  const ServiceModel::BackoffDraw draw = model_.draw_backoff(rng, clock, total);
-  if (trace_ != nullptr) {
-    trace_->event({Stage::kService, "backoff",
-                   static_cast<std::int64_t>(index), -1,
-                   clock != nullptr ? *clock : 0.0, draw.total_s});
-  }
-  return draw.total_s;
-}
-
-double ServiceStage::transmit(std::size_t index, double mean_s, double now_s,
-                              util::Rng& rng) const {
-  const double t_t =
-      ServiceModel::draw_transmission(rng, mean_s, config_.tx_jitter_stddev_s);
-  if (trace_ != nullptr) {
-    trace_->event({Stage::kService, "transmit",
-                   static_cast<std::int64_t>(index), -1, now_s + t_t, t_t});
-  }
-  return t_t;
 }
 
 ChannelStage::ChannelStage(const PipelineConfig& config,
@@ -95,75 +21,6 @@ ChannelStage::ChannelStage(const PipelineConfig& config,
     util::Rng channel_seeder{transfer_seed ^ 0x6a09e667f3bcc908ULL};
     receiver_.emplace(config.channel->receiver, channel_seeder());
     eavesdropper_.emplace(config.channel->eavesdropper, channel_seeder());
-  }
-}
-
-ChannelStage::Outcome ChannelStage::attempt(std::size_t index, double now_s,
-                                            bool eavesdropper_already,
-                                            util::Rng& rng) {
-  Outcome out;
-  if (config_.channel) {
-    out.in_outage = wifi::in_outage(config_.channel->outages, now_s);
-    if (out.in_outage) {
-      out.receiver_ok = false;
-      out.eavesdropper_heard = eavesdropper_already;
-    } else {
-      out.receiver_ok = !receiver_->lose_packet();
-      out.eavesdropper_heard =
-          eavesdropper_already ? true : !eavesdropper_->lose_packet();
-    }
-  } else {
-    out.receiver_ok = !rng.bernoulli(config_.receiver_loss_prob);
-    out.eavesdropper_heard =
-        eavesdropper_already ? true
-                             : !rng.bernoulli(config_.eavesdropper_loss_prob);
-  }
-  if (trace_ != nullptr) {
-    const char* kind =
-        out.in_outage ? "outage" : (out.receiver_ok ? "deliver" : "loss");
-    trace_->event({Stage::kChannel, kind, static_cast<std::int64_t>(index), -1,
-                   now_s, 0.0});
-    if (out.eavesdropper_heard && !eavesdropper_already) {
-      trace_->event({Stage::kChannel, "eavesdrop",
-                     static_cast<std::int64_t>(index), -1, now_s, 0.0});
-    }
-  }
-  return out;
-}
-
-TransportStage::Decision TransportStage::after_loss(std::size_t index,
-                                                    int attempts, double now_s,
-                                                    double arrival_s) const {
-  Decision decision;
-  if (attempts >= config_.tcp_max_attempts) {
-    decision.verdict = Verdict::kMaxAttempts;
-    return decision;
-  }
-  // Loss recovery: the sender notices via dupacks/timeout and retries,
-  // waiting exponentially longer each round (capped).
-  double wait = config_.tcp_retx_penalty_s;
-  for (int a = 1; a < attempts; ++a) wait *= config_.tcp_backoff_multiplier;
-  if (config_.tcp_backoff_max_s > 0.0) {
-    wait = std::min(wait, config_.tcp_backoff_max_s);
-  }
-  if (config_.packet_deadline_s > 0.0 &&
-      (now_s + wait) - arrival_s > config_.packet_deadline_s) {
-    decision.verdict = Verdict::kDeadline;
-    return decision;
-  }
-  decision.wait_s = wait;
-  if (trace_ != nullptr) {
-    trace_->event({Stage::kTransport, "retransmit",
-                   static_cast<std::int64_t>(index), -1, now_s, wait});
-  }
-  return decision;
-}
-
-void TransportStage::finish(std::size_t index, const char* kind,
-                            double completion_s, double delay_s) const {
-  if (trace_ != nullptr) {
-    trace_->event({Stage::kTransport, kind, static_cast<std::int64_t>(index),
-                   -1, completion_s, delay_s});
   }
 }
 

@@ -26,9 +26,19 @@
 // the sweep golden file and the CLI byte-identity checks).  Every stage
 // takes an optional TraceSink; with the sink null the stages cost one
 // never-taken branch per event site and consume identical randomness.
+//
+// The per-packet methods are defined inline: they are the transfer hot
+// path, and keeping them visible to simulate_transfer lets the compiler
+// fold the whole stage composition into one loop.  The target is baseline
+// x86-64 (no FMA), so cross-boundary inlining cannot contract any
+// floating-point expression — every draw stays bit-identical (pinned by
+// the sweep/cell goldens).
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
+#include <utility>
 #include <optional>
 
 #include "core/pipeline.hpp"
@@ -46,16 +56,46 @@ namespace tv::core {
 class ProducerStage {
  public:
   ProducerStage(const PipelineConfig& config, TraceSink* trace)
-      : config_(config), trace_(trace) {}
+      : config_(config),
+        trace_(trace),
+        // The exponential rates are loop-invariant; computing each division
+        // once up front yields the exact double the per-packet division
+        // produced, so the draws are unchanged bit for bit.
+        read_rate_(1.0 / config.read_overhead_s),
+        jitter_rate_(config.frame_jitter_mean_s > 0.0
+                         ? 1.0 / config.frame_jitter_mean_s
+                         : 0.0) {}
 
   /// Arrival time of the next packet.  Draws the frame-boundary jitter and
   /// the per-segment read latency from `rng`.
   [[nodiscard]] double release(const net::VideoPacket& packet,
-                               std::size_t index, util::Rng& rng);
+                               std::size_t index, util::Rng& rng) {
+    if (packet.frame_index != current_frame_) {
+      current_frame_ = packet.frame_index;
+      const double jitter = config_.frame_jitter_mean_s > 0.0
+                                ? rng.exponential(jitter_rate_)
+                                : 0.0;
+      frame_cursor_ = std::max(
+          frame_cursor_,
+          static_cast<double>(packet.frame_index) / config_.fps + jitter);
+    }
+    const double read_time =
+        rng.exponential(read_rate_) +
+        config_.read_per_byte_s * static_cast<double>(packet.payload.size());
+    frame_cursor_ += read_time;
+    if (trace_ != nullptr) {
+      trace_->event({Stage::kProducer, "release",
+                     static_cast<std::int64_t>(index), -1, frame_cursor_,
+                     read_time});
+    }
+    return frame_cursor_;
+  }
 
  private:
   const PipelineConfig& config_;
   TraceSink* trace_;
+  double read_rate_;
+  double jitter_rate_;
   double frame_cursor_ = 0.0;
   int current_frame_ = -1;
 };
@@ -73,7 +113,18 @@ class PolicyGateStage {
   /// decision).
   [[nodiscard]] bool degrade(const net::VideoPacket& packet,
                              std::size_t index, double arrival_s,
-                             double service_start_s) const;
+                             double service_start_s) const {
+    const double queue_wait = service_start_s - arrival_s;
+    const bool degraded = config_.degrade_sojourn_s > 0.0 &&
+                          packet.encrypted && !packet.is_i_frame &&
+                          queue_wait > config_.degrade_sojourn_s;
+    if (trace_ != nullptr) {
+      trace_->event({Stage::kPolicyGate, degraded ? "degrade" : "pass",
+                     static_cast<std::int64_t>(index), -1, service_start_s,
+                     queue_wait});
+    }
+    return degraded;
+  }
 
  private:
   const PipelineConfig& config_;
@@ -89,28 +140,89 @@ class ServiceStage {
   [[nodiscard]] const ServiceModel& model() const { return model_; }
 
   /// T_e for an encrypted packet (mean from the calibrated DeviceProfile).
+  /// The mean is a pure function of the payload size, so it is memoized the
+  /// same way as the transmission mean below.
   [[nodiscard]] double encrypt(const net::VideoPacket& packet,
                                std::size_t index, double now_s,
-                               util::Rng& rng) const;
+                               util::Rng& rng) const {
+    const double t_e = ServiceModel::draw_encryption(
+        rng, cached_mean(enc_cache_, enc_cache_used_, packet.payload.size(),
+                         [this](std::size_t n) {
+                           return config_.device.encryption_seconds(
+                               config_.algorithm, n);
+                         }),
+        enc_jitter_stddev_s_);
+    if (trace_ != nullptr) {
+      trace_->event({Stage::kService, "encrypt",
+                     static_cast<std::int64_t>(index), -1, now_s, t_e});
+    }
+    return t_e;
+  }
 
   /// PHY mean on-air time for this packet (computed once per packet; the
-  /// per-attempt draws jitter around it).
+  /// per-attempt draws jitter around it).  Memoized per distinct wire
+  /// size — the PHY law is a pure function of it, so the cached double
+  /// is bit-identical to a fresh computation.
   [[nodiscard]] double transmission_mean_s(
-      const net::VideoPacket& packet) const;
+      const net::VideoPacket& packet) const {
+    return cached_mean(tx_cache_, tx_cache_used_, packet.wire_bytes(),
+                       [this](std::size_t n) {
+                         return wifi::transmission_time_s(config_.phy, n);
+                       });
+  }
 
   /// One MAC backoff round (T_b).  Each wait is added to *clock and
   /// *total as drawn (see ServiceModel::draw_backoff).
   double backoff(std::size_t index, double* clock, double* total,
-                 util::Rng& rng) const;
+                 util::Rng& rng) const {
+    const ServiceModel::BackoffDraw draw =
+        model_.draw_backoff(rng, clock, total);
+    if (trace_ != nullptr) {
+      trace_->event({Stage::kService, "backoff",
+                     static_cast<std::int64_t>(index), -1,
+                     clock != nullptr ? *clock : 0.0, draw.total_s});
+    }
+    return draw.total_s;
+  }
 
   /// One on-air transmission draw (T_t).
   [[nodiscard]] double transmit(std::size_t index, double mean_s,
-                                double now_s, util::Rng& rng) const;
+                                double now_s, util::Rng& rng) const {
+    const double t_t = ServiceModel::draw_transmission(
+        rng, mean_s, config_.tx_jitter_stddev_s);
+    if (trace_ != nullptr) {
+      trace_->event({Stage::kService, "transmit",
+                     static_cast<std::int64_t>(index), -1, now_s + t_t, t_t});
+    }
+    return t_t;
+  }
 
  private:
+  using MeanCache = std::array<std::pair<std::size_t, double>, 8>;
+
+  /// Linear-scan memo for a pure size -> seconds law.  A stream carries a
+  /// handful of distinct packet sizes (full-MTU fragments + per-frame
+  /// tails), and the cached value is the exact double a fresh computation
+  /// would produce, so replay bytes are unchanged.
+  template <typename Law>
+  static double cached_mean(MeanCache& cache, std::size_t& used,
+                            std::size_t bytes, Law law) {
+    for (std::size_t i = 0; i < used; ++i) {
+      if (cache[i].first == bytes) return cache[i].second;
+    }
+    const double mean = law(bytes);
+    if (used < cache.size()) cache[used++] = {bytes, mean};
+    return mean;
+  }
+
   const PipelineConfig& config_;
   TraceSink* trace_;
   ServiceModel model_;
+  double enc_jitter_stddev_s_;
+  mutable MeanCache tx_cache_{};
+  mutable std::size_t tx_cache_used_ = 0;
+  mutable MeanCache enc_cache_{};
+  mutable std::size_t enc_cache_used_ = 0;
 };
 
 /// Channel: decides, per on-air attempt, whether the receiver and the
@@ -134,7 +246,37 @@ class ChannelStage {
   /// mirroring the historical short-circuit, so chain states and RNG
   /// consumption are unchanged.
   [[nodiscard]] Outcome attempt(std::size_t index, double now_s,
-                                bool eavesdropper_already, util::Rng& rng);
+                                bool eavesdropper_already, util::Rng& rng) {
+    Outcome out;
+    if (config_.channel) {
+      out.in_outage = wifi::in_outage(config_.channel->outages, now_s);
+      if (out.in_outage) {
+        out.receiver_ok = false;
+        out.eavesdropper_heard = eavesdropper_already;
+      } else {
+        out.receiver_ok = !receiver_->lose_packet();
+        out.eavesdropper_heard =
+            eavesdropper_already ? true : !eavesdropper_->lose_packet();
+      }
+    } else {
+      out.receiver_ok = !rng.bernoulli(config_.receiver_loss_prob);
+      out.eavesdropper_heard =
+          eavesdropper_already
+              ? true
+              : !rng.bernoulli(config_.eavesdropper_loss_prob);
+    }
+    if (trace_ != nullptr) {
+      const char* kind =
+          out.in_outage ? "outage" : (out.receiver_ok ? "deliver" : "loss");
+      trace_->event({Stage::kChannel, kind, static_cast<std::int64_t>(index),
+                     -1, now_s, 0.0});
+      if (out.eavesdropper_heard && !eavesdropper_already) {
+        trace_->event({Stage::kChannel, "eavesdrop",
+                       static_cast<std::int64_t>(index), -1, now_s, 0.0});
+      }
+    }
+    return out;
+  }
 
  private:
   const PipelineConfig& config_;
@@ -170,12 +312,42 @@ class TransportStage {
 
   /// Decide what to do after a failed attempt (`attempts` made so far).
   [[nodiscard]] Decision after_loss(std::size_t index, int attempts,
-                                    double now_s, double arrival_s) const;
+                                    double now_s, double arrival_s) const {
+    Decision decision;
+    if (attempts >= config_.tcp_max_attempts) {
+      decision.verdict = Verdict::kMaxAttempts;
+      return decision;
+    }
+    // Loss recovery: the sender notices via dupacks/timeout and retries,
+    // waiting exponentially longer each round (capped).
+    double wait = config_.tcp_retx_penalty_s;
+    for (int a = 1; a < attempts; ++a) wait *= config_.tcp_backoff_multiplier;
+    if (config_.tcp_backoff_max_s > 0.0) {
+      wait = std::min(wait, config_.tcp_backoff_max_s);
+    }
+    if (config_.packet_deadline_s > 0.0 &&
+        (now_s + wait) - arrival_s > config_.packet_deadline_s) {
+      decision.verdict = Verdict::kDeadline;
+      return decision;
+    }
+    decision.wait_s = wait;
+    if (trace_ != nullptr) {
+      trace_->event({Stage::kTransport, "retransmit",
+                     static_cast<std::int64_t>(index), -1, now_s, wait});
+    }
+    return decision;
+  }
 
   /// Emit the packet's terminal transport event ("deliver", "lost",
   /// "deadline", "max_attempts", "outage"); value is the packet delay.
   void finish(std::size_t index, const char* kind, double completion_s,
-              double delay_s) const;
+              double delay_s) const {
+    if (trace_ != nullptr) {
+      trace_->event({core::Stage::kTransport, kind,
+                     static_cast<std::int64_t>(index), -1, completion_s,
+                     delay_s});
+    }
+  }
 
  private:
   const PipelineConfig& config_;

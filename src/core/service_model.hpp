@@ -17,6 +17,7 @@
 // here once and both simulators pick it up.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "core/device_profile.hpp"
@@ -44,14 +45,20 @@ struct ServiceModel {
   /// call entirely for packets the policy leaves clear (the point mass at
   /// T_e = 0).
   [[nodiscard]] static double draw_encryption(util::Rng& rng, double mean_s,
-                                              double stddev_s);
+                                              double stddev_s) {
+    return std::max(0.0, rng.gaussian(mean_s, stddev_s));
+  }
 
   /// T_e convenience: mean from the calibrated DeviceProfile's measured
   /// per-byte encryption speed, jitter from the same calibration.
   [[nodiscard]] static double draw_encryption(util::Rng& rng,
                                               const DeviceProfile& device,
                                               crypto::Algorithm algorithm,
-                                              std::size_t payload_bytes);
+                                              std::size_t payload_bytes) {
+    return draw_encryption(rng,
+                           device.encryption_seconds(algorithm, payload_bytes),
+                           device.speed(algorithm).jitter_stddev_s);
+  }
 
   /// T_b (eqs. 6-7): draws the geometric collision count, then one
   /// Exp(backoff_rate) wait per collision.  Each wait is added to every
@@ -62,12 +69,24 @@ struct ServiceModel {
   /// rounding and break byte-identical replays).
   [[nodiscard]] BackoffDraw draw_backoff(util::Rng& rng,
                                          double* clock = nullptr,
-                                         double* accumulator = nullptr) const;
+                                         double* accumulator = nullptr) const {
+    BackoffDraw draw;
+    draw.collisions = rng.geometric_failures(mac_success_prob);
+    for (std::uint64_t c = 0; c < draw.collisions; ++c) {
+      const double wait = rng.exponential(backoff_rate);
+      draw.total_s += wait;
+      if (clock != nullptr) *clock += wait;
+      if (accumulator != nullptr) *accumulator += wait;
+    }
+    return draw;
+  }
 
   /// T_t (eq. 16): Gaussian around the PHY transmission time, clamped at
   /// zero.  Consumes exactly one Gaussian variate from `rng`.
   [[nodiscard]] static double draw_transmission(util::Rng& rng, double mean_s,
-                                                double stddev_s);
+                                                double stddev_s) {
+    return std::max(0.0, rng.gaussian(mean_s, stddev_s));
+  }
 };
 
 }  // namespace tv::core

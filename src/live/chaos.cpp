@@ -169,26 +169,18 @@ SendOutcome ChaosSocket::send_to(const Endpoint& to,
     return SendOutcome::kSent;
   }
   if (injector_) {
-    std::vector<std::vector<std::uint8_t>> one;
-    one.emplace_back(payload.begin(), payload.end());
-    net::InjectionResult result = injector_->apply_raw(std::move(one));
-    if (result.datagrams.empty()) {
+    scratch_.assign(payload.begin(), payload.end());
+    const net::AppliedFaults applied = injector_->apply_one(scratch_);
+    if (applied.dropped) {
       ++stats_.dropped;
       return SendOutcome::kSent;
     }
-    if (result.datagrams.size() > 1) {
-      stats_.duplicated += result.datagrams.size() - 1;
-    }
-    for (const net::InjectedFault& fault : result.faults) {
-      if (fault.kind == net::FaultKind::kCorruptHeader ||
-          fault.kind == net::FaultKind::kCorruptPayload ||
-          fault.kind == net::FaultKind::kTruncate) {
-        ++stats_.damaged;
-      }
-    }
+    if (applied.duplicated) ++stats_.duplicated;
+    stats_.damaged += static_cast<std::size_t>(applied.damaged);
     SendOutcome outcome = SendOutcome::kSent;
-    for (const auto& datagram : result.datagrams) {
-      const SendOutcome o = socket_.send_to(to, datagram);
+    const int sends = applied.duplicated ? 2 : 1;
+    for (int s = 0; s < sends; ++s) {
+      const SendOutcome o = socket_.send_to(to, scratch_);
       if (o != SendOutcome::kSent) outcome = o;
     }
     return outcome;

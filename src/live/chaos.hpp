@@ -98,6 +98,7 @@ class ChaosSocket {
   std::optional<wifi::GilbertElliottChannel> channel_;
   std::optional<net::FaultInjector> injector_;
   ChaosStats stats_;
+  std::vector<std::uint8_t> scratch_;  ///< reused per-send damage buffer.
 };
 
 }  // namespace tv::live

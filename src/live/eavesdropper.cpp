@@ -22,7 +22,7 @@ void EavesdropperTap::set_channel(const wifi::GilbertElliottParams& params,
 }
 
 void EavesdropperTap::hear(double time_s,
-                           const std::vector<std::uint8_t>& datagram) {
+                           std::span<const std::uint8_t> datagram) {
   ++report_.heard;
   bool captured = true;
   if (mask_map_ != nullptr) {
@@ -43,7 +43,8 @@ void EavesdropperTap::hear(double time_s,
   }
   if (!captured) return;
   ++report_.captured;
-  captures_.push_back(net::RawCapture{time_s, datagram});
+  captures_.push_back(net::RawCapture{
+      time_s, std::vector<std::uint8_t>(datagram.begin(), datagram.end())});
   if (trace_ != nullptr) {
     trace_->event({core::Stage::kChannel, "eavesdrop", -1, 0, time_s,
                    static_cast<double>(datagram.size())});

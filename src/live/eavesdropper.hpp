@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,8 +44,9 @@ class EavesdropperTap {
   void set_channel(const wifi::GilbertElliottParams& params,
                    std::uint64_t seed);
 
-  /// Present one overheard datagram to the tap at `time_s`.
-  void hear(double time_s, const std::vector<std::uint8_t>& datagram);
+  /// Present one overheard datagram to the tap at `time_s`.  The tap
+  /// copies the bytes only when it actually captures them.
+  void hear(double time_s, std::span<const std::uint8_t> datagram);
 
   /// Write everything captured as a classic pcap file.  Returns the
   /// writer's clamp count (suspect-capture flag).

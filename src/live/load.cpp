@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "crypto/suite.hpp"
+#include "util/arena.hpp"
 #include "live/stream_map.hpp"
 #include "util/rng.hpp"
 #include "video/quality.hpp"
@@ -40,7 +41,9 @@ LoadReport run_load(const LoadConfig& config) {
   const core::Workload workload =
       core::build_workload(config.motion, config.gop_size, config.frames,
                            config.seed, config.pipeline.fps);
-  std::vector<net::VideoPacket> wire = workload.packets;
+  util::Arena arena;
+  std::vector<net::VideoPacket> wire =
+      net::clone_packets(workload.packets, arena);
   const std::vector<bool> selected = config.policy.select(wire);
   const auto cipher =
       crypto::make_cipher_from_seed(config.policy.algorithm, config.seed);

@@ -1,5 +1,6 @@
 #include "live/loopback.hpp"
 
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -32,7 +33,9 @@ LoopbackReport run_loopback(const LoopbackConfig& config) {
   const core::Workload workload =
       core::build_workload(config.motion, config.gop_size, config.frames,
                            config.seed, config.pipeline.fps);
-  std::vector<net::VideoPacket> packets = workload.packets;
+  util::Arena arena;
+  std::vector<net::VideoPacket> packets =
+      net::clone_packets(workload.packets, arena);
   const std::vector<bool> selected = config.policy.select(packets);
   const auto cipher =
       crypto::make_cipher_from_seed(config.policy.algorithm, config.seed);
@@ -53,8 +56,14 @@ LoopbackReport run_loopback(const LoopbackConfig& config) {
   for (std::size_t i = 0; i < packets.size(); ++i) {
     if (i < transfer.degraded_cleartext.size() &&
         transfer.degraded_cleartext[i]) {
-      packets[i].payload = workload.packets[i].payload;
+      // Restore the plaintext bytes into this clone's wire region and
+      // clear the marker bit there too — the wire image is what the
+      // sender transmits.
+      std::memcpy(packets[i].payload.data(),
+                  workload.packets[i].payload.data(),
+                  packets[i].payload.size());
       packets[i].encrypted = false;
+      packets[i].payload.set_marker(false);
     }
   }
 

@@ -40,13 +40,13 @@ void ImpairmentProxy::start() {
 }
 
 void ImpairmentProxy::on_readable() {
-  while (auto datagram = in_socket_.receive()) {
+  while (in_socket_.receive_into(scratch_)) {
     last_arrival_s_ = loop_.now_s();
-    handle(std::move(datagram->payload));
+    handle(scratch_.payload);
   }
 }
 
-void ImpairmentProxy::handle(std::vector<std::uint8_t> datagram) {
+void ImpairmentProxy::handle(std::vector<std::uint8_t>& datagram) {
   ++report_.heard;
   const double now = loop_.now_s();
   // The tap overhears the air before the receiver's channel is decided:
@@ -79,30 +79,34 @@ void ImpairmentProxy::handle(std::vector<std::uint8_t> datagram) {
   }
 
   // Fault plan (corruption/truncation/duplication/drop) via the shared
-  // injector; replay-matched packets skip it so deterministic loopback
-  // reproduces the in-memory delivery mask bit for bit.
-  std::vector<std::vector<std::uint8_t>> out;
+  // injector, in place on the receive buffer; replay-matched packets skip
+  // it so deterministic loopback reproduces the in-memory delivery mask
+  // bit for bit.
+  std::size_t copies = 1;
   if (!matched_mask && injector_) {
-    auto result = injector_->apply_raw({std::move(datagram)});
-    out = std::move(result.datagrams);
-    if (out.empty()) ++report_.dropped;
-    if (out.size() > 1) report_.duplicated += out.size() - 1;
-  } else {
-    out.push_back(std::move(datagram));
+    const net::AppliedFaults applied = injector_->apply_one(datagram);
+    if (applied.dropped) {
+      ++report_.dropped;
+      return;
+    }
+    if (applied.duplicated) {
+      ++report_.duplicated;
+      copies = 2;
+    }
   }
 
-  for (auto& d : out) {
+  for (std::size_t c = 0; c < copies; ++c) {
     // Proxy-side reordering: hold a datagram back and release it after
-    // the next one passes — the singleton injector batches above cannot
+    // the next one passes — the singleton injector draws above cannot
     // express cross-datagram displacement.
     const bool hold = !matched_mask && config_.faults &&
                       config_.faults->reorder_prob > 0.0 && held_.empty() &&
                       reorder_rng_.bernoulli(config_.faults->reorder_prob);
     if (hold) {
-      held_.push_back(std::move(d));
+      held_.push_back(datagram);
       continue;
     }
-    forward(d);
+    forward(datagram);
     while (!held_.empty()) {
       ++report_.reordered;
       forward(held_.front());
@@ -111,7 +115,7 @@ void ImpairmentProxy::handle(std::vector<std::uint8_t> datagram) {
   }
 }
 
-void ImpairmentProxy::forward(const std::vector<std::uint8_t>& datagram) {
+void ImpairmentProxy::forward(std::span<const std::uint8_t> datagram) {
   if (out_socket_.send_to(config_.forward_to, datagram) !=
       SendOutcome::kSent) {
     ++report_.send_failures;

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/trace.hpp"
@@ -71,8 +72,10 @@ class ImpairmentProxy {
 
  private:
   void on_readable();
-  void handle(std::vector<std::uint8_t> datagram);
-  void forward(const std::vector<std::uint8_t>& datagram);
+  /// Impair and forward one datagram, damaging it in place — the caller's
+  /// buffer (the pooled receive scratch) doubles as the damage buffer.
+  void handle(std::vector<std::uint8_t>& datagram);
+  void forward(std::span<const std::uint8_t> datagram);
   void arm_idle_deadline();
 
   EventLoop& loop_;
@@ -87,6 +90,7 @@ class ImpairmentProxy {
   std::vector<bool> forward_mask_;
   std::deque<std::vector<std::uint8_t>> held_;
   ProxyReport report_;
+  Datagram scratch_;  ///< pooled receive + in-place damage buffer.
   double last_arrival_s_ = 0.0;
   bool watching_ = false;
 };

@@ -18,14 +18,17 @@ void ReceiverSession::start() {
 
 void ReceiverSession::on_readable() {
   // Drain everything queued: poll readability is level-triggered but one
-  // callback per datagram would cost a poll round each.
-  while (auto datagram = socket_.receive()) {
+  // callback per datagram would cost a poll round each.  The scratch
+  // datagram's capacity is reused; an admitted packet moves the buffer
+  // into the receiver (the one unavoidable ownership transfer), while a
+  // rejected one costs no allocation at all.
+  while (socket_.receive_into(scratch_)) {
     last_arrival_s_ = loop_.now_s();
-    receiver_.push(datagram->payload);
+    const auto bytes = static_cast<double>(scratch_.payload.size());
+    receiver_.push(std::move(scratch_.payload));
     if (config_.trace != nullptr) {
       config_.trace->event({core::Stage::kTransport, "receive", -1, 0,
-                            last_arrival_s_,
-                            static_cast<double>(datagram->payload.size())});
+                            last_arrival_s_, bytes});
     }
   }
   auto ready = receiver_.drain_ready();

@@ -52,6 +52,7 @@ class ReceiverSession {
   ReceiverSessionConfig config_;
   net::Receiver receiver_;
   std::vector<net::ReceivedPacket> received_;
+  Datagram scratch_;  ///< pooled receive buffer; capacity reused.
   double last_arrival_s_ = 0.0;
   bool watching_ = false;
 };

@@ -89,16 +89,21 @@ void SenderSession::start() {
 
 void SenderSession::send_packet(std::size_t index) {
   const net::VideoPacket& p = packets_[index];
-  net::RtpHeader header;
-  header.marker = p.encrypted;
-  header.sequence_number = p.sequence;
-  header.timestamp = p.timestamp;
-  header.ssrc = config_.ssrc;
-  buffer_.resize(net::RtpHeader::kSize + p.payload.size());
-  (void)header.write_to(buffer_);
-  std::copy(p.payload.begin(), p.payload.end(),
-            buffer_.begin() + net::RtpHeader::kSize);
-  if (socket_.send_to(config_.destination, buffer_) != SendOutcome::kSent) {
+  // The packet's arena already holds the full wire image (header +
+  // payload, marker synced by encrypt_selected).  Send it zero-copy when
+  // the configured SSRC matches the pre-written one; otherwise copy once
+  // and patch the 4 SSRC bytes in the scratch buffer.
+  std::span<const std::uint8_t> wire = p.payload.wire();
+  if (config_.ssrc != net::kDefaultSsrc &&
+      wire.size() >= net::RtpHeader::kSize) {
+    buffer_.assign(wire.begin(), wire.end());
+    buffer_[8] = static_cast<std::uint8_t>(config_.ssrc >> 24);
+    buffer_[9] = static_cast<std::uint8_t>((config_.ssrc >> 16) & 0xff);
+    buffer_[10] = static_cast<std::uint8_t>((config_.ssrc >> 8) & 0xff);
+    buffer_[11] = static_cast<std::uint8_t>(config_.ssrc & 0xff);
+    wire = buffer_;
+  }
+  if (socket_.send_to(config_.destination, wire) != SendOutcome::kSent) {
     // Kernel buffer full, short write, or a queued ICMP refusal: retry
     // shortly (a real pacer would also back off).  The retry is a timer,
     // not a sleep, so virtual-clock runs stay deterministic.
@@ -110,12 +115,12 @@ void SenderSession::send_packet(std::size_t index) {
   if (report_.packets_sent == 0) report_.first_send_s = now;
   report_.last_send_s = now;
   ++report_.packets_sent;
-  report_.datagram_bytes_sent += buffer_.size();
+  report_.datagram_bytes_sent += wire.size();
   if (p.encrypted) ++report_.encrypted_packets;
   if (config_.trace != nullptr) {
     config_.trace->event({core::Stage::kTransport, "send",
                           static_cast<std::int64_t>(index), 0, now,
-                          static_cast<double>(buffer_.size())});
+                          static_cast<double>(wire.size())});
   }
   if (--remaining_ == 0 && on_done_) on_done_(report_);
 }

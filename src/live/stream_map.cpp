@@ -62,7 +62,9 @@ std::vector<video::ReceivedFrameData> reassemble_wire(
     std::span<const std::uint8_t> flow_iv) {
   // Build a full-geometry packet list so net::reassemble derives the same
   // frame sizes as the sender; undelivered slots keep zeroed payloads of
-  // the right length and stay behind delivered=false.
+  // the right length and stay behind delivered=false.  One local arena
+  // owns every payload for the duration of the reassembly.
+  util::Arena arena;
   std::vector<net::VideoPacket> packets(map.packet_count());
   std::vector<bool> delivered(map.packet_count(), false);
   for (std::size_t i = 0; i < map.packet_count(); ++i) {
@@ -76,7 +78,7 @@ std::vector<video::ReceivedFrameData> reassemble_wire(
     p.byte_offset = slot.byte_offset;
     p.is_i_frame = slot.is_i_frame;
     p.encrypted = false;
-    p.payload.assign(slot.payload_size, 0);
+    p.allocate_payload(arena, slot.payload_size, 0);
   }
   for (const net::ReceivedPacket& rx : received) {
     const auto index = map.index_of(rx.extended_sequence);
@@ -88,9 +90,11 @@ std::vector<video::ReceivedFrameData> reassemble_wire(
     // to the slot; short ones contribute only what arrived.
     p.sequence = rx.header.sequence_number;
     p.encrypted = rx.header.marker;
-    const std::size_t take = std::min(rx.payload.size(), slot.payload_size);
-    p.payload.assign(rx.payload.begin(),
-                     rx.payload.begin() + static_cast<std::ptrdiff_t>(take));
+    const std::span<const std::uint8_t> rx_payload = rx.payload();
+    const std::size_t take = std::min(rx_payload.size(), slot.payload_size);
+    p.payload = net::PacketBuf::from_wire(
+        p.payload.wire().first(net::RtpHeader::kSize + take));
+    if (take > 0) std::memcpy(p.payload.data(), rx_payload.data(), take);
     delivered[*index] = true;
   }
   return net::reassemble(packets, delivered, map.frame_count(), cipher,

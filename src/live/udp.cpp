@@ -161,7 +161,14 @@ SendOutcome UdpSocket::send_to(const Endpoint& to,
 }
 
 std::optional<Datagram> UdpSocket::receive() {
-  // 64 KiB covers any UDP datagram; reused stack buffer, one copy out.
+  Datagram datagram;
+  if (!receive_into(datagram)) return std::nullopt;
+  return datagram;
+}
+
+bool UdpSocket::receive_into(Datagram& out) {
+  // 64 KiB covers any UDP datagram; reused stack buffer, one copy out —
+  // into `out.payload`, whose capacity survives across calls.
   std::uint8_t buffer[65536];
   for (;;) {
     sockaddr_in addr{};
@@ -169,7 +176,7 @@ std::optional<Datagram> UdpSocket::receive() {
     const ssize_t got = ::recvfrom(fd_, buffer, sizeof buffer, 0,
                                    reinterpret_cast<sockaddr*>(&addr), &len);
     if (got < 0) {
-      if (errno == EINTR) continue;  // retry: a nullopt here would end the
+      if (errno == EINTR) continue;  // retry: a miss here would end the
                                      // caller's drain loop early.
       if (errno == ECONNREFUSED) {
         // Queued ICMP error on a connected socket.  Consume and count it,
@@ -178,14 +185,13 @@ std::optional<Datagram> UdpSocket::receive() {
         continue;
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return std::nullopt;
+        return false;
       }
       throw_errno("UdpSocket: recvfrom");
     }
-    Datagram datagram;
-    datagram.from = from_sockaddr(addr);
-    datagram.payload.assign(buffer, buffer + got);
-    return datagram;
+    out.from = from_sockaddr(addr);
+    out.payload.assign(buffer, buffer + got);
+    return true;
   }
 }
 

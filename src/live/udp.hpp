@@ -86,6 +86,12 @@ class UdpSocket {
   /// non-transient errors.
   [[nodiscard]] std::optional<Datagram> receive();
 
+  /// receive() into a caller-owned Datagram: the payload vector's
+  /// capacity is reused across calls, so a drain loop allocates nothing
+  /// once warm.  Returns false when nothing is queued.  Same EINTR /
+  /// ECONNREFUSED handling as receive().
+  [[nodiscard]] bool receive_into(Datagram& out);
+
   /// ECONNREFUSED indications consumed by send_to()/receive().
   [[nodiscard]] std::size_t refusals() const noexcept { return refusals_; }
 

@@ -42,18 +42,74 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed)
 
 InjectionResult FaultInjector::apply(
     const std::vector<VideoPacket>& packets) {
-  std::vector<std::vector<std::uint8_t>> datagrams;
-  datagrams.reserve(packets.size());
-  for (const auto& p : packets) {
-    RtpHeader h;
-    h.marker = p.encrypted;
-    h.sequence_number = p.sequence;
-    h.timestamp = p.timestamp;
-    auto bytes = h.serialize();
-    bytes.insert(bytes.end(), p.payload.begin(), p.payload.end());
-    datagrams.push_back(std::move(bytes));
+  return apply_raw(packets_to_datagrams(packets));
+}
+
+AppliedFaults FaultInjector::damage(std::vector<std::uint8_t>& d,
+                                    std::size_t index,
+                                    std::vector<InjectedFault>* faults) {
+  AppliedFaults applied;
+  if (rng_.bernoulli(plan_.drop_prob)) {
+    if (faults != nullptr) faults->push_back({FaultKind::kDrop, index, 0});
+    applied.dropped = true;
+    return applied;
   }
-  return apply_raw(std::move(datagrams));
+  if (!d.empty() && rng_.bernoulli(plan_.corrupt_header_prob)) {
+    const std::size_t header_bytes = std::min(d.size(), RtpHeader::kSize);
+    const auto bit =
+        static_cast<std::uint32_t>(rng_.uniform_int(header_bytes * 8));
+    d[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    if (faults != nullptr) {
+      faults->push_back({FaultKind::kCorruptHeader, index, bit});
+    }
+    ++applied.damaged;
+  }
+  if (d.size() > RtpHeader::kSize &&
+      rng_.bernoulli(plan_.corrupt_payload_prob)) {
+    const std::size_t payload_bits = (d.size() - RtpHeader::kSize) * 8;
+    const auto flips =
+        1 + rng_.uniform_int(static_cast<std::uint64_t>(plan_.max_bit_flips));
+    for (std::uint64_t f = 0; f < flips; ++f) {
+      const auto bit = static_cast<std::uint32_t>(
+          rng_.uniform_int(payload_bits));
+      const std::size_t byte = RtpHeader::kSize + bit / 8;
+      d[byte] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      if (faults != nullptr) {
+        faults->push_back({FaultKind::kCorruptPayload, index, bit});
+      }
+      ++applied.damaged;
+    }
+  }
+  if (!d.empty() && rng_.bernoulli(plan_.truncate_prob)) {
+    // Cut anywhere, including below the RTP header: the receiver must
+    // treat a runt datagram as garbage, not crash on it.
+    const auto new_len =
+        static_cast<std::uint32_t>(rng_.uniform_int(d.size()));
+    d.resize(new_len);
+    if (faults != nullptr) {
+      faults->push_back({FaultKind::kTruncate, index, new_len});
+    }
+    ++applied.damaged;
+  }
+  return applied;
+}
+
+AppliedFaults FaultInjector::apply_one(std::vector<std::uint8_t>& datagram) {
+  AppliedFaults applied = damage(datagram, 0, nullptr);
+  if (applied.dropped) return applied;  // nothing delivered: no more draws.
+  applied.duplicated = rng_.bernoulli(plan_.duplicate_prob);
+  // Reorder pass over the delivered singleton (or identical twin): the
+  // content cannot change — both copies are byte-equal — but the draws
+  // must happen so batch and per-datagram feeding share one RNG stream.
+  const std::size_t delivered = applied.duplicated ? 2 : 1;
+  for (std::size_t pos = 0; pos < delivered; ++pos) {
+    if (!rng_.bernoulli(plan_.reorder_prob)) continue;
+    const std::size_t room = delivered - 1 - pos;
+    if (room == 0) continue;
+    (void)rng_.uniform_int(std::min<std::uint64_t>(
+        room, static_cast<std::uint64_t>(plan_.max_reorder_displacement)));
+  }
+  return applied;
 }
 
 InjectionResult FaultInjector::apply_raw(
@@ -64,38 +120,7 @@ InjectionResult FaultInjector::apply_raw(
 
   for (std::size_t i = 0; i < datagrams.size(); ++i) {
     auto& d = datagrams[i];
-    if (rng_.bernoulli(plan_.drop_prob)) {
-      result.faults.push_back({FaultKind::kDrop, i, 0});
-      continue;
-    }
-    if (!d.empty() && rng_.bernoulli(plan_.corrupt_header_prob)) {
-      const std::size_t header_bytes = std::min(d.size(), RtpHeader::kSize);
-      const auto bit =
-          static_cast<std::uint32_t>(rng_.uniform_int(header_bytes * 8));
-      d[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
-      result.faults.push_back({FaultKind::kCorruptHeader, i, bit});
-    }
-    if (d.size() > RtpHeader::kSize &&
-        rng_.bernoulli(plan_.corrupt_payload_prob)) {
-      const std::size_t payload_bits = (d.size() - RtpHeader::kSize) * 8;
-      const auto flips =
-          1 + rng_.uniform_int(static_cast<std::uint64_t>(plan_.max_bit_flips));
-      for (std::uint64_t f = 0; f < flips; ++f) {
-        const auto bit = static_cast<std::uint32_t>(
-            rng_.uniform_int(payload_bits));
-        const std::size_t byte = RtpHeader::kSize + bit / 8;
-        d[byte] ^= static_cast<std::uint8_t>(1u << (bit % 8));
-        result.faults.push_back({FaultKind::kCorruptPayload, i, bit});
-      }
-    }
-    if (!d.empty() && rng_.bernoulli(plan_.truncate_prob)) {
-      // Cut anywhere, including below the RTP header: the receiver must
-      // treat a runt datagram as garbage, not crash on it.
-      const auto new_len =
-          static_cast<std::uint32_t>(rng_.uniform_int(d.size()));
-      d.resize(new_len);
-      result.faults.push_back({FaultKind::kTruncate, i, new_len});
-    }
+    if (damage(d, i, &result.faults).dropped) continue;
     result.datagrams.push_back(d);
     result.origins.push_back(i);
     if (rng_.bernoulli(plan_.duplicate_prob)) {

@@ -62,13 +62,22 @@ struct InjectionResult {
   std::vector<InjectedFault> faults;  ///< in application order.
 };
 
+/// What apply_one did to a single datagram — the in-place counterpart of
+/// the InjectionResult fault trace, reduced to what per-datagram callers
+/// (the live proxy, the chaos sender) act on.
+struct AppliedFaults {
+  bool dropped = false;     ///< datagram must not be delivered.
+  bool duplicated = false;  ///< deliver the (damaged) datagram twice.
+  int damaged = 0;          ///< corrupt/truncate events applied in place.
+};
+
 class FaultInjector {
  public:
   FaultInjector(const FaultPlan& plan, std::uint64_t seed);
 
-  /// Serialize each packet (RTP header + payload) and damage the stream
-  /// per the plan.  Deterministic: same plan + seed + input => identical
-  /// result, including the fault trace.
+  /// Copy each packet's wire image (RTP header + payload, contiguous in
+  /// its arena) and damage the stream per the plan.  Deterministic: same
+  /// plan + seed + input => identical result, including the fault trace.
   [[nodiscard]] InjectionResult apply(
       const std::vector<VideoPacket>& packets);
 
@@ -76,7 +85,18 @@ class FaultInjector {
   [[nodiscard]] InjectionResult apply_raw(
       std::vector<std::vector<std::uint8_t>> datagrams);
 
+  /// Damage one datagram in place — no per-call vector-of-vectors churn.
+  /// Draws the RNG in exactly the order apply_raw would for a one-element
+  /// batch, so a stream fed datagram-by-datagram (the live proxy) stays
+  /// byte-identical with one fed as a batch.
+  [[nodiscard]] AppliedFaults apply_one(std::vector<std::uint8_t>& datagram);
+
  private:
+  /// Drop/corrupt/truncate/duplicate draws for one datagram (the
+  /// per-datagram half of apply_raw); `index` labels the fault trace.
+  AppliedFaults damage(std::vector<std::uint8_t>& d, std::size_t index,
+                       std::vector<InjectedFault>* faults);
+
   FaultPlan plan_;
   util::Rng rng_;
 };

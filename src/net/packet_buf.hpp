@@ -1,0 +1,117 @@
+// PacketBuf: one contiguous wire-format byte region per packet — the
+// 12-byte RTP header immediately followed by the payload — allocated once
+// from a util::Arena and viewed, never copied, from packetizer to socket.
+//
+// The object itself is two words (pointer + size over the wire region);
+// it behaves as a container over the *payload* bytes, because that is
+// what the crypto, codec and reassembly layers index, while the fault
+// injector, pcap writer and live sender take wire() and get the already
+// serialized datagram for free.  Invariants:
+//
+//  * wire()[0..12) is a valid serialized RtpHeader whose sequence,
+//    timestamp and marker mirror the owning VideoPacket's metadata
+//    (encrypt_selected flips the marker bit in place);
+//  * payload() == wire().subview(RtpHeader::kSize);
+//  * the bytes live in an Arena (or other caller-kept storage) that
+//    outlives every view — packets are POD-copyable, copies alias.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/rtp.hpp"
+#include "util/arena.hpp"
+#include "util/bytes.hpp"
+
+namespace tv::net {
+
+/// The fixed SSRC of the single simulated flow; pre-written into every
+/// wire header at packetize time (pcap capture and live sender default).
+inline constexpr std::uint32_t kDefaultSsrc = 0x74561D01;
+
+class PacketBuf {
+ public:
+  using value_type = std::uint8_t;
+  using iterator = std::uint8_t*;
+  using const_iterator = const std::uint8_t*;
+
+  PacketBuf() = default;
+
+  /// Allocate a wire region for `payload_bytes` of payload and serialize
+  /// `header` into its first RtpHeader::kSize bytes.  Payload bytes are
+  /// uninitialized.
+  static PacketBuf allocate(util::Arena& arena, const RtpHeader& header,
+                            std::size_t payload_bytes) {
+    PacketBuf buf;
+    buf.wire_ = util::ByteView{
+        arena.allocate(RtpHeader::kSize + payload_bytes, /*align=*/1),
+        RtpHeader::kSize + payload_bytes};
+    (void)header.write_to(buf.wire_);
+    return buf;
+  }
+
+  /// Adopt an existing wire region (>= RtpHeader::kSize bytes already
+  /// holding a serialized header) without writing anything.
+  static PacketBuf from_wire(util::ByteView wire) {
+    PacketBuf buf;
+    buf.wire_ = wire;
+    return buf;
+  }
+
+  /// The full datagram as serialized on the wire: header + payload.
+  [[nodiscard]] util::ByteView wire() const { return wire_; }
+  /// The payload region (what size(), begin() etc. address).
+  [[nodiscard]] util::ByteView payload() const {
+    return wire_.empty() ? util::ByteView{} : wire_.subview(RtpHeader::kSize);
+  }
+  [[nodiscard]] util::ByteView header_bytes() const {
+    return wire_.empty() ? util::ByteView{}
+                         : wire_.first(RtpHeader::kSize);
+  }
+
+  /// Flip the RTP marker bit in the serialized header (encryption state).
+  void set_marker(bool marker) {
+    if (wire_.empty()) return;
+    if (marker) {
+      wire_[1] |= std::uint8_t{0x80};
+    } else {
+      wire_[1] &= std::uint8_t{0x7f};
+    }
+  }
+
+  // Container-over-payload API (what legacy `packet.payload` call sites
+  // use: sizes, iteration, indexing, equality against byte vectors).
+  [[nodiscard]] std::size_t size() const { return payload().size(); }
+  [[nodiscard]] bool empty() const { return payload().empty(); }
+  [[nodiscard]] std::uint8_t* data() const { return payload().data(); }
+  [[nodiscard]] iterator begin() const { return payload().begin(); }
+  [[nodiscard]] iterator end() const { return payload().end(); }
+  std::uint8_t& operator[](std::size_t i) const { return payload()[i]; }
+  [[nodiscard]] std::uint8_t& front() const { return payload().front(); }
+  [[nodiscard]] std::uint8_t& back() const { return payload().back(); }
+
+  operator std::span<std::uint8_t>() const { return payload(); }  // NOLINT
+  operator std::span<const std::uint8_t>() const {  // NOLINT
+    return payload();
+  }
+
+  /// Deep payload-byte equality (tests compare packet payloads).
+  friend bool operator==(const PacketBuf& a, const PacketBuf& b) {
+    return a.payload() == b.payload();
+  }
+  friend bool operator==(const PacketBuf& a,
+                         const std::vector<std::uint8_t>& b) {
+    return a.payload() == b;
+  }
+  friend bool operator==(const std::vector<std::uint8_t>& a,
+                         const PacketBuf& b) {
+    return b.payload() == a;
+  }
+
+ private:
+  util::ByteView wire_;
+};
+
+}  // namespace tv::net

@@ -1,6 +1,8 @@
 #include "net/packetizer.hpp"
 
+#include <algorithm>
 #include <array>
+#include <cstring>
 #include <optional>
 #include <stdexcept>
 
@@ -8,8 +10,23 @@
 
 namespace tv::net {
 
+void VideoPacket::allocate_payload(util::Arena& arena,
+                                   std::span<const std::uint8_t> bytes) {
+  payload = PacketBuf::allocate(arena, header(), bytes.size());
+  if (!bytes.empty()) {
+    std::memcpy(payload.data(), bytes.data(), bytes.size());
+  }
+}
+
+void VideoPacket::allocate_payload(util::Arena& arena, std::size_t size,
+                                   std::uint8_t fill) {
+  payload = PacketBuf::allocate(arena, header(), size);
+  if (size > 0) std::memset(payload.data(), fill, size);
+}
+
 std::vector<VideoPacket> packetize(const video::EncodedStream& stream,
-                                   std::size_t mtu, double fps) {
+                                   util::Arena& arena, std::size_t mtu,
+                                   double fps) {
   if (mtu <= kIpUdpOverhead + RtpHeader::kSize) {
     throw std::invalid_argument{"packetize: mtu too small"};
   }
@@ -32,12 +49,41 @@ std::vector<VideoPacket> packetize(const video::EncodedStream& stream,
       p.is_i_frame = frame.is_i;
       const std::size_t begin = p.byte_offset;
       const std::size_t end = std::min(begin + payload_max, size);
-      p.payload.assign(frame.data.begin() + static_cast<std::ptrdiff_t>(begin),
-                       frame.data.begin() + static_cast<std::ptrdiff_t>(end));
-      packets.push_back(std::move(p));
+      p.allocate_payload(
+          arena, std::span<const std::uint8_t>{frame.data.data() + begin,
+                                               end - begin});
+      packets.push_back(p);
     }
   }
   return packets;
+}
+
+std::vector<VideoPacket> clone_packets(std::span<const VideoPacket> packets,
+                                       util::Arena& arena) {
+  std::vector<VideoPacket> clones;
+  clones.reserve(packets.size());
+  for (const VideoPacket& p : packets) {
+    VideoPacket c = p;
+    const util::ByteView wire = p.payload.wire();
+    if (!wire.empty()) {
+      std::uint8_t* bytes = arena.allocate(wire.size(), /*align=*/1);
+      std::memcpy(bytes, wire.data(), wire.size());
+      c.payload = PacketBuf::from_wire({bytes, wire.size()});
+    }
+    clones.push_back(c);
+  }
+  return clones;
+}
+
+std::vector<std::vector<std::uint8_t>> packets_to_datagrams(
+    std::span<const VideoPacket> packets) {
+  std::vector<std::vector<std::uint8_t>> datagrams;
+  datagrams.reserve(packets.size());
+  for (const VideoPacket& p : packets) {
+    const util::ByteView wire = p.payload.wire();
+    datagrams.emplace_back(wire.begin(), wire.end());
+  }
+  return datagrams;
 }
 
 void encrypt_selected(std::vector<VideoPacket>& packets,
@@ -60,6 +106,7 @@ void encrypt_selected(std::vector<VideoPacket>& packets,
     stream.reset(iv_span);
     stream.apply(p.payload);
     p.encrypted = true;
+    p.payload.set_marker(true);
   }
 }
 
@@ -109,7 +156,7 @@ std::vector<video::ReceivedFrameData> reassemble(
     if (!delivered[i]) continue;
     const VideoPacket& p = packets[i];
     if (p.encrypted && cipher == nullptr) continue;  // erasure for snooper.
-    payload = p.payload;
+    payload.assign(p.payload.begin(), p.payload.end());
     if (p.encrypted) {
       const std::span<std::uint8_t> iv_span{iv.data(), cipher->block_size()};
       crypto::segment_iv(*cipher, flow_iv, p.sequence, iv_span);

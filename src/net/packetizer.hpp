@@ -6,14 +6,27 @@
 // active policy (OFB per packet, marker bit set), and transmits.  The
 // legitimate receiver decrypts marked packets; the eavesdropper must treat
 // them as erasures.
+//
+// Buffer ownership (docs/architecture.md "Buffer ownership"): a packet
+// does not own its bytes.  packetize() serializes each packet's wire
+// image — 12-byte RTP header immediately followed by the payload — into
+// the caller's util::Arena exactly once; VideoPacket::payload is a
+// PacketBuf view into that region.  Everything downstream (crypto,
+// pipeline stages, fault injector, pcap, live sender) reads or rewrites
+// those bytes in place; nothing re-serializes.  Copying a VideoPacket
+// copies the view — use clone_packets() for an independent mutable copy
+// (each experiment/flow encrypts its own clone).
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "crypto/block_cipher.hpp"
+#include "net/packet_buf.hpp"
 #include "net/rtp.hpp"
+#include "util/arena.hpp"
 #include "video/codec.hpp"
 
 namespace tv::net {
@@ -28,24 +41,58 @@ struct VideoPacket {
   int fragment_count = 0;       ///< total fragments of the frame.
   std::size_t byte_offset = 0;  ///< payload's offset within the frame data.
   bool is_i_frame = false;
-  bool encrypted = false;       ///< RTP marker bit.
-  std::vector<std::uint8_t> payload;
+  bool encrypted = false;       ///< RTP marker bit (mirrored in the wire).
+  PacketBuf payload;            ///< view into arena-owned wire bytes.
 
   /// Bytes on the wire including RTP + UDP + IPv4 headers.
   [[nodiscard]] std::size_t wire_bytes() const {
     return payload.size() + RtpHeader::kSize + kIpUdpOverhead;
   }
+
+  /// The serialized RTP header this packet's metadata describes (what
+  /// allocate_payload writes into the wire region).
+  [[nodiscard]] RtpHeader header() const {
+    RtpHeader h;
+    h.marker = encrypted;
+    h.sequence_number = sequence;
+    h.timestamp = timestamp;
+    h.ssrc = kDefaultSsrc;
+    return h;
+  }
+
+  /// Allocate this packet's wire region from `arena` and fill the payload
+  /// with `bytes` (or `fill`).  Serializes header() into the region;
+  /// call after the metadata fields are set.
+  void allocate_payload(util::Arena& arena,
+                        std::span<const std::uint8_t> bytes);
+  void allocate_payload(util::Arena& arena, std::size_t size,
+                        std::uint8_t fill = 0);
 };
 
 /// Split every frame of an encoded stream into RTP packets with payloads of
-/// at most max_payload(mtu) bytes.  Timestamps advance at 90 kHz / fps.
+/// at most max_payload(mtu) bytes, serialized wire-format into `arena`.
+/// Timestamps advance at 90 kHz / fps.
 [[nodiscard]] std::vector<VideoPacket> packetize(
-    const video::EncodedStream& stream, std::size_t mtu = kDefaultMtu,
-    double fps = 30.0);
+    const video::EncodedStream& stream, util::Arena& arena,
+    std::size_t mtu = kDefaultMtu, double fps = 30.0);
+
+/// An independent mutable copy of a packet stream: fresh wire bytes in
+/// `arena`, same metadata.  Experiments clone the shared workload before
+/// encrypting so per-flow keystreams never alias.
+[[nodiscard]] std::vector<VideoPacket> clone_packets(
+    std::span<const VideoPacket> packets, util::Arena& arena);
+
+/// Owned wire datagrams (RTP header + payload) for each packet, each
+/// allocated at exactly its final size — no growth-by-insert.  The fault
+/// injector and offline capture tools damage or archive these copies
+/// without touching the packets' arena-backed originals.
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> packets_to_datagrams(
+    std::span<const VideoPacket> packets);
 
 /// Encrypt the payloads of the packets selected by `selected` (same length
 /// as `packets`) with per-packet OFB keystreams derived from `flow_iv` and
-/// the RTP sequence number, and set their marker bits.
+/// the RTP sequence number, and set their marker bits — in place, both in
+/// the metadata and in the serialized wire header.
 void encrypt_selected(std::vector<VideoPacket>& packets,
                       const std::vector<bool>& selected,
                       const crypto::BlockCipher& cipher,

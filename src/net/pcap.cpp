@@ -47,18 +47,22 @@ std::uint16_t internet_checksum(const std::uint8_t* data, std::size_t len) {
   return static_cast<std::uint16_t>(~sum);
 }
 
-/// Ethernet II + IPv4 + UDP envelope around an RTP datagram's bytes.
-/// `ip_id` fills the IPv4 identification field.
-std::vector<std::uint8_t> envelope_datagram(
-    std::span<const std::uint8_t> rtp_datagram,
-    const CaptureEndpoints& endpoints, std::uint16_t ip_id) {
+/// Ethernet II + IPv4 + UDP envelope around an RTP datagram's bytes,
+/// rebuilt into `frame` (cleared first) so batch writers reuse one
+/// buffer across records.  `ip_id` fills the IPv4 identification field.
+void envelope_datagram_into(std::vector<std::uint8_t>& frame,
+                            std::span<const std::uint8_t> rtp_datagram,
+                            const CaptureEndpoints& endpoints,
+                            std::uint16_t ip_id) {
+  frame.clear();
+  // Exactly one allocation, sized up front — the frame layout is fixed.
+  frame.reserve(14 + 20 + 8 + rtp_datagram.size());
   // Ethernet II: dst MAC, src MAC, ethertype IPv4.  Built in one shot — two
   // consecutive range-inserts here trip a GCC 12 -Wstringop-overflow false
   // positive at -O3 (the optimizer invents a 6-byte allocation).
-  std::vector<std::uint8_t> frame = {0x02, 0x00, 0x00, 0x00, 0x00, 0x01,
-                                     0x02, 0x00, 0x00, 0x00, 0x00, 0x02,
-                                     0x08, 0x00};
-  frame.reserve(14 + 20 + 8 + rtp_datagram.size());
+  frame.insert(frame.end(), {0x02, 0x00, 0x00, 0x00, 0x00, 0x01,
+                             0x02, 0x00, 0x00, 0x00, 0x00, 0x02,
+                             0x08, 0x00});
 
   // IPv4 header (20 bytes, no options).
   const std::size_t ip_begin = frame.size();
@@ -84,6 +88,13 @@ std::vector<std::uint8_t> envelope_datagram(
   put_u16be(frame, 0);
 
   frame.insert(frame.end(), rtp_datagram.begin(), rtp_datagram.end());
+}
+
+std::vector<std::uint8_t> envelope_datagram(
+    std::span<const std::uint8_t> rtp_datagram,
+    const CaptureEndpoints& endpoints, std::uint16_t ip_id) {
+  std::vector<std::uint8_t> frame;
+  envelope_datagram_into(frame, rtp_datagram, endpoints, ip_id);
   return frame;
 }
 
@@ -104,7 +115,7 @@ void write_global_header(std::ostream& out) {
 /// and the captured length to the snaplen.  Returns how many clamps the
 /// record needed (0, 1 or 2) so callers can flag a suspect capture.
 std::size_t write_record(std::ostream& out,
-                         const std::vector<std::uint8_t>& frame,
+                         std::span<const std::uint8_t> frame,
                          double timestamp_s, double* previous_ts) {
   std::size_t clamped = 0;
   // Clamp timestamps that would corrupt the capture: negative times
@@ -140,15 +151,18 @@ std::size_t write_record(std::ostream& out,
 
 std::vector<std::uint8_t> wire_frame(const VideoPacket& packet,
                                      const CaptureEndpoints& endpoints) {
-  RtpHeader rtp;
-  rtp.marker = packet.encrypted;
-  rtp.sequence_number = packet.sequence;
-  rtp.timestamp = packet.timestamp;
-  rtp.ssrc = 0x74561D01;  // fixed SSRC for the single simulated flow.
-  auto datagram = rtp.serialize();
-  datagram.insert(datagram.end(), packet.payload.begin(),
-                  packet.payload.end());
-  return envelope_datagram(datagram, endpoints, packet.sequence);
+  // The packet's wire image (RTP header + payload) is already contiguous
+  // in its arena — envelope it directly, no intermediate datagram.
+  return envelope_datagram(packet.payload.wire(), endpoints,
+                           packet.sequence);
+}
+
+std::span<const std::uint8_t> wire_frame(const VideoPacket& packet,
+                                         const CaptureEndpoints& endpoints,
+                                         std::vector<std::uint8_t>& out) {
+  envelope_datagram_into(out, packet.payload.wire(), endpoints,
+                         packet.sequence);
+  return out;
 }
 
 std::size_t write_pcap(std::ostream& out,
@@ -157,11 +171,12 @@ std::size_t write_pcap(std::ostream& out,
   write_global_header(out);
   std::size_t clamped = 0;
   double previous_ts = 0.0;
+  std::vector<std::uint8_t> scratch;  // one frame buffer for every record.
   for (const CapturedPacket& cap : packets) {
     if (cap.packet == nullptr) {
       throw std::invalid_argument{"write_pcap: null packet"};
     }
-    const auto frame = wire_frame(*cap.packet, endpoints);
+    const auto frame = wire_frame(*cap.packet, endpoints, scratch);
     clamped += write_record(out, frame, cap.timestamp_s, &previous_ts);
   }
   if (!out) throw std::runtime_error{"write_pcap: stream failure"};
@@ -183,13 +198,14 @@ std::size_t write_pcap_datagrams(std::ostream& out,
   std::size_t clamped = 0;
   double previous_ts = 0.0;
   std::uint16_t fallback_id = 0;
+  std::vector<std::uint8_t> scratch;  // one frame buffer for every record.
   for (const RawCapture& cap : captures) {
     const auto header = RtpHeader::try_parse(cap.datagram);
     const std::uint16_t ip_id =
         header ? header->sequence_number : fallback_id;
     ++fallback_id;
-    const auto frame = envelope_datagram(cap.datagram, endpoints, ip_id);
-    clamped += write_record(out, frame, cap.timestamp_s, &previous_ts);
+    envelope_datagram_into(scratch, cap.datagram, endpoints, ip_id);
+    clamped += write_record(out, scratch, cap.timestamp_s, &previous_ts);
   }
   if (!out) throw std::runtime_error{"write_pcap_datagrams: stream failure"};
   return clamped;

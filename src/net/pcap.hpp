@@ -123,8 +123,15 @@ std::size_t write_pcap_datagrams_file(const std::string& path,
     const std::vector<bool>& captured, const std::vector<double>& timestamps);
 
 /// Serialize one packet's on-the-wire bytes (Ethernet + IPv4 + UDP + RTP +
-/// payload) — also used by the pcap writer.
+/// payload) — also used by the pcap writer.  Single exact-size allocation:
+/// the packet's contiguous wire image is enveloped directly.
 [[nodiscard]] std::vector<std::uint8_t> wire_frame(
     const VideoPacket& packet, const CaptureEndpoints& endpoints);
+
+/// Span-out overload: rebuild the frame into `out` (cleared first) so
+/// batch writers reuse one buffer across records; returns a view of it.
+std::span<const std::uint8_t> wire_frame(const VideoPacket& packet,
+                                         const CaptureEndpoints& endpoints,
+                                         std::vector<std::uint8_t>& out);
 
 }  // namespace tv::net

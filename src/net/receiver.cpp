@@ -23,35 +23,38 @@ std::int64_t Receiver::extend_sequence(std::uint16_t seq) {
   return best;
 }
 
-void Receiver::push(std::span<const std::uint8_t> datagram) {
+bool Receiver::admit(std::span<const std::uint8_t> datagram,
+                     std::int64_t* extended, RtpHeader* header) {
   ++stats_.datagrams;
-  const auto header = RtpHeader::try_parse(datagram);
-  if (!header) {
+  const auto parsed = RtpHeader::try_parse(datagram);
+  if (!parsed) {
     ++stats_.invalid;
-    return;
+    return false;
   }
-  const std::int64_t ext = extend_sequence(header->sequence_number);
+  const std::int64_t ext = extend_sequence(parsed->sequence_number);
   if (started_) {
     if (buffer_.count(ext) != 0) {
       ++stats_.duplicates;  // still waiting in the reorder buffer.
-      return;
+      return false;
     }
     if (ext < next_release_) {
       // Behind the release point: either a duplicate of something already
       // released or a straggler we gave up on.  Unusable either way.
       ++stats_.too_late;
-      return;
+      return false;
     }
     if (ext < highest_seen_) ++stats_.reordered;
   } else {
     started_ = true;
     next_release_ = ext;
   }
+  *extended = ext;
+  *header = *parsed;
+  return true;
+}
 
-  ReceivedPacket packet;
-  packet.extended_sequence = ext;
-  packet.header = *header;
-  packet.payload.assign(datagram.begin() + RtpHeader::kSize, datagram.end());
+void Receiver::commit(ReceivedPacket&& packet) {
+  const std::int64_t ext = packet.extended_sequence;
   buffer_.emplace(ext, std::move(packet));
   if (ext > highest_seen_) highest_seen_ = ext;
   ++stats_.accepted;
@@ -68,6 +71,20 @@ void Receiver::push(std::span<const std::uint8_t> datagram) {
     buffer_.erase(it);
     ++next_release_;
   }
+}
+
+void Receiver::push(std::span<const std::uint8_t> datagram) {
+  ReceivedPacket packet;
+  if (!admit(datagram, &packet.extended_sequence, &packet.header)) return;
+  packet.datagram.assign(datagram.begin(), datagram.end());
+  commit(std::move(packet));
+}
+
+void Receiver::push(std::vector<std::uint8_t>&& datagram) {
+  ReceivedPacket packet;
+  if (!admit(datagram, &packet.extended_sequence, &packet.header)) return;
+  packet.datagram = std::move(datagram);
+  commit(std::move(packet));
 }
 
 std::vector<ReceivedPacket> Receiver::drain_ready() {

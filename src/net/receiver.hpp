@@ -26,11 +26,20 @@ struct ReceiverConfig {
 };
 
 /// A packet the receiver accepted, with its wraparound-corrected
-/// (64-bit extended) sequence number.
+/// (64-bit extended) sequence number.  Owns the full datagram bytes —
+/// stored exactly once, moved (never re-copied) through the reorder
+/// buffer and out of drain_ready()/flush(); `payload()` is a view past
+/// the 12-byte header.
 struct ReceivedPacket {
   std::int64_t extended_sequence = 0;
   RtpHeader header;
-  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> datagram;  ///< full wire bytes as heard.
+
+  /// The payload region of the datagram (header parsed ⇒ size ≥ kSize).
+  [[nodiscard]] std::span<const std::uint8_t> payload() const {
+    return {datagram.data() + RtpHeader::kSize,
+            datagram.size() - RtpHeader::kSize};
+  }
 };
 
 struct ReceiverStats {
@@ -50,7 +59,14 @@ class Receiver {
   explicit Receiver(ReceiverConfig config = {});
 
   /// Feed one datagram as heard on the wire.  Never throws on content.
+  /// Copies the bytes exactly once (on acceptance) into the stored
+  /// ReceivedPacket.
   void push(std::span<const std::uint8_t> datagram);
+
+  /// Zero-copy variant: adopt the caller's buffer outright.  The live
+  /// receive path hands over the datagram it just read so accepted bytes
+  /// are never copied at all.
+  void push(std::vector<std::uint8_t>&& datagram);
 
   /// Packets releasable without giving up on any gap (consecutive run
   /// from the release point), in stream order.
@@ -72,6 +88,13 @@ class Receiver {
   /// choosing the cycle that lands nearest the highest sequence seen
   /// (RFC 3550 appendix A.1 logic, tolerant of pre-wrap stragglers).
   [[nodiscard]] std::int64_t extend_sequence(std::uint16_t seq);
+
+  /// Shared admission logic: header parse + duplicate/too-late checks.
+  /// Returns false when the datagram must be dropped; on true the caller
+  /// materializes the packet bytes and calls commit().
+  [[nodiscard]] bool admit(std::span<const std::uint8_t> datagram,
+                           std::int64_t* extended, RtpHeader* header);
+  void commit(ReceivedPacket&& packet);
 
   ReceiverConfig config_;
   ReceiverStats stats_;

@@ -1,0 +1,68 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+
+namespace tv::util {
+
+Arena::Arena(std::size_t chunk_bytes)
+    : chunk_bytes_(std::max<std::size_t>(chunk_bytes, 64)) {}
+
+std::uint8_t* Arena::allocate(std::size_t size, std::size_t align) {
+  if (size == 0) size = 1;  // distinct non-null pointers, vector-style.
+  if (align == 0) align = 1;
+  ++allocations_;
+  if (current_ < chunks_.size()) {
+    Chunk& c = chunks_[current_];
+    const auto base = reinterpret_cast<std::uintptr_t>(c.data.get());
+    const std::size_t aligned =
+        static_cast<std::size_t>(((base + c.used + align - 1) & ~(align - 1)) -
+                                 base);
+    if (aligned + size <= c.size) {
+      c.used = aligned + size;
+      in_use_ += size;
+      high_water_ = std::max(high_water_, in_use_);
+      return c.data.get() + aligned;
+    }
+    // Try the next retained chunk (after a reset) before growing.
+    if (current_ + 1 < chunks_.size()) {
+      ++current_;
+      --allocations_;  // retry accounts once.
+      return allocate(size, align);
+    }
+  }
+  Chunk& c = grow(size + align);
+  const auto base = reinterpret_cast<std::uintptr_t>(c.data.get());
+  const std::size_t aligned =
+      static_cast<std::size_t>(((base + align - 1) & ~(align - 1)) - base);
+  c.used = aligned + size;
+  in_use_ += size;
+  high_water_ = std::max(high_water_, in_use_);
+  return c.data.get() + aligned;
+}
+
+Arena::Chunk& Arena::grow(std::size_t size) {
+  const std::size_t bytes = std::max(chunk_bytes_, size);
+  Chunk c;
+  c.data = std::make_unique_for_overwrite<std::uint8_t[]>(bytes);
+  c.size = bytes;
+  reserved_ += bytes;
+  chunks_.push_back(std::move(c));
+  current_ = chunks_.size() - 1;
+  return chunks_.back();
+}
+
+void Arena::reset() {
+  for (Chunk& c : chunks_) c.used = 0;
+  current_ = 0;
+  in_use_ = 0;
+  ++resets_;
+}
+
+void Arena::release() {
+  chunks_.clear();
+  current_ = 0;
+  in_use_ = 0;
+  reserved_ = 0;
+}
+
+}  // namespace tv::util

@@ -1,0 +1,84 @@
+// Chunked bump allocator for packet-path byte storage.
+//
+// The packet path (packetizer → crypto → pipeline → sockets) needs many
+// small byte regions with identical lifetime: one transfer, one flow, one
+// event-loop turn.  A general-purpose heap pays lock+metadata costs per
+// region and scatters the bytes; the arena hands out pointers from large
+// chunks with a pointer bump, keeps everything densely packed, and frees
+// the whole run at once with reset().
+//
+// Properties the packet path relies on:
+//  * Stable addresses: chunks are never moved or reallocated, so views
+//    (util::ByteView, net::PacketBuf) into arena storage stay valid until
+//    reset() or destruction — even as the arena grows.
+//  * reset() retains capacity: a steady-state loop (per-flow clone in the
+//    cell engine, per-event-loop datagram scratch) allocates from the OS
+//    only until its high-water mark, then never again.
+//  * Stats: lifetime allocation count, bytes in use, reserved bytes and
+//    high-water bytes, so benchmarks and regression tests can assert
+//    "allocations per packet ≈ 0" without a counting global allocator.
+//
+// Not thread-safe: one arena per thread/flow/loop, by design (the cell
+// engine gives each flow task its own arena).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tv::util {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 256 * 1024;
+  static constexpr std::size_t kDefaultAlignment = alignof(std::max_align_t);
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes);
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// A writable region of `size` bytes aligned to `align` (a power of
+  /// two).  Never null; grows the arena as needed.  The bytes are
+  /// uninitialized.
+  [[nodiscard]] std::uint8_t* allocate(std::size_t size,
+                                       std::size_t align = kDefaultAlignment);
+
+  /// Drop every allocation but keep the chunks: the next run re-fills the
+  /// same memory.  All outstanding views into the arena become invalid.
+  void reset();
+
+  /// Release all chunks back to the OS (and reset stats high-water).
+  void release();
+
+  // Stats.
+  [[nodiscard]] std::size_t bytes_in_use() const { return in_use_; }
+  [[nodiscard]] std::size_t bytes_reserved() const { return reserved_; }
+  [[nodiscard]] std::size_t high_water_bytes() const { return high_water_; }
+  [[nodiscard]] std::uint64_t allocation_count() const { return allocations_; }
+  [[nodiscard]] std::uint64_t chunk_count() const { return chunks_.size(); }
+  [[nodiscard]] std::uint64_t reset_count() const { return resets_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  /// Make a chunk with room for `size` current, append and make current.
+  Chunk& grow(std::size_t size);
+
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  ///< index of the chunk being bumped.
+  std::size_t chunk_bytes_;
+  std::size_t in_use_ = 0;
+  std::size_t reserved_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t allocations_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+}  // namespace tv::util

@@ -1,0 +1,85 @@
+// ByteView: a non-owning writable window onto bytes someone else keeps
+// alive (an Arena chunk, a pooled datagram buffer, a test vector).
+//
+// std::span<std::uint8_t> with the ergonomics the packet path needs:
+// deep equality (golden tests compare payload bytes, not pointers) and
+// implicit conversion to the const/mutable spans the crypto and socket
+// layers take.  Views are trivially copyable; copying a packet copies the
+// view, not the bytes — clone through an Arena when you need your own
+// copy (net::clone_packets).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace tv::util {
+
+class ByteView {
+ public:
+  using value_type = std::uint8_t;
+  using iterator = std::uint8_t*;
+  using const_iterator = const std::uint8_t*;
+
+  constexpr ByteView() = default;
+  constexpr ByteView(std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  constexpr ByteView(std::span<std::uint8_t> bytes)  // NOLINT(runtime/explicit)
+      : data_(bytes.data()), size_(bytes.size()) {}
+
+  [[nodiscard]] constexpr std::uint8_t* data() const { return data_; }
+  [[nodiscard]] constexpr std::size_t size() const { return size_; }
+  [[nodiscard]] constexpr bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] constexpr iterator begin() const { return data_; }
+  [[nodiscard]] constexpr iterator end() const { return data_ + size_; }
+
+  constexpr std::uint8_t& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] constexpr std::uint8_t& front() const { return data_[0]; }
+  [[nodiscard]] constexpr std::uint8_t& back() const {
+    return data_[size_ - 1];
+  }
+
+  [[nodiscard]] constexpr ByteView subview(std::size_t offset) const {
+    return {data_ + offset, size_ - offset};
+  }
+  [[nodiscard]] constexpr ByteView subview(std::size_t offset,
+                                           std::size_t count) const {
+    return {data_ + offset, count};
+  }
+  [[nodiscard]] constexpr ByteView first(std::size_t count) const {
+    return {data_, count};
+  }
+
+  constexpr operator std::span<std::uint8_t>() const {  // NOLINT
+    return {data_, size_};
+  }
+  constexpr operator std::span<const std::uint8_t>() const {  // NOLINT
+    return {data_, size_};
+  }
+
+  /// Deep byte equality: what packet tests and golden comparisons mean.
+  friend bool operator==(ByteView a, ByteView b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+  friend bool operator==(ByteView a, const std::vector<std::uint8_t>& b) {
+    return a == ByteView{const_cast<std::uint8_t*>(b.data()), b.size()};
+  }
+  friend bool operator==(const std::vector<std::uint8_t>& a, ByteView b) {
+    return b == a;
+  }
+
+  /// Materialize an owned copy (tests, offline tools).
+  [[nodiscard]] std::vector<std::uint8_t> to_vector() const {
+    return {data_, data_ + size_};
+  }
+
+ private:
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tv::util

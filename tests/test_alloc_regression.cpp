@@ -1,0 +1,119 @@
+// Steady-state allocation regression for the zero-copy packet path.
+//
+// The arena refactor's core promise: once a workload's packets are built,
+// pushing them through core::simulate_transfer costs a small, constant
+// number of heap allocations per transfer (the result vectors), not per
+// packet.  This suite pins that by replacing the global operator new with
+// a counting shim — which is why it lives in its own test binary
+// (tv_alloc_tests): the shim is process-wide and must not disturb the
+// other tiers.
+//
+// The shim routes through std::malloc/free, so sanitizer builds still see
+// and track every allocation (run_checks.sh --alloc-smoke runs this suite
+// under ASan).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "crypto/suite.hpp"
+#include "net/packetizer.hpp"
+#include "util/arena.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace tv {
+namespace {
+
+struct Transfer {
+  util::Arena arena;
+  std::vector<net::VideoPacket> packets;
+  core::PipelineConfig config;
+};
+
+Transfer make_transfer(int frames) {
+  Transfer t;
+  const auto workload =
+      core::build_workload(video::MotionLevel::kLow, 30, frames, 4242);
+  t.packets = net::clone_packets(workload.packets, t.arena);
+  const auto cipher = crypto::make_cipher_from_seed(
+      crypto::Algorithm::kAes128, 77, crypto::CipherBackend::kAuto);
+  const std::vector<std::uint8_t> iv(cipher->block_size(), 0x3c);
+  net::encrypt_selected(t.packets,
+                        std::vector<bool>(t.packets.size(), true), *cipher,
+                        iv);
+  t.config.device = core::samsung_galaxy_s2();
+  t.config.algorithm = crypto::Algorithm::kAes128;
+  return t;
+}
+
+/// Allocations of one steady-state transfer: the first call pays any
+/// lazy one-time costs, the second is what the bench loop measures.
+std::uint64_t transfer_allocations(const Transfer& t) {
+  (void)core::simulate_transfer(t.config, t.packets, 4242);
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  (void)core::simulate_transfer(t.config, t.packets, 4242);
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+TEST(AllocRegression, TransferAllocationsAreConstantPerTransfer) {
+  const Transfer small = make_transfer(30);
+  const Transfer large = make_transfer(120);
+  ASSERT_GT(large.packets.size(), 2 * small.packets.size());
+
+  const std::uint64_t small_allocs = transfer_allocations(small);
+  const std::uint64_t large_allocs = transfer_allocations(large);
+
+  // Per-transfer cost is the handful of result vectors; quadrupling the
+  // packet count must not add a single allocation.
+  EXPECT_EQ(small_allocs, large_allocs);
+  EXPECT_LE(large_allocs, 16u);
+
+  const double per_packet = static_cast<double>(large_allocs) /
+                            static_cast<double>(large.packets.size());
+  EXPECT_LT(per_packet, 0.1) << "allocations per packet regressed";
+}
+
+TEST(AllocRegression, ArenaCloneIsOneAllocationPerChunkNotPerPacket) {
+  const auto workload =
+      core::build_workload(video::MotionLevel::kLow, 30, 60, 4242);
+  util::Arena arena;
+  // Warm the arena so the clone below reuses retained chunks.
+  (void)net::clone_packets(workload.packets, arena);
+  arena.reset();
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  const auto packets = net::clone_packets(workload.packets, arena);
+  const std::uint64_t clones =
+      g_allocations.load(std::memory_order_relaxed) - before;
+
+  // One allocation for the packet vector itself; payload bytes all land in
+  // the arena's retained chunks.
+  EXPECT_LE(clones, 2u) << "cloning " << packets.size()
+                        << " packets should not allocate per packet";
+}
+
+}  // namespace
+}  // namespace tv

@@ -4,6 +4,7 @@
 
 #include "core/experiment.hpp"
 #include "core/pipeline.hpp"
+#include "util/arena.hpp"
 
 namespace tv::core {
 namespace {
@@ -87,7 +88,8 @@ TEST(CalibrateService, FallsBackToDeviceModelWithoutEncryptedSamples) {
 TEST(CalibrateService, UsesMeasuredEncryptionTimesWhenPresent) {
   // Encrypt everything, transfer, and calibrate: the measured means must
   // be near the device model's deterministic cost.
-  auto packets = workload().packets;
+  util::Arena arena;
+  auto packets = net::clone_packets(workload().packets, arena);
   std::vector<bool> all(packets.size(), true);
   const auto cipher =
       crypto::make_cipher_from_seed(crypto::Algorithm::kAes256, 5);

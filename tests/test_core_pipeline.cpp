@@ -3,9 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <vector>
+#include "util/arena.hpp"
 
 namespace tv::core {
 namespace {
+
+util::Arena& test_arena() {
+  static util::Arena arena;  // lives for the whole test binary.
+  return arena;
+}
 
 // Hand-built packet list: one 6-fragment I-frame then five P packets.
 std::vector<net::VideoPacket> test_packets(bool encrypt_i = false) {
@@ -19,7 +25,7 @@ std::vector<net::VideoPacket> test_packets(bool encrypt_i = false) {
     p.fragment_count = 6;
     p.is_i_frame = true;
     p.encrypted = encrypt_i;
-    p.payload.assign(1400, 0x55);
+    p.allocate_payload(test_arena(), 1400, 0x55);
     packets.push_back(std::move(p));
   }
   for (int f = 1; f <= 5; ++f) {
@@ -29,7 +35,7 @@ std::vector<net::VideoPacket> test_packets(bool encrypt_i = false) {
     p.fragment_index = 0;
     p.fragment_count = 1;
     p.is_i_frame = false;
-    p.payload.assign(300, 0xAA);
+    p.allocate_payload(test_arena(), 300, 0xAA);
     packets.push_back(std::move(p));
   }
   return packets;

@@ -6,12 +6,18 @@
 
 #include "core/experiment.hpp"
 #include "core/pipeline.hpp"
+#include "util/arena.hpp"
 
 namespace tv::core {
 namespace {
 
 // A stream of `frames` frames: the first is a 6-fragment I-frame, the
 // rest single-fragment P packets (same shape as the pipeline tests).
+util::Arena& test_arena() {
+  static util::Arena arena;  // lives for the whole test binary.
+  return arena;
+}
+
 std::vector<net::VideoPacket> long_stream(int frames, bool encrypt_all = false) {
   std::vector<net::VideoPacket> packets;
   std::uint16_t seq = 0;
@@ -26,8 +32,8 @@ std::vector<net::VideoPacket> long_stream(int frames, bool encrypt_all = false) 
       p.fragment_count = fragments;
       p.is_i_frame = i_frame;
       p.encrypted = encrypt_all;
-      p.payload.assign(i_frame ? 1400 : 300,
-                       static_cast<std::uint8_t>(f));
+      p.allocate_payload(test_arena(), i_frame ? 1400 : 300,
+                         static_cast<std::uint8_t>(f));
       packets.push_back(std::move(p));
     }
   }
@@ -244,7 +250,7 @@ TEST(Resilience, QueuePressureDegradesToIFrameOnlyEncryption) {
       p.fragment_count = fragments;
       p.is_i_frame = i_frame;
       p.encrypted = true;
-      p.payload.assign(1400, static_cast<std::uint8_t>(f));
+      p.allocate_payload(test_arena(), 1400, static_cast<std::uint8_t>(f));
       packets.push_back(std::move(p));
     }
   }

@@ -15,6 +15,7 @@
 
 #include "core/pipeline.hpp"
 #include "core/trace.hpp"
+#include "util/arena.hpp"
 
 namespace tv::core {
 namespace {
@@ -113,6 +114,11 @@ TEST(ServiceModel, TransmissionIsTheClampedGaussianDraw) {
 // --- Pipeline-side equivalence: the service events the model emits are ---
 // --- exactly the quantities simulate_transfer records per packet.      ---
 
+util::Arena& test_arena() {
+  static util::Arena arena;  // lives for the whole test binary.
+  return arena;
+}
+
 std::vector<net::VideoPacket> encrypted_packets() {
   std::vector<net::VideoPacket> packets;
   for (int f = 0; f < 8; ++f) {
@@ -123,7 +129,7 @@ std::vector<net::VideoPacket> encrypted_packets() {
     p.fragment_count = 1;
     p.is_i_frame = f % 4 == 0;
     p.encrypted = p.is_i_frame;
-    p.payload.assign(p.is_i_frame ? 1400 : 300, 0x5a);
+    p.allocate_payload(test_arena(), p.is_i_frame ? 1400 : 300, 0x5a);
     packets.push_back(std::move(p));
   }
   return packets;

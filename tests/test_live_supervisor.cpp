@@ -14,6 +14,7 @@
 #include "live/server.hpp"
 #include "policy/policy.hpp"
 #include "util/rng.hpp"
+#include "util/arena.hpp"
 
 namespace tv::live {
 namespace {
@@ -133,13 +134,18 @@ TEST(SupervisorConfig, ValidateRejectsNonsense) {
 
 // ---- Client-vs-server state machine scenarios -----------------------------
 
+util::Arena& test_arena() {
+  static util::Arena arena;  // lives for the whole test binary.
+  return arena;
+}
+
 std::vector<net::VideoPacket> make_packets(int count) {
   std::vector<net::VideoPacket> packets;
   for (int i = 0; i < count; ++i) {
     net::VideoPacket p;
     p.sequence = static_cast<std::uint16_t>(i);
     p.timestamp = 90000u + static_cast<std::uint32_t>(i);
-    p.payload.assign(48, static_cast<std::uint8_t>(i));
+    p.allocate_payload(test_arena(), 48, static_cast<std::uint8_t>(i));
     packets.push_back(std::move(p));
   }
   return packets;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "crypto/suite.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 #include "video/codec.hpp"
 #include "video/scene.hpp"
@@ -26,7 +27,8 @@ video::EncodedStream small_stream(std::uint64_t seed, int frames = 8,
 
 TEST(Packetizer, FragmentMetadataIsConsistent) {
   const auto stream = small_stream(1);
-  const auto packets = packetize(stream, 1500, 30.0);
+  util::Arena arena;
+  const auto packets = packetize(stream, arena, 1500, 30.0);
   ASSERT_FALSE(packets.empty());
   const std::size_t payload_max = max_payload(1500);
   std::size_t frame_bytes[64] = {};
@@ -47,7 +49,8 @@ TEST(Packetizer, FragmentMetadataIsConsistent) {
 
 TEST(Packetizer, SequenceNumbersAreConsecutive) {
   const auto stream = small_stream(2);
-  const auto packets = packetize(stream);
+  util::Arena arena;
+  const auto packets = packetize(stream, arena);
   for (std::size_t i = 0; i < packets.size(); ++i) {
     EXPECT_EQ(packets[i].sequence, static_cast<std::uint16_t>(i));
   }
@@ -55,13 +58,16 @@ TEST(Packetizer, SequenceNumbersAreConsecutive) {
 
 TEST(Packetizer, SmallerMtuMeansMorePackets) {
   const auto stream = small_stream(3);
-  EXPECT_GT(packetize(stream, 576).size(), packetize(stream, 1500).size());
-  EXPECT_THROW((void)packetize(stream, 40), std::invalid_argument);
+  util::Arena arena;
+  EXPECT_GT(packetize(stream, arena, 576).size(),
+            packetize(stream, arena, 1500).size());
+  EXPECT_THROW((void)packetize(stream, arena, 40), std::invalid_argument);
 }
 
 TEST(Packetizer, WireBytesIncludeHeaders) {
   const auto stream = small_stream(4);
-  const auto packets = packetize(stream);
+  util::Arena arena;
+  const auto packets = packetize(stream, arena);
   for (const auto& p : packets) {
     EXPECT_EQ(p.wire_bytes(), p.payload.size() + 40u);
   }
@@ -69,7 +75,8 @@ TEST(Packetizer, WireBytesIncludeHeaders) {
 
 TEST(Reassemble, IntactDeliveryRestoresEveryFrameByte) {
   const auto stream = small_stream(5);
-  const auto packets = packetize(stream);
+  util::Arena arena;
+  const auto packets = packetize(stream, arena);
   const std::vector<bool> delivered(packets.size(), true);
   const auto frames =
       reassemble(packets, delivered, static_cast<int>(stream.frames.size()),
@@ -83,7 +90,8 @@ TEST(Reassemble, IntactDeliveryRestoresEveryFrameByte) {
 
 TEST(Reassemble, LostPacketLeavesByteHole) {
   const auto stream = small_stream(6);
-  const auto packets = packetize(stream);
+  util::Arena arena;
+  const auto packets = packetize(stream, arena);
   std::vector<bool> delivered(packets.size(), true);
   delivered[0] = false;  // first fragment of the first I-frame.
   const auto frames =
@@ -95,7 +103,8 @@ TEST(Reassemble, LostPacketLeavesByteHole) {
 
 TEST(EncryptSelected, ReceiverDecryptsEavesdropperCannot) {
   const auto stream = small_stream(7);
-  auto packets = packetize(stream);
+  util::Arena arena;
+  auto packets = packetize(stream, arena);
   // Encrypt all I-frame packets.
   std::vector<bool> selected(packets.size(), false);
   for (std::size_t i = 0; i < packets.size(); ++i) {
@@ -127,8 +136,11 @@ TEST(EncryptSelected, ReceiverDecryptsEavesdropperCannot) {
 
 TEST(EncryptSelected, PayloadActuallyChangesOnTheWire) {
   const auto stream = small_stream(8);
-  auto packets = packetize(stream);
-  const auto original = packets[0].payload;
+  util::Arena arena;
+  auto packets = packetize(stream, arena);
+  // Deep copy: the payload member is a view, so a snapshot must own bytes.
+  const std::vector<std::uint8_t> original(packets[0].payload.begin(),
+                                           packets[0].payload.end());
   std::vector<bool> selected(packets.size(), false);
   selected[0] = true;
   const auto cipher =
@@ -142,7 +154,8 @@ TEST(EncryptSelected, PayloadActuallyChangesOnTheWire) {
 
 TEST(EncryptionStats, FractionsAreExact) {
   const auto stream = small_stream(11);
-  auto packets = packetize(stream);
+  util::Arena arena;
+  auto packets = packetize(stream, arena);
   std::vector<bool> selected(packets.size(), false);
   for (std::size_t i = 0; i < packets.size(); i += 2) selected[i] = true;
   const auto cipher =
@@ -156,7 +169,8 @@ TEST(EncryptionStats, FractionsAreExact) {
 
 TEST(Reassemble, ValidatesInputSizes) {
   const auto stream = small_stream(13);
-  const auto packets = packetize(stream);
+  util::Arena arena;
+  const auto packets = packetize(stream, arena);
   const std::vector<bool> wrong(packets.size() + 1, true);
   EXPECT_THROW((void)reassemble(packets, wrong, 8, nullptr, {}),
                std::invalid_argument);

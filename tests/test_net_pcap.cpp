@@ -9,9 +9,15 @@
 #include <vector>
 
 #include "net/rtp.hpp"
+#include "util/arena.hpp"
 
 namespace tv::net {
 namespace {
+
+util::Arena& test_arena() {
+  static util::Arena arena;  // lives for the whole test binary.
+  return arena;
+}
 
 VideoPacket make_packet(std::uint16_t seq, bool encrypted,
                         std::size_t payload = 100) {
@@ -19,7 +25,7 @@ VideoPacket make_packet(std::uint16_t seq, bool encrypted,
   p.sequence = seq;
   p.timestamp = 90000u * seq;
   p.encrypted = encrypted;
-  p.payload.assign(payload, static_cast<std::uint8_t>(seq));
+  p.allocate_payload(test_arena(), payload, static_cast<std::uint8_t>(seq));
   return p;
 }
 

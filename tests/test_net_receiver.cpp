@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/fault_injector.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 namespace tv::net {
@@ -185,13 +186,19 @@ TEST(Receiver, PayloadSurvivesTheTrip) {
   rx.push(datagram(9, 0x5C, 100));
   const auto got = rx.flush();
   ASSERT_EQ(got.size(), 1u);
-  EXPECT_EQ(got[0].payload.size(), 100u);
-  EXPECT_TRUE(std::all_of(got[0].payload.begin(), got[0].payload.end(),
+  const auto payload = got[0].payload();
+  EXPECT_EQ(payload.size(), 100u);
+  EXPECT_TRUE(std::all_of(payload.begin(), payload.end(),
                           [](std::uint8_t b) { return b == 0x5C; }));
   EXPECT_EQ(got[0].header.timestamp, 90000u + 9u);
 }
 
 // --- FaultInjector-driven robustness -----------------------------------
+
+util::Arena& test_arena() {
+  static util::Arena arena;  // lives for the whole test binary.
+  return arena;
+}
 
 std::vector<VideoPacket> make_stream(std::size_t n) {
   std::vector<VideoPacket> packets;
@@ -199,7 +206,7 @@ std::vector<VideoPacket> make_stream(std::size_t n) {
     VideoPacket p;
     p.sequence = static_cast<std::uint16_t>(i);
     p.timestamp = static_cast<std::uint32_t>(3000 * i);
-    p.payload.assign(64, static_cast<std::uint8_t>(i));
+    p.allocate_payload(test_arena(), 64, static_cast<std::uint8_t>(i));
     packets.push_back(std::move(p));
   }
   return packets;
@@ -283,8 +290,8 @@ TEST(Receiver, CorruptedThenCleanCopyOfSameSequenceDedupsOnFirstArrival) {
   ASSERT_EQ(sequences(got), (std::vector<std::int64_t>{0, 1, 2}));
   EXPECT_EQ(rx.stats().duplicates, 1u);
   // First arrival wins: the payload is the corrupted fill.
-  EXPECT_EQ(got[1].payload.front(), 0x00);
-  EXPECT_EQ(got[1].payload.back(), 0x00);
+  EXPECT_EQ(got[1].payload().front(), 0x00);
+  EXPECT_EQ(got[1].payload().back(), 0x00);
 }
 
 TEST(FaultInjector, ValidatesPlan) {

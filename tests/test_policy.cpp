@@ -4,11 +4,18 @@
 
 #include <vector>
 
+#include "util/arena.hpp"
+
 namespace tv::policy {
 namespace {
 
 // A synthetic packet sequence: per "GOP", 6 I-frame packets then 10
 // P-frame packets.
+util::Arena& test_arena() {
+  static util::Arena arena;  // lives for the whole test binary.
+  return arena;
+}
+
 std::vector<net::VideoPacket> synthetic_packets(int gops = 10) {
   std::vector<net::VideoPacket> packets;
   std::uint16_t seq = 0;
@@ -18,7 +25,7 @@ std::vector<net::VideoPacket> synthetic_packets(int gops = 10) {
       p.sequence = seq++;
       p.frame_index = g * 11;
       p.is_i_frame = true;
-      p.payload.assign(1000, 0);
+      p.allocate_payload(test_arena(), 1000, 0);
       packets.push_back(std::move(p));
     }
     for (int k = 0; k < 10; ++k) {
@@ -26,7 +33,7 @@ std::vector<net::VideoPacket> synthetic_packets(int gops = 10) {
       p.sequence = seq++;
       p.frame_index = g * 11 + 1 + k;
       p.is_i_frame = false;
-      p.payload.assign(300, 0);
+      p.allocate_payload(test_arena(), 300, 0);
       packets.push_back(std::move(p));
     }
   }

@@ -1,0 +1,155 @@
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace tv::util {
+namespace {
+
+TEST(Arena, AllocationsAreDisjointAndWritable) {
+  Arena arena;
+  std::uint8_t* a = arena.allocate(100);
+  std::uint8_t* b = arena.allocate(100);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b >= a + 100 || a >= b + 100);
+  std::memset(a, 0xAA, 100);
+  std::memset(b, 0xBB, 100);
+  EXPECT_EQ(a[99], 0xAA);
+  EXPECT_EQ(b[0], 0xBB);
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena arena;
+  (void)arena.allocate(1, 1);  // knock the cursor off alignment.
+  for (const std::size_t align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    std::uint8_t* p = arena.allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align " << align;
+    (void)arena.allocate(1, 1);
+  }
+}
+
+TEST(Arena, ZeroSizedAllocationsAreDistinct) {
+  Arena arena;
+  std::uint8_t* a = arena.allocate(0, 1);
+  std::uint8_t* b = arena.allocate(0, 1);
+  ASSERT_NE(a, nullptr);
+  EXPECT_NE(a, b);
+}
+
+TEST(Arena, GrowsBeyondOneChunkWithStableAddresses) {
+  Arena arena{1024};
+  std::vector<std::uint8_t*> blocks;
+  for (int i = 0; i < 64; ++i) {
+    std::uint8_t* p = arena.allocate(100, 1);
+    std::memset(p, i, 100);
+    blocks.push_back(p);
+  }
+  EXPECT_GT(arena.chunk_count(), 1u);
+  // Earlier blocks keep their bytes as the arena grows (no realloc-move).
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(blocks[static_cast<std::size_t>(i)][0], i);
+    EXPECT_EQ(blocks[static_cast<std::size_t>(i)][99], i);
+  }
+}
+
+TEST(Arena, OversizedAllocationGetsDedicatedChunk) {
+  Arena arena{256};
+  std::uint8_t* p = arena.allocate(10000, 8);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xCD, 10000);
+  EXPECT_GE(arena.bytes_reserved(), 10000u);
+}
+
+TEST(Arena, ResetRetainsCapacityAndReusesMemory) {
+  Arena arena{1024};
+  for (int i = 0; i < 32; ++i) (void)arena.allocate(200, 1);
+  const std::size_t reserved = arena.bytes_reserved();
+  const std::uint64_t chunks = arena.chunk_count();
+  EXPECT_GT(arena.bytes_in_use(), 0u);
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.reset_count(), 1u);
+
+  // Steady state: the same workload fits in the retained chunks.
+  for (int i = 0; i < 32; ++i) (void)arena.allocate(200, 1);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.chunk_count(), chunks);
+}
+
+TEST(Arena, HighWaterTracksPeakAcrossResets) {
+  Arena arena{1024};
+  (void)arena.allocate(3000, 1);
+  (void)arena.allocate(2000, 1);
+  EXPECT_EQ(arena.high_water_bytes(), 5000u);
+  arena.reset();
+  (void)arena.allocate(100, 1);
+  // Peak is lifetime, not per-run.
+  EXPECT_EQ(arena.high_water_bytes(), 5000u);
+  EXPECT_EQ(arena.bytes_in_use(), 100u);
+}
+
+TEST(Arena, CountsAllocations) {
+  Arena arena;
+  EXPECT_EQ(arena.allocation_count(), 0u);
+  for (int i = 0; i < 10; ++i) (void)arena.allocate(8);
+  EXPECT_EQ(arena.allocation_count(), 10u);
+  arena.reset();
+  (void)arena.allocate(8);
+  EXPECT_EQ(arena.allocation_count(), 11u);
+}
+
+TEST(Arena, ReleaseDropsEverything) {
+  Arena arena{1024};
+  (void)arena.allocate(5000, 1);
+  arena.release();
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_EQ(arena.chunk_count(), 0u);
+  // Still usable afterwards.
+  std::uint8_t* p = arena.allocate(64);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 1, 64);
+}
+
+TEST(Arena, MoveTransfersOwnership) {
+  Arena a{1024};
+  std::uint8_t* p = a.allocate(128, 1);
+  std::memset(p, 0x5A, 128);
+  Arena b = std::move(a);
+  EXPECT_EQ(p[127], 0x5A);  // bytes survive the move (stable chunks).
+  EXPECT_EQ(b.bytes_in_use(), 128u);
+}
+
+TEST(ByteView, DeepEqualityAndSubviews) {
+  std::vector<std::uint8_t> storage{1, 2, 3, 4, 5};
+  ByteView v{storage.data(), storage.size()};
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v, storage);
+  EXPECT_EQ(v.front(), 1);
+  EXPECT_EQ(v.back(), 5);
+
+  std::vector<std::uint8_t> same{1, 2, 3, 4, 5};
+  ByteView w{same.data(), same.size()};
+  EXPECT_EQ(v, w);  // different addresses, same bytes.
+
+  ByteView tail = v.subview(2);
+  EXPECT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0], 3);
+  ByteView mid = v.subview(1, 2);
+  EXPECT_EQ(mid.to_vector(), (std::vector<std::uint8_t>{2, 3}));
+
+  w[0] = 9;
+  EXPECT_FALSE(v == w);
+}
+
+}  // namespace
+}  // namespace tv::util

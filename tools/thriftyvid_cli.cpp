@@ -38,6 +38,7 @@
 #include "util/thread_pool.hpp"
 #include "video/motion.hpp"
 #include "video/y4m.hpp"
+#include "util/arena.hpp"
 
 using namespace tv;
 using util::Flags;
@@ -835,7 +836,9 @@ int cmd_export(const Flags& args) {
   const std::string outdir = args.get("outdir", "out");
   std::filesystem::create_directories(outdir);
 
-  std::vector<net::VideoPacket> packets = workload.packets;
+  util::Arena arena;
+  std::vector<net::VideoPacket> packets =
+      net::clone_packets(workload.packets, arena);
   const auto selected = pol.select(packets);
   const auto cipher =
       crypto::make_cipher_from_seed(pol.algorithm, args.get_uint64("seed", 1));
@@ -1102,7 +1105,9 @@ int cmd_live_send(const Flags& args) {
   const auto alg = crypto::algorithm_from_string(args.get("alg", "AES128"));
   const auto pol = policy::policy_from_string(args.get("policy", "I"), alg);
   const std::uint64_t seed = args.get_uint64("seed", 1);
-  std::vector<net::VideoPacket> packets = workload.packets;
+  util::Arena arena;
+  std::vector<net::VideoPacket> packets =
+      net::clone_packets(workload.packets, arena);
   const auto selected = pol.select(packets);
   const auto cipher = crypto::make_cipher_from_seed(alg, seed);
   const auto flow_iv = live::flow_iv_for(*cipher, seed);
