@@ -4,7 +4,8 @@
 #
 # Usage: ./run_checks.sh [--sanitize-only | --tsan-only | --validation-only
 #                         | --coverage | --tidy | --live-smoke | --chaos-smoke
-#                         | --bench-smoke | --cell-smoke | --alloc-smoke]
+#                         | --bench-smoke | --cell-smoke | --alloc-smoke
+#                         | --analysis-smoke]
 #
 # Test tiers are selected by ctest labels (see docs/validation.md):
 #   * default passes run everything except the `slow` label (the full-grid
@@ -34,6 +35,13 @@
 #     engine, docs/cell.md) plus the `thriftyvid cell --validate`
 #     cross-check grid and a 100-flow capacity cell, in both the plain
 #     and the ASan+UBSan builds, each under a hard timeout.
+#   * --analysis-smoke runs the `analysis` label (the traffic-analysis
+#     adversary, docs/adversary.md) plus the full pcap round trip: a
+#     deterministic `live loopback --pcap` capture piped through
+#     `thriftyvid analyze`, with the emitted JSONL checked for schema
+#     validity and the no-countermeasure I-frame recall floor (>= 0.9).
+#     Both the plain and the ASan+UBSan builds, each under a hard
+#     timeout.
 #
 # Every build configures with -DTHRIFTYVID_WERROR=ON: the tree is expected
 # to be warning-clean under -Wall -Wextra, and promoting warnings to errors
@@ -53,11 +61,12 @@ jobs=$(nproc 2>/dev/null || echo 4)
 mode="${1:-}"
 
 case "${mode}" in
-  ""|--sanitize-only|--tsan-only|--validation-only|--coverage|--tidy|--live-smoke|--chaos-smoke|--bench-smoke|--cell-smoke|--alloc-smoke) ;;
+  ""|--sanitize-only|--tsan-only|--validation-only|--coverage|--tidy|--live-smoke|--chaos-smoke|--bench-smoke|--cell-smoke|--alloc-smoke|--analysis-smoke) ;;
   *)
     echo "usage: $0 [--sanitize-only | --tsan-only | --validation-only |" \
          "--coverage | --tidy | --live-smoke | --chaos-smoke |" \
-         "--bench-smoke | --cell-smoke | --alloc-smoke]" >&2
+         "--bench-smoke | --cell-smoke | --alloc-smoke |" \
+         "--analysis-smoke]" >&2
     exit 2
     ;;
 esac
@@ -199,6 +208,86 @@ if [[ "${mode}" == "--cell-smoke" ]]; then
     timeout 600 ./build-asan/tools/thriftyvid "${sweep_args[@]}" >/dev/null
 
   echo "=== cell smoke passed ==="
+  exit 0
+fi
+
+if [[ "${mode}" == "--analysis-smoke" ]]; then
+  # The CI gate for the adversary: capture one deterministic loopback
+  # transfer as pcap, run `thriftyvid analyze` over it, and hold the
+  # emitted JSONL to the leakage-record schema and the headline result
+  # (I-frame recall >= 0.9 with no countermeasures).  Both runs are
+  # deterministic in --seed, so `timeout` is purely the hang watchdog.
+  analysis_smoke() {
+    local build="$1"
+    local pcap="${build}/analysis_smoke.pcap"
+    local jsonl="${build}/analysis_smoke.jsonl"
+    rm -f "${pcap}" "${jsonl}"
+    timeout 300 "./${build}/tools/thriftyvid" live loopback \
+      --frames=48 --gop=16 --policy=I --seed=1 --pcap="${pcap}"
+    timeout 300 "./${build}/tools/thriftyvid" analyze "${pcap}" \
+      --policy=I --gop=16 --frames=48 --seed=1 \
+      --format=jsonl --out="${jsonl}"
+    if ! command -v python3 >/dev/null 2>&1; then
+      echo "=== analysis smoke: python3 not installed; skipping JSONL check ==="
+      return 0
+    fi
+    python3 - "${jsonl}" <<'PY'
+import json, math, sys
+
+def fail(msg):
+    sys.exit(f"analysis smoke: {msg}")
+
+with open(sys.argv[1]) as f:
+    lines = [line for line in f if line.strip()]
+if not lines:
+    fail("empty JSONL output")
+
+NUMERIC = (
+    "bitrate_est_bps", "bitrate_true_bps", "q_est", "q_true",
+    "psnr_est_db", "psnr_true_db", "i_precision", "i_recall", "i_f1",
+    "bitrate_rel_error", "trajectory_mae_kbps", "encrypted_fraction_error",
+    "psnr_error_db", "duration_s", "mean_delay_ms", "mean_power_w",
+    "jitter_mean_delay_s",
+)
+for line in lines:
+    rec = json.loads(line)
+    for key in ("cell", "policy", "shaping", "seed", "packets", "captured",
+                "frames_observed", "gop_est", "gop_true", "motion_est",
+                "motion_true", "gop_error", "motion_match",
+                "pad_overhead_bytes", *NUMERIC):
+        if key not in rec:
+            fail(f"record missing key {key!r}")
+    for key in NUMERIC:
+        value = rec[key]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            fail(f"{key} is {value!r}, expected a number")
+        if not math.isfinite(value):
+            fail(f"{key} is not finite: {value!r}")
+    # The headline adversary result: with no shaping, I-frames stand out.
+    if rec["shaping"] == "none" and rec["i_recall"] < 0.9:
+        fail(f"i_recall {rec['i_recall']} below the 0.9 floor")
+
+print(f"analysis smoke: {sys.argv[1]} is schema-valid "
+      f"({len(lines)} leakage record(s))")
+PY
+  }
+
+  echo "=== analysis smoke: plain build ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DTHRIFTYVID_WERROR=ON
+  cmake --build build -j "${jobs}"
+  ctest --test-dir build --output-on-failure -j "${jobs}" -L analysis
+  analysis_smoke build
+
+  echo "=== analysis smoke: ASan + UBSan build ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTHRIFTYVID_SANITIZE=ON -DTHRIFTYVID_WERROR=ON
+  cmake --build build-asan -j "${jobs}"
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --test-dir build-asan --output-on-failure -j "${jobs}" -L analysis
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    analysis_smoke build-asan
+
+  echo "=== analysis smoke passed ==="
   exit 0
 fi
 

@@ -1,0 +1,113 @@
+#include "analysis/leakage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tv::analysis {
+
+GroundTruth ground_truth_of(const core::Workload& workload,
+                            const std::vector<net::VideoPacket>& packets,
+                            const std::vector<double>& send_times_s,
+                            double trajectory_window_s) {
+  GroundTruth truth;
+  truth.gop_size = workload.codec.gop_size;
+  truth.motion = workload.motion;
+  truth.fps = workload.fps;
+  truth.trajectory_window_s = trajectory_window_s;
+  truth.frame_is_i.reserve(workload.stream.frames.size());
+  for (const video::EncodedFrame& f : workload.stream.frames) {
+    truth.frame_is_i.push_back(f.is_i);
+  }
+
+  if (packets.empty() || send_times_s.size() != packets.size()) {
+    return truth;
+  }
+  const auto [first_it, last_it] =
+      std::minmax_element(send_times_s.begin(), send_times_s.end());
+  const double start = *first_it;
+  const double span = *last_it - start;
+  std::size_t content_bytes = 0;
+  std::size_t encrypted = 0;
+  const auto windows = static_cast<std::size_t>(
+      span > 0.0 ? std::ceil(span / trajectory_window_s) : 1);
+  truth.trajectory_kbps.assign(windows, 0.0);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const std::size_t content = packets[i].content_size();
+    content_bytes += content;
+    if (packets[i].encrypted) ++encrypted;
+    auto w = static_cast<std::size_t>((send_times_s[i] - start) /
+                                      trajectory_window_s);
+    if (w >= windows) w = windows - 1;
+    truth.trajectory_kbps[w] += 8.0 * static_cast<double>(content) / 1000.0 /
+                                trajectory_window_s;
+  }
+  if (span > 0.0) {
+    truth.mean_bitrate_bps = 8.0 * static_cast<double>(content_bytes) / span;
+  }
+  truth.encrypted_packet_fraction =
+      static_cast<double>(encrypted) / static_cast<double>(packets.size());
+  return truth;
+}
+
+LeakageMetrics score_leakage(const InferenceResult& inference,
+                             const GroundTruth& truth) {
+  LeakageMetrics m;
+
+  // ---- I-frame detection quality.  The estimate's RTP timestamp maps
+  // back to the frame index through the 90 kHz media clock.
+  std::size_t tp = 0, fp = 0, fn = 0;
+  for (const FrameEstimate& e : inference.frames) {
+    const auto frame_index = static_cast<std::size_t>(std::llround(
+        static_cast<double>(e.rtp_timestamp) * truth.fps / 90000.0));
+    const bool truly_i = frame_index < truth.frame_is_i.size() &&
+                         truth.frame_is_i[frame_index];
+    if (e.is_i && truly_i) ++tp;
+    if (e.is_i && !truly_i) ++fp;
+    if (!e.is_i && truly_i) ++fn;
+  }
+  m.i_precision = (tp + fp) > 0 ? static_cast<double>(tp) /
+                                      static_cast<double>(tp + fp)
+                                : 1.0;
+  m.i_recall = (tp + fn) > 0 ? static_cast<double>(tp) /
+                                   static_cast<double>(tp + fn)
+                             : 1.0;
+  m.i_f1 = (m.i_precision + m.i_recall) > 0.0
+               ? 2.0 * m.i_precision * m.i_recall /
+                     (m.i_precision + m.i_recall)
+               : 0.0;
+
+  m.gop_error = std::abs(inference.gop_size_est - truth.gop_size);
+  m.motion_match = inference.motion_est == truth.motion;
+
+  if (truth.mean_bitrate_bps > 0.0) {
+    m.bitrate_rel_error =
+        std::abs(inference.mean_bitrate_bps - truth.mean_bitrate_bps) /
+        truth.mean_bitrate_bps;
+  }
+
+  // ---- Trajectory error: align window-by-window; windows only one side
+  // has count in full against zero (the adversary seeing bytes where the
+  // sender sent none — or missing a burst — is exactly the leak/noise).
+  const std::size_t windows = std::max(inference.trajectory_kbps.size(),
+                                       truth.trajectory_kbps.size());
+  if (windows > 0) {
+    double abs_sum = 0.0;
+    for (std::size_t w = 0; w < windows; ++w) {
+      const double est =
+          w < inference.trajectory_kbps.size() ? inference.trajectory_kbps[w]
+                                               : 0.0;
+      const double ref =
+          w < truth.trajectory_kbps.size() ? truth.trajectory_kbps[w] : 0.0;
+      abs_sum += std::abs(est - ref);
+    }
+    m.trajectory_mae_kbps = abs_sum / static_cast<double>(windows);
+  }
+
+  m.encrypted_fraction_error = std::abs(inference.encrypted_fraction_est -
+                                        truth.encrypted_packet_fraction);
+  m.psnr_error_db = std::abs(inference.eavesdropper_psnr_db_est -
+                             truth.eavesdropper_psnr_db);
+  return m;
+}
+
+}  // namespace tv::analysis

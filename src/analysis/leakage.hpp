@@ -1,0 +1,66 @@
+// Leakage metrics: how much of the video's structure the ciphertext-only
+// adversary actually recovered, scored against ground truth.
+//
+// Ground truth comes from the sender's side of a deterministic run — the
+// workload, the policy selection and the transfer the capture was taken
+// from — never from the capture itself.  Each metric pairs with the
+// countermeasure that suppresses it (docs/adversary.md): padding blunts
+// the size/bitrate channel, marker hiding the encrypted-fraction
+// fingerprint, jitter the timing trajectory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/inference.hpp"
+#include "core/experiment.hpp"
+#include "net/packetizer.hpp"
+#include "policy/policy.hpp"
+
+namespace tv::analysis {
+
+/// The sender-side truth one capture is scored against.
+struct GroundTruth {
+  std::vector<bool> frame_is_i;  ///< by frame index.
+  int gop_size = 0;
+  video::MotionLevel motion = video::MotionLevel::kLow;
+  double fps = 30.0;
+  double mean_bitrate_bps = 0.0;        ///< content bits over send span.
+  std::vector<double> trajectory_kbps;  ///< content bitrate per window, on
+                                        ///< the *unjittered* send schedule.
+  double trajectory_window_s = 0.0;
+  double encrypted_packet_fraction = 0.0;
+  double eavesdropper_psnr_db = 0.0;  ///< measured by decoding the capture.
+};
+
+/// Build ground truth from the packets as sent and their unjittered send
+/// times.  `frame_is_i` spans every frame of the stream; bitrate uses
+/// content (unpadded) bytes, which is exactly what the adversary tries
+/// to recover through the shaping.
+[[nodiscard]] GroundTruth ground_truth_of(
+    const core::Workload& workload,
+    const std::vector<net::VideoPacket>& packets,
+    const std::vector<double>& send_times_s, double trajectory_window_s);
+
+/// Scored leakage of one capture.  Precision/recall conventions: with no
+/// I-frames detected, precision is 1 (no false claims) and recall 0;
+/// with no true I-frames among observed frames, recall is 1.
+struct LeakageMetrics {
+  double i_precision = 0.0;
+  double i_recall = 0.0;
+  double i_f1 = 0.0;
+  int gop_error = 0;        ///< |estimated - true| (est 0 counts in full).
+  bool motion_match = false;
+  double bitrate_rel_error = 0.0;     ///< |est - true| / true.
+  double trajectory_mae_kbps = 0.0;   ///< mean |est - true| per window.
+  double encrypted_fraction_error = 0.0;  ///< |q_est - q_true|.
+  double psnr_error_db = 0.0;  ///< |proxy - measured eavesdropper PSNR|.
+};
+
+/// Score an inference result against ground truth.  Frames the capture
+/// never observed are excluded from the I-frame precision/recall base
+/// (an adversary cannot label what it never heard).
+[[nodiscard]] LeakageMetrics score_leakage(const InferenceResult& inference,
+                                           const GroundTruth& truth);
+
+}  // namespace tv::analysis

@@ -36,6 +36,12 @@ LoopbackReport run_loopback(const LoopbackConfig& config) {
   util::Arena arena;
   std::vector<net::VideoPacket> packets =
       net::clone_packets(workload.packets, arena);
+  // Shaping, step 1: pad before encryption so the pad trailer — and with
+  // it the true payload length — ends up inside the ciphertext.  The
+  // padded sizes then flow through simulate_transfer, so the knob's
+  // delay/energy price is charged by the same models as everything else.
+  config.shaping.validate();
+  net::pad_to_bucket(packets, arena, config.shaping.pad_bucket_bytes);
   const std::vector<bool> selected = config.policy.select(packets);
   const auto cipher =
       crypto::make_cipher_from_seed(config.policy.algorithm, config.seed);
@@ -58,19 +64,33 @@ LoopbackReport run_loopback(const LoopbackConfig& config) {
         transfer.degraded_cleartext[i]) {
       // Restore the plaintext bytes into this clone's wire region and
       // clear the marker bit there too — the wire image is what the
-      // sender transmits.
+      // sender transmits.  Padded clones are larger than the pristine
+      // originals: restore the content prefix, then re-write the pad
+      // trailer the encryption pass scrambled.
       std::memcpy(packets[i].payload.data(),
                   workload.packets[i].payload.data(),
-                  packets[i].payload.size());
+                  packets[i].content_size());
+      if (packets[i].pad_bytes > 0) {
+        (void)net::rtp_write_pad_trailer(packets[i].payload,
+                                         packets[i].content_size());
+      }
       packets[i].encrypted = false;
       packets[i].payload.set_marker(false);
     }
   }
+  // Shaping, step 2: hide the wire markers.  Metadata keeps the truth —
+  // the StreamMap built below carries it out-of-band to the receiver.
+  if (config.shaping.hide_markers) net::hide_wire_markers(packets);
 
   LoopbackReport report;
   report.packet_count = packets.size();
   report.encryption = net::encryption_stats(packets);
   report.duration_s = transfer.duration_s;
+  for (const net::VideoPacket& p : packets) {
+    report.pad_overhead_bytes += p.pad_bytes;
+  }
+  report.jitter_mean_delay_s =
+      jitter_mean_delay_s(config.shaping.jitter_stddev_s);
 
   const int frame_count = static_cast<int>(workload.stream.frames.size());
 
@@ -151,9 +171,12 @@ LoopbackReport run_loopback(const LoopbackConfig& config) {
   SenderConfig sender_config;
   sender_config.destination = proxy_socket.local_endpoint();
   sender_config.trace = config.trace;
+  // Shaping, step 3: seeded half-normal jitter on the send schedule.
+  std::vector<double> send_times = schedule_from_timings(transfer.timings);
+  jitter_schedule(send_times, config.shaping.jitter_stddev_s, config.seed);
   SenderSession sender{loop,    sender_socket,
                        sender_config, packets,
-                       schedule_from_timings(transfer.timings)};
+                       std::move(send_times)};
 
   proxy.start();
   receiver.start();
@@ -164,7 +187,8 @@ LoopbackReport run_loopback(const LoopbackConfig& config) {
 
   const std::vector<net::ReceivedPacket> received = receiver.finish();
   report.live_receiver_psnr_db = decode_psnr(
-      workload, reassemble_wire(map, received, cipher.get(), flow_iv));
+      workload, reassemble_wire(map, received, cipher.get(), flow_iv,
+                                config.shaping.hide_markers));
   report.live_eavesdropper_psnr_db =
       decode_psnr(workload, tap.reassemble(map));
 

@@ -40,6 +40,11 @@ struct LoopbackConfig {
   int gop_size = 16;
   int frames = 48;
   policy::EncryptionPolicy policy;
+  /// Traffic-shaping countermeasures (docs/adversary.md): padding is
+  /// applied before encryption, marker hiding after, jitter on the send
+  /// schedule.  Their delay/energy price flows through the same
+  /// simulate_transfer/energy pipeline as everything else.
+  policy::ShapingPolicy shaping;
   core::PipelineConfig pipeline;
   std::uint64_t seed = 1;
   /// false: replay the in-memory transfer's masks (pinned determinism).
@@ -57,6 +62,8 @@ struct LoopbackReport {
   std::size_t packet_count = 0;
   net::EncryptionStats encryption;
   double duration_s = 0.0;  ///< in-memory transfer duration.
+  std::size_t pad_overhead_bytes = 0;  ///< pad trailer bytes on the wire.
+  double jitter_mean_delay_s = 0.0;    ///< mean extra send delay (jitter).
 
   // Receiver PSNR: live wire path vs. in-memory twin vs. analytic model.
   double live_receiver_psnr_db = 0.0;

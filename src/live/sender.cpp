@@ -1,6 +1,7 @@
 #include "live/sender.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "core/pipeline_stages.hpp"
@@ -8,6 +9,22 @@
 #include "util/rng.hpp"
 
 namespace tv::live {
+
+void jitter_schedule(std::vector<double>& send_times_s, double stddev_s,
+                     std::uint64_t seed) {
+  if (stddev_s <= 0.0) return;
+  // Its own derivation tag so the jitter stream never collides with the
+  // service-model draws that produced the schedule.
+  util::Rng rng{util::derive_seed(seed, 0x7177E4u)};
+  for (double& t : send_times_s) {
+    t += std::abs(rng.gaussian(0.0, stddev_s));
+  }
+}
+
+double jitter_mean_delay_s(double stddev_s) {
+  if (stddev_s <= 0.0) return 0.0;
+  return stddev_s * std::sqrt(2.0 / 3.14159265358979323846);
+}
 
 std::vector<double> schedule_from_timings(
     const std::vector<core::PacketTiming>& timings) {

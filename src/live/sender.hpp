@@ -52,6 +52,20 @@ struct PacedSchedule {
     const std::vector<net::VideoPacket>& packets, std::uint64_t seed,
     core::TraceSink* trace = nullptr);
 
+/// Timing-jitter countermeasure (docs/adversary.md): add a seeded
+/// half-normal offset |N(0, sigma^2)| to every send time, in place.
+/// Offsets are non-negative — a packet never leaves before its service
+/// completed — and packets are deliberately NOT re-sorted: occasional
+/// local reordering is part of the obfuscation and the receiver already
+/// handles it.  No-op when sigma <= 0.
+void jitter_schedule(std::vector<double>& send_times_s, double stddev_s,
+                     std::uint64_t seed);
+
+/// Mean extra per-packet delay jitter_schedule adds: sigma * sqrt(2/pi)
+/// (the mean of a half-normal) — the delay cost the leakage report
+/// charges the jitter knob.
+[[nodiscard]] double jitter_mean_delay_s(double stddev_s);
+
 struct SenderConfig {
   Endpoint destination;
   std::uint32_t ssrc = 0x74561D01;

@@ -38,7 +38,9 @@ StreamMap StreamMap::of(const std::vector<net::VideoPacket>& packets,
     slot.fragment_count = p.fragment_count;
     slot.byte_offset = p.byte_offset;
     slot.payload_size = p.payload.size();
+    slot.pad_bytes = p.pad_bytes;
     slot.is_i_frame = p.is_i_frame;
+    slot.encrypted = p.encrypted;
     map.slots_.push_back(slot);
   }
   return map;
@@ -58,8 +60,8 @@ std::optional<std::size_t> StreamMap::index_of(
 
 std::vector<video::ReceivedFrameData> reassemble_wire(
     const StreamMap& map, const std::vector<net::ReceivedPacket>& received,
-    const crypto::BlockCipher* cipher,
-    std::span<const std::uint8_t> flow_iv) {
+    const crypto::BlockCipher* cipher, std::span<const std::uint8_t> flow_iv,
+    bool markers_hidden) {
   // Build a full-geometry packet list so net::reassemble derives the same
   // frame sizes as the sender; undelivered slots keep zeroed payloads of
   // the right length and stay behind delivered=false.  One local arena
@@ -78,6 +80,7 @@ std::vector<video::ReceivedFrameData> reassemble_wire(
     p.byte_offset = slot.byte_offset;
     p.is_i_frame = slot.is_i_frame;
     p.encrypted = false;
+    p.pad_bytes = slot.pad_bytes;  // frame sizes count content bytes only.
     p.allocate_payload(arena, slot.payload_size, 0);
   }
   for (const net::ReceivedPacket& rx : received) {
@@ -89,9 +92,16 @@ std::vector<video::ReceivedFrameData> reassemble_wire(
     // the map.  Oversized payloads (a fault grew the datagram) truncate
     // to the slot; short ones contribute only what arrived.
     p.sequence = rx.header.sequence_number;
-    p.encrypted = rx.header.marker;
+    // Marker hiding: wire markers are deliberately clear, so the
+    // encryption flag travels out-of-band in the map.
+    p.encrypted = markers_hidden ? slot.encrypted : rx.header.marker;
     const std::span<const std::uint8_t> rx_payload = rx.payload();
     const std::size_t take = std::min(rx_payload.size(), slot.payload_size);
+    // Truncation faults eat the pad trailer first: the surviving prefix
+    // is content up to the slot's content size, padding after that.
+    const std::size_t content_take =
+        std::min(take, slot.payload_size - slot.pad_bytes);
+    p.pad_bytes = take - content_take;
     p.payload = net::PacketBuf::from_wire(
         p.payload.wire().first(net::RtpHeader::kSize + take));
     if (take > 0) std::memcpy(p.payload.data(), rx_payload.data(), take);

@@ -29,8 +29,12 @@ struct StreamSlot {
   int fragment_index = 0;
   int fragment_count = 0;
   std::size_t byte_offset = 0;
-  std::size_t payload_size = 0;
+  std::size_t payload_size = 0;  ///< wire payload incl. any pad trailer.
+  std::size_t pad_bytes = 0;     ///< RFC 3550 pad trailer length.
   bool is_i_frame = false;
+  bool encrypted = false;  ///< out-of-band copy of the encryption flag —
+                           ///< the marker-hiding countermeasure's channel
+                           ///< (wire markers stay clear; docs/adversary.md).
 };
 
 class StreamMap {
@@ -71,8 +75,16 @@ class StreamMap {
 /// erasures even though the bytes were overheard.  Received payloads are
 /// truncated to the slot's size if a fault lengthened them; short
 /// payloads (truncation faults) contribute only the bytes that arrived.
+///
+/// With `markers_hidden` (the marker-hiding countermeasure) the wire
+/// marker bits are clear on every datagram; the encryption flag comes
+/// from the map's out-of-band slots instead, so the legitimate receiver
+/// still decrypts exactly the right payloads while the wire shows the
+/// adversary nothing.  Pad trailers recorded in the map are stripped
+/// after decryption either way.
 [[nodiscard]] std::vector<video::ReceivedFrameData> reassemble_wire(
     const StreamMap& map, const std::vector<net::ReceivedPacket>& received,
-    const crypto::BlockCipher* cipher, std::span<const std::uint8_t> flow_iv);
+    const crypto::BlockCipher* cipher, std::span<const std::uint8_t> flow_iv,
+    bool markers_hidden = false);
 
 }  // namespace tv::live

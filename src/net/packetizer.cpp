@@ -75,6 +75,32 @@ std::vector<VideoPacket> clone_packets(std::span<const VideoPacket> packets,
   return clones;
 }
 
+void pad_to_bucket(std::vector<VideoPacket>& packets, util::Arena& arena,
+                   std::size_t bucket, std::size_t mtu) {
+  if (bucket == 0) return;
+  if (bucket < 2 || bucket > kMaxRtpPadding + 1) {
+    throw std::invalid_argument{
+        "pad_to_bucket: bucket must be in [2, 256] (one-byte pad count)"};
+  }
+  const std::size_t payload_max = max_payload(mtu);
+  for (VideoPacket& p : packets) {
+    const std::size_t content = p.payload.size();
+    if (content == 0) continue;
+    const std::size_t target =
+        std::min(((content + bucket - 1) / bucket) * bucket, payload_max);
+    if (target <= content) continue;  // already on a boundary (or at MTU).
+    RtpHeader header = p.header();
+    header.padding = true;
+    PacketBuf padded = PacketBuf::allocate(arena, header, target);
+    std::memcpy(padded.data(), p.payload.data(), content);
+    if (!rtp_write_pad_trailer(padded, content)) {
+      throw std::logic_error{"pad_to_bucket: trailer write failed"};
+    }
+    p.pad_bytes = target - content;
+    p.payload = padded;
+  }
+}
+
 std::vector<std::vector<std::uint8_t>> packets_to_datagrams(
     std::span<const VideoPacket> packets) {
   std::vector<std::vector<std::uint8_t>> datagrams;
@@ -110,6 +136,10 @@ void encrypt_selected(std::vector<VideoPacket>& packets,
   }
 }
 
+void hide_wire_markers(std::vector<VideoPacket>& packets) {
+  for (VideoPacket& p : packets) p.payload.set_marker(false);
+}
+
 EncryptionStats encryption_stats(const std::vector<VideoPacket>& packets) {
   EncryptionStats stats;
   for (const VideoPacket& p : packets) {
@@ -140,7 +170,7 @@ std::vector<video::ReceivedFrameData> reassemble(
     }
     frame_sizes[static_cast<std::size_t>(p.frame_index)] =
         std::max(frame_sizes[static_cast<std::size_t>(p.frame_index)],
-                 p.byte_offset + p.payload.size());
+                 p.byte_offset + p.content_size());
   }
   std::vector<video::ReceivedFrameData> frames;
   frames.reserve(static_cast<std::size_t>(frame_count));
@@ -163,6 +193,9 @@ std::vector<video::ReceivedFrameData> reassemble(
       stream->reset(iv_span);
       stream->apply(payload);
     }
+    // Keystreams cover the whole (padded) payload; only the content
+    // bytes in front of the pad trailer are video data.
+    payload.resize(p.content_size());
     auto& frame = frames[static_cast<std::size_t>(p.frame_index)];
     for (std::size_t b = 0; b < payload.size(); ++b) {
       frame.data[p.byte_offset + b] = payload[b];

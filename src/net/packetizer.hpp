@@ -42,6 +42,9 @@ struct VideoPacket {
   std::size_t byte_offset = 0;  ///< payload's offset within the frame data.
   bool is_i_frame = false;
   bool encrypted = false;       ///< RTP marker bit (mirrored in the wire).
+  std::size_t pad_bytes = 0;    ///< RFC 3550 pad trailer length appended by
+                                ///< pad_to_bucket (0 = unpadded); the wire
+                                ///< header's P bit mirrors pad_bytes > 0.
   PacketBuf payload;            ///< view into arena-owned wire bytes.
 
   /// Bytes on the wire including RTP + UDP + IPv4 headers.
@@ -54,10 +57,16 @@ struct VideoPacket {
   [[nodiscard]] RtpHeader header() const {
     RtpHeader h;
     h.marker = encrypted;
+    h.padding = pad_bytes > 0;
     h.sequence_number = sequence;
     h.timestamp = timestamp;
     h.ssrc = kDefaultSsrc;
     return h;
+  }
+
+  /// Payload bytes that are video content (padding excluded).
+  [[nodiscard]] std::size_t content_size() const {
+    return payload.size() - pad_bytes;
   }
 
   /// Allocate this packet's wire region from `arena` and fill the payload
@@ -82,6 +91,17 @@ struct VideoPacket {
 [[nodiscard]] std::vector<VideoPacket> clone_packets(
     std::span<const VideoPacket> packets, util::Arena& arena);
 
+/// Traffic-shaping countermeasure (docs/adversary.md): grow every payload
+/// to the next multiple of `bucket` bytes with an RFC 3550 pad trailer,
+/// re-serializing the affected wire regions into `arena`.  Targets are
+/// clamped to max_payload(mtu); payloads already on a bucket boundary (or
+/// empty) stay untouched.  Call *before* encrypt_selected so the trailer —
+/// and with it the true length — is hidden inside the ciphertext of
+/// encrypted packets.  bucket == 0 is a no-op; buckets above
+/// kMaxRtpPadding + 1 throw (the one-byte pad count cannot express them).
+void pad_to_bucket(std::vector<VideoPacket>& packets, util::Arena& arena,
+                   std::size_t bucket, std::size_t mtu = kDefaultMtu);
+
 /// Owned wire datagrams (RTP header + payload) for each packet, each
 /// allocated at exactly its final size — no growth-by-insert.  The fault
 /// injector and offline capture tools damage or archive these copies
@@ -97,6 +117,14 @@ void encrypt_selected(std::vector<VideoPacket>& packets,
                       const std::vector<bool>& selected,
                       const crypto::BlockCipher& cipher,
                       std::span<const std::uint8_t> flow_iv);
+
+/// Marker-hiding countermeasure: clear the wire marker bit on every
+/// packet while leaving the `encrypted` metadata intact.  The legitimate
+/// receiver learns the encryption flags out-of-band from the StreamMap
+/// (live::reassemble_wire with markers_hidden); the adversary loses its
+/// per-packet "this one is encrypted" oracle.  Call after
+/// encrypt_selected.
+void hide_wire_markers(std::vector<VideoPacket>& packets);
 
 /// Aggregate encryption statistics for a packetized, policy-applied stream.
 struct EncryptionStats {

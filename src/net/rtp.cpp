@@ -6,7 +6,8 @@ namespace tv::net {
 
 bool RtpHeader::write_to(std::span<std::uint8_t> out) const noexcept {
   if (out.size() < kSize) return false;
-  out[0] = static_cast<std::uint8_t>(kVersion << 6);  // no padding/ext/CSRC.
+  out[0] = static_cast<std::uint8_t>((kVersion << 6) |
+                                     (padding ? 0x20 : 0x00));  // no ext/CSRC.
   out[1] = static_cast<std::uint8_t>((marker ? 0x80 : 0x00) |
                                      (payload_type & 0x7f));
   out[2] = static_cast<std::uint8_t>(sequence_number >> 8);
@@ -34,6 +35,7 @@ namespace {
 /// first byte (version / extension / CSRC count).
 RtpHeader decode_fields(std::span<const std::uint8_t> bytes) {
   RtpHeader h;
+  h.padding = (bytes[0] & 0x20) != 0;
   h.marker = (bytes[1] & 0x80) != 0;
   h.payload_type = bytes[1] & 0x7f;
   h.sequence_number =
@@ -77,6 +79,29 @@ std::optional<RtpHeader> RtpHeader::try_parse(
   if ((bytes[0] >> 6) != kVersion) return std::nullopt;
   if ((bytes[0] & 0x1f) != 0) return std::nullopt;  // CSRC count or X bit.
   return decode_fields(bytes);
+}
+
+std::optional<std::size_t> rtp_unpadded_size(
+    const RtpHeader& header, std::span<const std::uint8_t> payload) noexcept {
+  if (!header.padding) return payload.size();
+  if (payload.empty()) return std::nullopt;
+  const std::size_t pad = payload.back();
+  if (pad == 0 || pad > payload.size()) return std::nullopt;
+  return payload.size() - pad;
+}
+
+bool rtp_write_pad_trailer(std::span<std::uint8_t> payload,
+                           std::size_t content_size) noexcept {
+  if (content_size >= payload.size()) return false;  // no room for a trailer.
+  const std::size_t pad = payload.size() - content_size;
+  if (pad > kMaxRtpPadding) return false;
+  // Deterministic filler so padded wires are byte-reproducible across
+  // runs; 0xA5 is nonzero so a mis-stripped trailer is visible in tests.
+  for (std::size_t i = content_size; i + 1 < payload.size(); ++i) {
+    payload[i] = 0xA5;
+  }
+  payload.back() = static_cast<std::uint8_t>(pad);
+  return true;
 }
 
 }  // namespace tv::net

@@ -20,6 +20,8 @@ struct RtpHeader {
   static constexpr std::uint8_t kVersion = 2;
 
   bool marker = false;          ///< paper's "payload is encrypted" flag.
+  bool padding = false;         ///< RFC 3550 P bit: payload ends in a
+                                ///< pad trailer (see pad helpers below).
   std::uint8_t payload_type = 96;  ///< dynamic PT for the video stream.
   std::uint16_t sequence_number = 0;
   std::uint32_t timestamp = 0;  ///< 90 kHz media clock.
@@ -44,6 +46,27 @@ struct RtpHeader {
   [[nodiscard]] static std::optional<RtpHeader> try_parse(
       std::span<const std::uint8_t> bytes) noexcept;
 };
+
+/// RFC 3550 §5.1 pad trailer: when the P bit is set, the final payload
+/// byte counts the trailing pad bytes (itself included), so a single
+/// trailer can express 1..255 bytes of padding.
+inline constexpr std::size_t kMaxRtpPadding = 255;
+
+/// Content size of a possibly-padded payload.  With the P bit clear the
+/// whole payload is content; with it set the trailer is stripped.
+/// Returns std::nullopt for an inconsistent trailer (empty payload, a
+/// zero count, or a count larger than the payload) — hostile-capture
+/// input, same contract as try_parse.
+[[nodiscard]] std::optional<std::size_t> rtp_unpadded_size(
+    const RtpHeader& header, std::span<const std::uint8_t> payload) noexcept;
+
+/// Fill the pad region of `payload` in place: the first `content_size`
+/// bytes are left untouched, the tail is overwritten with a
+/// deterministic nonzero filler and the pad count goes into the final
+/// byte.  Returns false (writing nothing) when there is no room for a
+/// trailer (pad of 0) or the pad exceeds kMaxRtpPadding.
+[[nodiscard]] bool rtp_write_pad_trailer(std::span<std::uint8_t> payload,
+                                         std::size_t content_size) noexcept;
 
 /// Lower-layer overhead per packet on the wire: IPv4 (20) + UDP (8).
 inline constexpr std::size_t kIpUdpOverhead = 28;

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "net/rtp.hpp"
+
 namespace tv::policy {
 
 namespace {
@@ -207,6 +209,97 @@ EncryptionPolicy policy_from_string(std::string_view spec,
   }
   throw std::invalid_argument{"unknown policy: " + std::string{spec} +
                               " (none|I|P|all|I+<pct>P|<pct>I)"};
+}
+
+std::string ShapingPolicy::spec() const {
+  if (!enabled()) return "none";
+  std::string out;
+  const auto append = [&out](const std::string& part) {
+    if (!out.empty()) out += '+';
+    out += part;
+  };
+  if (pad_bucket_bytes != 0) {
+    append("pad" + std::to_string(pad_bucket_bytes));
+  }
+  if (hide_markers) append("hidemark");
+  if (jitter_stddev_s > 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "jit%gms", jitter_stddev_s * 1000.0);
+    append(buf);
+  }
+  return out;
+}
+
+void ShapingPolicy::validate() const {
+  if (pad_bucket_bytes != 0 &&
+      (pad_bucket_bytes < 2 || pad_bucket_bytes > net::kMaxRtpPadding + 1)) {
+    throw std::invalid_argument{
+        "ShapingPolicy: pad bucket must be 0 (off) or in [2, 256]"};
+  }
+  if (!(jitter_stddev_s >= 0.0) || jitter_stddev_s > 1.0) {
+    throw std::invalid_argument{
+        "ShapingPolicy: jitter sigma must be in [0, 1] seconds"};
+  }
+}
+
+ShapingPolicy shaping_from_string(std::string_view spec) {
+  ShapingPolicy out;
+  if (spec == "none") return out;
+  // Knobs must appear at most once each, in spec() order, so every
+  // accepted string is the canonical one it round-trips to.
+  int last_rank = -1;
+  const auto take_rank = [&last_rank, spec](int rank) {
+    if (rank <= last_rank) {
+      throw std::invalid_argument{
+          "shaping knobs must appear once, in pad/hidemark/jit order: " +
+          std::string{spec}};
+    }
+    last_rank = rank;
+  };
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t plus = spec.find('+', start);
+    const std::string_view part = spec.substr(
+        start, plus == std::string_view::npos ? std::string_view::npos
+                                              : plus - start);
+    if (part.rfind("pad", 0) == 0 && part.size() > 3) {
+      take_rank(0);
+      const std::string digits{part.substr(3)};
+      errno = 0;
+      char* end = nullptr;
+      const long bucket = std::strtol(digits.c_str(), &end, 10);
+      if (end != digits.c_str() + digits.size() || errno != 0 || bucket < 2 ||
+          bucket > static_cast<long>(net::kMaxRtpPadding) + 1) {
+        throw std::invalid_argument{"bad pad bucket in shaping spec: " +
+                                    std::string{spec}};
+      }
+      out.pad_bucket_bytes = static_cast<std::size_t>(bucket);
+    } else if (part == "hidemark") {
+      take_rank(1);
+      out.hide_markers = true;
+    } else if (part.rfind("jit", 0) == 0 && part.size() > 5 &&
+               part.substr(part.size() - 2) == "ms") {
+      take_rank(2);
+      const std::string digits{part.substr(3, part.size() - 5)};
+      errno = 0;
+      char* end = nullptr;
+      const double ms = std::strtod(digits.c_str(), &end);
+      if (digits.empty() || end != digits.c_str() + digits.size() ||
+          errno != 0 || !(ms > 0.0)) {
+        throw std::invalid_argument{"bad jitter in shaping spec: " +
+                                    std::string{spec}};
+      }
+      out.jitter_stddev_s = ms / 1000.0;
+    } else {
+      throw std::invalid_argument{
+          "unknown shaping knob: " + std::string{part} +
+          " (none|pad<bytes>|hidemark|jit<ms>ms, joined with +)"};
+    }
+    if (plus == std::string_view::npos) break;
+    start = plus + 1;
+  }
+  out.validate();
+  return out;
 }
 
 std::vector<EncryptionPolicy> headline_policies(crypto::Algorithm algorithm) {

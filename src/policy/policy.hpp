@@ -79,4 +79,43 @@ struct EncryptionPolicy {
 [[nodiscard]] EncryptionPolicy policy_from_string(std::string_view spec,
                                                   crypto::Algorithm algorithm);
 
+/// Traffic-shaping countermeasures against the ciphertext-only
+/// traffic-analysis adversary (docs/adversary.md).  Orthogonal to the
+/// encryption policy: encryption decides what an eavesdropper can *read*,
+/// shaping decides what the wire *looks like*.  Every knob is priced in
+/// the paper's delay/energy currency by running the shaped packets
+/// through the same `core::ServiceModel`/`energy::` pipeline.
+struct ShapingPolicy {
+  /// 0 = off.  Otherwise pad every RTP payload up to the next multiple
+  /// of this bucket (RFC 3550 pad trailer, applied before encryption so
+  /// the true length is hidden inside the ciphertext).  Buckets are
+  /// limited to [2, 256]: the one-byte pad count caps padding at 255.
+  std::size_t pad_bucket_bytes = 0;
+
+  /// Clear the wire marker bits and carry the "payload is encrypted"
+  /// flag out-of-band in the StreamMap instead (the paper's Section 5
+  /// signalling channel), denying the adversary its per-packet oracle.
+  bool hide_markers = false;
+
+  /// Sigma (seconds) of a seeded half-normal jitter added to every
+  /// packet's send time.  0 = off.  Mean added delay is sigma*sqrt(2/pi).
+  double jitter_stddev_s = 0.0;
+
+  [[nodiscard]] bool enabled() const {
+    return pad_bucket_bytes != 0 || hide_markers || jitter_stddev_s > 0.0;
+  }
+
+  /// Canonical spec: "none", or "+"-joined knobs in fixed order, e.g.
+  /// "pad256+hidemark+jit2ms".  Round-trips through shaping_from_string.
+  [[nodiscard]] std::string spec() const;
+
+  void validate() const;
+};
+
+/// Parse a shaping spec.  Accepted grammar: "none", or any "+"-joined
+/// combination of pad<bytes> | hidemark | jit<ms>ms (fractional ms ok).
+/// Throws std::invalid_argument on malformed input.  Inverse of
+/// ShapingPolicy::spec().
+[[nodiscard]] ShapingPolicy shaping_from_string(std::string_view spec);
+
 }  // namespace tv::policy

@@ -32,6 +32,7 @@ TEST_P(RtpRoundtrip, ParseInvertsSerialize) {
   util::Rng rng{GetParam()};
   RtpHeader h;
   h.marker = rng.bernoulli(0.5);
+  h.padding = rng.bernoulli(0.5);
   h.payload_type = static_cast<std::uint8_t>(rng.uniform_int(128));
   h.sequence_number = static_cast<std::uint16_t>(rng.uniform_int(65536));
   h.timestamp = static_cast<std::uint32_t>(rng());
@@ -39,6 +40,7 @@ TEST_P(RtpRoundtrip, ParseInvertsSerialize) {
   const auto bytes = h.serialize();
   const RtpHeader back = RtpHeader::parse(bytes);
   EXPECT_EQ(back.marker, h.marker);
+  EXPECT_EQ(back.padding, h.padding);
   EXPECT_EQ(back.payload_type, h.payload_type);
   EXPECT_EQ(back.sequence_number, h.sequence_number);
   EXPECT_EQ(back.timestamp, h.timestamp);
@@ -136,6 +138,7 @@ TEST(Rtp, WriteToMatchesSerializeAndRoundtrips) {
       [&](util::Rng& rng, std::uint64_t) {
         RtpHeader h;
         h.marker = rng.bernoulli(0.5);
+        h.padding = rng.bernoulli(0.5);
         h.payload_type = static_cast<std::uint8_t>(rng.uniform_int(128));
         h.sequence_number =
             static_cast<std::uint16_t>(rng.uniform_int(65536));
@@ -156,6 +159,7 @@ TEST(Rtp, WriteToMatchesSerializeAndRoundtrips) {
             std::span<const std::uint8_t>{buffer.data(), RtpHeader::kSize});
         ASSERT_TRUE(back.has_value());
         EXPECT_EQ(back->marker, h.marker);
+        EXPECT_EQ(back->padding, h.padding);
         EXPECT_EQ(back->payload_type, h.payload_type);
         EXPECT_EQ(back->sequence_number, h.sequence_number);
         EXPECT_EQ(back->timestamp, h.timestamp);
@@ -170,6 +174,71 @@ TEST(Rtp, WriteToRefusesShortBufferWithoutWriting) {
   buffer.fill(0xEE);
   EXPECT_FALSE(h.write_to(buffer));
   for (const std::uint8_t b : buffer) EXPECT_EQ(b, 0xEE);
+}
+
+TEST(Rtp, PaddingBitRoundTripsThroughWire) {
+  RtpHeader h;
+  h.padding = true;
+  const auto bytes = h.serialize();
+  EXPECT_EQ(bytes[0] & 0x20, 0x20);  // RFC 3550 P bit.
+  const RtpHeader back = RtpHeader::parse(bytes);
+  EXPECT_TRUE(back.padding);
+  const auto maybe = RtpHeader::try_parse(bytes);
+  ASSERT_TRUE(maybe.has_value());
+  EXPECT_TRUE(maybe->padding);
+}
+
+// Property: for every (content, pad) within the RFC limits, writing the
+// trailer and stripping it recovers exactly the content size and leaves
+// the content bytes untouched.
+TEST(Rtp, PadTrailerRoundTripProperty) {
+  const auto config = proptest::Config::from_env(0x9AD71A, 80);
+  proptest::check(
+      "pad trailer round-trip", config, [&](util::Rng& rng, std::uint64_t) {
+        const std::size_t content = rng.uniform_int(1400);
+        const std::size_t pad = 1 + rng.uniform_int(kMaxRtpPadding);
+        std::vector<std::uint8_t> payload(content + pad);
+        for (std::size_t i = 0; i < content; ++i) {
+          payload[i] = static_cast<std::uint8_t>(rng.uniform_int(256));
+        }
+        const std::vector<std::uint8_t> original(payload.begin(),
+                                                 payload.begin() + content);
+        ASSERT_TRUE(rtp_write_pad_trailer(payload, content));
+        EXPECT_EQ(payload.back(), pad);
+
+        RtpHeader h;
+        h.padding = true;
+        const auto stripped = rtp_unpadded_size(h, payload);
+        ASSERT_TRUE(stripped.has_value());
+        EXPECT_EQ(*stripped, content);
+        EXPECT_TRUE(std::equal(original.begin(), original.end(),
+                               payload.begin()));
+
+        // With the P bit clear the trailer is just payload bytes.
+        h.padding = false;
+        const auto unpadded = rtp_unpadded_size(h, payload);
+        ASSERT_TRUE(unpadded.has_value());
+        EXPECT_EQ(*unpadded, payload.size());
+      });
+}
+
+TEST(Rtp, PadTrailerRejectsInconsistentInput) {
+  RtpHeader padded;
+  padded.padding = true;
+  // Hostile captures: empty payload, zero count, count beyond payload.
+  EXPECT_FALSE(rtp_unpadded_size(padded, std::vector<std::uint8_t>{}));
+  std::vector<std::uint8_t> zero_count{0x01, 0x02, 0x00};
+  EXPECT_FALSE(rtp_unpadded_size(padded, zero_count));
+  std::vector<std::uint8_t> overrun{0x01, 0x02, 0x09};
+  EXPECT_FALSE(rtp_unpadded_size(padded, overrun));
+
+  // Write side: no room for a trailer, or pad beyond the one-byte count.
+  std::vector<std::uint8_t> payload(10, 0x11);
+  EXPECT_FALSE(rtp_write_pad_trailer(payload, payload.size()));
+  EXPECT_FALSE(rtp_write_pad_trailer(payload, payload.size() + 4));
+  std::vector<std::uint8_t> huge(300, 0x11);
+  EXPECT_FALSE(rtp_write_pad_trailer(huge, 0));  // pad 300 > 255.
+  for (const auto b : payload) EXPECT_EQ(b, 0x11);  // nothing written.
 }
 
 TEST(Rtp, MaxPayloadAccountsForAllHeaders) {

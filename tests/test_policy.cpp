@@ -210,5 +210,46 @@ TEST(Policy, ValidatesFraction) {
   EXPECT_THROW((void)p.select(packets), std::invalid_argument);
 }
 
+TEST(ShapingSpec, RoundTripsThroughSpecAndParse) {
+  ShapingPolicy none;
+  EXPECT_FALSE(none.enabled());
+  EXPECT_EQ(none.spec(), "none");
+
+  ShapingPolicy everything;
+  everything.pad_bucket_bytes = 256;
+  everything.hide_markers = true;
+  everything.jitter_stddev_s = 2e-3;
+  EXPECT_TRUE(everything.enabled());
+  EXPECT_EQ(everything.spec(), "pad256+hidemark+jit2ms");
+
+  for (const char* spec :
+       {"none", "pad64", "hidemark", "jit2ms", "pad256+hidemark",
+        "pad16+jit0.5ms", "pad256+hidemark+jit2ms"}) {
+    const ShapingPolicy back = shaping_from_string(spec);
+    EXPECT_EQ(back.spec(), spec) << spec;
+  }
+}
+
+TEST(ShapingSpec, ParserRejectsMalformedSpecs) {
+  for (const char* bad :
+       {"", "pad", "pad1", "pad999", "jitms", "jit-1ms", "jit2",
+        "hidemark+pad64", "pad64+pad64", "frob"}) {
+    EXPECT_THROW((void)shaping_from_string(bad), std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(Shaping, ValidatesKnobRanges) {
+  ShapingPolicy bad_bucket;
+  bad_bucket.pad_bucket_bytes = 1;  // below the 2-byte floor.
+  EXPECT_THROW(bad_bucket.validate(), std::invalid_argument);
+  bad_bucket.pad_bucket_bytes = 512;  // beyond the 1-byte pad count.
+  EXPECT_THROW(bad_bucket.validate(), std::invalid_argument);
+
+  ShapingPolicy bad_jitter;
+  bad_jitter.jitter_stddev_s = 2.0;  // a 2 s stddev is a config mistake.
+  EXPECT_THROW(bad_jitter.validate(), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace tv::policy

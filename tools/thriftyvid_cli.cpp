@@ -1,7 +1,7 @@
 // thriftyvid — command-line front end.
 //
-// Subcommands: classify, simulate, sweep, cell, advise, export, live.
-// Every
+// Subcommands: classify, simulate, sweep, cell, advise, export, analyze,
+// live.  Every
 // subcommand's flags are registered in a util::FlagSet, which both rejects
 // unknown options and generates the command's `--help` text — run
 // `thriftyvid <command> --help` for the authoritative option list.
@@ -19,6 +19,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/sweep.hpp"
 #include "cell/cell.hpp"
 #include "cell/validation.hpp"
 #include "core/advisor.hpp"
@@ -877,6 +878,168 @@ int cmd_export(const Flags& args) {
   return 0;
 }
 
+// --- analyze subcommand (docs/adversary.md) --------------------------------
+// The ciphertext-only traffic-analysis adversary.  Without a positional
+// argument it runs the leakage-vs-cost sweep (policy x shaping grid) on
+// in-memory captures; with a pcap file it scores that one capture against
+// ground truth rebuilt deterministically from the workload flags.
+
+FlagSet analyze_flagset() {
+  FlagSet fs{"thriftyvid analyze [capture.pcap]",
+             "Ciphertext-only quality inference from eavesdropped traffic "
+             "(docs/adversary.md): estimate I-frames, GOP, motion class, "
+             "bitrate trajectory and an eavesdropper-PSNR proxy from packet "
+             "lengths/timing/metadata only, scored as leakage against "
+             "ground truth next to each countermeasure's delay/energy "
+             "cost.  Without a pcap argument, runs the (policy x shaping) "
+             "leakage sweep; per-cell seeds derive from --seed, so any "
+             "--threads value produces bit-identical output.  With a pcap "
+             "(from 'live loopback --pcap'), scores that capture; workload "
+             "flags and --seed must match the run that produced it."};
+  fs.flag("motion", "low|medium|high", "synthetic clip motion level")
+      .flag("gop", "N", "GOP size in frames (default 16)")
+      .flag("frames", "N", "clip length in frames (default 48)")
+      .flag("policies", "none,I,P,all", "policy axis (sweep mode)")
+      .flag("shapings", "none,pad256,...",
+            "shaping axis (sweep mode; specs like pad256+hidemark+jit2ms; "
+            "default: none plus each knob alone)")
+      .flag("policy", "none|I|P|all|I+<pct>P|<pct>I",
+            "capture's policy (pcap mode; default I)")
+      .flag("shaping", "SPEC", "capture's shaping (pcap mode; default none)")
+      .flag("alg", "AES128|AES256|3DES",
+            "cipher (default AES128, matching 'live loopback')")
+      .flag("device", "samsung|htc", "calibrated device profile")
+      .flag("seed", "S", "root RNG seed (default 1)")
+      .flag("window", "S", "bitrate-trajectory window (default 0.25)")
+      .flag("threads", "N", "worker threads (default: hardware)")
+      .flag("format", "table|jsonl|csv", "output format (default table)")
+      .flag("out", "FILE", "write results to FILE instead of stdout")
+      .flag("json", "FILE", "additionally tee JSONL results to FILE")
+      .flag("csv", "FILE", "additionally tee CSV results to FILE");
+  return fs;
+}
+
+int cmd_analyze(const Flags& args) {
+  const FlagSet fs = analyze_flagset();
+  if (wants_help(args, fs)) return 0;
+  fs.check(args);
+
+  analysis::LeakageSpec spec;
+  spec.motion = video::motion_from_string(args.get("motion", "low"));
+  spec.gop_size = args.get_int("gop", 16);
+  spec.frames = args.get_int("frames", 48);
+  const auto alg = crypto::algorithm_from_string(args.get("alg", "AES128"));
+  spec.pipeline.algorithm = alg;
+  spec.pipeline.device =
+      core::device_from_string(args.get("device", "samsung"));
+  spec.seed = args.get_uint64("seed", 1);
+  spec.adversary.trajectory_window_s = args.get_double("window", 0.25);
+  for (const auto& p : args.get_list("policies")) {
+    spec.policies.push_back(policy::policy_from_string(p, alg));
+  }
+  for (const auto& s : args.get_list("shapings")) {
+    spec.shapings.push_back(policy::shaping_from_string(s));
+  }
+
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  const std::string out_path = args.get("out", "");
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      throw util::FlagError{"cannot open --out file: " + out_path};
+    }
+    out = &file;
+  }
+
+  const std::string format = args.get("format", "table");
+  std::unique_ptr<analysis::LeakageSink> primary;
+  if (format == "table") {
+    primary = std::make_unique<analysis::LeakageTableSink>(*out);
+  } else if (format == "jsonl") {
+    primary = std::make_unique<analysis::LeakageJsonlSink>(*out);
+  } else if (format == "csv") {
+    primary = std::make_unique<analysis::LeakageCsvSink>(*out);
+  } else {
+    throw util::FlagError{"invalid value for --format: '" + format +
+                          "' (expected table, jsonl or csv)"};
+  }
+  // --json/--csv tee full-precision copies next to the primary output.
+  analysis::LeakageTeeSink tee;
+  tee.add(primary.get());
+  std::ofstream json_file, csv_file;
+  std::optional<analysis::LeakageJsonlSink> json_sink;
+  std::optional<analysis::LeakageCsvSink> csv_sink;
+  const std::string json_path = args.get("json", "");
+  if (!json_path.empty()) {
+    json_file.open(json_path);
+    if (!json_file) {
+      throw util::FlagError{"cannot open --json file: " + json_path};
+    }
+    json_sink.emplace(json_file);
+    tee.add(&*json_sink);
+  }
+  const std::string csv_path = args.get("csv", "");
+  if (!csv_path.empty()) {
+    csv_file.open(csv_path);
+    if (!csv_file) {
+      throw util::FlagError{"cannot open --csv file: " + csv_path};
+    }
+    csv_sink.emplace(csv_file);
+    tee.add(&*csv_sink);
+  }
+
+  if (!args.positional().empty()) {
+    // ---- pcap mode: one capture, one cell.  The cell seed is the root
+    // seed itself so the deterministic re-run (ground truth + costs)
+    // matches the 'live loopback' invocation that wrote the capture.
+    const std::string pcap_path = args.positional().front();
+    const net::PcapFile capture = net::read_pcap_file(pcap_path);
+    const std::vector<net::WireRtpPacket> wire = net::extract_rtp(capture);
+
+    spec.policies = {
+        policy::policy_from_string(args.get("policy", "I"), alg)};
+    spec.shapings = {
+        policy::shaping_from_string(args.get("shaping", "none"))};
+    spec.validate();
+    analysis::LeakageCell cell;
+    cell.policy = spec.policies.front();
+    cell.shaping = spec.shapings.front();
+    cell.seed = spec.seed;
+    const core::Workload workload =
+        core::build_workload(spec.motion, spec.gop_size, spec.frames,
+                             spec.seed, spec.pipeline.fps);
+
+    tee.begin(spec);
+    const analysis::LeakageCellResult r =
+        analysis::run_leakage_cell(spec, cell, workload, &wire);
+    tee.cell(r);
+    tee.end();
+    out->flush();
+    std::fprintf(stderr,
+                 "# analyze: %s: %zu records, %zu RTP packets, "
+                 "%zu frames observed\n",
+                 pcap_path.c_str(), capture.records.size(), wire.size(),
+                 r.inference.frames.size());
+    return 0;
+  }
+
+  // ---- sweep mode: the full leakage-vs-cost grid.
+  const int threads = args.get_int(
+      "threads", static_cast<int>(util::ThreadPool::default_thread_count()));
+  if (threads < 1) {
+    throw util::FlagError{"invalid value for --threads: must be >= 1"};
+  }
+  std::optional<util::ThreadPool> pool;
+  if (threads > 1) pool.emplace(static_cast<unsigned>(threads));
+  analysis::LeakageRunner runner{pool ? &*pool : nullptr};
+  const analysis::LeakageSummary summary = runner.run(spec, tee);
+  out->flush();
+  std::fprintf(stderr, "# analyze: %zu cells, %u thread(s), %.2f s\n",
+               summary.cells, summary.threads, summary.wall_s);
+  return 0;
+}
+
 // --- live subcommand (docs/live.md) ----------------------------------------
 // Real UDP sockets on an epoll/poll event loop: `loopback` runs all three
 // roles in-process on a virtual clock (deterministic, the pinned e2e);
@@ -895,6 +1058,9 @@ FlagSet live_loopback_flagset() {
       .flag("frames", "N", "clip length in frames (default 48)")
       .flag("policy", "none|I|P|all|I+<pct>P|<pct>I",
             "selective-encryption policy (default I)")
+      .flag("shaping", "SPEC",
+            "traffic-shaping countermeasures, e.g. pad256+hidemark+jit2ms "
+            "(default none; docs/adversary.md)")
       .flag("alg", "AES128|AES256|3DES", "cipher (default AES128)")
       .flag("device", "samsung|htc", "calibrated device profile")
       .flag("seed", "S", "root RNG seed (default 1)")
@@ -1049,6 +1215,7 @@ int cmd_live_loopback(const Flags& args) {
   config.frames = args.get_int("frames", 48);
   const auto alg = crypto::algorithm_from_string(args.get("alg", "AES128"));
   config.policy = policy::policy_from_string(args.get("policy", "I"), alg);
+  config.shaping = policy::shaping_from_string(args.get("shaping", "none"));
   config.pipeline.device =
       core::device_from_string(args.get("device", "samsung"));
   config.pipeline.channel = channel_from_flags(args, config.pipeline);
@@ -1356,9 +1523,9 @@ void print_usage(std::FILE* to) {
                           simulate_validation_flagset(), sweep_flagset(),
                           cell_flagset(),      cell_validate_flagset(),
                           advise_flagset(),    export_flagset(),
-                          live_loopback_flagset(), live_send_flagset(),
-                          live_recv_flagset(), live_proxy_flagset(),
-                          live_load_flagset()};
+                          analyze_flagset(),   live_loopback_flagset(),
+                          live_send_flagset(), live_recv_flagset(),
+                          live_proxy_flagset(), live_load_flagset()};
   for (const FlagSet& fs : sets) {
     // Strip the "thriftyvid " prefix for the listing.
     const std::string& cmd = fs.command();
@@ -1398,6 +1565,7 @@ int main(int argc, char** argv) {
     if (cmd == "cell") return cmd_cell(args);
     if (cmd == "advise") return cmd_advise(args);
     if (cmd == "export") return cmd_export(args);
+    if (cmd == "analyze") return cmd_analyze(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
